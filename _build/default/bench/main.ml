@@ -1,0 +1,570 @@
+(* The experiment harness: one section per experiment in DESIGN.md's
+   index (E1–E10).  The paper (CLUSTER 2000) has no numbered tables —
+   each experiment reproduces a figure or a quantitative claim from the
+   text; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+   Wall-clock measurements (E1, E2, E7, E8) use Bechamel on this host;
+   distributed-behaviour measurements (E3–E6, E9, E10) report the
+   deterministic virtual clock of the simulated cluster. *)
+
+module Api = Dityco.Api
+module Cluster = Dityco.Cluster
+module Site = Dityco.Site
+module Output = Dityco.Output
+module Stats = Tyco_support.Stats
+module Latency = Tyco_net.Latency
+module Simnet = Tyco_net.Simnet
+
+let section id title =
+  Format.printf "@.=== %s: %s ===@." id title
+
+let row fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helper: estimated ns per run of a thunk.                   *)
+
+let bench_ns name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None () in
+  let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) analyzed [] with
+  | [ est ] -> (
+      match Analyze.OLS.estimates est with Some [ ns ] -> ns | _ -> nan)
+  | _ -> nan
+
+(* ------------------------------------------------------------------ *)
+(* Workload sources.                                                   *)
+
+(* A single-site workload: a counter object driven through [n]
+   synchronous increments (~2 reductions per step). *)
+let counter_src n =
+  Printf.sprintf
+    {| def Counter(self, acc) =
+         self?{ bump(k) = (k![acc + 1] | Counter[self, acc + 1]) }
+       in def Driver(c, n) =
+         if n == 0 then io!printi[n]
+         else new k (c!bump[k] | k?(v) = Driver[c, n - 1])
+       in new c (Counter[c, 0] | Driver[c, %d]) |}
+    n
+
+(* Two-site ping-pong with a persistent server loop. *)
+let pingpong_src rounds =
+  Printf.sprintf
+    {| site server {
+         def Serve(svc) = svc?{ ping(v, k) = (k![v] | Serve[svc]) }
+         in export new svc Serve[svc] }
+       site client { import svc from server in
+                     def Ping(n) =
+                       if n == 0 then io!printi[0]
+                       else let v = svc!ping[n] in Ping[n - 1]
+                     in Ping[%d] } |}
+    rounds
+
+let run ?config ?placement ?until src =
+  Api.run_program ?config ?placement ?until (Api.parse src)
+
+(* ------------------------------------------------------------------ *)
+(* E1 — byte-code VM vs reference interpreter.                         *)
+
+let e1 () =
+  section "E1"
+    "byte-code VM vs calculus interpreter (paper: the VM design is \
+     compact and efficient)";
+  let n = 200 in
+  let prog = Api.parse (counter_src n) in
+  let vm_ns =
+    bench_ns "vm" (fun () -> ignore (Api.run_program ~typecheck:false prog))
+  in
+  let ref_ns = bench_ns "ref" (fun () -> ignore (Api.run_reference prog)) in
+  let reductions = float_of_int (2 * n) in
+  row "workload: counter, %d synchronous bumps (~%.0f reductions)@." n
+    reductions;
+  row "  %-28s %12.0f ns/run  %8.1f ns/reduction@."
+    "byte-code VM (full cluster)" vm_ns (vm_ns /. reductions);
+  row "  %-28s %12.0f ns/run  %8.1f ns/reduction@." "reference interpreter"
+    ref_ns (ref_ns /. reductions);
+  row "  speedup: %.1fx@." (ref_ns /. vm_ns)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — byte-code compactness.                                         *)
+
+let e2 () =
+  section "E2"
+    "byte-code compactness (paper: assembly/byte-code mapping almost \
+     one-to-one)";
+  let programs =
+    [ ( "cell",
+        {| def Cell(self, v) =
+             self?{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+           in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = io!printi[w])) |}
+      );
+      ("counter", counter_src 100);
+      ("pingpong", pingpong_src 10);
+      ( "seti",
+        {| site seti {
+             new database
+             def DB(self, n) = self?{ chunk(k) = k![n] | DB[self, n + 1] }
+             in export def Install(cl) = Go[cl]
+                and Go(cl) = let d = database!chunk[] in (cl![d] | Go[cl])
+             in DB[database, 0] }
+           site client {
+             def L(me) = me?(d) = (io!printi[d] | L[me])
+             in new me (L[me] | import Install from seti in Install[me]) } |}
+      ) ]
+  in
+  row "  %-10s %8s %8s %8s %8s %12s@." "program" "src-B" "AST" "instrs"
+    "code-B" "B/AST-node";
+  List.iter
+    (fun (name, src) ->
+      let prog = Api.parse src in
+      let units = Api.compile prog in
+      let ast_nodes =
+        List.fold_left
+          (fun acc (s : Tyco_syntax.Ast.site_decl) ->
+            acc + Tyco_syntax.Ast.size s.s_proc)
+          0 prog.Tyco_syntax.Ast.sites
+      in
+      let stats = List.map (fun (_, u) -> Tyco_compiler.Disasm.stats u) units in
+      let instrs =
+        List.fold_left
+          (fun a (s : Tyco_compiler.Disasm.stats) -> a + s.n_instrs)
+          0 stats
+      in
+      let bytes =
+        List.fold_left
+          (fun a (s : Tyco_compiler.Disasm.stats) -> a + s.n_bytes)
+          0 stats
+      in
+      row "  %-10s %8d %8d %8d %8d %12.2f@." name (String.length src)
+        ast_nodes instrs bytes
+        (float_of_int bytes /. float_of_int ast_nodes))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* E3 — remote communication: two-step shipment.                       *)
+
+let e3 () =
+  section "E3"
+    "remote communication cost (paper §3: asynchronous ship + local \
+     rendez-vous)";
+  let rounds = 50 in
+  let r = run (pingpong_src rounds) in
+  let rtt = float_of_int r.Api.virtual_ns /. float_of_int rounds in
+  row "  %d RPC round trips over the Myrinet model@." rounds;
+  row "  total %d ns, %.0f ns/round-trip (link one-way latency %d ns)@."
+    r.Api.virtual_ns rtt Latency.myrinet.Latency.latency_ns;
+  row "  packets: %d (2 data packets per round trip + name service)@."
+    r.Api.packets;
+  row "  lower bound 2 x one-way = %d ns; overhead = %.1f%%@."
+    (2 * Latency.myrinet.Latency.latency_ns)
+    ((rtt /. float_of_int (2 * Latency.myrinet.Latency.latency_ns) -. 1.)
+    *. 100.)
+
+(* ------------------------------------------------------------------ *)
+(* E4 — link-model hierarchy (Fig. 1 platform).                        *)
+
+let e4 () =
+  section "E4"
+    "link hierarchy: shared memory < Myrinet < Fast Ethernet (paper §5, \
+     same-node optimization)";
+  let rounds = 50 in
+  let src = pingpong_src rounds in
+  let with_topo name topology placement =
+    let config = { Cluster.default_config with Cluster.topology } in
+    let r = run ~config ?placement src in
+    row "  %-24s %10.0f ns/round-trip@." name
+      (float_of_int r.Api.virtual_ns /. float_of_int rounds)
+  in
+  with_topo "same node (shared mem)" Simnet.default_topology
+    (Some (fun _ -> 0));
+  with_topo "cross node (Myrinet)" Simnet.default_topology None;
+  with_topo "cross node (FastEther)"
+    { Simnet.default_topology with Simnet.cluster = Latency.fast_ethernet }
+    None
+
+(* ------------------------------------------------------------------ *)
+(* E5 — latency hiding by context switching.                           *)
+
+let e5 () =
+  section "E5"
+    "latency hiding: concurrent client threads overlap remote calls \
+     (paper §1/§5)";
+  let calls_per_client = 20 in
+  row "  each client performs %d RPCs; server on another node@."
+    calls_per_client;
+  row "  %-10s %14s %18s@." "clients" "virtual ns" "calls/ms (virtual)";
+  List.iter
+    (fun nclients ->
+      let spawn_clients =
+        String.concat " | "
+          (List.init nclients (fun i -> Printf.sprintf "C[%d]" i))
+      in
+      let src =
+        Printf.sprintf
+          {| site server {
+               def Serve(svc) = svc?{ ping(v, k) = (k![v] | Serve[svc]) }
+               in export new svc Serve[svc] }
+             site client {
+               import svc from server in
+               def C(id) = Go[id, %d]
+               and Go(id, n) =
+                 if n == 0 then io!printi[id]
+                 else let v = svc!ping[n] in Go[id, n - 1]
+               in (%s) } |}
+          calls_per_client spawn_clients
+      in
+      let r = run src in
+      let calls = nclients * calls_per_client in
+      row "  %-10d %14d %18.1f@." nclients r.Api.virtual_ns
+        (float_of_int calls /. (float_of_int r.Api.virtual_ns /. 1e6)))
+    [ 1; 2; 4; 8; 16; 32 ];
+  row "  (throughput grows with concurrency until the link saturates)@."
+
+(* ------------------------------------------------------------------ *)
+(* E6 — code fetching vs code shipping, by applet size.                *)
+
+let e6 () =
+  section "E6"
+    "applet deployment: FETCH (download class) vs SHIP (migrate object), \
+     by code size (paper §4)";
+  let body k =
+    String.concat " | "
+      (List.init k (fun i -> Printf.sprintf "io!printi[x + %d]" i))
+  in
+  row "  %-8s | %12s %8s | %12s %8s@." "applet" "fetch(ns)" "bytes"
+    "ship(ns)" "bytes";
+  List.iter
+    (fun k ->
+      let fetch_src =
+        Printf.sprintf
+          {| site server { export def Applet(x) = (%s) in nil }
+             site client { import Applet from server in Applet[1] } |}
+          (body k)
+      in
+      let ship_src =
+        Printf.sprintf
+          {| site server {
+               def S(self) = self?{ get(p) = ((p?(x) = (%s)) | S[self]) }
+               in export new srv S[srv] }
+             site client { import srv from server in
+                           new p (srv!get[p] | p![1]) } |}
+          (body k)
+      in
+      let fetch = run fetch_src in
+      let ship = run ship_src in
+      let first_output r =
+        match r.Api.outputs with (ts, _) :: _ -> ts | [] -> -1
+      in
+      row "  k=%-6d | %12d %8d | %12d %8d@." k (first_output fetch)
+        fetch.Api.bytes (first_output ship) ship.Api.bytes)
+    [ 1; 8; 32; 128 ];
+  row "  (the shipped applet prints at the server: its io is lexically \
+       bound there)@."
+
+(* ------------------------------------------------------------------ *)
+(* E7 — thread granularity.                                            *)
+
+let e7 () =
+  section "E7"
+    "thread granularity (paper §1: a few tens of byte-code instructions \
+     per thread)";
+  let programs =
+    [ ("counter", counter_src 100);
+      ("pingpong", pingpong_src 30);
+      ( "ring",
+        {| new a, b, c
+           (def Fa(x, y) = x?(t) = ((if t == 0 then io!printi[0] else y![t - 1]) | Fa[x, y])
+            in (Fa[a, b] | Fa[b, c] | Fa[c, a] | a![300])) |} ) ]
+  in
+  row "  %-10s %8s %8s %8s %8s %8s@." "program" "threads" "mean" "p50" "p95"
+    "max";
+  List.iter
+    (fun (name, src) ->
+      let r = run src in
+      let sites = Cluster.sites r.Api.cluster in
+      (* report the busiest site *)
+      let site =
+        List.fold_left
+          (fun best s ->
+            let c v =
+              Stats.Counter.value (Stats.counter (Site.stats v) "threads")
+            in
+            if c s > c best then s else best)
+          (List.hd sites) sites
+      in
+      let d = Stats.dist (Site.stats site) "thread_len" in
+      row "  %-10s %8d %8.1f %8.0f %8.0f %8.0f@." name (Stats.Dist.count d)
+        (Stats.Dist.mean d)
+        (Stats.Dist.percentile d 0.5)
+        (Stats.Dist.percentile d 0.95)
+        (Stats.Dist.max d))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* E8 — name service costs.                                            *)
+
+let e8 () =
+  section "E8"
+    "name service: registration/lookup micro-cost and import latency \
+     (paper §5)";
+  let ns = Tyco_net.Nameservice.create () in
+  let i = ref 0 in
+  let reg_ns =
+    bench_ns "register" (fun () ->
+        incr i;
+        let r =
+          Tyco_support.Netref.make ~kind:Tyco_support.Netref.Channel
+            ~heap_id:!i ~site_id:0 ~ip:0
+        in
+        ignore
+          (Tyco_net.Nameservice.register_id ns ~site:"s"
+             ~name:(string_of_int (!i land 1023))
+             r))
+  in
+  let w = { Tyco_net.Nameservice.w_req_id = 0; w_site = 0; w_ip = 0 } in
+  let look_ns =
+    bench_ns "lookup" (fun () ->
+        incr i;
+        ignore
+          (Tyco_net.Nameservice.lookup_id ns ~site:"s"
+             ~name:(string_of_int (!i land 1023))
+             w))
+  in
+  row "  register: %.0f ns/op (host), lookup: %.0f ns/op (host)@." reg_ns
+    look_ns;
+  let r =
+    run
+      {| site a { export new p p?(v) = io!printi[v] }
+         site b { import p from a in p![1] } |}
+  in
+  row "  cold import to first reduction: %d virtual ns@."
+    (match r.Api.outputs with (ts, _) :: _ -> ts | [] -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* E9 — scaling on the Fig. 1 cluster (4 nodes x 2 cpus).              *)
+
+let e9 () =
+  section "E9"
+    "scaling: master/worker fan-out on 4 nodes x 2 cores (paper Fig. 1 \
+     platform)";
+  let items = 64 in
+  let work = 400 in
+  row "  %d work items, each ~%d instructions of local compute@." items
+    (work * 3);
+  row "  %-10s %14s %10s@." "workers" "virtual ns" "speedup";
+  let base = ref 0.0 in
+  List.iter
+    (fun nworkers ->
+      let worker i =
+        Printf.sprintf
+          {| site w%d {
+               import pool from master in
+               def Crunch(n, k) = if n == 0 then k![1] else Crunch[n - 1, k]
+               and Work() = new k (
+                 pool!take[k]
+                 | k?{ item(v) = new d (Crunch[%d, d] | d?(x) = Work[]),
+                       stop() = io!printi[%d] })
+               in Work[] } |}
+          i work i
+      in
+      let master =
+        Printf.sprintf
+          {| site master {
+               def Pool(self, left) =
+                 self?{ take(k) = (if left == 0 then (k!stop[] | Pool[self, left])
+                                   else (k!item[left] | Pool[self, left - 1])) }
+               in export new pool Pool[pool, %d] } |}
+          items
+      in
+      let src = master ^ String.concat "" (List.init nworkers worker) in
+      let placement name =
+        if name = "master" then 0
+        else
+          (int_of_string (String.sub name 1 (String.length name - 1)) + 1)
+          mod 4
+      in
+      let r = run ~placement src in
+      let t = float_of_int r.Api.virtual_ns in
+      if nworkers = 1 then base := t;
+      row "  %-10d %14d %10.2fx@." nworkers r.Api.virtual_ns (!base /. t))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10 — termination detection overhead (paper future work).           *)
+
+let e10 () =
+  section "E10"
+    "termination detection: probe overhead and detection latency (paper \
+     §7 future work)";
+  let src = pingpong_src 150 in
+  let plain = run src in
+  let cluster = Cluster.create () in
+  Cluster.load cluster (Api.compile (Api.parse src));
+  let report = Dityco.Termination.run_with_detection ~period:200_000 cluster in
+  let actual = Cluster.virtual_time cluster in
+  row "  run without detector: %d virtual ns@." plain.Api.virtual_ns;
+  (match report.Dityco.Termination.detected_at with
+  | Some t ->
+      row "  detector announced at %d ns (%d ns after quiescence)@." t
+        (t - plain.Api.virtual_ns)
+  | None -> row "  detector: no announcement (unexpected)@.");
+  row "  probes: %d, modelled control overhead: %d ns (%.2f%% of run)@."
+    report.Dityco.Termination.probes
+    report.Dityco.Termination.probe_overhead_ns
+    (100.
+    *. float_of_int report.Dityco.Termination.probe_overhead_ns
+    /. float_of_int (max actual 1))
+
+(* ------------------------------------------------------------------ *)
+(* E11 — centralized vs replicated name service (paper future work).   *)
+
+let e11 () =
+  section "E11"
+    "name service deployment: centralized vs per-node replicas (paper \
+     \xc2\xa77 future work)";
+  let nclients = 6 in
+  let src =
+    Printf.sprintf
+      {| site server { export new p
+           def L(x) = p?(v) = (io!printi[v] | L[x]) in L[0] }
+         %s |}
+      (String.concat ""
+         (List.init nclients (fun i ->
+              Printf.sprintf
+                "site c%d { import p from server in p![%d] }" i i)))
+  in
+  let measure name cfg =
+    let r = run ~config:cfg src in
+    let last =
+      List.fold_left (fun acc (ts, _) -> max acc ts) 0 r.Api.outputs
+    in
+    row "  %-14s last-import-resolved=%8d ns  packets=%3d  bytes=%5d@."
+      name last r.Api.packets r.Api.bytes
+  in
+  row "  %d importer sites spread over 4 nodes@." nclients;
+  measure "centralized" Cluster.default_config;
+  measure "replicated"
+    { Cluster.default_config with Cluster.ns_mode = Cluster.Replicated };
+  row "  (replication trades broadcast registrations for local lookups)@."
+
+(* ------------------------------------------------------------------ *)
+(* E12 — peephole ablation (DESIGN.md design decision).                *)
+
+let e12 () =
+  section "E12" "peephole optimization ablation: code size and speed";
+  let prog =
+    Api.parse
+      {| def Go(n) = if n == 0 then io!printi[1 + 2 * 3 - 4 / 2]
+                     else Go[n - (3 - 2)]
+         in Go[500] |}
+  in
+  let size opt =
+    List.fold_left
+      (fun acc (_, u) -> acc + Tyco_compiler.Bytecode.byte_size u)
+      0
+      (Tyco_compiler.Compile.compile_program ~optimize:opt prog)
+  in
+  let instrs opt =
+    List.fold_left
+      (fun acc (_, u) -> acc + Tyco_compiler.Block.instr_count u)
+      0
+      (Tyco_compiler.Compile.compile_program ~optimize:opt prog)
+  in
+  row "  %-14s %8s %8s@." "" "instrs" "bytes";
+  row "  %-14s %8d %8d@." "unoptimized" (instrs false) (size false);
+  row "  %-14s %8d %8d@." "peephole" (instrs true) (size true);
+  (* virtual-time effect on an arithmetic-heavy workload *)
+  let arith =
+    {| def Go(n) = if n == 0 then io!printi[1 + 2 * 3 - 4 / 2]
+                   else Go[n - (3 - 2)]
+       in Go[500] |}
+  in
+  let vt opt =
+    let units =
+      Tyco_compiler.Compile.compile_program ~optimize:opt (Api.parse arith)
+    in
+    let cluster = Cluster.create () in
+    Cluster.load cluster units;
+    Cluster.run cluster;
+    Cluster.virtual_time cluster
+  in
+  row "  arithmetic loop: %d ns unoptimized, %d ns peephole (%.1f%% less)@."
+    (vt false) (vt true)
+    (100. *. (1. -. float_of_int (vt true) /. float_of_int (vt false)))
+
+(* ------------------------------------------------------------------ *)
+(* E13 — scheduling-quantum ablation.                                  *)
+
+let e13 () =
+  section "E13"
+    "scheduling quantum ablation: context-switch overhead on a      compute-heavy site";
+  let src =
+    {| def Loop(n) = if n == 0 then io!printi[0] else Loop[n - 1]
+       in Loop[30000] |}
+  in
+  let time quantum =
+    let config = { Cluster.default_config with Cluster.quantum } in
+    (run ~config src).Api.virtual_ns
+  in
+  let base = time 512 in
+  row "  %-10s %14s %10s@." "quantum" "virtual ns" "vs 512";
+  List.iter
+    (fun quantum ->
+      let t = time quantum in
+      row "  %-10d %14d %9.2fx@." quantum t
+        (float_of_int t /. float_of_int base))
+    [ 8; 64; 512; 4096 ];
+  row "  (small quanta pay a context switch every few instructions; the        messaging workloads of E3-E5 are quantum-insensitive because        their threads are shorter than any quantum — outputs are always        identical, which the metamorphic tests assert)@."
+
+(* ------------------------------------------------------------------ *)
+(* E14 — payload size vs transfer time (the bandwidth term).           *)
+
+let e14 () =
+  section "E14" "payload size vs one-way transfer time (link bandwidth term)";
+  row "  %-10s %14s %14s@." "args" "myrinet ns" "ethernet ns";
+  List.iter
+    (fun nargs ->
+      let args =
+        String.concat ", " (List.init nargs string_of_int)
+      in
+      let params =
+        String.concat ", " (List.init nargs (Printf.sprintf "a%d"))
+      in
+      let src =
+        Printf.sprintf
+          {| site a { export new p p?(%s) = io!printi[a0] }
+             site b { import p from a in p![%s] } |}
+          params args
+      in
+      let t topology =
+        let config = { Cluster.default_config with Cluster.topology } in
+        let r = run ~config src in
+        match r.Api.outputs with (ts, _) :: _ -> ts | [] -> -1
+      in
+      row "  %-10d %14d %14d@." nargs (t Simnet.default_topology)
+        (t { Simnet.default_topology with
+             Simnet.cluster = Latency.fast_ethernet }))
+    [ 1; 4; 16; 64 ]
+
+let () =
+  Format.printf "DiTyCO experiment harness (see DESIGN.md / EXPERIMENTS.md)@.";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  Format.printf "@.done.@."

@@ -1,0 +1,84 @@
+(* tyco_run — run a DiTyCO program (usually a single site) and print
+   its I/O events.  With --reference, run the calculus-level reference
+   interpreter instead of the byte-code runtime. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_inputs specs =
+  (* "site=1,2,3" or bare "1,2,3" (fed to site main) *)
+  List.map
+    (fun spec ->
+      let site, csv =
+        match String.index_opt spec '=' with
+        | Some i ->
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+        | None -> ("main", spec)
+      in
+      ( site,
+        if String.trim csv = "" then []
+        else List.map int_of_string (String.split_on_char ',' csv) ))
+    specs
+
+let run path reference until timestamps input_specs =
+  try
+    let prog = Dityco.Api.parse ~file:path (read_file path) in
+    let inputs = parse_inputs input_specs in
+    if reference then
+      let outs = Dityco.Api.run_reference ~inputs prog in
+      List.iter (fun e -> Format.printf "%a@." Dityco.Output.pp_event e) outs
+    else begin
+      let r = Dityco.Api.run_program ~inputs ?until prog in
+      List.iter
+        (fun (ts, e) ->
+          if timestamps then Format.printf "[%dns] %a@." ts Dityco.Output.pp_event e
+          else Format.printf "%a@." Dityco.Output.pp_event e)
+        r.Dityco.Api.outputs;
+      Format.printf "-- %d event(s), %d packet(s), %d byte(s), %dns virtual time@."
+        (List.length r.Dityco.Api.outputs)
+        r.Dityco.Api.packets r.Dityco.Api.bytes r.Dityco.Api.virtual_ns
+    end
+  with
+  | Dityco.Api.Error e ->
+      Format.eprintf "%s@." (Dityco.Api.error_message e);
+      exit 1
+  | Sys_error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Failure m ->
+      Format.eprintf "error: bad --input (%s)@." m;
+      exit 1
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"DiTyCO source file.")
+
+let reference =
+  Arg.(value & flag & info [ "reference" ]
+       ~doc:"Use the calculus reference interpreter instead of the VM.")
+
+let until =
+  Arg.(value & opt (some int) None & info [ "until" ] ~docv:"NS"
+       ~doc:"Stop after this much virtual time (for perpetual programs).")
+
+let timestamps =
+  Arg.(value & flag & info [ "t"; "timestamps" ]
+       ~doc:"Prefix each event with its virtual timestamp.")
+
+let input_specs =
+  Arg.(value & opt_all string [] & info [ "input" ] ~docv:"SITE=N,N,..."
+       ~doc:"Feed integers to a site's I/O port (io!readi); bare N,N,... \
+             feeds site 'main'.  Repeatable.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tyco_run" ~version:"1.0" ~doc:"Run DiTyCO programs")
+    Term.(const run $ path_arg $ reference $ until $ timestamps $ input_specs)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,104 @@
+(* tycoc — the DiTyCO compiler driver: type-check, compile,
+   disassemble, and report byte-code statistics. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  try Dityco.Api.parse ~file:path (read_file path)
+  with
+  | Sys_error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Dityco.Api.Error e ->
+      Format.eprintf "%s@." (Dityco.Api.error_message e);
+      exit 1
+
+let check_types prog =
+  try ignore (Dityco.Api.typecheck prog)
+  with Dityco.Api.Error e ->
+    Format.eprintf "%s@." (Dityco.Api.error_message e);
+    exit 1
+
+let compile_cmd path no_typecheck disasm stats emit_asm interfaces =
+  let prog = load path in
+  if interfaces then begin
+    (match Dityco.Api.typecheck prog with
+    | info ->
+        if info.Tyco_types.Infer.export_name_types = []
+           && info.Tyco_types.Infer.export_class_types = []
+        then Format.printf "(no exported identifiers)@."
+        else begin
+          List.iter
+            (fun ((site, name), ty) ->
+              Format.printf "%s.%s : %s@." site name (Tyco_types.Ty.to_string ty))
+            info.Tyco_types.Infer.export_name_types;
+          List.iter
+            (fun ((site, name), scheme) ->
+              Format.printf "%s.%s : class (%s)@." site name
+                (String.concat ", "
+                   (List.map Tyco_types.Ty.to_string
+                      (Tyco_types.Ty.instantiate info.Tyco_types.Infer.ctx
+                         scheme))))
+            info.Tyco_types.Infer.export_class_types
+        end
+    | exception Dityco.Api.Error e ->
+        Format.eprintf "%s@." (Dityco.Api.error_message e);
+        exit 1);
+    exit 0
+  end;
+  if not no_typecheck then check_types prog;
+  let units =
+    try Dityco.Api.compile prog
+    with Dityco.Api.Error e ->
+      Format.eprintf "%s@." (Dityco.Api.error_message e);
+      exit 1
+  in
+  List.iter
+    (fun (site, unit_) ->
+      Format.printf "== site %s ==@." site;
+      if stats || not disasm then
+        Format.printf "%a@." Tyco_compiler.Disasm.pp_stats
+          (Tyco_compiler.Disasm.stats unit_);
+      if disasm then Format.printf "%a@." Tyco_compiler.Disasm.pp unit_;
+      if emit_asm then Format.printf "%a" Tyco_compiler.Asm.pp unit_)
+    units;
+  if not (disasm || stats || emit_asm) then Format.printf "ok@."
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"DiTyCO source file (a process or site blocks).")
+
+let no_typecheck =
+  Arg.(value & flag & info [ "no-typecheck" ] ~doc:"Skip type checking.")
+
+let disasm =
+  Arg.(value & flag & info [ "d"; "disasm" ]
+       ~doc:"Print the virtual machine assembly of each site.")
+
+let stats =
+  Arg.(value & flag & info [ "s"; "stats" ]
+       ~doc:"Print byte-code statistics (blocks, instructions, bytes).")
+
+let emit_asm =
+  Arg.(value & flag & info [ "emit-asm" ]
+       ~doc:"Print the virtual machine assembly.")
+
+let interfaces =
+  Arg.(value & flag & info [ "interfaces" ]
+       ~doc:"Print the inferred types of every exported identifier \
+             (the network interface of each site).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tycoc" ~version:"1.0"
+       ~doc:"Compile DiTyCO programs to TyCO virtual machine byte-code")
+    Term.(const compile_cmd $ path_arg $ no_typecheck $ disasm $ stats
+          $ emit_asm $ interfaces)
+
+let () = exit (Cmd.eval cmd)

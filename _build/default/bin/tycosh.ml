@@ -1,0 +1,235 @@
+(* tycosh — the cluster shell (the paper's TyCOsh): submit a network
+   program to a simulated DiTyCO cluster, choose the cluster shape and
+   link models, inspect per-site statistics and traffic. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let topology_of_string = function
+  | "myrinet" -> Tyco_net.Simnet.default_topology
+  | "ethernet" ->
+      { Tyco_net.Simnet.default_topology with
+        cluster = Tyco_net.Latency.fast_ethernet }
+  | "local" ->
+      { Tyco_net.Simnet.default_topology with
+        cluster = Tyco_net.Latency.shared_memory }
+  | s -> failwith (Printf.sprintf "unknown topology %S" s)
+
+(* The interactive shell (the paper's TyCOsh proper): programs are
+   submitted to a persistent simulated cluster.  Input is accumulated
+   until a line with a single ".", then parsed, type-checked and
+   loaded; the simulation then runs to quiescence and reports new
+   outputs.  Commands:
+     :load FILE   submit a program from a file
+     :stats       per-site statistics
+     :trace       packet log of the whole session
+     :time        current virtual time
+     :quit        leave                                                *)
+let interactive config =
+  let cluster = Dityco.Cluster.create ~config () in
+  let shown = ref 0 in
+  let submit src =
+    match
+      let prog = Dityco.Api.parse src in
+      (* isolated per-site checking: imports may refer to programs
+         submitted earlier in the session, so they are validated
+         dynamically when their lookups resolve *)
+      Dityco.Api.load_isolated cluster prog;
+      Dityco.Cluster.run cluster
+    with
+    | () ->
+        let outs = Dityco.Cluster.outputs cluster in
+        let fresh = List.filteri (fun i _ -> i >= !shown) outs in
+        shown := List.length outs;
+        List.iter
+          (fun (ts, e) ->
+            Format.printf "[%9dns] %a@." ts Dityco.Output.pp_event e)
+          fresh;
+        Format.printf "-- ok, virtual time %dns@."
+          (Dityco.Cluster.virtual_time cluster)
+    | exception Dityco.Api.Error e ->
+        Format.printf "error: %s@." (Dityco.Api.error_message e)
+    | exception Invalid_argument m -> Format.printf "error: %s@." m
+  in
+  Format.printf
+    "tycosh interactive — end a program with a lone '.', :help for help@.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    Format.printf (if Buffer.length buf = 0 then "tycosh> " else "......> ");
+    Format.print_flush ();
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | ":quit" | ":q" -> ()
+    | ":help" ->
+        Format.printf
+          ":load FILE | :stats | :trace | :time | :quit — or type a program, \
+           end with '.'@.";
+        loop ()
+    | ":time" ->
+        Format.printf "%dns@." (Dityco.Cluster.virtual_time cluster);
+        loop ()
+    | ":stats" ->
+        List.iter
+          (fun site ->
+            Format.printf "== site %s ==@." (Dityco.Site.name site);
+            Format.printf "%a" Tyco_support.Stats.pp (Dityco.Site.stats site))
+          (Dityco.Cluster.sites cluster);
+        loop ()
+    | ":trace" ->
+        List.iter
+          (fun (ts, p) -> Format.printf "[%9dns] %a@." ts Tyco_net.Packet.pp p)
+          (Dityco.Cluster.packet_trace cluster);
+        loop ()
+    | line when String.length line > 5 && String.sub line 0 5 = ":load" ->
+        let file = String.trim (String.sub line 5 (String.length line - 5)) in
+        (try submit (read_file file)
+         with Sys_error m -> Format.printf "error: %s@." m);
+        loop ()
+    | "." ->
+        let src = Buffer.contents buf in
+        Buffer.clear buf;
+        if String.trim src <> "" then submit src;
+        loop ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        loop ()
+  in
+  loop ()
+
+let run_tcp path nodes =
+  try
+    let prog = Dityco.Api.parse ~file:path (read_file path) in
+    let r = Dityco.Tcp_runner.run_program ~nodes prog in
+    List.iter
+      (fun e -> Format.printf "%a@." Dityco.Output.pp_event e)
+      r.Dityco.Tcp_runner.outputs;
+    Format.printf "-- real TCP loopback: %d packets, %.1f ms wall%s@."
+      r.Dityco.Tcp_runner.packets
+      (float_of_int r.Dityco.Tcp_runner.wall_ns /. 1e6)
+      (if r.Dityco.Tcp_runner.timed_out then " (TIMED OUT)" else "")
+  with
+  | Dityco.Api.Error e ->
+      Format.eprintf "%s@." (Dityco.Api.error_message e);
+      exit 1
+  | Sys_error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+
+let run path nodes cores quantum topo until verbose seed replicated_ns trace interactive_mode tcp json =
+  try
+    let config =
+      { Dityco.Cluster.nodes;
+        cores_per_node = cores;
+        quantum;
+        topology = topology_of_string topo;
+        seed;
+        ns_mode =
+          (if replicated_ns then Dityco.Cluster.Replicated
+           else Dityco.Cluster.Centralized) }
+    in
+    if interactive_mode then (interactive config; exit 0);
+    if tcp then (run_tcp path nodes; exit 0);
+    let prog = Dityco.Api.parse ~file:path (read_file path) in
+    let r = Dityco.Api.run_program ~config ?until prog in
+    if json then begin
+      print_endline (Dityco.Report.to_json (Dityco.Report.of_result r));
+      exit 0
+    end;
+    List.iter
+      (fun (ts, e) -> Format.printf "[%9dns] %a@." ts Dityco.Output.pp_event e)
+      r.Dityco.Api.outputs;
+    Format.printf
+      "-- virtual time %dns, %d sim events, %d packets, %d bytes@."
+      r.Dityco.Api.virtual_ns r.Dityco.Api.sim_events r.Dityco.Api.packets
+      r.Dityco.Api.bytes;
+    if trace then
+      List.iter
+        (fun (ts, p) ->
+          Format.printf "[%9dns] %a@." ts Tyco_net.Packet.pp p)
+        (Dityco.Cluster.packet_trace r.Dityco.Api.cluster);
+    if verbose then
+      List.iter
+        (fun site ->
+          Format.printf "== site %s (id %d, node %d) ==@." (Dityco.Site.name site)
+            (Dityco.Site.site_id site) (Dityco.Site.ip site);
+          Format.printf "%a" Tyco_support.Stats.pp (Dityco.Site.stats site))
+        (Dityco.Cluster.sites r.Dityco.Api.cluster)
+  with
+  | Dityco.Api.Error e ->
+      Format.eprintf "%s@." (Dityco.Api.error_message e);
+      exit 1
+  | Sys_error m | Failure m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+
+let path_arg =
+  Arg.(value & pos 0 string "" & info [] ~docv:"FILE"
+       ~doc:"Network program (site blocks); omit with --interactive.")
+
+let nodes =
+  Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N"
+       ~doc:"Cluster nodes (the paper's platform has 4).")
+
+let cores =
+  Arg.(value & opt int 2 & info [ "cores" ] ~docv:"N"
+       ~doc:"Processors per node (the paper's PCs are dual-CPU).")
+
+let quantum =
+  Arg.(value & opt int 512 & info [ "quantum" ] ~docv:"INSTRS"
+       ~doc:"VM instructions per scheduling quantum.")
+
+let topo =
+  Arg.(value & opt string "myrinet" & info [ "link" ] ~docv:"MODEL"
+       ~doc:"Inter-node link model: myrinet, ethernet, or local.")
+
+let until =
+  Arg.(value & opt (some int) None & info [ "until" ] ~docv:"NS"
+       ~doc:"Stop after this much virtual time.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+       ~doc:"Print per-site VM statistics after the run.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Simulation seed (runs are deterministic per seed).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ]
+       ~doc:"Emit the run summary as JSON instead of text.")
+
+let tcp_flag =
+  Arg.(value & flag & info [ "tcp" ]
+       ~doc:"Run over real loopback TCP sockets (one thread per node) \
+             instead of the deterministic simulation.")
+
+let interactive_flag =
+  Arg.(value & flag & info [ "i"; "interactive" ]
+       ~doc:"Start the interactive shell: submit programs to a \
+             persistent simulated cluster (the paper's TyCOsh).")
+
+let trace =
+  Arg.(value & flag & info [ "trace" ]
+       ~doc:"Print every packet (shipments, fetches, name service) with \
+             its virtual send time.")
+
+let replicated_ns =
+  Arg.(value & flag & info [ "replicated-ns" ]
+       ~doc:"Use a per-node replicated name service instead of the \
+             centralized one (the paper's future-work design).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tycosh" ~version:"1.0"
+       ~doc:"Submit DiTyCO network programs to a simulated cluster")
+    Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
+          $ verbose $ seed $ replicated_ns $ trace $ interactive_flag $ tcp_flag
+          $ json_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/mobile_agent.ml: Buffer Dityco Format List Printf Tyco_support

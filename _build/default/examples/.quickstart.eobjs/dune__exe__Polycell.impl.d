@@ -1,0 +1,1 @@
+examples/polycell.ml: Dityco Format List Tyco_types

@@ -1,0 +1,1 @@
+examples/ring.ml: Buffer Dityco Format Printf

@@ -1,0 +1,1 @@
+examples/rpc_bank.ml: Dityco Format List

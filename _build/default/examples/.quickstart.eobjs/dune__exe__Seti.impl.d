@@ -1,0 +1,1 @@
+examples/seti.ml: Dityco Format List

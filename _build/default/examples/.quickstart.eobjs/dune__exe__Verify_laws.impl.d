@@ -1,0 +1,1 @@
+examples/verify_laws.ml: Dityco Format List String Tyco_calculus

@@ -1,0 +1,48 @@
+(* Remote procedure calls in DiTyCO (paper §3's RPC derivation), as a
+   small bank service.
+
+   The bank exports one name; clients import it and use the [let]
+   synchronous-call sugar, which expands to the reply-channel protocol
+   whose reduction sequence §3 traces step by step (SHIPM, local
+   communication, SHIPM back, local communication).
+
+     dune exec examples/rpc_bank.exe
+*)
+
+let source =
+  {|
+  site bank {
+    def Account(self, balance) =
+      self?{ deposit(amount, k)  = k![balance + amount]
+                                   | Account[self, balance + amount],
+             withdraw(amount, k) = (if amount <= balance
+                                    then (k![balance - amount]
+                                          | Account[self, balance - amount])
+                                    else (k![0 - 1] | Account[self, balance])),
+             query(k)            = k![balance] | Account[self, balance] }
+    in export new account
+       Account[account, 100]
+  }
+  site alice {
+    import account from bank in
+    let b1 = account!deposit[40] in
+    (io!printi[b1] |
+     let b2 = account!withdraw[25] in io!printi[b2])
+  }
+  site bob {
+    import account from bank in
+    let b = account!withdraw[1000] in io!printi[b]
+  }
+|}
+
+let () =
+  let prog = Dityco.Api.parse source in
+  ignore (Dityco.Api.typecheck prog);
+  let result = Dityco.Api.run_program prog in
+  List.iter
+    (fun (ts, e) -> Format.printf "[%8dns] %a@." ts Dityco.Output.pp_event e)
+    result.Dityco.Api.outputs;
+  Format.printf "-- every RPC costs two shipments + two local reductions@.";
+  Format.printf "-- packets: %d (includes name-service traffic)@."
+    result.Dityco.Api.packets;
+  assert (Dityco.Api.agree_with_reference prog)

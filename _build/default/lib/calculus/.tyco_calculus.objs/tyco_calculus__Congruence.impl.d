@@ -1,0 +1,1 @@
+lib/calculus/congruence.ml: Hashtbl List Printf String Term

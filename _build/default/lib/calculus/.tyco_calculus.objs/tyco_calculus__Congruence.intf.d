@@ -1,0 +1,1 @@
+lib/calculus/congruence.mli: Term

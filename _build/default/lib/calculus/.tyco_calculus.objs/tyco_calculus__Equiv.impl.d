@@ -1,0 +1,1 @@
+lib/calculus/equiv.ml: Format Hashtbl Interp List Network Printf String Term

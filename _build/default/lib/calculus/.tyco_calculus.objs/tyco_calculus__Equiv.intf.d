@@ -1,0 +1,1 @@
+lib/calculus/equiv.mli: Format Network Tyco_syntax

@@ -1,0 +1,1 @@
+lib/calculus/interp.ml: Format List Map Network String Term Tyco_syntax

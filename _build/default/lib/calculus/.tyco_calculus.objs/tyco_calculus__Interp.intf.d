@@ -1,0 +1,1 @@
+lib/calculus/interp.mli: Network Tyco_syntax

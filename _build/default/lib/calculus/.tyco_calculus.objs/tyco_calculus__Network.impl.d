@@ -1,0 +1,1 @@
+lib/calculus/network.ml: Fmt Format List Option Printf String Term Tyco_support Tyco_syntax

@@ -1,0 +1,1 @@
+lib/calculus/network.mli: Format Term

@@ -1,0 +1,1 @@
+lib/calculus/term.ml: Fmt List Printf Set String Tyco_support Tyco_syntax

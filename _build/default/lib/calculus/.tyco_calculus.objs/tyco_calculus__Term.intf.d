@@ -1,0 +1,1 @@
+lib/calculus/term.mli: Format Tyco_syntax

@@ -1,0 +1,96 @@
+let rec gc (p : Term.proc) : Term.proc =
+  match p with
+  | Term.Nil -> Term.Nil
+  | Term.Par (a, b) -> (
+      match (gc a, gc b) with
+      | Term.Nil, q | q, Term.Nil -> q
+      | a, b -> Term.Par (a, b))
+  | Term.New (xs, q) ->
+      let q = gc q in
+      let free = Term.free_ids q in
+      let xs = List.filter (fun x -> List.mem (Term.Plain x) free) xs in
+      if xs = [] then q else Term.New (xs, q)
+  | Term.Obj (x, ms) ->
+      Term.Obj
+        (x, List.map (fun (m : Term.method_) -> { m with Term.m_body = gc m.Term.m_body }) ms)
+  | Term.Def (ds, q) ->
+      let q = gc q in
+      let ds =
+        List.map (fun (d : Term.defn) -> { d with Term.d_body = gc d.Term.d_body }) ds
+      in
+      let used = Term.free_cids q in
+      if
+        List.exists
+          (fun (d : Term.defn) -> List.mem (Term.Cplain d.Term.d_name) used)
+          ds
+      then Term.Def (ds, q)
+      else q
+  | Term.If (e, a, b) -> Term.If (e, gc a, gc b)
+  | Term.Msg _ | Term.Inst _ -> p
+
+let flatten p = Term.flatten_par p
+
+(* Collect extrudable [new] binders from the top-level parallel spine.
+   Callers must have alpha-renamed binders apart, so pulling a binder
+   over a sibling can never capture. *)
+let rec collect binders atoms (p : Term.proc) =
+  match p with
+  | Term.Nil -> (binders, atoms)
+  | Term.Par (a, b) ->
+      let binders, atoms = collect binders atoms a in
+      collect binders atoms b
+  | Term.New (xs, q) -> collect (binders @ xs) atoms q
+  | Term.Msg _ | Term.Obj _ | Term.Inst _ | Term.Def _ | Term.If _ ->
+      (binders, atoms @ [ p ])
+
+let prenex p =
+  let p = Term.rename_bound ~prefix:"x" (gc p) in
+  collect [] [] p
+
+(* Mask the prenex-bound names of an atom so sorting is stable under
+   renaming; internal binders are canonicalized per atom first. *)
+let coarse_key binders atom =
+  let canon = Term.rename_bound ~prefix:"i" atom in
+  let masked =
+    Term.subst
+      (List.map (fun x -> (x, Term.Eid (Term.Plain "_"))) binders)
+      canon
+  in
+  Term.to_string masked
+
+let normal_form p =
+  let binders, atoms = prenex p in
+  let atoms = List.map (Term.rename_bound ~prefix:"i") atoms in
+  let keyed = List.map (fun a -> (coarse_key binders a, a)) atoms in
+  let sorted =
+    List.stable_sort (fun (k1, _) (k2, _) -> String.compare k1 k2) keyed
+  in
+  let sorted_atoms = List.map snd sorted in
+  (* canonical prenex names, in order of first occurrence *)
+  let counter = ref 0 in
+  let assigned = Hashtbl.create 8 in
+  let assign x =
+    if List.mem x binders && not (Hashtbl.mem assigned x) then begin
+      Hashtbl.add assigned x (Printf.sprintf "b%d" !counter);
+      incr counter
+    end
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (function Term.Plain x -> assign x | Term.Located _ -> ())
+        (Term.free_ids a))
+    sorted_atoms;
+  (* drop binders that no atom uses (another GcN opportunity exposed by
+     flattening) *)
+  let renaming =
+    Hashtbl.fold (fun x x' acc -> (x, Term.Eid (Term.Plain x')) :: acc)
+      assigned []
+  in
+  let atoms' = List.map (Term.subst renaming) sorted_atoms in
+  let atoms' = List.sort compare atoms' in
+  let body = Term.par_list atoms' in
+  let canon_binders = List.init !counter (Printf.sprintf "b%d") in
+  if canon_binders = [] then body else Term.New (canon_binders, body)
+
+let congruent p q = normal_form p = normal_form q

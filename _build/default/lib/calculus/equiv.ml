@@ -1,0 +1,94 @@
+exception Search_exhausted of int
+
+type outcome = (string * string * string) list
+
+let render_value v = Format.asprintf "%a" Network.pp_value v
+
+(* Channel identities in rendered values are fresh-name dependent
+   ("c$17"), so two interleavings of the same program can render the
+   same observable differently.  Observable outputs in practice are
+   base values; channel mentions are canonicalized to "#chan". *)
+let canon_value v =
+  match v with
+  | Network.Vid _ -> "#chan"
+  | Network.Vint _ | Network.Vbool _ | Network.Vstr _ -> render_value v
+
+let outcome_of_net net : outcome =
+  List.sort compare
+    (List.map
+       (fun (site, label, vs) ->
+         (site, label, String.concat "," (List.map canon_value vs)))
+       (Network.outputs net))
+
+(* A cheap state signature for duplicate pruning: the multiset of atom
+   renderings plus outputs.  Fresh-name suffixes differ between
+   branches that created names in different orders, so this is a sound
+   but incomplete dedup (missed duplicates only cost time). *)
+let signature net =
+  let atoms =
+    List.sort compare
+      (List.map
+         (fun (site, a) ->
+           site ^ "|" ^ Format.asprintf "%a" (fun ppf -> function
+             | Network.Amsg (x, l, vs) ->
+                 Format.fprintf ppf "m %a %s %s" Term.pp_id x l
+                   (String.concat "," (List.map canon_value vs))
+             | Network.Aobj (x, ms) ->
+                 Format.fprintf ppf "o %a %s" Term.pp_id x
+                   (String.concat ","
+                      (List.map (fun (m : Term.method_) -> m.Term.m_label) ms))
+             | Network.Ainst (c, vs) ->
+                 Format.fprintf ppf "i %s %s"
+                   (match c with
+                    | Term.Cplain x -> x
+                    | Term.Clocated (s, x) -> s ^ "." ^ x)
+                   (String.concat "," (List.map canon_value vs)))
+             a)
+         (Network.atoms net))
+  in
+  String.concat ";" atoms
+  ^ "##"
+  ^ String.concat ";"
+      (List.map
+         (fun (s, l, vs) ->
+           s ^ l ^ String.concat "," (List.map canon_value vs))
+         (Network.outputs net))
+
+let explore ?(max_states = 50_000) net =
+  let seen = Hashtbl.create 1024 in
+  let results = Hashtbl.create 64 in
+  let explored = ref 0 in
+  let rec go net =
+    let key = signature net in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr explored;
+      if !explored > max_states then raise (Search_exhausted max_states);
+      match Network.all_steps net with
+      | [] -> Hashtbl.replace results (outcome_of_net net) ()
+      | steps -> List.iter (fun (_, net') -> go net') steps
+    end
+  in
+  go net;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) results [])
+
+let outcomes_of_net ?max_states net = explore ?max_states net
+
+let outcomes ?max_states ?inputs prog =
+  let loaded = Interp.load ?inputs prog in
+  explore ?max_states loaded.Interp.net
+
+let may_equivalent ?max_states p1 p2 =
+  outcomes ?max_states p1 = outcomes ?max_states p2
+
+let deterministic ?max_states prog =
+  match outcomes ?max_states prog with [ _ ] | [] -> true | _ -> false
+
+let runtime_outcome_admissible ?max_states prog observed =
+  let obs = List.sort compare observed in
+  List.mem obs (outcomes ?max_states prog)
+
+let pp_outcome ppf (o : outcome) =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; "
+       (List.map (fun (s, l, v) -> Printf.sprintf "%s:%s[%s]" s l v) o))

@@ -1,0 +1,55 @@
+(** May-testing equivalence of DiTyCO programs.
+
+    The paper's first argument for the calculus approach is that it
+    yields systems “provably correct, with relatively simple, well
+    defined semantics” — this module is the corresponding verification
+    tool.  Two programs are {e may-testing equivalent} with respect to
+    I/O observation when the sets of output multisets reachable at
+    quiescence — over {e every} reduction interleaving the calculus
+    admits ({!Network.all_steps}), not just the runtime's deterministic
+    strategy — coincide.
+
+    For terminating programs with finite nondeterminism the check is
+    exact; the [max_states] bound makes exploration total (an
+    exploration that exceeds it raises {!Search_exhausted}, it never
+    silently approximates).
+
+    Two practical corollaries are also exposed:
+    - {!deterministic}: the outcome set is a singleton — the program's
+      observable behaviour is scheduling-independent;
+    - {!runtime_outcome_admissible}: the byte-code runtime's output is
+      one of the calculus-admissible outcomes (a soundness check used
+      by the test suite on racy programs, where plain differential
+      testing cannot pin a single expected result). *)
+
+exception Search_exhausted of int
+(** Raised when the state-space exploration exceeds the bound. *)
+
+type outcome = (string * string * string) list
+(** One quiescent result: sorted [(site, label, rendered args)]
+    triples. *)
+
+val outcomes :
+  ?max_states:int -> ?inputs:(string * int list) list ->
+  Tyco_syntax.Ast.program -> outcome list
+(** All distinct quiescent outcomes, sorted.  [max_states] defaults to
+    50_000 explored states. *)
+
+val may_equivalent :
+  ?max_states:int -> Tyco_syntax.Ast.program -> Tyco_syntax.Ast.program ->
+  bool
+
+val deterministic :
+  ?max_states:int -> Tyco_syntax.Ast.program -> bool
+
+val runtime_outcome_admissible :
+  ?max_states:int -> Tyco_syntax.Ast.program ->
+  (string * string * string) list -> bool
+(** [runtime_outcome_admissible prog observed] — is the (unsorted)
+    observed output list one of the calculus outcomes? *)
+
+val outcomes_of_net : ?max_states:int -> Network.t -> outcome list
+(** Outcome exploration starting from an already-loaded network state
+    (used by tests that construct states directly). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

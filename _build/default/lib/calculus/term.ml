@@ -1,0 +1,505 @@
+module Ast = Tyco_syntax.Ast
+module Loc = Tyco_syntax.Loc
+
+type site = string
+
+type id =
+  | Plain of string
+  | Located of site * string
+
+type cid =
+  | Cplain of string
+  | Clocated of site * string
+
+type lit = Lint of int | Lbool of bool | Lstr of string
+
+type expr =
+  | Eid of id
+  | Elit of lit
+  | Ebin of Ast.binop * expr * expr
+  | Eun of Ast.unop * expr
+
+type proc =
+  | Nil
+  | Par of proc * proc
+  | New of string list * proc
+  | Msg of id * string * expr list
+  | Obj of id * method_ list
+  | Inst of cid * expr list
+  | Def of defn list * proc
+  | If of expr * proc * proc
+
+and method_ = { m_label : string; m_params : string list; m_body : proc }
+and defn = { d_name : string; d_params : string list; d_body : proc }
+
+let rec expr_of_ast (e : Ast.expr) : expr =
+  match e.Loc.it with
+  | Ast.Evar x -> Eid (Plain x)
+  | Ast.Eint n -> Elit (Lint n)
+  | Ast.Ebool b -> Elit (Lbool b)
+  | Ast.Estr s -> Elit (Lstr s)
+  | Ast.Ebin (op, a, b) -> Ebin (op, expr_of_ast a, expr_of_ast b)
+  | Ast.Eun (op, a) -> Eun (op, expr_of_ast a)
+
+let rec of_ast (p : Ast.proc) : proc =
+  match p.Loc.it with
+  | Ast.Pnil -> Nil
+  | Ast.Ppar (a, b) -> Par (of_ast a, of_ast b)
+  | Ast.Pnew (xs, q) -> New (xs, of_ast q)
+  | Ast.Pmsg (x, l, es) -> Msg (Plain x, l, List.map expr_of_ast es)
+  | Ast.Pobj (x, ms) -> Obj (Plain x, List.map method_of_ast ms)
+  | Ast.Pinst (xc, es) -> Inst (Cplain xc, List.map expr_of_ast es)
+  | Ast.Pdef (ds, q) -> Def (List.map defn_of_ast ds, of_ast q)
+  | Ast.Pif (e, a, b) -> If (expr_of_ast e, of_ast a, of_ast b)
+  | Ast.Plet _ -> invalid_arg "Term.of_ast: 'let' must be desugared first"
+  | Ast.Pexport_new _ | Ast.Pexport_def _ | Ast.Pimport_name _
+  | Ast.Pimport_class _ ->
+      invalid_arg "Term.of_ast: export/import belong to the network layer"
+
+and method_of_ast (m : Ast.method_) =
+  { m_label = m.m_label; m_params = m.m_params; m_body = of_ast m.m_body }
+
+and defn_of_ast (d : Ast.defn) =
+  { d_name = d.d_name; d_params = d.d_params; d_body = of_ast d.d_body }
+
+let par_list = function
+  | [] -> Nil
+  | p :: ps -> List.fold_left (fun a b -> Par (a, b)) p ps
+
+let rec flatten_par = function
+  | Par (a, b) -> flatten_par a @ flatten_par b
+  | Nil -> []
+  | p -> [ p ]
+
+(* ------------------------------------------------------------------ *)
+(* Free identifiers.                                                   *)
+
+module SSet = Set.Make (String)
+
+let add_free bound acc x =
+  match x with
+  | Plain n when SSet.mem n bound -> acc
+  | _ -> if List.mem x acc then acc else x :: acc
+
+let rec expr_ids bound acc = function
+  | Eid x -> add_free bound acc x
+  | Elit _ -> acc
+  | Ebin (_, a, b) -> expr_ids bound (expr_ids bound acc a) b
+  | Eun (_, a) -> expr_ids bound acc a
+
+let rec ids bound acc = function
+  | Nil -> acc
+  | Par (a, b) -> ids bound (ids bound acc a) b
+  | New (xs, q) -> ids (SSet.add_seq (List.to_seq xs) bound) acc q
+  | Msg (x, _, es) ->
+      List.fold_left (expr_ids bound) (add_free bound acc x) es
+  | Obj (x, ms) ->
+      List.fold_left
+        (fun acc m ->
+          ids (SSet.add_seq (List.to_seq m.m_params) bound) acc m.m_body)
+        (add_free bound acc x)
+        ms
+  | Inst (_, es) -> List.fold_left (expr_ids bound) acc es
+  | Def (ds, q) ->
+      let acc =
+        List.fold_left
+          (fun acc d ->
+            ids (SSet.add_seq (List.to_seq d.d_params) bound) acc d.d_body)
+          acc ds
+      in
+      ids bound acc q
+  | If (e, a, b) -> ids bound (ids bound (expr_ids bound acc e) a) b
+
+let free_ids p = List.rev (ids SSet.empty [] p)
+
+let add_free_cid bound acc x =
+  match x with
+  | Cplain n when SSet.mem n bound -> acc
+  | _ -> if List.mem x acc then acc else x :: acc
+
+let rec cids bound acc = function
+  | Nil | Msg _ -> acc
+  | Par (a, b) | If (_, a, b) -> cids bound (cids bound acc a) b
+  | New (_, q) -> cids bound acc q
+  | Obj (_, ms) ->
+      List.fold_left (fun acc m -> cids bound acc m.m_body) acc ms
+  | Inst (x, _) -> add_free_cid bound acc x
+  | Def (ds, q) ->
+      let bound' =
+        SSet.add_seq (List.to_seq (List.map (fun d -> d.d_name) ds)) bound
+      in
+      let acc =
+        List.fold_left (fun acc d -> cids bound' acc d.d_body) acc ds
+      in
+      cids bound' acc q
+
+let free_cids p = List.rev (cids SSet.empty [] p)
+
+(* ------------------------------------------------------------------ *)
+(* σ translation (paper §3): code leaving site [r] exposes its lexical
+   bindings; code arriving at [s] localizes names bound there.          *)
+
+let sigma_id ~from_ = function
+  | Plain x -> Located (from_, x)
+  | Located _ as i -> i
+
+let localize_id ~at = function
+  | Located (s, x) when String.equal s at -> Plain x
+  | i -> i
+
+let rec map_free_ids f bound p =
+  let on_id x =
+    match x with Plain n when SSet.mem n bound -> x | _ -> f x
+  in
+  let rec on_expr = function
+    | Eid x -> Eid (on_id x)
+    | Elit _ as e -> e
+    | Ebin (op, a, b) -> Ebin (op, on_expr a, on_expr b)
+    | Eun (op, a) -> Eun (op, on_expr a)
+  in
+  match p with
+  | Nil -> Nil
+  | Par (a, b) -> Par (map_free_ids f bound a, map_free_ids f bound b)
+  | New (xs, q) ->
+      New (xs, map_free_ids f (SSet.add_seq (List.to_seq xs) bound) q)
+  | Msg (x, l, es) -> Msg (on_id x, l, List.map on_expr es)
+  | Obj (x, ms) ->
+      Obj
+        ( on_id x,
+          List.map
+            (fun m ->
+              { m with
+                m_body =
+                  map_free_ids f
+                    (SSet.add_seq (List.to_seq m.m_params) bound)
+                    m.m_body })
+            ms )
+  | Inst (xc, es) -> Inst (xc, List.map on_expr es)
+  | Def (ds, q) ->
+      Def
+        ( List.map
+            (fun d ->
+              { d with
+                d_body =
+                  map_free_ids f
+                    (SSet.add_seq (List.to_seq d.d_params) bound)
+                    d.d_body })
+            ds,
+          map_free_ids f bound q )
+  | If (e, a, b) ->
+      If (on_expr e, map_free_ids f bound a, map_free_ids f bound b)
+
+let sigma ~from_ p = map_free_ids (sigma_id ~from_) SSet.empty p
+let localize ~at p = map_free_ids (localize_id ~at) SSet.empty p
+
+let sigma_defn ~from_ (d : defn) =
+  { d with
+    d_body =
+      map_free_ids (sigma_id ~from_)
+        (SSet.add_seq (List.to_seq d.d_params) SSet.empty)
+        d.d_body }
+
+let sigma_method ~from_ (m : method_) =
+  { m with
+    m_body =
+      map_free_ids (sigma_id ~from_)
+        (SSet.add_seq (List.to_seq m.m_params) SSet.empty)
+        m.m_body }
+
+(* ------------------------------------------------------------------ *)
+(* Capture-avoiding substitution of plain names by expressions.        *)
+
+let expr_free_plains e =
+  List.filter_map
+    (function Plain x -> Some x | Located _ -> None)
+    (expr_ids SSet.empty [] e)
+
+let rec proc_plains acc = function
+  (* every plain name occurring anywhere, bound or free: used to pick
+     fresh names that cannot collide *)
+  | Nil -> acc
+  | Par (a, b) | If (_, a, b) -> proc_plains (proc_plains acc a) b
+  | New (xs, q) -> proc_plains (xs @ acc) q
+  | Msg (x, _, es) ->
+      let acc = match x with Plain n -> n :: acc | Located _ -> acc in
+      List.fold_left
+        (fun acc e -> expr_free_plains e @ acc)
+        acc es
+  | Obj (x, ms) ->
+      let acc = match x with Plain n -> n :: acc | Located _ -> acc in
+      List.fold_left
+        (fun acc m -> proc_plains (m.m_params @ acc) m.m_body)
+        acc ms
+  | Inst (_, es) ->
+      List.fold_left (fun acc e -> expr_free_plains e @ acc) acc es
+  | Def (ds, q) ->
+      let acc =
+        List.fold_left
+          (fun acc d -> proc_plains (d.d_params @ acc) d.d_body)
+          acc ds
+      in
+      proc_plains acc q
+
+let fresh_name avoid base =
+  let rec go i =
+    let cand = Printf.sprintf "%s'%d" base i in
+    if SSet.mem cand avoid then go (i + 1) else cand
+  in
+  go 0
+
+let subst map p =
+  let range_frees map =
+    List.fold_left
+      (fun acc (_, e) -> SSet.add_seq (List.to_seq (expr_free_plains e)) acc)
+      SSet.empty map
+  in
+  let rec go map p =
+    if map = [] then p
+    else
+      let on_id x =
+        match x with
+        | Plain n -> (
+            match List.assoc_opt n map with
+            | Some (Eid i) -> i
+            | Some _ ->
+                invalid_arg
+                  "Term.subst: name position substituted by a non-name"
+            | None -> x)
+        | Located _ -> x
+      in
+      let rec on_expr e =
+        match e with
+        | Eid (Plain n) -> (
+            match List.assoc_opt n map with Some e' -> e' | None -> e)
+        | Eid (Located _) | Elit _ -> e
+        | Ebin (op, a, b) -> Ebin (op, on_expr a, on_expr b)
+        | Eun (op, a) -> Eun (op, on_expr a)
+      in
+      (* Restrict the map under a binder of [xs]; rename binders that
+         would capture free names of the map's range. *)
+      let under_binder xs body rebuild =
+        let map' = List.filter (fun (n, _) -> not (List.mem n xs)) map in
+        if map' = [] then rebuild xs body
+        else
+          let frees = range_frees map' in
+          let clashing = List.filter (fun x -> SSet.mem x frees) xs in
+          if clashing = [] then rebuild xs (go map' body)
+          else begin
+            let avoid =
+              SSet.union frees
+                (SSet.add_seq (List.to_seq (proc_plains xs body)) SSet.empty)
+            in
+            let renaming, _ =
+              List.fold_left
+                (fun (ren, avoid) x ->
+                  if List.mem x clashing then
+                    let x' = fresh_name avoid x in
+                    ((x, Eid (Plain x')) :: ren, SSet.add x' avoid)
+                  else (ren, avoid))
+                ([], avoid) xs
+            in
+            let xs' =
+              List.map
+                (fun x ->
+                  match List.assoc_opt x renaming with
+                  | Some (Eid (Plain x')) -> x'
+                  | _ -> x)
+                xs
+            in
+            rebuild xs' (go map' (go renaming body))
+          end
+      in
+      match p with
+      | Nil -> Nil
+      | Par (a, b) -> Par (go map a, go map b)
+      | New (xs, q) -> under_binder xs q (fun xs q -> New (xs, q))
+      | Msg (x, l, es) -> Msg (on_id x, l, List.map on_expr es)
+      | Obj (x, ms) ->
+          let x = on_id x in
+          Obj
+            ( x,
+              List.map
+                (fun m ->
+                  under_binder m.m_params m.m_body (fun ps b ->
+                      { m with m_params = ps; m_body = b })
+                  |> fun m' -> m')
+                ms )
+      | Inst (xc, es) -> Inst (xc, List.map on_expr es)
+      | Def (ds, q) ->
+          Def
+            ( List.map
+                (fun d ->
+                  under_binder d.d_params d.d_body (fun ps b ->
+                      { d with d_params = ps; d_body = b }))
+                ds,
+              go map q )
+      | If (e, a, b) -> If (on_expr e, go map a, go map b)
+  in
+  go map p
+
+let rec subst_cid map p =
+  if map = [] then p
+  else
+    let on_cid = function
+      | Cplain n as c -> (
+          match List.assoc_opt n map with Some c' -> c' | None -> c)
+      | Clocated _ as c -> c
+    in
+    match p with
+    | Nil | Msg _ -> p
+    | Par (a, b) -> Par (subst_cid map a, subst_cid map b)
+    | New (xs, q) -> New (xs, subst_cid map q)
+    | Obj (x, ms) ->
+        Obj (x, List.map (fun m -> { m with m_body = subst_cid map m.m_body }) ms)
+    | Inst (xc, es) -> Inst (on_cid xc, es)
+    | Def (ds, q) ->
+        let shadowed = List.map (fun d -> d.d_name) ds in
+        let map' = List.filter (fun (n, _) -> not (List.mem n shadowed)) map in
+        Def
+          ( List.map (fun d -> { d with d_body = subst_cid map' d.d_body }) ds,
+            subst_cid map' q )
+    | If (e, a, b) -> If (e, subst_cid map a, subst_cid map b)
+
+let rec map_cids f p =
+  match p with
+  | Nil | Msg _ -> p
+  | Par (a, b) -> Par (map_cids f a, map_cids f b)
+  | New (xs, q) -> New (xs, map_cids f q)
+  | Obj (x, ms) ->
+      Obj (x, List.map (fun m -> { m with m_body = map_cids f m.m_body }) ms)
+  | Inst (xc, es) -> Inst (f xc, es)
+  | Def (ds, q) ->
+      Def
+        ( List.map (fun d -> { d with d_body = map_cids f d.d_body }) ds,
+          map_cids f q )
+  | If (e, a, b) -> If (e, map_cids f a, map_cids f b)
+
+(* ------------------------------------------------------------------ *)
+(* Alpha-equivalence via deterministic renaming of all binders.        *)
+
+let rename_bound ~prefix p =
+  let counter = ref 0 in
+  let fresh () =
+    let n = Printf.sprintf "%s%d" prefix !counter in
+    incr counter;
+    n
+  in
+  let rec go env p =
+    let on_id = function
+      | Plain n -> (
+          match List.assoc_opt n env with Some n' -> Plain n' | None -> Plain n)
+      | Located _ as i -> i
+    in
+    let rec on_expr = function
+      | Eid x -> Eid (on_id x)
+      | Elit _ as e -> e
+      | Ebin (op, a, b) -> Ebin (op, on_expr a, on_expr b)
+      | Eun (op, a) -> Eun (op, on_expr a)
+    in
+    let bind env xs =
+      let xs' = List.map (fun _ -> fresh ()) xs in
+      (List.combine xs xs' @ env, xs')
+    in
+    match p with
+    | Nil -> Nil
+    | Par (a, b) -> Par (go env a, go env b)
+    | New (xs, q) ->
+        let env', xs' = bind env xs in
+        New (xs', go env' q)
+    | Msg (x, l, es) -> Msg (on_id x, l, List.map on_expr es)
+    | Obj (x, ms) ->
+        Obj
+          ( on_id x,
+            List.map
+              (fun m ->
+                let env', ps' = bind env m.m_params in
+                { m with m_params = ps'; m_body = go env' m.m_body })
+              ms )
+    | Inst (xc, es) -> Inst (xc, List.map on_expr es)
+    | Def (ds, q) ->
+        Def
+          ( List.map
+              (fun d ->
+                let env', ps' = bind env d.d_params in
+                { d with d_params = ps'; d_body = go env' d.d_body })
+              ds,
+            go env q )
+    | If (e, a, b) -> If (on_expr e, go env a, go env b)
+  in
+  go [] p
+
+let alpha_equal a b =
+  rename_bound ~prefix:"%" a = rename_bound ~prefix:"%" b
+
+let rec expr_size = function
+  | Eid _ | Elit _ -> 1
+  | Ebin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Eun (_, a) -> 1 + expr_size a
+
+let rec size = function
+  | Nil -> 1
+  | Par (a, b) -> 1 + size a + size b
+  | New (_, q) -> 1 + size q
+  | Msg (_, _, es) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 es
+  | Obj (_, ms) -> 1 + List.fold_left (fun n m -> n + 1 + size m.m_body) 0 ms
+  | Inst (_, es) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 es
+  | Def (ds, q) ->
+      1 + List.fold_left (fun n d -> n + 1 + size d.d_body) 0 ds + size q
+  | If (e, a, b) -> 1 + expr_size e + size a + size b
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let pp_id ppf = function
+  | Plain x -> Fmt.string ppf x
+  | Located (s, x) -> Fmt.pf ppf "%s.%s" s x
+
+let pp_cid ppf = function
+  | Cplain x -> Fmt.string ppf x
+  | Clocated (s, x) -> Fmt.pf ppf "%s.%s" s x
+
+let pp_lit ppf = function
+  | Lint n -> Fmt.int ppf n
+  | Lbool b -> Fmt.bool ppf b
+  | Lstr s -> Fmt.pf ppf "%S" s
+
+let rec pp_expr ppf = function
+  | Eid x -> pp_id ppf x
+  | Elit l -> pp_lit ppf l
+  | Ebin (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a
+        (match op with
+        | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+        | Ast.Mod -> "%" | Ast.Eq -> "==" | Ast.Neq -> "!=" | Ast.Lt -> "<"
+        | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.And -> "&&"
+        | Ast.Or -> "||")
+        pp_expr b
+  | Eun (Ast.Neg, a) -> Fmt.pf ppf "-%a" pp_expr a
+  | Eun (Ast.Not, a) -> Fmt.pf ppf "not %a" pp_expr a
+
+let pp_args ppf es = Fmt.pf ppf "[%a]" (Tyco_support.Pretty.comma_list pp_expr) es
+
+let rec pp ppf = function
+  | Nil -> Fmt.string ppf "0"
+  | Par (a, b) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | New (xs, q) ->
+      Fmt.pf ppf "new %a %a" (Tyco_support.Pretty.comma_list Fmt.string) xs pp q
+  | Msg (x, l, es) -> Fmt.pf ppf "%a!%s%a" pp_id x l pp_args es
+  | Obj (x, ms) ->
+      Fmt.pf ppf "%a?{%a}" pp_id x
+        (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf m ->
+             Fmt.pf ppf "%s(%a)=%a" m.m_label
+               (Tyco_support.Pretty.comma_list Fmt.string)
+               m.m_params pp m.m_body))
+        ms
+  | Inst (xc, es) -> Fmt.pf ppf "%a%a" pp_cid xc pp_args es
+  | Def (ds, q) ->
+      Fmt.pf ppf "def %a in %a"
+        (Fmt.list ~sep:(Fmt.any " and ") (fun ppf d ->
+             Fmt.pf ppf "%s(%a)=%a" d.d_name
+               (Tyco_support.Pretty.comma_list Fmt.string)
+               d.d_params pp d.d_body))
+        ds pp q
+  | If (e, a, b) -> Fmt.pf ppf "if %a then %a else %a" pp_expr e pp a pp b
+
+let to_string p = Fmt.str "%a" pp p

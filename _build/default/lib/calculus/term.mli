@@ -1,0 +1,93 @@
+(** Kernel TyCO terms with located identifiers (paper §2–§3).
+
+    This is the formal layer: identifiers are syntactic, and a name is
+    either plain ([x], implicitly located at the enclosing site) or
+    located ([s.x]).  The paper's σ translation and capture-avoiding
+    substitution operate on these terms; {!Network} builds the network
+    reduction relation on top. *)
+
+type site = string
+
+type id =
+  | Plain of string
+  | Located of site * string
+
+type cid =
+  | Cplain of string
+  | Clocated of site * string
+
+type lit = Lint of int | Lbool of bool | Lstr of string
+
+type expr =
+  | Eid of id
+  | Elit of lit
+  | Ebin of Tyco_syntax.Ast.binop * expr * expr
+  | Eun of Tyco_syntax.Ast.unop * expr
+
+type proc =
+  | Nil
+  | Par of proc * proc
+  | New of string list * proc
+  | Msg of id * string * expr list
+  | Obj of id * method_ list
+  | Inst of cid * expr list
+  | Def of defn list * proc
+  | If of expr * proc * proc
+
+and method_ = { m_label : string; m_params : string list; m_body : proc }
+and defn = { d_name : string; d_params : string list; d_body : proc }
+
+val of_ast : Tyco_syntax.Ast.proc -> proc
+(** Translate a desugared surface process (no [let], no export/import —
+    those belong to the network layer).  Raises [Invalid_argument] on
+    residual surface constructs. *)
+
+val par_list : proc list -> proc
+val flatten_par : proc -> proc list
+
+(** {1 Identifier analysis} *)
+
+val free_ids : proc -> id list
+(** Free names, first-occurrence order; plain and located. *)
+
+val free_cids : proc -> cid list
+
+(** {1 The σ translation (paper §3)}
+
+    [sigma ~from_:r] translates the free identifiers of a piece of code
+    moving {e out of} site [r]: plain [x] becomes [r.x], [s.x] stays.
+    Its inverse direction — localizing identifiers that arrive {e at}
+    site [s] — is [localize ~at:s]: [s.x] becomes plain [x]. *)
+
+val sigma_id : from_:site -> id -> id
+val localize_id : at:site -> id -> id
+val sigma : from_:site -> proc -> proc
+val localize : at:site -> proc -> proc
+val sigma_defn : from_:site -> defn -> defn
+val sigma_method : from_:site -> method_ -> method_
+
+(** {1 Substitution} *)
+
+val subst : (string * expr) list -> proc -> proc
+(** [subst \[(x1,e1);...\] p] — simultaneous, capture-avoiding on plain
+    names.  Binders that would capture a free name of the substituted
+    expressions are renamed. *)
+
+val subst_cid : (string * cid) list -> proc -> proc
+(** Replace free plain class variables. *)
+
+val map_cids : (cid -> cid) -> proc -> proc
+(** Apply a function to every class-variable occurrence, free or not;
+    used by the FETCH rule to retarget a copied definition group. *)
+
+val rename_bound : prefix:string -> proc -> proc
+(** Alpha-rename every bound name deterministically ([prefix ^ counter]);
+    used to compare terms up to alpha. *)
+
+val alpha_equal : proc -> proc -> bool
+
+val size : proc -> int
+
+val pp : Format.formatter -> proc -> unit
+val pp_id : Format.formatter -> id -> unit
+val to_string : proc -> string

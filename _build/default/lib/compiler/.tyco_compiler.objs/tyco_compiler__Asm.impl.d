@@ -1,0 +1,1 @@
+lib/compiler/asm.ml: Array Block Buffer Bytecode Format Hashtbl Instr List Option Scanf String Tyco_support Tyco_syntax

@@ -1,0 +1,1 @@
+lib/compiler/asm.mli: Block Format

@@ -1,0 +1,1 @@
+lib/compiler/block.ml: Array Format Instr Int Printf Set String

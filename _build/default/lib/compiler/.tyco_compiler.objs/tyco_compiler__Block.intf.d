@@ -1,0 +1,1 @@
+lib/compiler/block.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/compiler/bytecode.ml: Array Block Instr List Printf String Tyco_support Tyco_syntax

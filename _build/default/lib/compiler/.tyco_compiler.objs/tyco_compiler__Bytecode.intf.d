@@ -1,0 +1,1 @@
+lib/compiler/bytecode.mli: Block Tyco_support

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Block Format Hashtbl Instr List Map Peephole Printf String Tyco_support Tyco_syntax

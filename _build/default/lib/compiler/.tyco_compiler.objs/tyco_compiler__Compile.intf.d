@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Block Tyco_syntax

@@ -1,0 +1,1 @@
+lib/compiler/disasm.ml: Array Block Bytecode Format

@@ -1,0 +1,1 @@
+lib/compiler/disasm.mli: Block Format

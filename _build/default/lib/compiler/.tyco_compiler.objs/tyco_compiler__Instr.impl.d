@@ -1,0 +1,1 @@
+lib/compiler/instr.ml: Array Format String Tyco_syntax

@@ -1,0 +1,1 @@
+lib/compiler/instr.mli: Format Tyco_syntax

@@ -1,0 +1,1 @@
+lib/compiler/link.ml: Array Block Instr Tyco_support

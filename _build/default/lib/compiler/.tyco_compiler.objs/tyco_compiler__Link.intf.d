@@ -1,0 +1,1 @@
+lib/compiler/link.mli: Block

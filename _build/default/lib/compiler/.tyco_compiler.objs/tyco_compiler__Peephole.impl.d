@@ -1,0 +1,1 @@
+lib/compiler/peephole.ml: Array Block Instr List Option String Tyco_syntax

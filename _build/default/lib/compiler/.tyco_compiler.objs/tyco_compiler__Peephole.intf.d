@@ -1,0 +1,1 @@
+lib/compiler/peephole.mli: Block

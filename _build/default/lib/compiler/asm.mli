@@ -1,0 +1,38 @@
+(** The textual virtual-machine assembly (paper §5: “programs are
+    compiled into an intermediate virtual machine assembly.  This in
+    turn is compiled into hardware independent byte-code.  The mapping
+    between the assembly and the final byte-code is almost
+    one-to-one”).
+
+    This module realizes both directions: {!print} renders a byte-code
+    unit as assembly text; {!parse} assembles such text back into a
+    unit.  The round trip is exact ([parse (print u)] re-serializes to
+    the same bytes), which the test suite checks on every compiled
+    program.
+
+    Format sketch:
+    {v
+      unit entry=b0
+      block b0 "entry" params=1 slots=3 {
+        newc 1
+        pushi 5
+        load 1
+        trmsg val/1
+      }
+      mtable mt0 caps=[0] {
+        read -> b1/1
+      }
+      group g0 caps=[] slots=[2] {
+        Cell -> b2/2
+      }
+    v} *)
+
+exception Error of string
+(** Parse/assembly errors, with a line number in the message. *)
+
+val print : Block.unit_ -> string
+val pp : Format.formatter -> Block.unit_ -> unit
+
+val parse : string -> Block.unit_
+(** Raises {!Error} on malformed assembly, undefined labels, or
+    out-of-range references. *)

@@ -1,0 +1,21 @@
+let pp = Block.pp
+let to_string u = Format.asprintf "%a" pp u
+
+type stats = {
+  n_blocks : int;
+  n_mtables : int;
+  n_groups : int;
+  n_instrs : int;
+  n_bytes : int;
+}
+
+let stats (u : Block.unit_) =
+  { n_blocks = Array.length u.blocks;
+    n_mtables = Array.length u.mtables;
+    n_groups = Array.length u.groups;
+    n_instrs = Block.instr_count u;
+    n_bytes = Bytecode.byte_size u }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "blocks=%d mtables=%d groups=%d instrs=%d bytes=%d"
+    s.n_blocks s.n_mtables s.n_groups s.n_instrs s.n_bytes

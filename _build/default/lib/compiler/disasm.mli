@@ -1,0 +1,17 @@
+(** Disassembler: renders byte-code units as the intermediate “virtual
+    machine assembly” of the paper (§5: the assembly/byte-code mapping
+    is almost one-to-one, so the disassembly is faithful). *)
+
+val pp : Format.formatter -> Block.unit_ -> unit
+val to_string : Block.unit_ -> string
+
+type stats = {
+  n_blocks : int;
+  n_mtables : int;
+  n_groups : int;
+  n_instrs : int;
+  n_bytes : int;      (** serialized size *)
+}
+
+val stats : Block.unit_ -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,90 @@
+module Vec = Tyco_support.Vec
+
+type area = {
+  blocks : Block.block Vec.t;
+  mtables : Block.mtable Vec.t;
+  groups : Block.group Vec.t;
+  mutable instrs : int;
+  mutable snap : Block.unit_ option;  (* cache, cleared by link *)
+}
+
+type offsets = { blk_off : int; mt_off : int; grp_off : int }
+
+let create () =
+  { blocks = Vec.create (); mtables = Vec.create (); groups = Vec.create ();
+    instrs = 0; snap = None }
+
+let shift_instr (o : offsets) (ins : Instr.t) : Instr.t =
+  match ins with
+  | Instr.Trobj mt -> Instr.Trobj (mt + o.mt_off)
+  | Instr.Defgroup g -> Instr.Defgroup (g + o.grp_off)
+  | Instr.Import_name r -> Instr.Import_name { r with cont = r.cont + o.blk_off }
+  | Instr.Import_class r ->
+      Instr.Import_class { r with cont = r.cont + o.blk_off }
+  | _ -> ins
+
+let link area (u : Block.unit_) : offsets =
+  area.snap <- None;
+  let o =
+    { blk_off = Vec.length area.blocks;
+      mt_off = Vec.length area.mtables;
+      grp_off = Vec.length area.groups }
+  in
+  Array.iter
+    (fun (b : Block.block) ->
+      area.instrs <- area.instrs + Array.length b.blk_code;
+      ignore
+        (Vec.push area.blocks
+           { b with
+             Block.blk_id = b.blk_id + o.blk_off;
+             blk_code = Array.map (shift_instr o) b.blk_code }))
+    u.blocks;
+  Array.iter
+    (fun (mt : Block.mtable) ->
+      ignore
+        (Vec.push area.mtables
+           { mt with
+             Block.mt_id = mt.mt_id + o.mt_off;
+             mt_entries =
+               Array.map
+                 (fun (e : Block.mentry) ->
+                   { e with Block.me_block = e.me_block + o.blk_off })
+                 mt.mt_entries }))
+    u.mtables;
+  Array.iter
+    (fun (g : Block.group) ->
+      ignore
+        (Vec.push area.groups
+           { g with
+             Block.grp_id = g.grp_id + o.grp_off;
+             grp_classes =
+               Array.map
+                 (fun (c : Block.class_sig) ->
+                   { c with Block.cls_block = c.cls_block + o.blk_off })
+                 g.grp_classes }))
+    u.groups;
+  o
+
+let of_unit u =
+  let area = create () in
+  let o = link area u in
+  (area, u.Block.entry + o.blk_off)
+
+let block area i = Vec.get area.blocks i
+let mtable area i = Vec.get area.mtables i
+let group area i = Vec.get area.groups i
+let n_blocks area = Vec.length area.blocks
+let n_instrs area = area.instrs
+
+let snapshot area =
+  match area.snap with
+  | Some u -> u
+  | None ->
+      let u =
+        { Block.blocks = Array.of_list (Vec.to_list area.blocks);
+          mtables = Array.of_list (Vec.to_list area.mtables);
+          groups = Array.of_list (Vec.to_list area.groups);
+          entry = 0 }
+      in
+      area.snap <- Some u;
+      u

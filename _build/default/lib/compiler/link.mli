@@ -1,0 +1,31 @@
+(** Dynamic linking of byte-code into a site's program area.
+
+    “The code is then dynamically linked to the local program and the
+    reduction proceeds locally.” (paper §5)
+
+    A {!area} is the growable program area of one site.  Linking a
+    received sub-unit appends its blocks, method tables and groups and
+    rewrites their internal indices by fixed offsets — possible because
+    {!Bytecode.extract_mtable}/[extract_group] re-base sub-units
+    densely. *)
+
+type area
+
+val create : unit -> area
+val of_unit : Block.unit_ -> area * int
+(** Load an initial program; returns the area and the entry block id. *)
+
+val block : area -> int -> Block.block
+val mtable : area -> int -> Block.mtable
+val group : area -> int -> Block.group
+val n_blocks : area -> int
+val n_instrs : area -> int
+
+type offsets = { blk_off : int; mt_off : int; grp_off : int }
+
+val link : area -> Block.unit_ -> offsets
+(** Graft a sub-unit; old index [i] becomes [i + off] in the area. *)
+
+val snapshot : area -> Block.unit_
+(** The area as a unit (entry 0), for sub-unit extraction when code
+    must be shipped.  Cached; invalidated by {!link}. *)

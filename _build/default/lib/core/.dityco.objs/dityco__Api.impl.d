@@ -1,0 +1,1 @@
+lib/core/api.ml: Cluster Format List Option Output Site Tyco_calculus Tyco_compiler Tyco_net Tyco_syntax Tyco_types Tyco_vm

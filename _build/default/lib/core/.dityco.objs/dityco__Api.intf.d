@@ -1,0 +1,1 @@
+lib/core/api.mli: Cluster Output Tyco_compiler Tyco_syntax Tyco_types

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Cluster Hashtbl List Option Site Tyco_net

@@ -1,0 +1,1 @@
+lib/core/node.ml: Array List Site

@@ -1,0 +1,1 @@
+lib/core/node.mli: Site

@@ -1,0 +1,1 @@
+lib/core/output.ml: Bool Format Int List Option String Tyco_calculus Tyco_vm

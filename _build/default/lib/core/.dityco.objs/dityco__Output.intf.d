@@ -1,0 +1,1 @@
+lib/core/output.mli: Format Tyco_calculus Tyco_vm

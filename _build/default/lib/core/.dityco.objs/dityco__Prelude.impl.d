@@ -1,0 +1,1 @@
+lib/core/prelude.ml: Printf String

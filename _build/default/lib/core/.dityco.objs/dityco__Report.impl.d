@@ -1,0 +1,1 @@
+lib/core/report.ml: Api Buffer Char Cluster Float List Output Printf Site String Tyco_net Tyco_support

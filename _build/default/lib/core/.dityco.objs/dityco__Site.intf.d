@@ -1,0 +1,1 @@
+lib/core/site.mli: Output Tyco_compiler Tyco_net Tyco_support Tyco_types Tyco_vm

@@ -1,0 +1,1 @@
+lib/core/tcp_runner.ml: Api Array Atomic Bytes Hashtbl List Mutex Output Queue Site String Thread Tyco_net Tyco_support Unix

@@ -1,0 +1,1 @@
+lib/core/tcp_runner.mli: Output Tyco_compiler Tyco_syntax

@@ -1,0 +1,1 @@
+lib/core/termination.ml: Cluster List Site Tyco_net

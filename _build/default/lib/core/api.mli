@@ -1,0 +1,77 @@
+(** The public façade of the DiTyCO run-time system.
+
+    Pipeline: {!parse} → {!typecheck} → {!compile} → {!run_program}
+    (or just {!run_source} for all four).  The reference semantics is
+    reachable through {!run_reference} — every typed program must
+    produce the same multiset of I/O events under both engines, which
+    {!agree_with_reference} checks directly. *)
+
+type error =
+  | Parse_error of string
+  | Type_error of string
+  | Compile_error of string
+  | Runtime_error of string
+
+exception Error of error
+
+val error_message : error -> string
+
+val parse : ?file:string -> string -> Tyco_syntax.Ast.program
+(** Raises [Error (Parse_error _)]. *)
+
+val typecheck : Tyco_syntax.Ast.program -> Tyco_types.Infer.info
+val compile : Tyco_syntax.Ast.program -> (string * Tyco_compiler.Block.unit_) list
+
+type result = {
+  outputs : (int * Output.event) list; (** timestamped, chronological *)
+  virtual_ns : int;        (** total simulated time *)
+  sim_events : int;        (** discrete events processed *)
+  packets : int;
+  bytes : int;
+  cluster : Cluster.t;     (** for further inspection *)
+}
+
+val run_program :
+  ?config:Cluster.config ->
+  ?placement:(string -> int) ->
+  ?max_events:int ->
+  ?until:int ->
+  ?inputs:(string * int list) list ->
+  ?typecheck:bool ->
+  ?isolated:bool ->
+  Tyco_syntax.Ast.program ->
+  result
+(** Compile, place, and run a program on a fresh simulated cluster.
+    [until] bounds virtual time (for perpetual programs); [typecheck]
+    defaults to [true].  With [isolated] (default [false]) each site is
+    type-checked {e separately} and the runtime performs the paper's
+    dynamic type checking: exports register with type descriptors, and
+    an import whose local usage is incompatible with the exporter's
+    descriptor fails with a protocol error instead of misbehaving. *)
+
+val run_source :
+  ?config:Cluster.config ->
+  ?placement:(string -> int) ->
+  ?max_events:int ->
+  ?until:int ->
+  string ->
+  result
+
+val load_isolated :
+  ?placement:(string -> int) -> Cluster.t -> Tyco_syntax.Ast.program -> unit
+(** Type-check each site in isolation, compile, and submit to an
+    existing (possibly already running) cluster — the incremental
+    TyCOsh workflow.  Cross-program imports are validated dynamically
+    when they resolve. *)
+
+val run_reference :
+  ?max_steps:int -> ?inputs:(string * int list) list ->
+  Tyco_syntax.Ast.program -> Output.event list
+(** The calculus-level oracle (reference interpreter).  [inputs] feeds
+    each site's I/O port, as in {!run_program}. *)
+
+val agree_with_reference :
+  ?max_steps:int -> ?inputs:(string * int list) list ->
+  Tyco_syntax.Ast.program -> bool
+(** Differential check: VM runtime vs reference semantics, compared as
+    output multisets. *)

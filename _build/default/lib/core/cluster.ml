@@ -1,0 +1,296 @@
+module Simnet = Tyco_net.Simnet
+module Packet = Tyco_net.Packet
+module Nameservice = Tyco_net.Nameservice
+module Netref = Tyco_support.Netref
+
+(* The paper's first implementation uses a centralized name service;
+   its stated future work is a distributed one "for reasons of both
+   redundancy (for failure recovery) and performance".  [Replicated]
+   keeps one replica per node: lookups are answered by the local
+   replica (a shared-memory hop), registrations broadcast to all
+   replicas over the cluster links. *)
+type ns_mode = Centralized | Replicated
+
+type config = {
+  nodes : int;
+  cores_per_node : int;
+  quantum : int;
+  topology : Simnet.topology;
+  seed : int;
+  ns_mode : ns_mode;
+}
+
+let default_config =
+  { nodes = 4;
+    cores_per_node = 2;
+    quantum = 512;
+    topology = Simnet.default_topology;
+    seed = 42;
+    ns_mode = Centralized }
+
+type wrapper = {
+  site : Site.t;
+  node : Node.t;
+  mutable pump_scheduled : bool;
+}
+
+type t = {
+  cfg : config;
+  sim : Simnet.t;
+  replicas : Nameservice.t array;  (* one in Centralized mode *)
+  ns_ip : int;
+  node_arr : Node.t array;
+  by_name : (string, wrapper) Hashtbl.t;
+  by_id : (int, wrapper) Hashtbl.t;
+  mutable wrappers : wrapper list; (* reversed creation order *)
+  mutable next_site_id : int;
+  mutable outs : (int * Output.event) list; (* newest first *)
+  mutable packets : int;
+  mutable bytes : int;
+  mutable in_flight : int;
+  mutable suspected : (int * string) list;
+  mutable busy_until : int;  (* completion time of the latest quantum *)
+  mutable trace : (int * Packet.t) list;  (* send-time packet log, newest first *)
+}
+
+(* Cost of a name-service transaction at the service itself. *)
+let ns_processing_cost = 1_000
+
+(* Scheduling overhead added after each quantum (context switch). *)
+let context_switch_cost = 200
+
+let create ?(config = default_config) () =
+  let sim = Simnet.create ~topology:config.topology ~seed:config.seed () in
+  { cfg = config;
+    sim;
+    replicas =
+      (match config.ns_mode with
+      | Centralized -> [| Nameservice.create () |]
+      | Replicated -> Array.init config.nodes (fun _ -> Nameservice.create ()));
+    (* in centralized mode the service lives on node 0's address, as a
+       well-known location every site knows in advance (paper §5) *)
+    ns_ip = 0;
+    node_arr =
+      Array.init config.nodes (fun i ->
+          Node.create ~node_id:i ~ip:i ~cores:config.cores_per_node);
+    by_name = Hashtbl.create 16;
+    by_id = Hashtbl.create 16;
+    wrappers = [];
+    next_site_id = 0;
+    outs = [];
+    packets = 0;
+    bytes = 0;
+    in_flight = 0;
+    suspected = [];
+    busy_until = 0;
+    trace = [];
+  }
+
+let sim t = t.sim
+let config t = t.cfg
+let virtual_time t = max (Simnet.now t.sim) t.busy_until
+let site t name = (Hashtbl.find t.by_name name).site
+let sites t = List.rev_map (fun w -> w.site) t.wrappers
+let nodes t = Array.to_list t.node_arr
+let outputs t = List.rev t.outs
+let output_events t = List.rev_map snd t.outs |> List.rev |> List.rev
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes
+let in_flight t = t.in_flight
+let name_service_pending t =
+  Array.fold_left (fun acc ns -> acc + Nameservice.pending ns) 0 t.replicas
+
+(* The replica a node consults: its own in Replicated mode. *)
+let replica_of t ip =
+  match t.cfg.ns_mode with
+  | Centralized -> t.replicas.(0)
+  | Replicated -> t.replicas.(ip mod Array.length t.replicas)
+let suspected_failures t = List.rev t.suspected
+let packet_trace t = List.rev t.trace
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling.                                                         *)
+
+let rec request_pump t w ~delay =
+  if (not w.pump_scheduled) && Site.alive w.site then begin
+    w.pump_scheduled <- true;
+    Simnet.schedule t.sim ~delay (fun () -> pump_event t w)
+  end
+
+and pump_event t w =
+  w.pump_scheduled <- false;
+  if Site.alive w.site then begin
+    let now = Simnet.now t.sim in
+    let core, free = Node.earliest_core w.node in
+    if free > now then
+      (* all processors busy: wait for one (Fig. 1's dual-CPU nodes) *)
+      request_pump t w ~delay:(free - now)
+    else begin
+      let cost = Site.pump w.site ~quantum:t.cfg.quantum in
+      let duration = cost + context_switch_cost in
+      Node.occupy w.node ~core ~until:(now + duration);
+      t.busy_until <- max t.busy_until (now + duration);
+      if Site.busy w.site then request_pump t w ~delay:duration
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Packet transport (the TyCOd role).                                  *)
+
+and send_packet t ~src_ip (p : Packet.t) =
+  let bytes = Packet.byte_size p in
+  let dst_ip =
+    match (t.cfg.ns_mode, p) with
+    (* replicated service: name-service traffic stays on the node *)
+    | Replicated, (Packet.Pns_register _ | Packet.Pns_lookup _) -> src_ip
+    | _ -> Packet.dst_ip p ~ns_ip:t.ns_ip
+  in
+  let delay = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + bytes;
+  t.in_flight <- t.in_flight + 1;
+  t.trace <- (Simnet.now t.sim, p) :: t.trace;
+  Simnet.schedule t.sim ~delay (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      deliver t ~at_ip:dst_ip p)
+
+and deliver t ~at_ip (p : Packet.t) =
+  match p with
+  | Packet.Pns_register { site_name; id_name; nref; rtti } ->
+      register_at t ~replica_ip:at_ip ~site_name ~id_name ~rtti nref;
+      (* replicated mode: propagate to every other replica *)
+      if t.cfg.ns_mode = Replicated then begin
+        let bytes = Packet.byte_size p in
+        Array.iteri
+          (fun other _ ->
+            if other <> at_ip mod Array.length t.replicas then begin
+              let delay =
+                Simnet.packet_delay t.sim ~src_ip:at_ip ~dst_ip:other ~bytes
+              in
+              t.packets <- t.packets + 1;
+              t.bytes <- t.bytes + bytes;
+              t.in_flight <- t.in_flight + 1;
+              Simnet.schedule t.sim ~delay (fun () ->
+                  t.in_flight <- t.in_flight - 1;
+                  register_at t ~replica_ip:other ~site_name ~id_name ~rtti
+                    nref)
+            end)
+          t.replicas
+      end
+  | Packet.Pns_lookup { site_name; id_name; req_id; requester_site; requester_ip; _ } -> (
+      let waiter =
+        { Nameservice.w_req_id = req_id; w_site = requester_site;
+          w_ip = requester_ip }
+      in
+      let ns = replica_of t at_ip in
+      match Nameservice.lookup_id ns ~site:site_name ~name:id_name waiter with
+      | Some (nref, rtti) ->
+          reply_ns t ~from_ip:at_ip
+            (Packet.Pns_reply
+               { req_id; dst_site = requester_site; dst_ip = requester_ip;
+                 result = Some nref; rtti })
+      | None -> (* parked until the registration arrives *) ())
+  | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
+      deliver_to_site t dst.Netref.site_id p
+  | Packet.Pfetch_req { cls; _ } -> deliver_to_site t cls.Netref.site_id p
+  | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
+      deliver_to_site t dst_site p
+
+and register_at t ~replica_ip ~site_name ~id_name ~rtti nref =
+  let ns = replica_of t replica_ip in
+  let waiters =
+    Nameservice.register_id ns ~site:site_name ~name:id_name ~rtti nref
+  in
+  List.iter
+    (fun (wtr : Nameservice.waiter) ->
+      reply_ns t ~from_ip:replica_ip
+        (Packet.Pns_reply
+           { req_id = wtr.Nameservice.w_req_id;
+             dst_site = wtr.Nameservice.w_site;
+             dst_ip = wtr.Nameservice.w_ip;
+             result = Some nref;
+             rtti }))
+    waiters
+
+and reply_ns t ~from_ip p =
+  (* name-service processing cost, then the reply travels as a packet *)
+  Simnet.schedule t.sim ~delay:ns_processing_cost (fun () ->
+      send_packet t ~src_ip:from_ip p)
+
+and deliver_to_site t site_id p =
+  match Hashtbl.find_opt t.by_id site_id with
+  | None -> ()
+  | Some w ->
+      if Site.alive w.site then begin
+        Site.deliver w.site p;
+        request_pump t w ~delay:0
+      end
+      else
+        t.suspected <- (Simnet.now t.sim, Site.name w.site) :: t.suspected
+
+(* ------------------------------------------------------------------ *)
+(* Program loading.                                                    *)
+
+let load ?placement ?(annotations = fun _ -> None) ?(inputs = fun _ -> [])
+    t (units : (string * Tyco_compiler.Block.unit_) list) =
+  List.iteri
+    (fun i (name, unit_) ->
+      if Hashtbl.mem t.by_name name then
+        invalid_arg (Printf.sprintf "Cluster.load: duplicate site '%s'" name);
+      let node_idx =
+        match placement with
+        | Some f ->
+            let n = f name in
+            if n < 0 || n >= Array.length t.node_arr then
+              invalid_arg
+                (Printf.sprintf "Cluster.load: site '%s' placed on node %d" name n)
+            else n
+        | None -> i mod Array.length t.node_arr
+      in
+      let node = t.node_arr.(node_idx) in
+      let site_id = t.next_site_id in
+      t.next_site_id <- site_id + 1;
+      let w =
+        { site =
+            Site.create
+              ?annotations:(annotations name)
+              ~inputs:(inputs name)
+              ~name ~site_id ~ip:(Node.ip node)
+              ~send:(fun p -> send_packet t ~src_ip:(Node.ip node) p)
+              ~on_output:(fun e -> t.outs <- (Simnet.now t.sim, e) :: t.outs)
+              ~unit_ ();
+          node;
+          pump_scheduled = false }
+      in
+      Node.add_site node w.site;
+      Hashtbl.replace t.by_name name w;
+      Hashtbl.replace t.by_id site_id w;
+      t.wrappers <- w :: t.wrappers;
+      Array.iter
+        (fun ns -> Nameservice.register_site ns name ~site_id ~ip:(Node.ip node))
+        t.replicas;
+      Site.start w.site;
+      request_pump t w ~delay:0)
+    units
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let run ?max_events t = ignore (Simnet.run t.sim ?max_events ())
+
+let run_until t ~time =
+  let rec go () =
+    match Simnet.next_time t.sim with
+    | Some ts when ts <= time ->
+        ignore (Simnet.step t.sim);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let quiescent t = Option.is_none (Simnet.next_time t.sim)
+
+let kill_site t name ~at =
+  let w = Hashtbl.find t.by_name name in
+  let delay = max 0 (at - Simnet.now t.sim) in
+  Simnet.schedule t.sim ~delay (fun () -> Site.kill w.site)

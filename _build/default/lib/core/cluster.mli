@@ -1,0 +1,94 @@
+(** The whole DiTyCO network (paper Fig. 2): nodes in a static IP
+    topology, sites placed on nodes, a centralized name service whose
+    location every site knows in advance, and the discrete-event engine
+    that multiplexes everything onto one deterministic virtual clock.
+
+    Packet routing plays the role of the TyCOd daemons: a packet leaves
+    the sending site's node, crosses the link chosen by the topology
+    (shared memory when both sites share a node — the paper's same-node
+    optimization), and lands in the destination site's incoming queue. *)
+
+type t
+
+(** Name-service deployment: the paper's current implementation is
+    [Centralized] ("all sites know its location in advance"); its
+    stated future work — one replica per node, lookups served locally,
+    registrations broadcast — is [Replicated]. *)
+type ns_mode = Centralized | Replicated
+
+type config = {
+  nodes : int;            (** cluster size; Fig. 1 uses 4 *)
+  cores_per_node : int;   (** Fig. 1 uses dual-processor PCs: 2 *)
+  quantum : int;          (** VM instructions per scheduling quantum *)
+  topology : Tyco_net.Simnet.topology;
+  seed : int;
+  ns_mode : ns_mode;
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val load :
+  ?placement:(string -> int) ->
+  ?annotations:(string -> Site.annotations option) ->
+  ?inputs:(string -> int list) ->
+  t ->
+  (string * Tyco_compiler.Block.unit_) list ->
+  unit
+(** Install compiled sites.  [placement] maps a site name to a node
+    index (default: round-robin); [annotations] supplies each site's
+    type descriptors for the dynamic checking of remote interactions
+    (paper §7).  Sites are registered with the name service and their
+    entry threads scheduled at the current virtual time. *)
+
+val site : t -> string -> Site.t
+(** Raises [Not_found]. *)
+
+val sites : t -> Site.t list
+val nodes : t -> Node.t list
+
+(** {1 Execution} *)
+
+val run : ?max_events:int -> t -> unit
+(** Run to quiescence (event queue empty). *)
+
+val run_until : t -> time:int -> unit
+(** Process events with timestamps [<= time] only — for perpetual
+    programs (the SETI example) and time-bounded experiments. *)
+
+val quiescent : t -> bool
+val virtual_time : t -> int
+
+(** {1 Observation} *)
+
+val outputs : t -> (int * Output.event) list
+(** All I/O events with their virtual timestamps, chronological. *)
+
+val output_events : t -> Output.event list
+
+val packets_sent : t -> int
+val bytes_sent : t -> int
+val in_flight : t -> int
+val name_service_pending : t -> int
+(** Unresolved imports (nonzero at quiescence indicates a program
+    error: an import of a never-exported identifier). *)
+
+(** {1 Failure injection (paper future work)} *)
+
+val kill_site : t -> string -> at:int -> unit
+(** Schedule a site failure at the given virtual time. *)
+
+val suspected_failures : t -> (int * string) list
+(** [(time, site)] — failures noticed by the simplified detector (a
+    packet was addressed to a dead site). *)
+
+val packet_trace : t -> (int * Tyco_net.Packet.t) list
+(** Every packet with its send timestamp, chronological — the
+    observable migration behaviour of a run (shipments, fetches,
+    name-service traffic).  [tycosh --trace] prints it. *)
+
+(** {1 Internals exposed for the experiment harness} *)
+
+val sim : t -> Tyco_net.Simnet.t
+val config : t -> config

@@ -1,0 +1,67 @@
+module Simnet = Tyco_net.Simnet
+
+type suspicion = {
+  s_site : string;
+  s_at : int;
+  s_killed_at : int option;
+}
+
+type report = {
+  suspicions : suspicion list;
+  probe_rounds : int;
+  probe_overhead_ns : int;
+  false_suspicions : int;
+}
+
+(* One probe round-trip per site per round, over the cluster link. *)
+let probe_cost_per_site = 2 * 9_000
+
+let network_idle cluster =
+  Cluster.in_flight cluster = 0
+  && List.for_all
+       (fun s -> (not (Site.busy s)) && Site.outstanding s = 0)
+       (Cluster.sites cluster)
+
+let run_with_heartbeats ?(period = 100_000) ?timeout ?max_events ~kills
+    cluster =
+  let timeout = Option.value timeout ~default:(period / 2) in
+  let sim = Cluster.sim cluster in
+  List.iter (fun (name, at) -> Cluster.kill_site cluster name ~at) kills;
+  let suspicions = ref [] in
+  let suspected = Hashtbl.create 8 in
+  let rounds = ref 0 in
+  let false_susp = ref 0 in
+  let idle_streak = ref 0 in
+  let rec probe () =
+    incr rounds;
+    List.iter
+      (fun site ->
+        let name = Site.name site in
+        if not (Hashtbl.mem suspected name) then
+          if not (Site.alive site) then begin
+            (* the probe goes unanswered: suspicion fires after the
+               timeout elapses *)
+            Hashtbl.add suspected name ();
+            Simnet.schedule sim ~delay:timeout (fun () ->
+                let killed_at =
+                  List.assoc_opt name kills
+                in
+                if Site.alive site then incr false_susp;
+                suspicions :=
+                  { s_site = name; s_at = Simnet.now sim;
+                    s_killed_at = killed_at }
+                  :: !suspicions)
+          end)
+      (Cluster.sites cluster);
+    (* keep probing while the application still runs; two idle rounds
+       end the monitor so the simulation can quiesce *)
+    if network_idle cluster then incr idle_streak else idle_streak := 0;
+    if !idle_streak < 2 then Simnet.schedule sim ~delay:period probe
+  in
+  Simnet.schedule sim ~delay:period probe;
+  Cluster.run ?max_events cluster;
+  let nsites = List.length (Cluster.sites cluster) in
+  { suspicions = List.rev !suspicions;
+    probe_rounds = !rounds;
+    probe_overhead_ns = !rounds * probe_cost_per_site * nsites;
+    false_suspicions = !false_susp }

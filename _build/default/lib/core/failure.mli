@@ -1,0 +1,39 @@
+(** Site-failure detection — the other half of the paper's future work
+    (§7: “We want to be able to detect site failures, reconfigure the
+    computation topology and to try to terminate computations
+    cleanly.”).
+
+    Two detectors exist:
+
+    - a {e passive} one built into {!Cluster}: sending to a dead site
+      records a suspicion (no extra traffic, but silent failures of
+      idle sites are never noticed);
+    - the {e active} heartbeat monitor here: every [period] ns each
+      site is probed; a probe unanswered within [timeout] marks the
+      site suspected.  Probes are modelled as control round-trips with
+      their virtual-time cost accounted, like the termination
+      detector's. *)
+
+type suspicion = {
+  s_site : string;
+  s_at : int;          (** virtual time the suspicion was raised *)
+  s_killed_at : int option;
+      (** when the site actually died, when known — the detection
+          latency is [s_at - killed_at] *)
+}
+
+type report = {
+  suspicions : suspicion list;
+  probe_rounds : int;
+  probe_overhead_ns : int;
+  false_suspicions : int;  (** suspected sites that were in fact alive *)
+}
+
+val run_with_heartbeats :
+  ?period:int -> ?timeout:int -> ?max_events:int ->
+  kills:(string * int) list ->
+  Cluster.t ->
+  report
+(** Install the kill schedule and the heartbeat monitor, then run the
+    cluster until both the application and the monitor are done.
+    [period] defaults to 100_000 ns, [timeout] to half the period. *)

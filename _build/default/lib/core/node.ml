@@ -1,0 +1,24 @@
+type t = {
+  node_id : int;
+  ip : int;
+  cores : int array;  (* time each core becomes free *)
+  mutable sites : Site.t list;
+}
+
+let create ~node_id ~ip ~cores =
+  if cores < 1 then invalid_arg "Node.create: cores must be >= 1";
+  { node_id; ip; cores = Array.make cores 0; sites = [] }
+
+let node_id t = t.node_id
+let ip t = t.ip
+let add_site t s = t.sites <- s :: t.sites
+let sites t = List.rev t.sites
+
+let earliest_core t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.cores - 1 do
+    if t.cores.(i) < t.cores.(!best) then best := i
+  done;
+  (!best, t.cores.(!best))
+
+let occupy t ~core ~until = t.cores.(core) <- max t.cores.(core) until

@@ -1,0 +1,20 @@
+(** A DiTyCO node (paper Fig. 4): one per IP address, hosting a pool of
+    sites that share the node's processors.
+
+    The paper's nodes are dual-processor PCs; here each node models
+    [cores] processors as earliest-available timestamps, so concurrent
+    sites on one node serialize when they outnumber the cores — the
+    effect measured by the scaling experiment E9. *)
+
+type t
+
+val create : node_id:int -> ip:int -> cores:int -> t
+val node_id : t -> int
+val ip : t -> int
+val add_site : t -> Site.t -> unit
+val sites : t -> Site.t list
+
+val earliest_core : t -> int * int
+(** [(core index, time it becomes free)]. *)
+
+val occupy : t -> core:int -> until:int -> unit

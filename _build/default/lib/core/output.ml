@@ -1,0 +1,71 @@
+type value =
+  | Oint of int
+  | Obool of bool
+  | Ostr of string
+  | Ochan of string
+
+type event = { site : string; label : string; args : value list }
+
+let of_vm_value : Tyco_vm.Value.t -> value = function
+  | Tyco_vm.Value.Vint n -> Oint n
+  | Tyco_vm.Value.Vbool b -> Obool b
+  | Tyco_vm.Value.Vstr s -> Ostr s
+  | Tyco_vm.Value.Vchan c -> Ochan c.Tyco_vm.Value.ch_name
+  | Tyco_vm.Value.Vnetref _ -> Ochan "<remote>"
+  | Tyco_vm.Value.Vclass _ | Tyco_vm.Value.Vclassref _ -> Ochan "<class>"
+
+let of_ref_value : Tyco_calculus.Network.value -> value = function
+  | Tyco_calculus.Network.Vint n -> Oint n
+  | Tyco_calculus.Network.Vbool b -> Obool b
+  | Tyco_calculus.Network.Vstr s -> Ostr s
+  | Tyco_calculus.Network.Vid _ -> Ochan "<chan>"
+
+let of_ref_outputs outs =
+  List.map
+    (fun (site, label, vs) -> { site; label; args = List.map of_ref_value vs })
+    outs
+
+let equal_value a b =
+  match (a, b) with
+  | Oint x, Oint y -> Int.equal x y
+  | Obool x, Obool y -> Bool.equal x y
+  | Ostr x, Ostr y -> String.equal x y
+  (* channel identities differ between runtimes; all channels agree *)
+  | Ochan _, Ochan _ -> true
+  | (Oint _ | Obool _ | Ostr _ | Ochan _), _ -> false
+
+let equal_event a b =
+  String.equal a.site b.site
+  && String.equal a.label b.label
+  && List.length a.args = List.length b.args
+  && List.for_all2 equal_value a.args b.args
+
+let pp_value ppf = function
+  | Oint n -> Format.fprintf ppf "%d" n
+  | Obool b -> Format.fprintf ppf "%b" b
+  | Ostr s -> Format.fprintf ppf "%S" s
+  | Ochan s -> Format.fprintf ppf "#%s" s
+
+let pp_event ppf e =
+  Format.fprintf ppf "io@%s %s[%a]" e.site e.label
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_value)
+    e.args
+
+let same_multiset xs ys =
+  let rec remove_one e = function
+    | [] -> None
+    | y :: rest ->
+        if equal_event e y then Some rest
+        else Option.map (fun r -> y :: r) (remove_one e rest)
+  in
+  let rec go xs ys =
+    match xs with
+    | [] -> ys = []
+    | x :: rest -> (
+        match remove_one x ys with
+        | Some ys' -> go rest ys'
+        | None -> false)
+  in
+  go xs ys

@@ -1,0 +1,31 @@
+(** Observable program outputs (the I/O port of each site, paper §5).
+
+    Outputs are plain data so that runs of the byte-code runtime and of
+    the reference interpreter can be compared directly. *)
+
+type value =
+  | Oint of int
+  | Obool of bool
+  | Ostr of string
+  | Ochan of string   (** a channel reached the I/O port; label only *)
+
+type event = {
+  site : string;
+  label : string;   (** io method, e.g. [printi] *)
+  args : value list;
+}
+
+val of_vm_value : Tyco_vm.Value.t -> value
+val of_ref_value : Tyco_calculus.Network.value -> value
+
+val of_ref_outputs :
+  (string * string * Tyco_calculus.Network.value list) list -> event list
+
+val equal_value : value -> value -> bool
+val equal_event : event -> event -> bool
+val pp_value : Format.formatter -> value -> unit
+val pp_event : Format.formatter -> event -> unit
+
+val same_multiset : event list -> event list -> bool
+(** Order-insensitive comparison — the two semantics may interleave
+    sites differently, but must produce the same bag of outputs. *)

@@ -1,0 +1,75 @@
+(* Every encoding is one class-definition clause (or an [and]-joined
+   pair), so [with_prelude] can join them into a single mutually
+   visible [def] spine. *)
+
+let cell =
+  {|Cell(self, v) =
+      self?{ read(r)  = r![v] | Cell[self, v],
+             write(u) = Cell[self, u] }|}
+
+(* Acquiring yields a fresh release channel; the lock re-arms when the
+   holder fires it.  Waiting acquirers queue in FIFO order at [self]. *)
+let lock =
+  {|Lock(self) =
+      self?{ acquire(k) = new rel (k![rel] | rel?() = Lock[self]) }|}
+
+(* A [get] that arrives before [fulfill] is re-posted behind the
+   pending messages; the channel's FIFO discipline guarantees the
+   [fulfill] in the queue is reached, so the loop terminates whenever
+   the future is eventually fulfilled. *)
+let future =
+  {|Future(self) =
+      self?{ fulfill(v)  = Fulfilled[self, v],
+             get(k)      = self!get[k] | Future[self] }
+    and Fulfilled(self, v) =
+      self?{ fulfill(u)  = Fulfilled[self, v],
+             get(k)      = k![v] | Fulfilled[self, v] }|}
+
+(* Composition: the barrier hands every arriver the shared door
+   (a Future); the last arrival fulfils it.  Waiters then [get]. *)
+let barrier =
+  {|Barrier(self, left, door) =
+      self?{ arrive(k) =
+               (k![door]
+                | (if left == 1 then door!fulfill[0] else nil)
+                | Barrier[self, left - 1, door]) }|}
+
+let bools =
+  {|BTrue(self) =
+      self?{ test(t, f) = t![] | BTrue[self] }
+    and BFalse(self) =
+      self?{ test(t, f) = f![] | BFalse[self] }|}
+
+(* One-shot initialization: the first [run] acquires, later ones are
+   ignored (the class decays to an absorbing state). *)
+let once =
+  {|Once(self) =
+      self?{ run(k) = k![] | OnceDone[self] }
+    and OnceDone(self) =
+      self?{ run(k) = OnceDone[self] }|}
+
+(* Readers–writer lock.  Readers share; a writer waits for the readers
+   to drain (by re-posting its request behind their [rdone]s — the
+   channel FIFO makes this fair) and then holds exclusively.  A
+   forwarder turns the shared release channel into [rdone] methods. *)
+let rwlock =
+  {|RwFwd(done_, self) =
+      done_?() = (self!rdone[] | RwFwd[done_, self])
+    and RwFree(self, done_) =
+      self?{ rlock(k) = (k![done_] | RwReaders[self, done_, 1]),
+             wlock(k) = new w (k![w] | w?() = RwFree[self, done_]),
+             rdone()  = RwFree[self, done_] }
+    and RwReaders(self, done_, n) =
+      self?{ rlock(k) = (k![done_] | RwReaders[self, done_, n + 1]),
+             rdone()  = (if n == 1 then RwFree[self, done_]
+                         else RwReaders[self, done_, n - 1]),
+             wlock(k) = (self!wlock[k] | RwReaders[self, done_, n]) }|}
+
+let counter =
+  {|Counter(self, n) =
+      self?{ bump(k) = (k![n + 1] | Counter[self, n + 1]) }|}
+
+let all = [ cell; lock; future; barrier; bools; once; rwlock; counter ]
+
+let with_prelude ?(defs = all) body =
+  Printf.sprintf "def %s\nin (%s)" (String.concat "\nand " defs) body

@@ -1,0 +1,54 @@
+(** A library of kernel-calculus encodings.
+
+    The paper's introduction argues that process calculi “are scalable
+    in the sense that high level constructs can be readily obtained
+    from encodings in the kernel calculus” (claim 3).  This module
+    makes that claim concrete: each value below is DiTyCO source for a
+    classic concurrency abstraction, encoded with nothing but objects,
+    messages and class recursion.  [with_prelude] splices them in front
+    of a program so user code can instantiate them directly.
+
+    Encodings provided (all polymorphic where sensible):
+
+    - [cell] — the paper's §2 one-slot mutable reference
+      ([read]/[write]);
+    - [lock] — a mutual-exclusion lock: [acquire(k)] grants [k] a
+      fresh release channel; firing it re-arms the lock;
+    - [future] — a write-once single-assignment variable: [get]s that
+      arrive before [fulfill] wait (the channel's FIFO queue makes the
+      retry loop fair and terminating); after fulfilment every [get]
+      answers immediately;
+    - [barrier] — an [n]-party barrier built {e compositionally} on
+      [future]: each arrival receives the shared door future, the last
+      arrival fulfils it;
+    - [bools] — booleans as objects ([True]/[False] with a
+      [test(t, f)] method), the classic object-calculus encoding;
+    - [counter] — a monotone counter with [bump(k)].
+
+    Unordered buffers and semaphores need no encoding at all: a TyCO
+    channel {e is} a FIFO buffer (send to put, object to take) and a
+    channel holding [n] token messages is a counting semaphore — see
+    [examples/encodings.ml]. *)
+
+val cell : string
+val lock : string
+val future : string
+val barrier : string
+val bools : string
+
+val once : string
+(** one-shot initialization: only the first [run(k)] fires [k] *)
+
+val rwlock : string
+(** readers–writer lock: [rlock(k)] shares (reply carries the shared
+    release channel), [wlock(k)] waits for readers to drain, then holds
+    exclusively (reply carries a private release channel);
+    instantiate as [new d (RwFwd[d, l] | RwFree[l, d])] *)
+
+val counter : string
+
+val all : string list
+
+val with_prelude : ?defs:string list -> string -> string
+(** [with_prelude body] returns a process whose [def] spine contains
+    the chosen encodings (default: all) with [body] in their scope. *)

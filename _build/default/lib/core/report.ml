@@ -1,0 +1,110 @@
+module Stats = Tyco_support.Stats
+
+type site_stats = {
+  ss_name : string;
+  ss_instructions : int;
+  ss_threads : int;
+  ss_comm_local : int;
+  ss_packets_in : int;
+  ss_packets_out : int;
+  ss_fetches : int;
+  ss_links : int;
+  ss_thread_len_mean : float;
+  ss_thread_len_p95 : float;
+}
+
+type t = {
+  virtual_ns : int;
+  sim_events : int;
+  packets : int;
+  bytes : int;
+  outputs : (int * Output.event) list;
+  sites : site_stats list;
+  suspected_failures : (int * string) list;
+}
+
+let site_stats site =
+  let s = Site.stats site in
+  let c name = Stats.Counter.value (Stats.counter s name) in
+  let d = Stats.dist s "thread_len" in
+  { ss_name = Site.name site;
+    ss_instructions = c "instructions";
+    ss_threads = c "threads";
+    ss_comm_local = c "comm_local";
+    ss_packets_in = c "packets_in";
+    ss_packets_out = c "packets_out";
+    ss_fetches = c "fetches";
+    ss_links = c "links";
+    ss_thread_len_mean = (if Stats.Dist.count d = 0 then 0. else Stats.Dist.mean d);
+    ss_thread_len_p95 =
+      (if Stats.Dist.count d = 0 then 0. else Stats.Dist.percentile d 0.95) }
+
+let of_cluster cluster =
+  { virtual_ns = Cluster.virtual_time cluster;
+    sim_events = Tyco_net.Simnet.events_processed (Cluster.sim cluster);
+    packets = Cluster.packets_sent cluster;
+    bytes = Cluster.bytes_sent cluster;
+    outputs = Cluster.outputs cluster;
+    sites = List.map site_stats (Cluster.sites cluster);
+    suspected_failures = Cluster.suspected_failures cluster }
+
+let of_result (r : Api.result) = of_cluster r.Api.cluster
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission.                                              *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jlist f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let jfloat f =
+  (* JSON has no NaN/inf; clamp to 0 like most emitters *)
+  if Float.is_finite f then Printf.sprintf "%.2f" f else "0"
+
+let output_value_json = function
+  | Output.Oint n -> string_of_int n
+  | Output.Obool b -> string_of_bool b
+  | Output.Ostr s -> jstr s
+  | Output.Ochan c -> jstr ("#" ^ c)
+
+let output_json (ts, (e : Output.event)) =
+  Printf.sprintf "{\"t\":%d,\"site\":%s,\"label\":%s,\"args\":%s}" ts
+    (jstr e.Output.site) (jstr e.Output.label)
+    (jlist output_value_json e.Output.args)
+
+let site_json s =
+  Printf.sprintf
+    "{\"name\":%s,\"instructions\":%d,\"threads\":%d,\"comm_local\":%d,\
+     \"packets_in\":%d,\"packets_out\":%d,\"fetches\":%d,\"links\":%d,\
+     \"thread_len_mean\":%s,\"thread_len_p95\":%s}"
+    (jstr s.ss_name) s.ss_instructions s.ss_threads s.ss_comm_local
+    s.ss_packets_in s.ss_packets_out s.ss_fetches s.ss_links
+    (jfloat s.ss_thread_len_mean)
+    (jfloat s.ss_thread_len_p95)
+
+let to_json t =
+  Printf.sprintf
+    "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\
+     \"outputs\":%s,\"sites\":%s,\"suspected_failures\":%s}"
+    t.virtual_ns t.sim_events t.packets t.bytes
+    (jlist output_json t.outputs)
+    (jlist site_json t.sites)
+    (jlist
+       (fun (ts, name) -> Printf.sprintf "{\"t\":%d,\"site\":%s}" ts (jstr name))
+       t.suspected_failures)

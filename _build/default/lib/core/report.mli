@@ -1,0 +1,39 @@
+(** Machine-readable run summaries.
+
+    Experiment pipelines want the numbers without scraping text:
+    {!of_result} snapshots a finished run — totals, outputs with
+    virtual timestamps, per-site VM statistics — and {!to_json} emits
+    it as JSON (a minimal self-contained emitter; no external
+    dependency).  [tycosh --json] prints it. *)
+
+type site_stats = {
+  ss_name : string;
+  ss_instructions : int;
+  ss_threads : int;
+  ss_comm_local : int;
+  ss_packets_in : int;
+  ss_packets_out : int;
+  ss_fetches : int;
+  ss_links : int;
+  ss_thread_len_mean : float;
+  ss_thread_len_p95 : float;
+}
+
+type t = {
+  virtual_ns : int;
+  sim_events : int;
+  packets : int;
+  bytes : int;
+  outputs : (int * Output.event) list;
+  sites : site_stats list;
+  suspected_failures : (int * string) list;
+}
+
+val of_result : Api.result -> t
+val of_cluster : Cluster.t -> t
+
+val to_json : t -> string
+(** Compact single-line JSON. *)
+
+val json_escape : string -> string
+(** Exposed for tests: JSON string escaping. *)

@@ -1,0 +1,442 @@
+module Dq = Tyco_support.Dq
+module Stats = Tyco_support.Stats
+module Netref = Tyco_support.Netref
+module Block = Tyco_compiler.Block
+module Bytecode = Tyco_compiler.Bytecode
+module Link = Tyco_compiler.Link
+module Value = Tyco_vm.Value
+module Machine = Tyco_vm.Machine
+module Export_table = Tyco_net.Export_table
+module Packet = Tyco_net.Packet
+
+module Rtti = Tyco_types.Rtti
+
+exception Protocol_error of string
+
+let perr fmt = Format.kasprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* Type descriptors for the dynamic half of the combined checking
+   scheme (paper §7): what this site's exports promise, and what its
+   imports locally require. *)
+type annotations = {
+  a_export_rtti : (string * Rtti.t) list;
+  a_import_expect : ((string * string) * Rtti.t) list;
+}
+
+let no_annotations = { a_export_rtti = []; a_import_expect = [] }
+
+type t = {
+  name : string;
+  site_id : int;
+  ip : int;
+  send : Packet.t -> unit;
+  on_output : Output.event -> unit;
+  annotations : annotations;
+  vm : Machine.t;
+  entry : int;
+  inbox : Packet.t Dq.t;
+  (* export tables (paper: one per site, mapping local heap pointers to
+     network references and back) *)
+  chan_exports : Value.chan Export_table.t;
+  mutable class_exports : (Value.cls * int) list;
+  class_by_heap : (int, Value.cls) Hashtbl.t;
+  mutable next_class_heap : int;
+  (* FETCH protocol state *)
+  fetch_cache : Value.cls Netref.Tbl.t;
+  fetch_pending : Value.t list list Netref.Tbl.t;
+  fetch_reqs : (int, Netref.t) Hashtbl.t;
+  (* import (name service) state *)
+  (* req -> continuation block, captured values, (site, name) *)
+  import_reqs : (int, int * Value.t list * (string * string)) Hashtbl.t;
+  mutable next_req : int;
+  (* receiver-side linking caches: origin code key -> linked index *)
+  obj_code_cache : (int * int * int, int) Hashtbl.t;
+  grp_code_cache : (int * int * int, int) Hashtbl.t;
+  mutable outputs : Output.event list; (* newest first *)
+  mutable inputs : int list; (* pending io!readi data, in order *)
+  mutable alive : bool;
+  stats : Stats.t;
+  c_pk_in : Stats.Counter.t;
+  c_pk_out : Stats.Counter.t;
+  c_fetches : Stats.Counter.t;
+  c_ships_in : Stats.Counter.t;
+  c_links : Stats.Counter.t;
+}
+
+let name t = t.name
+let site_id t = t.site_id
+let ip t = t.ip
+let vm t = t.vm
+let alive t = t.alive
+let outputs t = List.rev t.outputs
+let stats t = t.stats
+
+let create ?(annotations = no_annotations) ?(inputs = []) ~name ~site_id
+    ~ip ~send ~on_output ~unit_ () =
+  let area, entry = Link.of_unit unit_ in
+  let vm = Machine.create ~name area in
+  let stats = Machine.stats vm in
+  { name;
+    site_id;
+    ip;
+    send;
+    on_output;
+    annotations;
+    vm;
+    entry;
+    inbox = Dq.create ();
+    chan_exports = Export_table.create ();
+    class_exports = [];
+    class_by_heap = Hashtbl.create 8;
+    next_class_heap = 0;
+    fetch_cache = Netref.Tbl.create 8;
+    fetch_pending = Netref.Tbl.create 8;
+    fetch_reqs = Hashtbl.create 8;
+    import_reqs = Hashtbl.create 8;
+    next_req = 0;
+    obj_code_cache = Hashtbl.create 8;
+    grp_code_cache = Hashtbl.create 8;
+    outputs = [];
+    inputs;
+    alive = true;
+    stats;
+    c_pk_in = Stats.counter stats "packets_in";
+    c_pk_out = Stats.counter stats "packets_out";
+    c_fetches = Stats.counter stats "fetches";
+    c_ships_in = Stats.counter stats "ships_in";
+    c_links = Stats.counter stats "links" }
+
+let fresh_req t =
+  let r = t.next_req in
+  t.next_req <- r + 1;
+  r
+
+let send t p =
+  Stats.Counter.incr t.c_pk_out;
+  t.send p
+
+(* ------------------------------------------------------------------ *)
+(* The two-step reference translation.                                 *)
+
+let export_chan t (c : Value.chan) : Netref.t =
+  let heap_id = Export_table.export t.chan_exports ~uid:c.Value.ch_uid c in
+  Netref.make ~kind:Netref.Channel ~heap_id ~site_id:t.site_id ~ip:t.ip
+
+let export_class t (c : Value.cls) : Netref.t =
+  let heap_id =
+    match
+      List.find_opt
+        (fun ((c', _) : Value.cls * int) ->
+          c'.Value.cls_group = c.Value.cls_group
+          && c'.Value.cls_index = c.Value.cls_index
+          && c'.Value.cls_env == c.Value.cls_env)
+        t.class_exports
+    with
+    | Some (_, heap_id) -> heap_id
+    | None ->
+        let heap_id = t.next_class_heap in
+        t.next_class_heap <- heap_id + 1;
+        t.class_exports <- (c, heap_id) :: t.class_exports;
+        Hashtbl.add t.class_by_heap heap_id c;
+        heap_id
+  in
+  Netref.make ~kind:Netref.Class ~heap_id ~site_id:t.site_id ~ip:t.ip
+
+(* Outgoing: local heap values become network references (step one of
+   the translation, performed by the sender). *)
+let to_wire t (v : Value.t) : Packet.wvalue =
+  match v with
+  | Value.Vint n -> Packet.Wint n
+  | Value.Vbool b -> Packet.Wbool b
+  | Value.Vstr s -> Packet.Wstr s
+  | Value.Vchan c -> Packet.Wref (export_chan t c)
+  | Value.Vnetref r -> Packet.Wref r
+  | Value.Vclass c -> Packet.Wref (export_class t c)
+  | Value.Vclassref r -> Packet.Wref r
+
+(* Incoming: references bound to this site are resolved to heap
+   pointers (step two, performed by the receiver). *)
+let of_wire t (w : Packet.wvalue) : Value.t =
+  match w with
+  | Packet.Wint n -> Value.Vint n
+  | Packet.Wbool b -> Value.Vbool b
+  | Packet.Wstr s -> Value.Vstr s
+  | Packet.Wref r when r.Netref.site_id = t.site_id && r.Netref.ip = t.ip -> (
+      match r.Netref.kind with
+      | Netref.Channel -> (
+          match Export_table.resolve t.chan_exports r.Netref.heap_id with
+          | Some c -> Value.Vchan c
+          | None -> perr "unknown local channel heap id %d" r.Netref.heap_id)
+      | Netref.Class -> (
+          match Hashtbl.find_opt t.class_by_heap r.Netref.heap_id with
+          | Some c -> Value.Vclass c
+          | None -> perr "unknown local class heap id %d" r.Netref.heap_id))
+  | Packet.Wref r -> (
+      match r.Netref.kind with
+      | Netref.Channel -> Value.Vnetref r
+      | Netref.Class -> Value.Vclassref r)
+
+let rtti_of_export t x =
+  match List.assoc_opt x t.annotations.a_export_rtti with
+  | Some d ->
+      let enc = Tyco_support.Wire.encoder () in
+      Rtti.encode enc d;
+      Tyco_support.Wire.to_string enc
+  | None -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Outgoing remote operations (drained after each VM quantum).         *)
+
+let start_fetch t (r : Netref.t) args =
+  match Netref.Tbl.find_opt t.fetch_cache r with
+  | Some cls -> Machine.instantiate t.vm cls args
+  | None ->
+      let pending =
+        Option.value ~default:[] (Netref.Tbl.find_opt t.fetch_pending r)
+      in
+      Netref.Tbl.replace t.fetch_pending r (args :: pending);
+      if pending = [] then begin
+        Stats.Counter.incr t.c_fetches;
+        let req_id = fresh_req t in
+        Hashtbl.replace t.fetch_reqs req_id r;
+        send t
+          (Packet.Pfetch_req
+             { cls = r; req_id; requester_site = t.site_id;
+               requester_ip = t.ip })
+      end
+
+let handle_remote_op t (op : Machine.remote_op) =
+  match op with
+  | Machine.Rmsg (dst, label, args) ->
+      send t (Packet.Pmsg { dst; label; args = List.map (to_wire t) args })
+  | Machine.Robj (dst, obj) ->
+      let unit_ = Link.snapshot (Machine.area t.vm) in
+      let code_unit, mtable = Bytecode.extract_mtable unit_ obj.Value.obj_mtable in
+      send t
+        (Packet.Pobj
+           { dst;
+             code = Bytecode.unit_to_string code_unit;
+             code_key = (t.ip, t.site_id, obj.Value.obj_mtable);
+             mtable;
+             env = List.map (to_wire t) (Array.to_list obj.Value.obj_env) })
+  | Machine.Rfetch (r, args) -> start_fetch t r args
+  | Machine.Rexport_name (x, chan) ->
+      let nref = export_chan t chan in
+      send t
+        (Packet.Pns_register
+           { site_name = t.name; id_name = x; nref;
+             rtti = rtti_of_export t x })
+  | Machine.Rexport_class (x, cls) ->
+      let nref = export_class t cls in
+      send t
+        (Packet.Pns_register
+           { site_name = t.name; id_name = x; nref;
+             rtti = rtti_of_export t x })
+  | Machine.Rimport { site; name; is_class; cont; captured } ->
+      let req_id = fresh_req t in
+      Hashtbl.replace t.import_reqs req_id (cont, captured, (site, name));
+      send t
+        (Packet.Pns_lookup
+           { site_name = site; id_name = name; want_class = is_class; req_id;
+             requester_site = t.site_id; requester_ip = t.ip })
+
+(* ------------------------------------------------------------------ *)
+(* Incoming packets.                                                   *)
+
+let resolve_local_chan t (r : Netref.t) : Value.chan =
+  if r.Netref.site_id <> t.site_id || r.Netref.ip <> t.ip then
+    perr "packet for site %d delivered to site %d" r.Netref.site_id t.site_id;
+  match Export_table.resolve t.chan_exports r.Netref.heap_id with
+  | Some c -> c
+  | None -> perr "unknown channel heap id %d" r.Netref.heap_id
+
+let link_once t cache key code root_of =
+  match Hashtbl.find_opt cache key with
+  | Some linked -> linked
+  | None ->
+      let sub =
+        try Bytecode.unit_of_string code
+        with Tyco_support.Wire.Malformed m -> perr "malformed byte-code: %s" m
+      in
+      Stats.Counter.incr t.c_links;
+      let offsets = Link.link (Machine.area t.vm) sub in
+      let linked = root_of offsets in
+      Hashtbl.replace cache key linked;
+      linked
+
+let handle_packet t (p : Packet.t) =
+  Stats.Counter.incr t.c_pk_in;
+  match p with
+  | Packet.Pmsg { dst; label; args } ->
+      Stats.Counter.incr t.c_ships_in;
+      let chan = resolve_local_chan t dst in
+      Machine.inject_msg t.vm chan label (List.map (of_wire t) args)
+  | Packet.Pobj { dst; code; code_key; mtable; env } ->
+      Stats.Counter.incr t.c_ships_in;
+      let chan = resolve_local_chan t dst in
+      let area_mt =
+        link_once t t.obj_code_cache code_key code (fun (o : Link.offsets) ->
+            mtable + o.Link.mt_off)
+      in
+      let obj =
+        { Value.obj_mtable = area_mt;
+          obj_env = Array.of_list (List.map (of_wire t) env) }
+      in
+      Machine.inject_obj t.vm chan obj
+  | Packet.Pfetch_req { cls; req_id; requester_site; requester_ip } ->
+      if cls.Netref.kind <> Netref.Class then perr "fetch of a channel reference";
+      let c =
+        match Hashtbl.find_opt t.class_by_heap cls.Netref.heap_id with
+        | Some c -> c
+        | None -> perr "unknown class heap id %d" cls.Netref.heap_id
+      in
+      let unit_ = Link.snapshot (Machine.area t.vm) in
+      let code_unit, group = Bytecode.extract_group unit_ c.Value.cls_group in
+      let g = Link.group (Machine.area t.vm) c.Value.cls_group in
+      let ncap = Array.length g.Block.grp_captures in
+      let env_captures =
+        List.init ncap (fun i -> to_wire t c.Value.cls_env.(i))
+      in
+      send t
+        (Packet.Pfetch_rep
+           { req_id;
+             dst_site = requester_site;
+             dst_ip = requester_ip;
+             code = Bytecode.unit_to_string code_unit;
+             code_key = (t.ip, t.site_id, c.Value.cls_group);
+             group;
+             index = c.Value.cls_index;
+             env_captures })
+  | Packet.Pfetch_rep { req_id; code; code_key; group; index; env_captures; _ } ->
+      let nref =
+        match Hashtbl.find_opt t.fetch_reqs req_id with
+        | Some r -> r
+        | None -> perr "fetch reply for unknown request %d" req_id
+      in
+      Hashtbl.remove t.fetch_reqs req_id;
+      let area_grp =
+        link_once t t.grp_code_cache code_key code (fun (o : Link.offsets) ->
+            group + o.Link.grp_off)
+      in
+      let g = Link.group (Machine.area t.vm) area_grp in
+      let ncap = Array.length g.Block.grp_captures in
+      let k = Array.length g.Block.grp_classes in
+      if List.length env_captures <> ncap then
+        perr "fetch reply capture arity mismatch";
+      let shared = Array.make (ncap + k) (Value.Vint 0) in
+      List.iteri (fun i w -> shared.(i) <- of_wire t w) env_captures;
+      for i = 0 to k - 1 do
+        shared.(ncap + i) <-
+          Value.Vclass { Value.cls_group = area_grp; cls_index = i; cls_env = shared }
+      done;
+      if index < 0 || index >= k then perr "fetch reply class index out of range";
+      let cls =
+        match shared.(ncap + index) with
+        | Value.Vclass c -> c
+        | _ -> assert false
+      in
+      Netref.Tbl.replace t.fetch_cache nref cls;
+      let pending =
+        Option.value ~default:[] (Netref.Tbl.find_opt t.fetch_pending nref)
+      in
+      Netref.Tbl.remove t.fetch_pending nref;
+      List.iter (fun args -> Machine.instantiate t.vm cls args) (List.rev pending)
+  | Packet.Pns_reply { req_id; result; rtti; _ } -> (
+      match Hashtbl.find_opt t.import_reqs req_id with
+      | None -> perr "name service reply for unknown request %d" req_id
+      | Some (cont, captured, key) -> (
+          Hashtbl.remove t.import_reqs req_id;
+          match result with
+          | None -> perr "name service reported unresolvable import"
+          | Some r ->
+              (* dynamic type check: the exporter's descriptor against
+                 every local expectation for this identifier *)
+              (if not (String.equal rtti "") then
+                 let remote =
+                   try Rtti.decode (Tyco_support.Wire.decoder rtti)
+                   with Tyco_support.Wire.Malformed m ->
+                     perr "malformed type descriptor: %s" m
+                 in
+                 List.iter
+                   (fun (k, expect) ->
+                     if k = key && not (Rtti.compatible expect remote) then
+                       perr
+                         "type mismatch on import %s.%s: expected %s,                           exporter provides %s"
+                         (fst key) (snd key)
+                         (Format.asprintf "%a" Rtti.pp expect)
+                         (Format.asprintf "%a" Rtti.pp remote))
+                   t.annotations.a_import_expect);
+              let v = of_wire t (Packet.Wref r) in
+              Machine.spawn t.vm ~block:cont ~env:(v :: captured)))
+  | Packet.Pns_register _ | Packet.Pns_lookup _ ->
+      perr "name-service packet delivered to an ordinary site"
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let io_handler t label args =
+  if String.equal label "readi" then
+    (* input: reply on the argument channel with the next supplied
+       integer; a starved read blocks silently (paper §5: the I/O port
+       both receives data from and provides data to programs) *)
+    match (args, t.inputs) with
+    | [ Value.Vchan k ], v :: rest ->
+        t.inputs <- rest;
+        Machine.inject_msg t.vm k "val" [ Value.Vint v ]
+    | [ Value.Vchan _ ], [] -> ()
+    | _ -> perr "io!readi expects one local reply channel"
+  else begin
+    let event =
+      { Output.site = t.name; label; args = List.map Output.of_vm_value args }
+    in
+    t.outputs <- event :: t.outputs;
+    t.on_output event
+  end
+
+let start t =
+  let io = Machine.builtin_chan t.vm "io" (io_handler t) in
+  Machine.spawn_entry t.vm ~entry:t.entry ~io
+
+let deliver t p = if t.alive then Dq.push_back t.inbox p
+
+let busy t =
+  t.alive && (Machine.runnable t.vm || not (Dq.is_empty t.inbox))
+
+let outstanding t =
+  if t.alive then Hashtbl.length t.fetch_reqs + Hashtbl.length t.import_reqs
+  else 0
+
+(* Costs (virtual ns) of the non-VM work a site does in a quantum. *)
+let packet_handling_cost = 800
+let remote_op_cost = 600
+
+let pump t ~quantum =
+  if not t.alive then 0
+  else begin
+    let cost = ref 0 in
+    let rec drain_inbox () =
+      match Dq.pop_front t.inbox with
+      | None -> ()
+      | Some p ->
+          cost := !cost + packet_handling_cost;
+          handle_packet t p;
+          drain_inbox ()
+    in
+    drain_inbox ();
+    let _instrs, vm_cost = Machine.run t.vm ~budget:quantum in
+    cost := !cost + vm_cost;
+    let rec drain_ops () =
+      match Machine.pop_remote_op t.vm with
+      | None -> ()
+      | Some op ->
+          cost := !cost + remote_op_cost;
+          handle_remote_op t op;
+          drain_ops ()
+    in
+    drain_ops ();
+    !cost
+  end
+
+let kill t =
+  t.alive <- false;
+  Dq.clear t.inbox

@@ -1,0 +1,82 @@
+(** A DiTyCO site: the paper's Figure 3 put together.
+
+    A site owns an extended TyCO virtual machine (program area, heap,
+    run-queue), an incoming packet queue fed by its node's TyCOd, an
+    I/O port, and the two export tables (channels and classes) that
+    implement the two-step reference translation of §5:
+
+    - {e outgoing}: local channel/class values leaving the site are
+      registered in the export table and replaced by network
+      references; every other value travels untouched;
+    - {e incoming}: references owned by this site are resolved back to
+      heap pointers through the export table; foreign references stay
+      symbolic.
+
+    The site also runs the mobility protocols: object shipment carries
+    the transitively-needed byte-code (linked on arrival, with a
+    per-origin cache so repeated shipments do not bloat the program
+    area), and class fetches park the pending instantiation until the
+    FETCH reply is linked — the VM meanwhile runs other threads, which
+    is the latency-hiding behaviour measured in experiment E5. *)
+
+type t
+
+(** Type descriptors for the dynamic half of the paper's combined
+    static/dynamic checking (§7): descriptors of the site's exports
+    (sent with name-service registrations) and the local usage
+    expectations of its imports (checked when a lookup resolves). *)
+type annotations = {
+  a_export_rtti : (string * Tyco_types.Rtti.t) list;
+  a_import_expect : ((string * string) * Tyco_types.Rtti.t) list;
+}
+
+val no_annotations : annotations
+
+val create :
+  ?annotations:annotations ->
+  ?inputs:int list ->
+  name:string ->
+  site_id:int ->
+  ip:int ->
+  send:(Tyco_net.Packet.t -> unit) ->
+  on_output:(Output.event -> unit) ->
+  unit_:Tyco_compiler.Block.unit_ ->
+  unit ->
+  t
+(** [send] hands a packet to the node's daemon; [on_output] observes
+    I/O port events (they are also recorded locally). *)
+
+val name : t -> string
+val site_id : t -> int
+val ip : t -> int
+
+val start : t -> unit
+(** Spawn the entry thread (slot 0 = the I/O port). *)
+
+val deliver : t -> Tyco_net.Packet.t -> unit
+(** Called by the daemon: enqueue an incoming packet. *)
+
+val busy : t -> bool
+(** Has runnable threads or unprocessed incoming packets. *)
+
+val outstanding : t -> int
+(** In-flight fetch and name-service requests originated here. *)
+
+val pump : t -> quantum:int -> int
+(** One execution quantum: drain the incoming queue, run up to
+    [quantum] VM instructions, drain the outgoing remote operations.
+    Returns the virtual-time cost in ns. *)
+
+val kill : t -> unit
+(** Site failure injection: drops all state; subsequent deliveries are
+    discarded. *)
+
+val alive : t -> bool
+val outputs : t -> Output.event list
+val stats : t -> Tyco_support.Stats.t
+val vm : t -> Tyco_vm.Machine.t
+
+exception Protocol_error of string
+(** Dynamic-check failures on incoming packets (unknown heap id, kind
+    mismatch, malformed code).  The paper's combined static/dynamic
+    scheme guarantees typed programs never trigger these. *)

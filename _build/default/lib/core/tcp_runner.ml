@@ -1,0 +1,345 @@
+module Packet = Tyco_net.Packet
+module Nameservice = Tyco_net.Nameservice
+module Netref = Tyco_support.Netref
+
+type result = {
+  outputs : Output.event list;
+  packets : int;
+  wall_ns : int;
+  timed_out : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Framing: 4-byte big-endian length prefix.                           *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+(* A per-connection reassembly buffer. *)
+type conn_buf = { mutable data : Bytes.t; mutable len : int }
+
+let buf_create () = { data = Bytes.create 4096; len = 0 }
+
+let buf_append cb src n =
+  if cb.len + n > Bytes.length cb.data then begin
+    let bigger = Bytes.create (max (2 * Bytes.length cb.data) (cb.len + n)) in
+    Bytes.blit cb.data 0 bigger 0 cb.len;
+    cb.data <- bigger
+  end;
+  Bytes.blit src 0 cb.data cb.len n;
+  cb.len <- cb.len + n
+
+(* Extract complete frames. *)
+let buf_drain cb =
+  let frames = ref [] in
+  let pos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if cb.len - !pos >= 4 then begin
+      let n =
+        (Bytes.get_uint8 cb.data !pos lsl 24)
+        lor (Bytes.get_uint8 cb.data (!pos + 1) lsl 16)
+        lor (Bytes.get_uint8 cb.data (!pos + 2) lsl 8)
+        lor Bytes.get_uint8 cb.data (!pos + 3)
+      in
+      if cb.len - !pos - 4 >= n then begin
+        frames := Bytes.sub_string cb.data (!pos + 4) n :: !frames;
+        pos := !pos + 4 + n
+      end
+      else continue_ := false
+    end
+    else continue_ := false
+  done;
+  if !pos > 0 then begin
+    Bytes.blit cb.data !pos cb.data 0 (cb.len - !pos);
+    cb.len <- cb.len - !pos
+  end;
+  List.rev !frames
+
+(* ------------------------------------------------------------------ *)
+(* Node state.                                                         *)
+
+type node = {
+  node_id : int;
+  port : int;
+  listen : Unix.file_descr;
+  (* outgoing connections, by peer node id *)
+  peers : (int, Unix.file_descr) Hashtbl.t;
+  (* accepted incoming connections with reassembly buffers *)
+  mutable accepted : (Unix.file_descr * conn_buf) list;
+  mutable sites : Site.t list;
+  inbox : Packet.t Queue.t;      (* only touched by this node's thread *)
+  ns : Nameservice.t;            (* used by node 0 only *)
+  idle : bool Atomic.t;
+}
+
+type shared = {
+  base_port : int;
+  in_flight : int Atomic.t;
+  stop : bool Atomic.t;
+  total_packets : int Atomic.t;
+  outputs_mu : Mutex.t;
+  mutable outputs : Output.event list; (* newest first *)
+  by_site_id : (int, int) Hashtbl.t;   (* site id -> node id, read-only *)
+}
+
+let connect_with_retry shared peer =
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, shared.base_port + peer)
+  in
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+        Unix.set_nonblock fd;
+        fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+        Unix.close fd;
+        Thread.delay 0.01;
+        go (tries - 1)
+  in
+  go 500
+
+let peer_fd shared node peer =
+  match Hashtbl.find_opt node.peers peer with
+  | Some fd -> fd
+  | None ->
+      let fd = connect_with_retry shared peer in
+      Hashtbl.add node.peers peer fd;
+      fd
+
+let send_to shared node peer (p : Packet.t) =
+  Atomic.incr shared.in_flight;
+  Atomic.incr shared.total_packets;
+  let fd = peer_fd shared node peer in
+  let b = frame (Packet.to_string p) in
+  (* loopback writes of small frames complete immediately; loop for
+     completeness *)
+  let rec write_all off =
+    if off < Bytes.length b then begin
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EAGAIN, _, _) ->
+          Thread.yield ();
+          write_all off
+    end
+  in
+  write_all 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-node event loop.                                                *)
+
+let route shared node (p : Packet.t) =
+  let dst_node =
+    match p with
+    | Packet.Pns_register _ | Packet.Pns_lookup _ -> 0
+    | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } -> dst.Netref.ip
+    | Packet.Pfetch_req { cls; _ } -> cls.Netref.ip
+    | Packet.Pfetch_rep { dst_ip; _ } | Packet.Pns_reply { dst_ip; _ } ->
+        dst_ip
+  in
+  if dst_node = node.node_id then Queue.push p node.inbox
+  else send_to shared node dst_node p
+
+let handle_ns shared node (p : Packet.t) =
+  match p with
+  | Packet.Pns_register { site_name; id_name; nref; rtti } ->
+      let waiters =
+        Nameservice.register_id node.ns ~site:site_name ~name:id_name ~rtti
+          nref
+      in
+      List.iter
+        (fun (w : Nameservice.waiter) ->
+          route shared node
+            (Packet.Pns_reply
+               { req_id = w.Nameservice.w_req_id;
+                 dst_site = w.Nameservice.w_site;
+                 dst_ip = w.Nameservice.w_ip;
+                 result = Some nref;
+                 rtti }))
+        waiters
+  | Packet.Pns_lookup
+      { site_name; id_name; req_id; requester_site; requester_ip; _ } -> (
+      let w =
+        { Nameservice.w_req_id = req_id; w_site = requester_site;
+          w_ip = requester_ip }
+      in
+      match Nameservice.lookup_id node.ns ~site:site_name ~name:id_name w with
+      | Some (nref, rtti) ->
+          route shared node
+            (Packet.Pns_reply
+               { req_id; dst_site = requester_site; dst_ip = requester_ip;
+                 result = Some nref; rtti })
+      | None -> ())
+  | _ -> ()
+
+let deliver shared node (p : Packet.t) =
+  match p with
+  | Packet.Pns_register _ | Packet.Pns_lookup _ -> handle_ns shared node p
+  | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
+      List.iter
+        (fun s -> if Site.site_id s = dst.Netref.site_id then Site.deliver s p)
+        node.sites
+  | Packet.Pfetch_req { cls; _ } ->
+      List.iter
+        (fun s -> if Site.site_id s = cls.Netref.site_id then Site.deliver s p)
+        node.sites
+  | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
+      List.iter
+        (fun s -> if Site.site_id s = dst_site then Site.deliver s p)
+        node.sites
+
+let node_loop shared node () =
+  while not (Atomic.get shared.stop) do
+    let worked = ref false in
+    (* accept new connections *)
+    (match Unix.accept node.listen with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        node.accepted <- (fd, buf_create ()) :: node.accepted;
+        worked := true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    (* read from peers *)
+    let scratch = Bytes.create 8192 in
+    List.iter
+      (fun (fd, cb) ->
+        match Unix.read fd scratch 0 (Bytes.length scratch) with
+        | 0 -> () (* peer closed; keep buffer for leftovers *)
+        | n ->
+            buf_append cb scratch n;
+            List.iter
+              (fun payload ->
+                Atomic.decr shared.in_flight;
+                worked := true;
+                deliver shared node (Packet.of_string payload))
+              (buf_drain cb)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ())
+      node.accepted;
+    (* locally queued packets (self-routed name-service traffic) *)
+    while not (Queue.is_empty node.inbox) do
+      worked := true;
+      deliver shared node (Queue.pop node.inbox)
+    done;
+    (* run the sites *)
+    List.iter
+      (fun s ->
+        if Site.busy s then begin
+          worked := true;
+          ignore (Site.pump s ~quantum:2048)
+        end)
+      node.sites;
+    let busy =
+      List.exists (fun s -> Site.busy s || Site.outstanding s > 0) node.sites
+      || not (Queue.is_empty node.inbox)
+    in
+    Atomic.set node.idle (not busy);
+    if not !worked then Thread.delay 0.0005
+  done;
+  (* teardown *)
+  Hashtbl.iter (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ()) node.peers;
+  List.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    node.accepted;
+  (try Unix.close node.listen with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Setup and coordination.                                             *)
+
+let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
+    ?(timeout_ms = 10_000) units =
+  let base_port =
+    match base_port with
+    | Some p -> p
+    | None -> 20000 + (Unix.getpid () mod 20000)
+  in
+  let shared =
+    { base_port;
+      in_flight = Atomic.make 0;
+      stop = Atomic.make false;
+      total_packets = Atomic.make 0;
+      outputs_mu = Mutex.create ();
+      outputs = [];
+      by_site_id = Hashtbl.create 16 }
+  in
+  let mk_node node_id =
+    let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listen Unix.SO_REUSEADDR true;
+    Unix.bind listen
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id));
+    Unix.listen listen 16;
+    Unix.set_nonblock listen;
+    { node_id;
+      port = base_port + node_id;
+      listen;
+      peers = Hashtbl.create 8;
+      accepted = [];
+      sites = [];
+      inbox = Queue.create ();
+      ns = Nameservice.create ();
+      idle = Atomic.make true }
+  in
+  let node_arr = Array.init nodes mk_node in
+  (* place sites round-robin, as the simulated cluster does *)
+  List.iteri
+    (fun i (name, unit_) ->
+      let node = node_arr.(i mod nodes) in
+      let site_id = i in
+      Hashtbl.replace shared.by_site_id site_id node.node_id;
+      let site =
+        Site.create ~name ~site_id ~ip:node.node_id
+          ~inputs:(inputs name)
+          ~send:(fun p -> route shared node p)
+          ~on_output:(fun e ->
+            Mutex.lock shared.outputs_mu;
+            shared.outputs <- e :: shared.outputs;
+            Mutex.unlock shared.outputs_mu)
+          ~unit_ ();
+      in
+      node.sites <- site :: node.sites;
+      Nameservice.register_site node_arr.(0).ns name ~site_id
+        ~ip:node.node_id;
+      Site.start site;
+      Atomic.set node.idle false)
+    units;
+  let started = Unix.gettimeofday () in
+  let threads =
+    Array.to_list (Array.map (fun n -> Thread.create (node_loop shared n) ()) node_arr)
+  in
+  (* coordinator: two consecutive all-idle scans with nothing in flight *)
+  let timed_out = ref false in
+  let idle_streak = ref 0 in
+  while not (Atomic.get shared.stop) do
+    Thread.delay 0.005;
+    let all_idle =
+      Array.for_all (fun n -> Atomic.get n.idle) node_arr
+      && Atomic.get shared.in_flight = 0
+    in
+    if all_idle then incr idle_streak else idle_streak := 0;
+    if !idle_streak >= 3 then Atomic.set shared.stop true;
+    if (Unix.gettimeofday () -. started) *. 1000. > float_of_int timeout_ms
+    then begin
+      timed_out := true;
+      Atomic.set shared.stop true
+    end
+  done;
+  List.iter Thread.join threads;
+  let wall_ns =
+    int_of_float ((Unix.gettimeofday () -. started) *. 1e9)
+  in
+  { outputs = List.rev shared.outputs;
+    packets = Atomic.get shared.total_packets;
+    wall_ns;
+    timed_out = !timed_out }
+
+let run_program ?nodes ?base_port ?timeout_ms prog =
+  ignore (Api.typecheck prog);
+  run ?nodes ?base_port ?timeout_ms (Api.compile prog)

@@ -1,0 +1,44 @@
+(** A real-network deployment of the DiTyCO runtime.
+
+    The default runtime multiplexes everything into one deterministic
+    discrete-event simulation (see DESIGN.md).  This module instead
+    realizes the paper's §5 deployment literally, on the loopback
+    network: every node is a thread owning a TCP listening socket (its
+    "IP address" is a port), sites run inside their node's thread, the
+    TyCOd role — framing packets, routing them to peer nodes,
+    delivering to local site queues — is played by each node's event
+    loop, and the centralized name service lives on node 0.  The same
+    {!Site} machinery runs unchanged; only the transport differs.
+
+    Execution is {e not} deterministic (the OS schedules the threads),
+    so tests compare output multisets against the simulated runtime.
+    Termination uses a coordinator scan: all nodes idle and no packets
+    in flight for two consecutive scans.
+
+    Limitations (documented, by design): no virtual clock (wall time
+    only), no failure injection, and perpetual programs must be
+    bounded with [timeout_ms]. *)
+
+type result = {
+  outputs : Output.event list;   (** arrival order; racy across sites *)
+  packets : int;                 (** TCP packets exchanged *)
+  wall_ns : int;                 (** elapsed wall-clock time *)
+  timed_out : bool;
+}
+
+val run :
+  ?nodes:int ->
+  ?base_port:int ->
+  ?inputs:(string -> int list) ->
+  ?timeout_ms:int ->
+  (string * Tyco_compiler.Block.unit_) list ->
+  result
+(** Place the compiled sites round-robin on [nodes] (default 4) node
+    threads listening on consecutive loopback ports (default base:
+    derived from the process id), run until global quiescence or
+    [timeout_ms] (default 10_000). *)
+
+val run_program :
+  ?nodes:int -> ?base_port:int -> ?timeout_ms:int ->
+  Tyco_syntax.Ast.program -> result
+(** Type-check, compile and {!run}. *)

@@ -1,0 +1,44 @@
+module Simnet = Tyco_net.Simnet
+
+type report = {
+  detected_at : int option;
+  probes : int;
+  probe_overhead_ns : int;
+}
+
+(* One control round-trip per site per probe, over the cluster link. *)
+let probe_cost_per_site = 2 * 9_000
+
+let network_idle cluster =
+  Cluster.in_flight cluster = 0
+  && List.for_all
+       (fun s -> (not (Site.busy s)) && Site.outstanding s = 0)
+       (Cluster.sites cluster)
+
+let run_with_detection ?(period = 50_000) ?max_events cluster =
+  ignore max_events;
+  let sim = Cluster.sim cluster in
+  let probes = ref 0 in
+  let idle_streak = ref 0 in
+  let detected = ref None in
+  let nsites = List.length (Cluster.sites cluster) in
+  let rec probe () =
+    incr probes;
+    if network_idle cluster then begin
+      incr idle_streak;
+      if !idle_streak >= 2 && !detected = None then
+        detected := Some (Simnet.now sim)
+          (* detection announced: stop probing so the run can end *)
+      else if !detected = None then
+        Simnet.schedule sim ~delay:period probe
+    end
+    else begin
+      idle_streak := 0;
+      Simnet.schedule sim ~delay:period probe
+    end
+  in
+  Simnet.schedule sim ~delay:period probe;
+  Cluster.run ?max_events cluster;
+  { detected_at = !detected;
+    probes = !probes;
+    probe_overhead_ns = !probes * probe_cost_per_site * nsites }

@@ -1,0 +1,27 @@
+(** Global termination detection — listed as future work in the paper
+    (§7: “we need to introduce … termination detection into the
+    system”), implemented here as an extension.
+
+    The detector runs {e inside} the simulation as a periodic control
+    activity: every [period] ns it snapshots the network — per-site
+    activity (runnable threads, unprocessed packets), outstanding
+    fetch/import requests, and packets in flight — and announces
+    termination after two consecutive all-idle snapshots (the classic
+    double-scan defence against in-flight messages, cf.
+    Dijkstra–Scholten / Mattern).  Each probe is charged a virtual-time
+    cost proportional to the probed sites, modelling the control
+    round-trips without flooding the packet layer. *)
+
+type report = {
+  detected_at : int option;
+      (** virtual time of the announcement; [None] if the run ended
+          before two idle snapshots (e.g. perpetual programs) *)
+  probes : int;
+  probe_overhead_ns : int;
+      (** total modelled control cost (experiment E10's overhead) *)
+}
+
+val run_with_detection :
+  ?period:int -> ?max_events:int -> Cluster.t -> report
+(** Drive the cluster to quiescence with the detector active.
+    [period] defaults to 50_000 ns. *)

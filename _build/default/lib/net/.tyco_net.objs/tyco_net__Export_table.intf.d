@@ -1,0 +1,1 @@
+lib/net/export_table.mli:

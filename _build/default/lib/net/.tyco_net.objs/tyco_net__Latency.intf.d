@@ -1,0 +1,1 @@
+lib/net/latency.mli: Format

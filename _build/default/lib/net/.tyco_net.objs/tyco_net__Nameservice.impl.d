@@ -1,0 +1,1 @@
+lib/net/nameservice.ml: Hashtbl List Option Tyco_support

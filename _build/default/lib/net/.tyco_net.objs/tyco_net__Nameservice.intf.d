@@ -1,0 +1,1 @@
+lib/net/nameservice.mli: Tyco_support

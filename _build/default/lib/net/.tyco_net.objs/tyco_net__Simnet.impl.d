@@ -1,0 +1,1 @@
+lib/net/simnet.ml: Latency List Printf Tyco_support

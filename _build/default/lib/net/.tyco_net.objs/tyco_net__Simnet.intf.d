@@ -1,0 +1,1 @@
+lib/net/simnet.mli: Latency Tyco_support

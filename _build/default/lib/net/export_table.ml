@@ -1,0 +1,20 @@
+type 'a t = {
+  by_uid : (int, int) Hashtbl.t;    (* entity uid -> heap id *)
+  by_heap : (int, 'a) Hashtbl.t;    (* heap id -> entity *)
+  mutable next : int;
+}
+
+let create () = { by_uid = Hashtbl.create 32; by_heap = Hashtbl.create 32; next = 0 }
+
+let export t ~uid v =
+  match Hashtbl.find_opt t.by_uid uid with
+  | Some heap_id -> heap_id
+  | None ->
+      let heap_id = t.next in
+      t.next <- heap_id + 1;
+      Hashtbl.add t.by_uid uid heap_id;
+      Hashtbl.add t.by_heap heap_id v;
+      heap_id
+
+let resolve t heap_id = Hashtbl.find_opt t.by_heap heap_id
+let size t = t.next

@@ -1,0 +1,22 @@
+(** Per-site export tables (paper §5).
+
+    “An export table is needed to map network references into heap
+    pointers for all local variables that leave the site.”
+
+    The table assigns stable heap identifiers to local entities (keyed
+    by their heap uid, so re-exporting the same channel reuses its
+    identifier) and resolves identifiers of incoming references — the
+    second step of the two-step translation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val export : 'a t -> uid:int -> 'a -> int
+(** Returns the entity's heap identifier, allocating one on first
+    export. *)
+
+val resolve : 'a t -> int -> 'a option
+(** Heap identifier to local entity. *)
+
+val size : 'a t -> int

@@ -1,0 +1,41 @@
+module Netref = Tyco_support.Netref
+
+type waiter = { w_req_id : int; w_site : int; w_ip : int }
+
+type t = {
+  sites : (string, int * int) Hashtbl.t;
+  ids : (string * string, Netref.t * string) Hashtbl.t;
+  parked : (string * string, waiter list) Hashtbl.t;
+}
+
+let create () =
+  { sites = Hashtbl.create 16; ids = Hashtbl.create 64;
+    parked = Hashtbl.create 16 }
+
+let register_site t name ~site_id ~ip =
+  Hashtbl.replace t.sites name (site_id, ip)
+
+let lookup_site t name = Hashtbl.find_opt t.sites name
+
+let register_id t ~site ~name ?(rtti = "") nref =
+  Hashtbl.replace t.ids (site, name) (nref, rtti);
+  match Hashtbl.find_opt t.parked (site, name) with
+  | None -> []
+  | Some waiters ->
+      Hashtbl.remove t.parked (site, name);
+      List.rev waiters
+
+let lookup_id t ~site ~name waiter =
+  match Hashtbl.find_opt t.ids (site, name) with
+  | Some r -> Some r
+  | None ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt t.parked (site, name))
+      in
+      Hashtbl.replace t.parked (site, name) (waiter :: existing);
+      None
+
+let registered t = Hashtbl.fold (fun k _ acc -> k :: acc) t.ids []
+
+let pending t =
+  Hashtbl.fold (fun _ ws acc -> acc + List.length ws) t.parked 0

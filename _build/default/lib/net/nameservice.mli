@@ -1,0 +1,44 @@
+(** The centralized network name service (paper §5).
+
+    “Conceptually, the service maintains two tables, one for sites and
+    another for exported identifiers”:
+    {v
+      SiteTable : SiteName -> SiteId × IpAddress
+      IdTable   : SiteName × IdName -> HeapId
+    v}
+
+    A lookup that arrives before the corresponding registration parks
+    until it can be answered (start-up races between importing and
+    exporting sites are expected — registrations travel through the
+    network like everything else). *)
+
+type t
+
+type waiter = {
+  w_req_id : int;
+  w_site : int;   (** requester site id *)
+  w_ip : int;     (** requester node *)
+}
+
+val create : unit -> t
+
+val register_site : t -> string -> site_id:int -> ip:int -> unit
+val lookup_site : t -> string -> (int * int) option
+
+val register_id : t -> site:string -> name:string -> ?rtti:string ->
+  Tyco_support.Netref.t -> waiter list
+(** Records the identifier (and its optional encoded type descriptor)
+    and returns the waiters this registration unblocks (their replies
+    carry the new reference). *)
+
+val lookup_id : t -> site:string -> name:string -> waiter ->
+  (Tyco_support.Netref.t * string) option
+(** [Some (r, rtti)] — answer immediately; [None] — the waiter was
+    parked. *)
+
+val registered : t -> (string * string) list
+(** All registered (site, identifier) pairs, for tooling. *)
+
+val pending : t -> int
+(** Number of parked lookups (diagnostics; nonzero at quiescence means
+    an import could never be resolved). *)

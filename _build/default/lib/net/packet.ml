@@ -1,0 +1,230 @@
+module Wire = Tyco_support.Wire
+module Netref = Tyco_support.Netref
+
+type wvalue =
+  | Wint of int
+  | Wbool of bool
+  | Wstr of string
+  | Wref of Netref.t
+
+type t =
+  | Pmsg of { dst : Netref.t; label : string; args : wvalue list }
+  | Pobj of {
+      dst : Netref.t;
+      code : string;
+      code_key : int * int * int;
+      mtable : int;
+      env : wvalue list;
+    }
+  | Pfetch_req of {
+      cls : Netref.t;
+      req_id : int;
+      requester_site : int;
+      requester_ip : int;
+    }
+  | Pfetch_rep of {
+      req_id : int;
+      dst_site : int;
+      dst_ip : int;
+      code : string;
+      code_key : int * int * int;
+      group : int;
+      index : int;
+      env_captures : wvalue list;
+    }
+  | Pns_register of {
+      site_name : string;
+      id_name : string;
+      nref : Netref.t;
+      rtti : string;
+    }
+  | Pns_lookup of {
+      site_name : string;
+      id_name : string;
+      want_class : bool;
+      req_id : int;
+      requester_site : int;
+      requester_ip : int;
+    }
+  | Pns_reply of {
+      req_id : int;
+      dst_site : int;
+      dst_ip : int;
+      result : Netref.t option;
+      rtti : string;
+    }
+
+let dst_ip t ~ns_ip =
+  match t with
+  | Pmsg { dst; _ } | Pobj { dst; _ } -> dst.Netref.ip
+  | Pfetch_req { cls; _ } -> cls.Netref.ip
+  | Pfetch_rep { dst_ip; _ } | Pns_reply { dst_ip; _ } -> dst_ip
+  | Pns_register _ | Pns_lookup _ -> ns_ip
+
+let encode_wvalue enc = function
+  | Wint n ->
+      Wire.u8 enc 0;
+      Wire.zint enc n
+  | Wbool b ->
+      Wire.u8 enc 1;
+      Wire.bool enc b
+  | Wstr s ->
+      Wire.u8 enc 2;
+      Wire.string enc s
+  | Wref r ->
+      Wire.u8 enc 3;
+      Netref.encode enc r
+
+let decode_wvalue dec =
+  match Wire.read_u8 dec with
+  | 0 -> Wint (Wire.read_zint dec)
+  | 1 -> Wbool (Wire.read_bool dec)
+  | 2 -> Wstr (Wire.read_string dec)
+  | 3 -> Wref (Netref.decode dec)
+  | n -> raise (Wire.Malformed (Printf.sprintf "wvalue tag %d" n))
+
+let encode_key enc (a, b, c) =
+  Wire.varint enc a;
+  Wire.varint enc b;
+  Wire.varint enc c
+
+let decode_key dec =
+  let a = Wire.read_varint dec in
+  let b = Wire.read_varint dec in
+  let c = Wire.read_varint dec in
+  (a, b, c)
+
+let encode enc = function
+  | Pmsg { dst; label; args } ->
+      Wire.u8 enc 0;
+      Netref.encode enc dst;
+      Wire.string enc label;
+      Wire.list enc encode_wvalue args
+  | Pobj { dst; code; code_key; mtable; env } ->
+      Wire.u8 enc 1;
+      Netref.encode enc dst;
+      Wire.string enc code;
+      encode_key enc code_key;
+      Wire.varint enc mtable;
+      Wire.list enc encode_wvalue env
+  | Pfetch_req { cls; req_id; requester_site; requester_ip } ->
+      Wire.u8 enc 2;
+      Netref.encode enc cls;
+      Wire.varint enc req_id;
+      Wire.varint enc requester_site;
+      Wire.varint enc requester_ip
+  | Pfetch_rep { req_id; dst_site; dst_ip; code; code_key; group; index; env_captures } ->
+      Wire.u8 enc 3;
+      Wire.varint enc req_id;
+      Wire.varint enc dst_site;
+      Wire.varint enc dst_ip;
+      Wire.string enc code;
+      encode_key enc code_key;
+      Wire.varint enc group;
+      Wire.varint enc index;
+      Wire.list enc encode_wvalue env_captures
+  | Pns_register { site_name; id_name; nref; rtti } ->
+      Wire.u8 enc 4;
+      Wire.string enc site_name;
+      Wire.string enc id_name;
+      Netref.encode enc nref;
+      Wire.string enc rtti
+  | Pns_lookup { site_name; id_name; want_class; req_id; requester_site; requester_ip } ->
+      Wire.u8 enc 5;
+      Wire.string enc site_name;
+      Wire.string enc id_name;
+      Wire.bool enc want_class;
+      Wire.varint enc req_id;
+      Wire.varint enc requester_site;
+      Wire.varint enc requester_ip
+  | Pns_reply { req_id; dst_site; dst_ip; result; rtti } ->
+      Wire.u8 enc 6;
+      Wire.varint enc req_id;
+      Wire.varint enc dst_site;
+      Wire.varint enc dst_ip;
+      Wire.option enc Netref.encode result;
+      Wire.string enc rtti
+
+let decode dec =
+  match Wire.read_u8 dec with
+  | 0 ->
+      let dst = Netref.decode dec in
+      let label = Wire.read_string dec in
+      let args = Wire.read_list dec decode_wvalue in
+      Pmsg { dst; label; args }
+  | 1 ->
+      let dst = Netref.decode dec in
+      let code = Wire.read_string dec in
+      let code_key = decode_key dec in
+      let mtable = Wire.read_varint dec in
+      let env = Wire.read_list dec decode_wvalue in
+      Pobj { dst; code; code_key; mtable; env }
+  | 2 ->
+      let cls = Netref.decode dec in
+      let req_id = Wire.read_varint dec in
+      let requester_site = Wire.read_varint dec in
+      let requester_ip = Wire.read_varint dec in
+      Pfetch_req { cls; req_id; requester_site; requester_ip }
+  | 3 ->
+      let req_id = Wire.read_varint dec in
+      let dst_site = Wire.read_varint dec in
+      let dst_ip = Wire.read_varint dec in
+      let code = Wire.read_string dec in
+      let code_key = decode_key dec in
+      let group = Wire.read_varint dec in
+      let index = Wire.read_varint dec in
+      let env_captures = Wire.read_list dec decode_wvalue in
+      Pfetch_rep { req_id; dst_site; dst_ip; code; code_key; group; index; env_captures }
+  | 4 ->
+      let site_name = Wire.read_string dec in
+      let id_name = Wire.read_string dec in
+      let nref = Netref.decode dec in
+      let rtti = Wire.read_string dec in
+      Pns_register { site_name; id_name; nref; rtti }
+  | 5 ->
+      let site_name = Wire.read_string dec in
+      let id_name = Wire.read_string dec in
+      let want_class = Wire.read_bool dec in
+      let req_id = Wire.read_varint dec in
+      let requester_site = Wire.read_varint dec in
+      let requester_ip = Wire.read_varint dec in
+      Pns_lookup { site_name; id_name; want_class; req_id; requester_site; requester_ip }
+  | 6 ->
+      let req_id = Wire.read_varint dec in
+      let dst_site = Wire.read_varint dec in
+      let dst_ip = Wire.read_varint dec in
+      let result = Wire.read_option dec Netref.decode in
+      let rtti = Wire.read_string dec in
+      Pns_reply { req_id; dst_site; dst_ip; result; rtti }
+  | n -> raise (Wire.Malformed (Printf.sprintf "packet tag %d" n))
+
+let to_string p =
+  let enc = Wire.encoder () in
+  encode enc p;
+  Wire.to_string enc
+
+let of_string s = decode (Wire.decoder s)
+let byte_size p = String.length (to_string p)
+
+let pp_wvalue ppf = function
+  | Wint n -> Format.fprintf ppf "%d" n
+  | Wbool b -> Format.fprintf ppf "%b" b
+  | Wstr s -> Format.fprintf ppf "%S" s
+  | Wref r -> Netref.pp ppf r
+
+let pp ppf = function
+  | Pmsg { dst; label; args } ->
+      Format.fprintf ppf "msg %a!%s/%d" Netref.pp dst label (List.length args)
+  | Pobj { dst; env; _ } ->
+      Format.fprintf ppf "obj %a (env=%d)" Netref.pp dst (List.length env)
+  | Pfetch_req { cls; req_id; _ } ->
+      Format.fprintf ppf "fetch-req#%d %a" req_id Netref.pp cls
+  | Pfetch_rep { req_id; index; _ } ->
+      Format.fprintf ppf "fetch-rep#%d idx=%d" req_id index
+  | Pns_register { site_name; id_name; nref; _ } ->
+      Format.fprintf ppf "ns-register %s.%s=%a" site_name id_name Netref.pp nref
+  | Pns_lookup { site_name; id_name; req_id; _ } ->
+      Format.fprintf ppf "ns-lookup#%d %s.%s" req_id site_name id_name
+  | Pns_reply { req_id; result; _ } ->
+      Format.fprintf ppf "ns-reply#%d %s" req_id
+        (match result with Some _ -> "found" | None -> "pending")

@@ -1,0 +1,83 @@
+(** Packets exchanged between TyCOd daemons (paper §5).
+
+    Three families:
+    - process shipments — remote method invocations ([Pmsg], the SHIPM
+      path) and object migrations ([Pobj], the SHIPO path);
+    - the class-download protocol ([Pfetch_req]/[Pfetch_rep], the FETCH
+      path);
+    - name-service traffic for the [export]/[import] instructions.
+
+    All payloads use the hardware-independent {!Tyco_support.Wire}
+    format; byte-code travels as an opaque serialized sub-unit produced
+    by {!Tyco_compiler.Bytecode}.  {!byte_size} feeds the latency
+    models. *)
+
+type wvalue =
+  | Wint of int
+  | Wbool of bool
+  | Wstr of string
+  | Wref of Tyco_support.Netref.t
+      (** channel or class reference, per its [kind] *)
+
+type t =
+  | Pmsg of { dst : Tyco_support.Netref.t; label : string; args : wvalue list }
+  | Pobj of {
+      dst : Tyco_support.Netref.t;
+      code : string;        (** serialized sub-unit *)
+      code_key : int * int * int;  (** (ip, site, mtable) — receiver-side linking cache *)
+      mtable : int;          (** method-table index within the sub-unit *)
+      env : wvalue list;
+    }
+  | Pfetch_req of {
+      cls : Tyco_support.Netref.t;
+      req_id : int;
+      requester_site : int;
+      requester_ip : int;
+    }
+  | Pfetch_rep of {
+      req_id : int;
+      dst_site : int;
+      dst_ip : int;
+      code : string;
+      code_key : int * int * int;  (** (ip, site, group) *)
+      group : int;           (** group index within the sub-unit *)
+      index : int;           (** which class of the group was requested *)
+      env_captures : wvalue list;  (** captured part of the shared env *)
+    }
+  | Pns_register of {
+      site_name : string;
+      id_name : string;
+      nref : Tyco_support.Netref.t;
+      rtti : string;
+          (** encoded type descriptor; [""] when the exporter carries
+              none (paper §7's dynamic checking) *)
+    }
+  | Pns_lookup of {
+      site_name : string;
+      id_name : string;
+      want_class : bool;
+      req_id : int;
+      requester_site : int;
+      requester_ip : int;
+    }
+  | Pns_reply of {
+      req_id : int;
+      dst_site : int;
+      dst_ip : int;
+      result : Tyco_support.Netref.t option;
+      rtti : string;
+    }
+
+val dst_ip : t -> ns_ip:int -> int
+(** Destination node of a packet ([ns_ip] for name-service traffic). *)
+
+val encode : Tyco_support.Wire.enc -> t -> unit
+val decode : Tyco_support.Wire.dec -> t
+val to_string : t -> string
+val of_string : string -> t
+
+val byte_size : t -> int
+(** Serialized size, for the link cost models. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_wvalue : Format.formatter -> wvalue -> unit

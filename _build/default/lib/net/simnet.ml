@@ -1,0 +1,69 @@
+module Heap = Tyco_support.Heap
+module Prng = Tyco_support.Prng
+
+type topology = {
+  intra_node : Latency.t;
+  cluster : Latency.t;
+  external_ : Latency.t;
+  external_ips : int list;
+}
+
+let default_topology =
+  { intra_node = Latency.shared_memory;
+    cluster = Latency.myrinet;
+    external_ = Latency.fast_ethernet;
+    external_ips = [] }
+
+type t = {
+  mutable clock : int;
+  queue : (unit -> unit) Heap.t;
+  rng : Prng.t;
+  topo : topology;
+  mutable processed : int;
+}
+
+let create ?(topology = default_topology) ~seed () =
+  { clock = 0; queue = Heap.create (); rng = Prng.create seed;
+    topo = topology; processed = 0 }
+
+let now t = t.clock
+let prng t = t.rng
+let topology t = t.topo
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Simnet.schedule: negative delay";
+  Heap.push t.queue (t.clock + delay) action
+
+let link t ~src_ip ~dst_ip =
+  if src_ip = dst_ip then t.topo.intra_node
+  else if List.mem src_ip t.topo.external_ips || List.mem dst_ip t.topo.external_ips
+  then t.topo.external_
+  else t.topo.cluster
+
+let packet_delay t ~src_ip ~dst_ip ~bytes =
+  Latency.transfer_ns (link t ~src_ip ~dst_ip) ~bytes
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, action) ->
+      (* The clock never goes backwards: events scheduled in the past
+         (impossible via [schedule]) would otherwise corrupt causality. *)
+      t.clock <- max t.clock time;
+      t.processed <- t.processed + 1;
+      action ();
+      true
+
+let run t ?(max_events = 10_000_000) () =
+  let start = t.processed in
+  let rec go () =
+    if t.processed - start >= max_events then
+      failwith
+        (Printf.sprintf "Simnet.run: exceeded %d events (livelock?)" max_events)
+    else if step t then go ()
+  in
+  go ();
+  t.processed - start
+
+let events_processed t = t.processed
+let next_time t = Heap.peek_key t.queue

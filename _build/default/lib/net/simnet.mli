@@ -1,0 +1,50 @@
+(** Discrete-event simulation core with a cluster topology.
+
+    The whole distributed run-time executes inside one deterministic
+    event loop: site execution quanta, packet deliveries and name
+    service processing are all events on a single virtual clock
+    (nanoseconds).  Determinism — same program, same seed, same trace —
+    is what allows the differential tests against the reference
+    semantics, and the virtual clock is what the simulated-time
+    experiments (E3–E6, E9, E10) report.
+
+    {!topology} describes the paper's Figure 1 shape: nodes connected
+    by an intra-node model (shared memory), a cluster switch model
+    (Myrinet) and an external model (Fast Ethernet) for nodes marked
+    external. *)
+
+type t
+
+type topology = {
+  intra_node : Latency.t;   (** between sites of one node *)
+  cluster : Latency.t;      (** between cluster nodes *)
+  external_ : Latency.t;    (** to/from nodes outside the switch *)
+  external_ips : int list;  (** nodes reached via [external_] *)
+}
+
+val default_topology : topology
+(** Fig. 1: Myrinet switch fabric, shared-memory local, Fast Ethernet
+    for external nodes (none by default). *)
+
+val create : ?topology:topology -> seed:int -> unit -> t
+val now : t -> int
+val prng : t -> Tyco_support.Prng.t
+val topology : t -> topology
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run an action [delay] ns from now.  FIFO among equal timestamps. *)
+
+val link : t -> src_ip:int -> dst_ip:int -> Latency.t
+val packet_delay : t -> src_ip:int -> dst_ip:int -> bytes:int -> int
+
+val run : t -> ?max_events:int -> unit -> int
+(** Drain the event queue; returns the number of events processed.
+    Raises [Failure] past [max_events] (default 10_000_000). *)
+
+val step : t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val next_time : t -> int option
+(** Timestamp of the next pending event. *)
+
+val events_processed : t -> int

@@ -1,0 +1,1 @@
+lib/support/dq.ml: Array List

@@ -1,0 +1,1 @@
+lib/support/fqueue.mli: Format

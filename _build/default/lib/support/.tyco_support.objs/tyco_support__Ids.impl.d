@@ -1,0 +1,1 @@
+lib/support/ids.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/support/ids.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/support/netref.ml: Format Hashtbl Map Printf Stdlib Wire

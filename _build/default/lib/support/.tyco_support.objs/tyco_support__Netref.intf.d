@@ -1,0 +1,1 @@
+lib/support/netref.mli: Format Hashtbl Map Wire

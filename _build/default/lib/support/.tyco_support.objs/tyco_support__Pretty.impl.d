@@ -1,0 +1,1 @@
+lib/support/pretty.ml: Fmt

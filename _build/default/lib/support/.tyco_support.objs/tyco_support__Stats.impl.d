@@ -1,0 +1,1 @@
+lib/support/stats.ml: Array Float Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/support/wire.ml: Buffer Char Int64 List Printf String Sys

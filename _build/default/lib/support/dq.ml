@@ -1,0 +1,82 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let index t i = (t.head + i) mod Array.length t.buf
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (cap * 2) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.(index t i)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.(index t t.len) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- index t 1;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = index t (t.len - 1) in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek_front t = if t.len = 0 then None else t.buf.(t.head)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.buf.(index t i) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    match t.buf.(index t i) with
+    | Some x -> acc := x :: !acc
+    | None -> assert false
+  done;
+  !acc
+
+let of_list xs =
+  let t = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (push_back t) xs;
+  t

@@ -1,0 +1,34 @@
+type 'a t = { front : 'a list; back : 'a list; len : int }
+
+let empty = { front = []; back = []; len = 0 }
+let is_empty q = q.len = 0
+let length q = q.len
+let push x q = { q with back = x :: q.back; len = q.len + 1 }
+
+let rec pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front; len = q.len - 1 })
+  | [] -> (
+      match q.back with
+      | [] -> None
+      | back -> pop { front = List.rev back; back = []; len = q.len })
+
+let peek q =
+  match q.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev q.back with x :: _ -> Some x | [] -> None)
+
+let of_list xs = { front = xs; back = []; len = List.length xs }
+let to_list q = q.front @ List.rev q.back
+let fold f acc q = List.fold_left f acc (to_list q)
+let iter f q = List.iter f (to_list q)
+
+let map f q =
+  { front = List.map f q.front; back = List.map f q.back; len = q.len }
+
+let pp pp_elt ppf q =
+  Format.fprintf ppf "@[<hov 1>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_elt)
+    (to_list q)

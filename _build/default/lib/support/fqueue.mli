@@ -1,0 +1,26 @@
+(** Purely functional FIFO queues (Okasaki's two-list representation).
+
+    Used wherever queue state must be snapshotted cheaply — e.g. the
+    reference interpreter's channel queues, whose states are compared
+    across reduction strategies in the differential tests. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a -> 'a t -> 'a t
+
+val pop : 'a t -> ('a * 'a t) option
+(** [pop q] removes the oldest element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+val of_list : 'a list -> 'a t
+
+val to_list : 'a t -> 'a list
+(** Front-to-back order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val iter : ('a -> unit) -> 'a t -> unit
+val map : ('a -> 'b) -> 'a t -> 'b t
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

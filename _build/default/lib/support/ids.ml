@@ -1,0 +1,58 @@
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val to_int : t -> int
+  val of_int : int -> t
+  val pp : Format.formatter -> t -> unit
+
+  type gen
+
+  val generator : unit -> gen
+  val fresh : gen -> t
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Make (Tag : sig
+  val name : string
+end) =
+struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash = Hashtbl.hash
+  let to_int t = t
+
+  let of_int i =
+    if i < 0 then invalid_arg (Tag.name ^ " id must be non-negative");
+    i
+
+  let pp ppf t = Format.fprintf ppf "%s#%d" Tag.name t
+
+  type gen = int ref
+
+  let generator () = ref 0
+
+  let fresh gen =
+    let id = !gen in
+    incr gen;
+    id
+
+  module Key = struct
+    type nonrec t = t
+
+    let compare = compare
+    let equal = equal
+    let hash = hash
+  end
+
+  module Map = Map.Make (Key)
+  module Set = Set.Make (Key)
+  module Tbl = Hashtbl.Make (Key)
+end

@@ -1,0 +1,38 @@
+(** Typed identifier generation.
+
+    Every subsystem of the runtime (heaps, sites, code blocks, packets)
+    needs small unique integer identifiers.  [Make] produces a fresh
+    abstract identifier type per subsystem so that, e.g., a heap id can
+    never be confused with a site id at compile time. *)
+
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val to_int : t -> int
+  (** Stable integer image, used by the wire codec. *)
+
+  val of_int : int -> t
+  (** Inverse of [to_int]; used when decoding identifiers received over
+      the network.  Accepts any non-negative integer. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  type gen
+  (** A generator of fresh identifiers. *)
+
+  val generator : unit -> gen
+  val fresh : gen -> t
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Make (Tag : sig
+  val name : string
+  (** Short label used when pretty-printing, e.g. ["site"]. *)
+end) : S

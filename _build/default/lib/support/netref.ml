@@ -1,0 +1,42 @@
+type kind = Channel | Class
+
+type t = { heap_id : int; site_id : int; ip : int; kind : kind }
+
+let make ~kind ~heap_id ~site_id ~ip = { heap_id; site_id; ip; kind }
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash = Hashtbl.hash
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%d@%d.%d)"
+    (match t.kind with Channel -> "chan" | Class -> "class")
+    t.heap_id t.site_id t.ip
+
+let encode enc t =
+  Wire.u8 enc (match t.kind with Channel -> 0 | Class -> 1);
+  Wire.varint enc t.heap_id;
+  Wire.varint enc t.site_id;
+  Wire.varint enc t.ip
+
+let decode dec =
+  let kind =
+    match Wire.read_u8 dec with
+    | 0 -> Channel
+    | 1 -> Class
+    | n -> raise (Wire.Malformed (Printf.sprintf "netref kind %d" n))
+  in
+  let heap_id = Wire.read_varint dec in
+  let site_id = Wire.read_varint dec in
+  let ip = Wire.read_varint dec in
+  { heap_id; site_id; ip; kind }
+
+module Key = struct
+  type nonrec t = t
+
+  let compare = compare
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Key)
+module Tbl = Hashtbl.Make (Key)

@@ -1,0 +1,36 @@
+(** Network references (paper §5).
+
+    “A network reference … is a pointer to a data structure allocated in
+    the heap of some remote site.  Network references have a hardware
+    independent representation that keeps information on the remote
+    variable, its site, and IP address:
+    [(HeapId, SiteId, IpAddress)].”
+
+    This repository adds a [kind] tag distinguishing channel references
+    from class (byte-code) references — both live in a site's export
+    table, but instantiating the latter triggers the FETCH protocol
+    rather than a message shipment.
+
+    The type is defined in the support layer because both the virtual
+    machine (whose values embed it) and the network substrate (whose
+    packets carry it) depend on it. *)
+
+type kind = Channel | Class
+
+type t = {
+  heap_id : int;   (** index into the owning site's export table *)
+  site_id : int;
+  ip : int;        (** owning node's address *)
+  kind : kind;
+}
+
+val make : kind:kind -> heap_id:int -> site_id:int -> ip:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val encode : Wire.enc -> t -> unit
+val decode : Wire.dec -> t
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

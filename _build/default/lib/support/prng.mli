@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of nondeterminism in the simulated cluster (scheduling
+    tie-breaks, latency jitter, workload generation) draws from a seeded
+    [Prng.t], so whole-network executions are reproducible bit-for-bit —
+    a prerequisite for the differential tests between the byte-code VM
+    and the reference interpreter. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val copy : t -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** Derive an independent generator (for spawned components). *)

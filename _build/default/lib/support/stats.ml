@@ -1,0 +1,114 @@
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let name t = t.name
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Dist = struct
+  type t = {
+    name : string;
+    mutable samples : float list;
+    mutable n : int;
+    mutable sum : float;
+    mutable lo : float;
+    mutable hi : float;
+    mutable sorted : float array option; (* cache invalidated by add *)
+  }
+
+  let create name =
+    { name; samples = []; n = 0; sum = 0.; lo = infinity; hi = neg_infinity;
+      sorted = None }
+
+  let name t = t.name
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x;
+    t.sorted <- None
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let min t = t.lo
+  let max t = t.hi
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.samples in
+        Array.sort Float.compare a;
+        t.sorted <- Some a;
+        a
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Dist.percentile: no samples";
+    let a = sorted t in
+    let rank = int_of_float (ceil (p *. float_of_int t.n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    a.(idx)
+
+  let reset t =
+    t.samples <- [];
+    t.n <- 0;
+    t.sum <- 0.;
+    t.lo <- infinity;
+    t.hi <- neg_infinity;
+    t.sorted <- None
+
+  let pp_summary ppf t =
+    if t.n = 0 then Format.fprintf ppf "%s: (no samples)" t.name
+    else
+      Format.fprintf ppf "%s: n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
+        t.name t.n (mean t) t.lo (percentile t 0.5) (percentile t 0.95) t.hi
+end
+
+type t = {
+  counters : (string, Counter.t) Hashtbl.t;
+  dists : (string, Dist.t) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () =
+  { counters = Hashtbl.create 16; dists = Hashtbl.create 16; order = [] }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = Counter.create name in
+      Hashtbl.add t.counters name c;
+      t.order <- name :: t.order;
+      c
+
+let dist t name =
+  match Hashtbl.find_opt t.dists name with
+  | Some d -> d
+  | None ->
+      let d = Dist.create name in
+      Hashtbl.add t.dists name d;
+      t.order <- name :: t.order;
+      d
+
+let counters t =
+  List.filter_map (Hashtbl.find_opt t.counters) (List.rev t.order)
+
+let dists t = List.filter_map (Hashtbl.find_opt t.dists) (List.rev t.order)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
+  Hashtbl.iter (fun _ d -> Dist.reset d) t.dists
+
+let pp ppf t =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%s = %d@." (Counter.name c) (Counter.value c))
+    (counters t);
+  List.iter (fun d -> Format.fprintf ppf "%a@." Dist.pp_summary d) (dists t)

@@ -1,0 +1,55 @@
+(** Execution metrics: counters and sample distributions.
+
+    The experiment harness (DESIGN.md, E1–E10) reports instruction
+    counts, thread granularities and latency distributions; this module
+    is the shared collection machinery. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** {1 Sample distributions} *)
+
+module Dist : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile d 0.95] — nearest-rank on the recorded samples.
+      Raises [Invalid_argument] if no samples were recorded. *)
+
+  val reset : t -> unit
+  val pp_summary : Format.formatter -> t -> unit
+end
+
+(** {1 Registries} *)
+
+type t
+(** A named collection of counters and distributions, one per site or
+    per experiment run. *)
+
+val create : unit -> t
+val counter : t -> string -> Counter.t
+(** Idempotent: returns the existing counter when the name is known. *)
+
+val dist : t -> string -> Dist.t
+val counters : t -> Counter.t list
+val dists : t -> Dist.t list
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

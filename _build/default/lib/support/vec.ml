@@ -1,0 +1,40 @@
+type 'a t = { mutable buf : 'a array; mutable len : int }
+
+let create () = { buf = [||]; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.buf.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.buf.(i) <- x
+
+let push t x =
+  if t.len = Array.length t.buf then begin
+    let cap = max 8 (2 * Array.length t.buf) in
+    let buf = Array.make cap x in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end;
+  t.buf.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.buf.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.buf.(i))
+
+let of_list xs =
+  let t = create () in
+  List.iter (fun x -> ignore (push t x)) xs;
+  t

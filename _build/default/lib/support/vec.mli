@@ -1,0 +1,19 @@
+(** Growable arrays — the program areas of sites grow as byte-code is
+    dynamically linked (paper §5), so blocks live in a vector rather
+    than a fixed array. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Appends and returns the new element's index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/syntax/ast.ml: Bool Int List Loc Set String

@@ -1,0 +1,1 @@
+lib/syntax/lexer.mli: Loc Token

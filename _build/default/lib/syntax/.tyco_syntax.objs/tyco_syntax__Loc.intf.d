@@ -1,0 +1,1 @@
+lib/syntax/loc.mli: Format

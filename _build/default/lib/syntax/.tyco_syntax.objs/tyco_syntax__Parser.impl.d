@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Array Ast Format Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/syntax/pp.ml: Ast Fmt Loc String Tyco_support

@@ -1,0 +1,1 @@
+lib/syntax/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/syntax/sugar.ml: Ast List Loc Printf

@@ -1,0 +1,1 @@
+lib/syntax/sugar.mli: Ast

@@ -1,0 +1,1 @@
+lib/syntax/token.mli: Format

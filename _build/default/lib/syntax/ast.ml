@@ -1,0 +1,209 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr_ =
+  | Evar of string
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+
+and expr = expr_ Loc.loc
+
+type proc_ =
+  | Pnil
+  | Ppar of proc * proc
+  | Pnew of string list * proc
+  | Pmsg of string * string * expr list
+  | Pobj of string * method_ list
+  | Pinst of string * expr list
+  | Pdef of defn list * proc
+  | Pif of expr * proc * proc
+  | Plet of string list * string * string * expr list * proc
+  | Pexport_new of string list * proc
+  | Pexport_def of defn list * proc
+  | Pimport_name of string * string * proc
+  | Pimport_class of string * string * proc
+
+and proc = proc_ Loc.loc
+and method_ = { m_label : string; m_params : string list; m_body : proc }
+and defn = { d_name : string; d_params : string list; d_body : proc }
+
+type site_decl = { s_name : string; s_proc : proc }
+type program = { sites : site_decl list }
+
+let default_label = "val"
+let nil = Loc.no_loc Pnil
+let par p q = Loc.no_loc (Ppar (p, q))
+
+let par_list = function
+  | [] -> nil
+  | p :: ps -> List.fold_left par p ps
+
+let new_ xs p = Loc.no_loc (Pnew (xs, p))
+let msg x l es = Loc.no_loc (Pmsg (x, l, es))
+let obj x ms = Loc.no_loc (Pobj (x, ms))
+let inst x es = Loc.no_loc (Pinst (x, es))
+let def ds p = Loc.no_loc (Pdef (ds, p))
+let evar x = Loc.no_loc (Evar x)
+let eint n = Loc.no_loc (Eint n)
+let ebool b = Loc.no_loc (Ebool b)
+let estr s = Loc.no_loc (Estr s)
+
+(* Free-identifier analysis.  An accumulator keeps first-occurrence
+   order; [bound] holds the names bound by enclosing binders. *)
+
+module SSet = Set.Make (String)
+
+let rec expr_names bound acc (e : expr) =
+  match e.it with
+  | Evar x -> if SSet.mem x bound || List.mem x acc then acc else x :: acc
+  | Eint _ | Ebool _ | Estr _ -> acc
+  | Ebin (_, a, b) -> expr_names bound (expr_names bound acc a) b
+  | Eun (_, a) -> expr_names bound acc a
+
+let add_name bound acc x =
+  if SSet.mem x bound || List.mem x acc then acc else x :: acc
+
+let rec names_proc bound acc (p : proc) =
+  match p.it with
+  | Pnil -> acc
+  | Ppar (a, b) -> names_proc bound (names_proc bound acc a) b
+  | Pnew (xs, q) | Pexport_new (xs, q) ->
+      names_proc (SSet.add_seq (List.to_seq xs) bound) acc q
+  | Pmsg (x, _, es) ->
+      let acc = add_name bound acc x in
+      List.fold_left (expr_names bound) acc es
+  | Pobj (x, ms) ->
+      let acc = add_name bound acc x in
+      List.fold_left
+        (fun acc m ->
+          names_proc (SSet.add_seq (List.to_seq m.m_params) bound) acc m.m_body)
+        acc ms
+  | Pinst (_, es) -> List.fold_left (expr_names bound) acc es
+  | Pdef (ds, q) | Pexport_def (ds, q) ->
+      let acc =
+        List.fold_left
+          (fun acc d ->
+            names_proc
+              (SSet.add_seq (List.to_seq d.d_params) bound)
+              acc d.d_body)
+          acc ds
+      in
+      names_proc bound acc q
+  | Pif (e, a, b) ->
+      let acc = expr_names bound acc e in
+      names_proc bound (names_proc bound acc a) b
+  | Plet (ys, x, _, es, q) ->
+      let acc = add_name bound acc x in
+      let acc = List.fold_left (expr_names bound) acc es in
+      names_proc (SSet.add_seq (List.to_seq ys) bound) acc q
+  | Pimport_name (x, _, q) -> names_proc (SSet.add x bound) acc q
+  | Pimport_class (_, _, q) -> names_proc bound acc q
+
+let free_names p = List.rev (names_proc SSet.empty [] p)
+
+let rec classes_proc bound acc (p : proc) =
+  match p.it with
+  | Pnil | Pmsg _ -> acc
+  | Ppar (a, b) -> classes_proc bound (classes_proc bound acc a) b
+  | Pnew (_, q) | Pexport_new (_, q) -> classes_proc bound acc q
+  | Pobj (_, ms) ->
+      List.fold_left (fun acc m -> classes_proc bound acc m.m_body) acc ms
+  | Pinst (x, _) -> add_name bound acc x
+  | Pdef (ds, q) | Pexport_def (ds, q) ->
+      let bound' =
+        SSet.add_seq (List.to_seq (List.map (fun d -> d.d_name) ds)) bound
+      in
+      let acc =
+        List.fold_left (fun acc d -> classes_proc bound' acc d.d_body) acc ds
+      in
+      classes_proc bound' acc q
+  | Pif (_, a, b) -> classes_proc bound (classes_proc bound acc a) b
+  | Plet (_, _, _, _, q) -> classes_proc bound acc q
+  | Pimport_name (_, _, q) -> classes_proc bound acc q
+  | Pimport_class (x, _, q) -> classes_proc (SSet.add x bound) acc q
+
+let free_classes p = List.rev (classes_proc SSet.empty [] p)
+
+let rec expr_size (e : expr) =
+  match e.it with
+  | Evar _ | Eint _ | Ebool _ | Estr _ -> 1
+  | Ebin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Eun (_, a) -> 1 + expr_size a
+
+let rec size (p : proc) =
+  match p.it with
+  | Pnil -> 1
+  | Ppar (a, b) -> 1 + size a + size b
+  | Pnew (_, q) | Pexport_new (_, q) -> 1 + size q
+  | Pmsg (_, _, es) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 es
+  | Pobj (_, ms) ->
+      1 + List.fold_left (fun n m -> n + 1 + size m.m_body) 0 ms
+  | Pinst (_, es) -> 1 + List.fold_left (fun n e -> n + expr_size e) 0 es
+  | Pdef (ds, q) | Pexport_def (ds, q) ->
+      1 + List.fold_left (fun n d -> n + 1 + size d.d_body) 0 ds + size q
+  | Pif (e, a, b) -> 1 + expr_size e + size a + size b
+  | Plet (_, _, _, es, q) ->
+      1 + List.fold_left (fun n e -> n + expr_size e) 0 es + size q
+  | Pimport_name (_, _, q) | Pimport_class (_, _, q) -> 1 + size q
+
+let rec expr_equal (a : expr) (b : expr) =
+  match (a.it, b.it) with
+  | Evar x, Evar y -> String.equal x y
+  | Eint x, Eint y -> Int.equal x y
+  | Ebool x, Ebool y -> Bool.equal x y
+  | Estr x, Estr y -> String.equal x y
+  | Ebin (op, a1, a2), Ebin (op', b1, b2) ->
+      op = op' && expr_equal a1 b1 && expr_equal a2 b2
+  | Eun (op, a1), Eun (op', b1) -> op = op' && expr_equal a1 b1
+  | (Evar _ | Eint _ | Ebool _ | Estr _ | Ebin _ | Eun _), _ -> false
+
+let exprs_equal es fs =
+  List.length es = List.length fs && List.for_all2 expr_equal es fs
+
+let rec equal (a : proc) (b : proc) =
+  match (a.it, b.it) with
+  | Pnil, Pnil -> true
+  | Ppar (a1, a2), Ppar (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Pnew (xs, p), Pnew (ys, q) | Pexport_new (xs, p), Pexport_new (ys, q) ->
+      xs = ys && equal p q
+  | Pmsg (x, l, es), Pmsg (y, k, fs) ->
+      String.equal x y && String.equal l k && exprs_equal es fs
+  | Pobj (x, ms), Pobj (y, ns) ->
+      String.equal x y
+      && List.length ms = List.length ns
+      && List.for_all2
+           (fun m n ->
+             String.equal m.m_label n.m_label
+             && m.m_params = n.m_params
+             && equal m.m_body n.m_body)
+           ms ns
+  | Pinst (x, es), Pinst (y, fs) -> String.equal x y && exprs_equal es fs
+  | Pdef (ds, p), Pdef (es, q) | Pexport_def (ds, p), Pexport_def (es, q) ->
+      List.length ds = List.length es
+      && List.for_all2
+           (fun d e ->
+             String.equal d.d_name e.d_name
+             && d.d_params = e.d_params
+             && equal d.d_body e.d_body)
+           ds es
+      && equal p q
+  | Pif (e, a1, a2), Pif (f, b1, b2) ->
+      expr_equal e f && equal a1 b1 && equal a2 b2
+  | Plet (xs, x, l, es, p), Plet (ys, y, k, fs, q) ->
+      xs = ys && String.equal x y && String.equal l k && exprs_equal es fs
+      && equal p q
+  | Pimport_name (x, s, p), Pimport_name (y, r, q)
+  | Pimport_class (x, s, p), Pimport_class (y, r, q) ->
+      String.equal x y && String.equal s r && equal p q
+  | ( ( Pnil | Ppar _ | Pnew _ | Pmsg _ | Pobj _ | Pinst _ | Pdef _ | Pif _
+      | Plet _ | Pexport_new _ | Pexport_def _ | Pimport_name _
+      | Pimport_class _ ),
+      _ ) ->
+      false

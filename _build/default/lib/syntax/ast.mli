@@ -1,0 +1,91 @@
+(** Abstract syntax of DiTyCO source programs (paper §2 and §4).
+
+    This is the *surface* syntax: it still contains the [let] synchronous
+    call abbreviation and the default-label sugar; {!Sugar.desugar}
+    lowers these to the kernel forms.  Located identifiers ([s.x]) never
+    appear in source programs — they are introduced by the
+    [import]/[export] translation (paper §4) in later stages. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr_ =
+  | Evar of string
+  | Eint of int
+  | Ebool of bool
+  | Estr of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+
+and expr = expr_ Loc.loc
+
+type proc_ =
+  | Pnil
+  | Ppar of proc * proc
+  | Pnew of string list * proc
+      (** [new x1,...,xn P] *)
+  | Pmsg of string * string * expr list
+      (** [x!l\[e1,...,en\]] — asynchronous message *)
+  | Pobj of string * method_ list
+      (** [x?{ l1(y) = P1, ... }] — object *)
+  | Pinst of string * expr list
+      (** [X\[e1,...,en\]] — class instantiation *)
+  | Pdef of defn list * proc
+      (** [def X1(x)=P1 and ... in P] *)
+  | Pif of expr * proc * proc
+  | Plet of string list * string * string * expr list * proc
+      (** [let y1,..,yn = x!l\[e..\] in P] — synchronous-call sugar *)
+  | Pexport_new of string list * proc
+  | Pexport_def of defn list * proc
+  | Pimport_name of string * string * proc
+      (** [import x from s in P] *)
+  | Pimport_class of string * string * proc
+      (** [import X from s in P] *)
+
+and proc = proc_ Loc.loc
+and method_ = { m_label : string; m_params : string list; m_body : proc }
+and defn = { d_name : string; d_params : string list; d_body : proc }
+
+type site_decl = { s_name : string; s_proc : proc }
+
+type program = { sites : site_decl list }
+(** A network program.  A bare process parses as a single site named
+    ["main"]. *)
+
+val default_label : string
+(** The label abbreviated by [x!\[v\]] and [x?(y)=P]; the paper uses
+    [val]. *)
+
+(** {1 Constructors without locations} (for tests and programmatic use) *)
+
+val nil : proc
+val par : proc -> proc -> proc
+val par_list : proc list -> proc
+val new_ : string list -> proc -> proc
+val msg : string -> string -> expr list -> proc
+val obj : string -> method_ list -> proc
+val inst : string -> expr list -> proc
+val def : defn list -> proc -> proc
+val evar : string -> expr
+val eint : int -> expr
+val ebool : bool -> expr
+val estr : string -> expr
+
+(** {1 Analysis} *)
+
+val free_names : proc -> string list
+(** Free channel names, in first-occurrence order. *)
+
+val free_classes : proc -> string list
+(** Free class variables, in first-occurrence order. *)
+
+val size : proc -> int
+(** Number of AST nodes (processes + expressions); the denominator of
+    the byte-code compactness experiment E2. *)
+
+val equal : proc -> proc -> bool
+(** Structural equality ignoring source locations. *)

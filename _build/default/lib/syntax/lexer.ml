@@ -1,0 +1,194 @@
+exception Error of string * Loc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let current_pos st : Loc.pos = { line = st.line; col = st.col }
+
+let loc_from st start_pos =
+  Loc.make st.file start_pos (current_pos st)
+
+let error st start_pos msg = raise (Error (msg, loc_from st start_pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let rec skip_block_comment st start_pos depth =
+  if depth = 0 then ()
+  else
+    match (peek st, peek2 st) with
+    | Some '{', Some '-' ->
+        advance st;
+        advance st;
+        skip_block_comment st start_pos (depth + 1)
+    | Some '-', Some '}' ->
+        advance st;
+        advance st;
+        skip_block_comment st start_pos (depth - 1)
+    | Some _, _ ->
+        advance st;
+        skip_block_comment st start_pos depth
+    | None, _ -> error st start_pos "unterminated block comment"
+
+let rec skip_ws st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_ws st
+  | Some '-', Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | Some '{', Some '-' ->
+      let start_pos = current_pos st in
+      advance st;
+      advance st;
+      skip_block_comment st start_pos 1;
+      skip_ws st
+  | _ -> ()
+
+let lex_string st =
+  let start_pos = current_pos st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st start_pos "unterminated string literal"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some c -> error st start_pos (Printf.sprintf "bad escape '\\%c'" c)
+        | None -> error st start_pos "unterminated string literal");
+        advance st;
+        go ()
+    | Some '\n' -> error st start_pos "newline in string literal"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_number st =
+  let start_pos = current_pos st in
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  match int_of_string_opt (Buffer.contents b) with
+  | Some n -> n
+  | None -> error st start_pos "integer literal out of range"
+
+let lex_ident st =
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  Buffer.contents b
+
+let next_token st : Token.t * Loc.t =
+  skip_ws st;
+  let start_pos = current_pos st in
+  let simple tok = (advance st; (tok, loc_from st start_pos)) in
+  let double tok = (advance st; advance st; (tok, loc_from st start_pos)) in
+  match (peek st, peek2 st) with
+  | None, _ -> (Token.EOF, loc_from st start_pos)
+  | Some '"', _ ->
+      let s = lex_string st in
+      (Token.STRING s, loc_from st start_pos)
+  | Some c, _ when is_digit c ->
+      let n = lex_number st in
+      (Token.INT n, loc_from st start_pos)
+  | Some c, _ when is_lower c ->
+      let s = lex_ident st in
+      let tok =
+        match Token.keyword_of_string s with
+        | Some kw -> kw
+        | None -> Token.IDENT s
+      in
+      (tok, loc_from st start_pos)
+  | Some c, _ when is_upper c ->
+      let s = lex_ident st in
+      (Token.UIDENT s, loc_from st start_pos)
+  | Some '!', Some '=' -> double Token.NEQ
+  | Some '!', _ -> simple Token.BANG
+  | Some '?', _ -> simple Token.QUERY
+  | Some '{', _ -> simple Token.LBRACE
+  | Some '}', _ -> simple Token.RBRACE
+  | Some '[', _ -> simple Token.LBRACKET
+  | Some ']', _ -> simple Token.RBRACKET
+  | Some '(', _ -> simple Token.LPAREN
+  | Some ')', _ -> simple Token.RPAREN
+  | Some ',', _ -> simple Token.COMMA
+  | Some '=', Some '=' -> double Token.EQEQ
+  | Some '=', _ -> simple Token.EQUAL
+  | Some '|', Some '|' -> double Token.BARBAR
+  | Some '|', _ -> simple Token.BAR
+  | Some '.', _ -> simple Token.DOT
+  | Some '+', _ -> simple Token.PLUS
+  | Some '-', _ -> simple Token.MINUS
+  | Some '*', _ -> simple Token.STAR
+  | Some '/', _ -> simple Token.SLASH
+  | Some '%', _ -> simple Token.PERCENT
+  | Some '<', Some '=' -> double Token.LE
+  | Some '<', _ -> simple Token.LT
+  | Some '>', Some '=' -> double Token.GE
+  | Some '>', _ -> simple Token.GT
+  | Some '&', Some '&' -> double Token.AMPAMP
+  | Some c, _ -> error st start_pos (Printf.sprintf "unexpected character %C" c)
+
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok, loc = next_token st in
+    match tok with
+    | Token.EOF -> List.rev ((tok, loc) :: acc)
+    | _ -> go ((tok, loc) :: acc)
+  in
+  go []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the DiTyCO language.
+
+    Comments: [--] to end of line, and nestable [{- ... -}] blocks.
+    String literals support backslash escapes for newline, tab,
+    backslash and double quote. *)
+
+exception Error of string * Loc.t
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) list
+(** Full token stream, ending with [EOF].  Raises {!Error} on invalid
+    input (bad character, unterminated string/comment, int overflow). *)

@@ -1,0 +1,22 @@
+type pos = { line : int; col : int }
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let dummy =
+  { file = "<none>"; start_pos = { line = 0; col = 0 };
+    end_pos = { line = 0; col = 0 } }
+
+let make file start_pos end_pos = { file; start_pos; end_pos }
+let merge a b = { a with end_pos = b.end_pos }
+
+let pp ppf t =
+  if t.start_pos.line = t.end_pos.line then
+    Format.fprintf ppf "%s:%d.%d-%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.col
+  else
+    Format.fprintf ppf "%s:%d.%d-%d.%d" t.file t.start_pos.line
+      t.start_pos.col t.end_pos.line t.end_pos.col
+
+type 'a loc = { it : 'a; at : t }
+
+let at at it = { it; at }
+let no_loc it = { it; at = dummy }

@@ -1,0 +1,18 @@
+(** Source locations for diagnostics. *)
+
+type pos = { line : int; col : int }
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy : t
+val make : string -> pos -> pos -> t
+val merge : t -> t -> t
+(** Span covering both locations (assumes same file). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A value tagged with its source location. *)
+type 'a loc = { it : 'a; at : t }
+
+val at : t -> 'a -> 'a loc
+val no_loc : 'a -> 'a loc

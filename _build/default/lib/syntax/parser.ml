@@ -1,0 +1,348 @@
+exception Error of string * Loc.t
+
+type state = { toks : (Token.t * Loc.t) array; mutable idx : int }
+
+let peek st = fst st.toks.(st.idx)
+let peek_loc st = snd st.toks.(st.idx)
+
+let peek2 st =
+  if st.idx + 1 < Array.length st.toks then fst st.toks.(st.idx + 1)
+  else Token.EOF
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let error st msg = raise (Error (msg, peek_loc st))
+
+let errorf st fmt = Format.kasprintf (error st) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    errorf st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> errorf st "expected an identifier but found '%s'" (Token.to_string t)
+
+let uident st =
+  match peek st with
+  | Token.UIDENT s ->
+      advance st;
+      s
+  | t ->
+      errorf st "expected a class variable (capitalized) but found '%s'"
+        (Token.to_string t)
+
+let rec sep_list1 st sep elt =
+  let x = elt st in
+  if peek st = sep then begin
+    advance st;
+    x :: sep_list1 st sep elt
+  end
+  else [ x ]
+
+let ident_list1 st = sep_list1 st Token.COMMA ident
+
+(* ------------------------------------------------------------------ *)
+(* Expressions, classic precedence climbing.                           *)
+
+let binop_of_token : Token.t -> (Ast.binop * int) option = function
+  | Token.BARBAR -> Some (Ast.Or, 1)
+  | Token.AMPAMP -> Some (Ast.And, 2)
+  | Token.EQEQ -> Some (Ast.Eq, 3)
+  | Token.NEQ -> Some (Ast.Neq, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PLUS -> Some (Ast.Add, 5)
+  | Token.MINUS -> Some (Ast.Sub, 5)
+  | Token.STAR -> Some (Ast.Mul, 6)
+  | Token.SLASH -> Some (Ast.Div, 6)
+  | Token.PERCENT -> Some (Ast.Mod, 6)
+  | _ -> None
+
+let rec expr st = expr_bp st 0
+
+and expr_bp st min_bp =
+  let lhs = expr_atom st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, bp) when bp >= min_bp ->
+        advance st;
+        let rhs = expr_bp st (bp + 1) in
+        loop (Loc.at (Loc.merge lhs.Loc.at rhs.Loc.at) (Ast.Ebin (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and expr_atom st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      Loc.at loc (Ast.Eint n)
+  | Token.STRING s ->
+      advance st;
+      Loc.at loc (Ast.Estr s)
+  | Token.KW_TRUE ->
+      advance st;
+      Loc.at loc (Ast.Ebool true)
+  | Token.KW_FALSE ->
+      advance st;
+      Loc.at loc (Ast.Ebool false)
+  | Token.IDENT x ->
+      advance st;
+      Loc.at loc (Ast.Evar x)
+  | Token.MINUS ->
+      advance st;
+      let e = expr_atom st in
+      Loc.at (Loc.merge loc e.Loc.at) (Ast.Eun (Ast.Neg, e))
+  | Token.KW_NOT ->
+      advance st;
+      let e = expr_atom st in
+      Loc.at (Loc.merge loc e.Loc.at) (Ast.Eun (Ast.Not, e))
+  | Token.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Token.RPAREN;
+      e
+  | t -> errorf st "expected an expression but found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Processes.                                                          *)
+
+let args st =
+  match peek st with
+  | Token.LBRACKET ->
+      advance st;
+      if peek st = Token.RBRACKET then begin
+        advance st;
+        []
+      end
+      else begin
+        let es = sep_list1 st Token.COMMA expr in
+        expect st Token.RBRACKET;
+        es
+      end
+  | t -> errorf st "expected '[' but found '%s'" (Token.to_string t)
+
+(* A label defaults to [Ast.default_label] when the message/method omits
+   it: [x![v]] and [x?(y) = P]. *)
+let bang_suffix st x loc =
+  expect st Token.BANG;
+  let label =
+    match peek st with
+    | Token.IDENT l ->
+        advance st;
+        l
+    | _ -> Ast.default_label
+  in
+  let es = args st in
+  Loc.at (Loc.merge loc (peek_loc st)) (Ast.Pmsg (x, label, es))
+
+let rec proc st : Ast.proc =
+  let p = proc_item st in
+  if peek st = Token.BAR then begin
+    advance st;
+    let q = proc st in
+    Loc.at (Loc.merge p.Loc.at q.Loc.at) (Ast.Ppar (p, q))
+  end
+  else p
+
+and method_ st : Ast.method_ =
+  let m_label = ident st in
+  expect st Token.LPAREN;
+  let m_params =
+    if peek st = Token.RPAREN then [] else ident_list1 st
+  in
+  expect st Token.RPAREN;
+  expect st Token.EQUAL;
+  let m_body = proc st in
+  { m_label; m_params; m_body }
+
+and defn st : Ast.defn =
+  let d_name = uident st in
+  expect st Token.LPAREN;
+  let d_params = if peek st = Token.RPAREN then [] else ident_list1 st in
+  expect st Token.RPAREN;
+  expect st Token.EQUAL;
+  let d_body = proc st in
+  { d_name; d_params; d_body }
+
+and defns st = sep_list1 st Token.KW_AND defn
+
+and proc_item st : Ast.proc =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.KW_NIL ->
+      advance st;
+      Loc.at loc Ast.Pnil
+  | Token.INT 0 ->
+      advance st;
+      Loc.at loc Ast.Pnil
+  | Token.LPAREN ->
+      advance st;
+      let p = proc st in
+      expect st Token.RPAREN;
+      p
+  | Token.KW_NEW ->
+      advance st;
+      let xs = ident_list1 st in
+      let p = proc st in
+      Loc.at (Loc.merge loc p.Loc.at) (Ast.Pnew (xs, p))
+  | Token.KW_DEF ->
+      advance st;
+      let ds = defns st in
+      expect st Token.KW_IN;
+      let p = proc st in
+      Loc.at (Loc.merge loc p.Loc.at) (Ast.Pdef (ds, p))
+  | Token.KW_IF ->
+      advance st;
+      let e = expr st in
+      expect st Token.KW_THEN;
+      let p = proc_item st in
+      expect st Token.KW_ELSE;
+      let q = proc_item st in
+      Loc.at (Loc.merge loc q.Loc.at) (Ast.Pif (e, p, q))
+  | Token.KW_LET ->
+      advance st;
+      let ys = ident_list1 st in
+      expect st Token.EQUAL;
+      let x = ident st in
+      expect st Token.BANG;
+      let label =
+        match peek st with
+        | Token.IDENT l ->
+            advance st;
+            l
+        | _ -> Ast.default_label
+      in
+      let es = args st in
+      expect st Token.KW_IN;
+      let p = proc st in
+      Loc.at (Loc.merge loc p.Loc.at) (Ast.Plet (ys, x, label, es, p))
+  | Token.KW_EXPORT -> (
+      advance st;
+      match peek st with
+      | Token.KW_NEW ->
+          advance st;
+          let xs = ident_list1 st in
+          let p = proc st in
+          Loc.at (Loc.merge loc p.Loc.at) (Ast.Pexport_new (xs, p))
+      | Token.KW_DEF ->
+          advance st;
+          let ds = defns st in
+          expect st Token.KW_IN;
+          let p = proc st in
+          Loc.at (Loc.merge loc p.Loc.at) (Ast.Pexport_def (ds, p))
+      | t ->
+          errorf st "expected 'new' or 'def' after 'export', found '%s'"
+            (Token.to_string t))
+  | Token.KW_IMPORT -> (
+      match peek2 st with
+      | Token.UIDENT x ->
+          advance st;
+          advance st;
+          expect st Token.KW_FROM;
+          let s = ident st in
+          expect st Token.KW_IN;
+          let p = proc st in
+          Loc.at (Loc.merge loc p.Loc.at) (Ast.Pimport_class (x, s, p))
+      | Token.IDENT x ->
+          advance st;
+          advance st;
+          expect st Token.KW_FROM;
+          let s = ident st in
+          expect st Token.KW_IN;
+          let p = proc st in
+          Loc.at (Loc.merge loc p.Loc.at) (Ast.Pimport_name (x, s, p))
+      | t ->
+          errorf st "expected an identifier after 'import', found '%s'"
+            (Token.to_string t))
+  | Token.UIDENT x ->
+      advance st;
+      let es = if peek st = Token.LBRACKET then args st else [] in
+      Loc.at (Loc.merge loc (peek_loc st)) (Ast.Pinst (x, es))
+  | Token.IDENT x -> (
+      advance st;
+      match peek st with
+      | Token.BANG -> bang_suffix st x loc
+      | Token.QUERY -> (
+          advance st;
+          match peek st with
+          | Token.LBRACE ->
+              advance st;
+              let ms = sep_list1 st Token.COMMA method_ in
+              expect st Token.RBRACE;
+              Loc.at (Loc.merge loc (peek_loc st)) (Ast.Pobj (x, ms))
+          | Token.LPAREN ->
+              advance st;
+              let params =
+                if peek st = Token.RPAREN then [] else ident_list1 st
+              in
+              expect st Token.RPAREN;
+              expect st Token.EQUAL;
+              let body = proc st in
+              Loc.at
+                (Loc.merge loc body.Loc.at)
+                (Ast.Pobj
+                   ( x,
+                     [ { m_label = Ast.default_label; m_params = params;
+                         m_body = body } ] ))
+          | t ->
+              errorf st "expected '{' or '(' after '?', found '%s'"
+                (Token.to_string t))
+      | t ->
+          errorf st "expected '!' or '?' after name '%s', found '%s'" x
+            (Token.to_string t))
+  | t -> errorf st "expected a process but found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Programs.                                                           *)
+
+let site_decl st : Ast.site_decl =
+  expect st Token.KW_SITE;
+  let s_name = ident st in
+  expect st Token.LBRACE;
+  let s_proc = proc st in
+  expect st Token.RBRACE;
+  { s_name; s_proc }
+
+let program st : Ast.program =
+  if peek st = Token.KW_SITE then begin
+    let rec go acc =
+      if peek st = Token.KW_SITE then go (site_decl st :: acc)
+      else List.rev acc
+    in
+    let sites = go [] in
+    expect st Token.EOF;
+    { Ast.sites }
+  end
+  else begin
+    let p = proc st in
+    expect st Token.EOF;
+    { Ast.sites = [ { s_name = "main"; s_proc = p } ] }
+  end
+
+let make_state ?(file = "<string>") src =
+  try { toks = Array.of_list (Lexer.tokenize ~file src); idx = 0 }
+  with Lexer.Error (msg, loc) -> raise (Error (msg, loc))
+
+let parse_program ?file src = program (make_state ?file src)
+
+let parse_proc ?file src =
+  let st = make_state ?file src in
+  let p = proc st in
+  expect st Token.EOF;
+  p
+
+let parse_expr ?file src =
+  let st = make_state ?file src in
+  let e = expr st in
+  expect st Token.EOF;
+  e

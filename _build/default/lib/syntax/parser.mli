@@ -1,0 +1,37 @@
+(** Recursive-descent parser for DiTyCO.
+
+    Grammar sketch (see README for the full reference):
+    {v
+      program  ::= site+ | proc
+      site     ::= "site" ident "{" proc "}"
+      proc     ::= item ("|" item)*
+      item     ::= "new" ident,+ proc
+                 | "def" defn ("and" defn)* "in" proc
+                 | "let" ident,+ "=" ident "!" label? args "in" proc
+                 | "if" expr "then" proc "else" proc
+                 | "export" ("new" ident,+ proc | "def" ... "in" proc)
+                 | "import" (ident|Uident) "from" ident "in" proc
+                 | ident "!" label? args                 -- message
+                 | ident "?" ("{" method,+ "}" | "(" ident,* ")" "=" proc)
+                 | Uident args?                          -- instantiation
+                 | "nil" | "0" | "(" proc ")"
+      method   ::= label "(" ident,* ")" "=" proc
+      defn     ::= Uident "(" ident,* ")" "=" proc
+      args     ::= "[" expr,* "]"
+    v}
+
+    Prefix scopes ([new], [def], [let], [import]) extend as far right as
+    possible, per the calculus convention.  A method (or definition) body
+    extends through ["|"] but stops at ["," ] and ["}"]. *)
+
+exception Error of string * Loc.t
+
+val parse_program : ?file:string -> string -> Ast.program
+(** Parses either a network program ([site s { ... }] blocks) or a bare
+    process, which becomes the body of a single site called ["main"]. *)
+
+val parse_proc : ?file:string -> string -> Ast.proc
+(** Parses a bare process. *)
+
+val parse_expr : ?file:string -> string -> Ast.expr
+(** Parses a builtin expression (for tests and the shell). *)

@@ -1,0 +1,126 @@
+open Ast
+
+let binop_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let rec pp_expr_prec prec ppf (e : expr) =
+  match e.Loc.it with
+  | Evar x -> Fmt.string ppf x
+  | Eint n -> Fmt.int ppf n
+  | Ebool b -> Fmt.bool ppf b
+  | Estr s -> Fmt.pf ppf "%S" s
+  | Ebin (op, a, b) ->
+      let p = binop_prec op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_string op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Eun (Neg, a) -> Fmt.pf ppf "-%a" (pp_expr_prec 10) a
+  | Eun (Not, a) -> Fmt.pf ppf "not %a" (pp_expr_prec 10) a
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_args ppf es = Fmt.pf ppf "[@[<hov>%a@]]" (Tyco_support.Pretty.comma_list pp_expr) es
+
+let pp_idents ppf xs =
+  Tyco_support.Pretty.comma_list Fmt.string ppf xs
+
+(* [atomic] renders with parentheses when the process is a parallel
+   composition, so that prefix bodies re-parse with the right extent. *)
+let rec pp_atomic ppf (p : proc) =
+  match p.Loc.it with
+  | Ppar _ | Pnew _ | Pdef _ | Plet _ | Pexport_new _ | Pexport_def _
+  | Pimport_name _ | Pimport_class _ ->
+      Fmt.pf ppf "(@[<hv>%a@])" pp_proc p
+  | Pnil | Pmsg _ | Pobj _ | Pinst _ | Pif _ -> pp_proc ppf p
+
+and pp_method ppf (m : method_) =
+  Fmt.pf ppf "@[<hv 2>%s(%a) =@ %a@]" m.m_label pp_idents m.m_params
+    pp_body m.m_body
+
+and pp_defn ppf (d : defn) =
+  Fmt.pf ppf "@[<hv 2>%s(%a) =@ %a@]" d.d_name pp_idents d.d_params
+    pp_body d.d_body
+
+(* A method/definition body may be a parallel composition (it binds
+   tighter than ',' and 'and'), but must not swallow a following
+   separator; plain printing is unambiguous because '|' cannot start a
+   method. *)
+and pp_body ppf (p : proc) =
+  match p.Loc.it with
+  | Pnew _ | Pdef _ | Plet _ | Pimport_name _ | Pimport_class _
+  | Pexport_new _ | Pexport_def _ ->
+      Fmt.pf ppf "(@[<hv>%a@])" pp_proc p
+  | Pnil | Ppar _ | Pmsg _ | Pobj _ | Pinst _ | Pif _ -> pp_proc ppf p
+
+and pp_proc ppf (p : proc) =
+  match p.Loc.it with
+  | Pnil -> Fmt.string ppf "nil"
+  | Ppar (a, b) -> Fmt.pf ppf "@[<hv>%a@ | %a@]" pp_atomic a pp_atomic b
+  | Pnew (xs, q) -> Fmt.pf ppf "@[<hv 2>new %a@ %a@]" pp_idents xs pp_atomic q
+  | Pmsg (x, l, es) ->
+      if String.equal l default_label then Fmt.pf ppf "%s!%a" x pp_args es
+      else Fmt.pf ppf "%s!%s%a" x l pp_args es
+  | Pobj (x, ms) ->
+      Fmt.pf ppf "@[<hv 2>%s?{ %a }@]" x
+        (Fmt.list ~sep:(Fmt.any ",@ ") pp_method)
+        ms
+  | Pinst (x, es) -> Fmt.pf ppf "%s%a" x pp_args es
+  | Pdef (ds, q) ->
+      Fmt.pf ppf "@[<hv>def @[<hv>%a@]@ in %a@]"
+        (Fmt.list ~sep:(Fmt.any "@ and ") pp_defn)
+        ds pp_proc q
+  | Pif (e, a, b) ->
+      Fmt.pf ppf "@[<hv>if %a@ then %a@ else %a@]" pp_expr e pp_atomic a
+        pp_atomic b
+  | Plet (ys, x, l, es, q) ->
+      if String.equal l default_label then
+        Fmt.pf ppf "@[<hv>let %a = %s!%a in@ %a@]" pp_idents ys x pp_args es
+          pp_proc q
+      else
+        Fmt.pf ppf "@[<hv>let %a = %s!%s%a in@ %a@]" pp_idents ys x l pp_args
+          es pp_proc q
+  | Pexport_new (xs, q) ->
+      Fmt.pf ppf "@[<hv 2>export new %a@ %a@]" pp_idents xs pp_atomic q
+  | Pexport_def (ds, q) ->
+      Fmt.pf ppf "@[<hv>export def @[<hv>%a@]@ in %a@]"
+        (Fmt.list ~sep:(Fmt.any "@ and ") pp_defn)
+        ds pp_proc q
+  | Pimport_name (x, s, q) ->
+      Fmt.pf ppf "@[<hv>import %s from %s in@ %a@]" x s pp_proc q
+  | Pimport_class (x, s, q) ->
+      Fmt.pf ppf "@[<hv>import %s from %s in@ %a@]" x s pp_proc q
+
+let pp_program ppf (prog : program) =
+  match prog.sites with
+  | [ { s_name = "main"; s_proc } ] -> pp_proc ppf s_proc
+  | sites ->
+      Fmt.pf ppf "@[<v>%a@]"
+        (Fmt.list ~sep:Fmt.cut (fun ppf s ->
+             Fmt.pf ppf "@[<hv 2>site %s {@ %a@;<1 -2>}@]" s.s_name pp_proc
+               s.s_proc))
+        sites
+
+let proc_to_string p = Fmt.str "%a" pp_proc p
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,11 @@
+(** Pretty-printer for DiTyCO programs.
+
+    Output is valid concrete syntax: [Parser.parse_proc (Pp.proc_to_string p)]
+    yields a process structurally equal to [p] (the round-trip property
+    tested in [test/test_syntax.ml]). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_proc : Format.formatter -> Ast.proc -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val proc_to_string : Ast.proc -> string
+val program_to_string : Ast.program -> string

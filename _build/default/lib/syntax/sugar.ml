@@ -1,0 +1,66 @@
+open Ast
+
+let fresh_reply_name used =
+  let rec go i =
+    let cand = Printf.sprintf "_r%d" i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+let rec desugar (p : proc) : proc =
+  let at it = Loc.at p.Loc.at it in
+  match p.Loc.it with
+  | Pnil -> p
+  | Ppar (a, b) -> at (Ppar (desugar a, desugar b))
+  | Pnew (xs, q) -> at (Pnew (xs, desugar q))
+  | Pmsg _ -> p
+  | Pobj (x, ms) ->
+      at (Pobj (x, List.map (fun m -> { m with m_body = desugar m.m_body }) ms))
+  | Pinst _ -> p
+  | Pdef (ds, q) ->
+      at
+        (Pdef
+           ( List.map (fun d -> { d with d_body = desugar d.d_body }) ds,
+             desugar q ))
+  | Pif (e, a, b) -> at (Pif (e, desugar a, desugar b))
+  | Plet (ys, x, l, es, q) ->
+      let q = desugar q in
+      (* The reply name must not collide with anything free in [q], the
+         argument expressions, or the target; binding [ys] shadows [q]'s
+         uses of those names, which is exactly the abbreviation's intent. *)
+      let used =
+        (x :: free_names q)
+        @ List.concat_map (fun e -> free_names (at (Pmsg (x, l, [ e ])))) es
+      in
+      let r = fresh_reply_name used in
+      let reply =
+        { m_label = default_label; m_params = ys; m_body = q }
+      in
+      at
+        (Pnew
+           ( [ r ],
+             at (Ppar (at (Pmsg (x, l, es @ [ Loc.no_loc (Evar r) ])),
+                       at (Pobj (r, [ reply ])))) ))
+  | Pexport_new (xs, q) -> at (Pexport_new (xs, desugar q))
+  | Pexport_def (ds, q) ->
+      at
+        (Pexport_def
+           ( List.map (fun d -> { d with d_body = desugar d.d_body }) ds,
+             desugar q ))
+  | Pimport_name (x, s, q) -> at (Pimport_name (x, s, desugar q))
+  | Pimport_class (x, s, q) -> at (Pimport_class (x, s, desugar q))
+
+let desugar_program (prog : program) : program =
+  { sites = List.map (fun s -> { s with s_proc = desugar s.s_proc }) prog.sites }
+
+let rec is_kernel (p : proc) =
+  match p.Loc.it with
+  | Pnil | Pmsg _ | Pinst _ -> true
+  | Ppar (a, b) | Pif (_, a, b) -> is_kernel a && is_kernel b
+  | Pnew (_, q) | Pexport_new (_, q) | Pimport_name (_, _, q)
+  | Pimport_class (_, _, q) ->
+      is_kernel q
+  | Pobj (_, ms) -> List.for_all (fun m -> is_kernel m.m_body) ms
+  | Pdef (ds, q) | Pexport_def (ds, q) ->
+      List.for_all (fun d -> is_kernel d.d_body) ds && is_kernel q
+  | Plet _ -> false

@@ -1,0 +1,15 @@
+(** Lowering of surface abbreviations to kernel TyCO (paper §2, §4).
+
+    The single non-kernel form is the synchronous call
+    [let y1,..,yn = x!l\[v..\] in P], which abbreviates
+    [new r (x!l\[v..,r\] | r?(y1,..,yn) = P)] for a fresh reply name [r]
+    (this is the abbreviation the paper uses in the SETI example).
+    Default labels are already resolved by the parser. *)
+
+val desugar : Ast.proc -> Ast.proc
+(** Eliminates every [Plet], choosing reply names that cannot capture. *)
+
+val desugar_program : Ast.program -> Ast.program
+
+val is_kernel : Ast.proc -> bool
+(** True when the process contains no [Plet]. *)

@@ -1,0 +1,84 @@
+type t =
+  | IDENT of string
+  | UIDENT of string
+  | INT of int
+  | STRING of string
+  | KW_DEF | KW_AND | KW_IN | KW_NEW | KW_LET | KW_IF | KW_THEN | KW_ELSE
+  | KW_EXPORT | KW_IMPORT | KW_FROM | KW_SITE | KW_NIL
+  | KW_TRUE | KW_FALSE | KW_NOT
+  | BANG
+  | QUERY
+  | LBRACE | RBRACE | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | COMMA | EQUAL | BAR | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | NEQ | LT | LE | GT | GE | AMPAMP | BARBAR
+  | EOF
+
+let to_string = function
+  | IDENT s -> s
+  | UIDENT s -> s
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_DEF -> "def"
+  | KW_AND -> "and"
+  | KW_IN -> "in"
+  | KW_NEW -> "new"
+  | KW_LET -> "let"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_EXPORT -> "export"
+  | KW_IMPORT -> "import"
+  | KW_FROM -> "from"
+  | KW_SITE -> "site"
+  | KW_NIL -> "nil"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NOT -> "not"
+  | BANG -> "!"
+  | QUERY -> "?"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | EQUAL -> "="
+  | BAR -> "|"
+  | DOT -> "."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let keyword_of_string = function
+  | "def" -> Some KW_DEF
+  | "and" -> Some KW_AND
+  | "in" -> Some KW_IN
+  | "new" -> Some KW_NEW
+  | "let" -> Some KW_LET
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "export" -> Some KW_EXPORT
+  | "import" -> Some KW_IMPORT
+  | "from" -> Some KW_FROM
+  | "site" -> Some KW_SITE
+  | "nil" -> Some KW_NIL
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "not" -> Some KW_NOT
+  | _ -> None

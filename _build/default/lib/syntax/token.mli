@@ -1,0 +1,23 @@
+(** Lexical tokens of the DiTyCO source language. *)
+
+type t =
+  | IDENT of string   (** lowercase-initial: names, labels, sites *)
+  | UIDENT of string  (** uppercase-initial: class variables *)
+  | INT of int
+  | STRING of string
+  | KW_DEF | KW_AND | KW_IN | KW_NEW | KW_LET | KW_IF | KW_THEN | KW_ELSE
+  | KW_EXPORT | KW_IMPORT | KW_FROM | KW_SITE | KW_NIL
+  | KW_TRUE | KW_FALSE | KW_NOT
+  | BANG      (** [!] *)
+  | QUERY     (** [?] *)
+  | LBRACE | RBRACE | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | COMMA | EQUAL | BAR | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | NEQ | LT | LE | GT | GE | AMPAMP | BARBAR
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val keyword_of_string : string -> t option
+(** Recognizes reserved words among identifier-shaped lexemes. *)

@@ -1,0 +1,1 @@
+lib/types/infer.ml: Ast Format Hashtbl List Loc Map Rtti String Sugar Ty Tyco_syntax

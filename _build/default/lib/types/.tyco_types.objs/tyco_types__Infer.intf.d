@@ -1,0 +1,1 @@
+lib/types/infer.mli: Format Rtti Ty Tyco_syntax

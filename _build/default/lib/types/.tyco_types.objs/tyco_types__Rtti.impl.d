@@ -1,0 +1,1 @@
+lib/types/rtti.ml: Array Format Hashtbl List Printf Ty Tyco_support

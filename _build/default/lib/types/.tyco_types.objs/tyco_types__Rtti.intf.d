@@ -1,0 +1,1 @@
+lib/types/rtti.mli: Format Ty Tyco_support

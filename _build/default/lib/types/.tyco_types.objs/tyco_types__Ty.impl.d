@@ -1,0 +1,1 @@
+lib/types/ty.ml: Buffer Format Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/types/ty.mli: Format

@@ -1,0 +1,66 @@
+(** Damas–Milner type inference for DiTyCO programs (paper §2: “TyCO
+    features a (Damas-Milner) polymorphic type-system”; §7: a scheme
+    that “combines both static and dynamic type checking” for remote
+    interactions).
+
+    Whole-network checking: exported names get a single shared type node
+    per [(site, name)] pair, so constraints from the exporter and every
+    importer meet by unification regardless of site order.  Imported
+    classes are checked in a second pass, after the exporting site's
+    definitions have been generalized — an import therefore enjoys the
+    full polymorphism of the exported class.
+
+    Every site's environment contains the builtin I/O port [io] (paper
+    §5) typed [{ print:(string); printi:(int); printb:(bool) }]. *)
+
+type error = { msg : string; loc : Tyco_syntax.Loc.t }
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+type info = {
+  ctx : Ty.ctx;
+  export_name_types : ((string * string) * Ty.ty) list;
+      (** [(site, name)] to inferred channel type, for RTTI generation. *)
+  export_class_types : ((string * string) * Ty.scheme) list;
+  name_types : ((string * string) * Ty.ty) list;
+      (** [(site, name)] for every top-level free or exported name —
+          used by tooling to report inferred interfaces. *)
+}
+
+val check_program : Tyco_syntax.Ast.program -> info
+(** Type-checks a (possibly multi-site) program.  Raises {!Error}.
+    The program is desugared first; callers need not desugar. *)
+
+val check_proc : Tyco_syntax.Ast.proc -> info
+(** Single-site convenience wrapper. *)
+
+(** {1 Separate compilation}
+
+    When sites are checked in isolation (they come from different
+    source files, or mutually distrusting parties), imports cannot be
+    unified with their exporters statically.  {!check_site_isolated}
+    checks one site against only its local constraints and returns the
+    run-time type descriptors for the dynamic half of the paper's
+    scheme: the descriptors of everything the site exports, and the
+    {e expectations} (local usage constraints) of everything it
+    imports.  The runtime checks expectation against exporter
+    descriptor when an import resolves. *)
+
+type site_info = {
+  export_name_rtti : (string * Rtti.t) list;
+  export_class_rtti : (string * Rtti.t) list;
+      (** class descriptors are parameter tuples; polymorphic
+          positions appear as wildcards *)
+  import_name_expect : ((string * string) * Rtti.t) list;
+      (** [(site, name)] to local usage constraint *)
+  import_class_expect : ((string * string) * Rtti.t) list;
+      (** one entry per foreign instantiation *)
+}
+
+val check_site_isolated : Tyco_syntax.Ast.site_decl -> site_info
+(** Raises {!Error} on local type errors. *)
+
+val io_channel_type : Ty.ctx -> Ty.ty
+(** The builtin type of the [io] port. *)

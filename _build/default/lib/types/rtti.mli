@@ -1,0 +1,40 @@
+(** Run-time type descriptors.
+
+    The paper (§7) reports “a type checking scheme that ensures that no
+    type mismatch or protocol errors occur in remote interactions.  The
+    scheme combines both static and dynamic type checking.”  The static
+    half is {!Infer}; this module is the dynamic half: a closed,
+    serializable image of a (possibly cyclic) inferred type, carried in
+    export registrations and checked when an import binds.
+
+    Descriptors are node graphs, so recursive channel protocols encode
+    finitely; {!compatible} is a bisimulation with memoized pairs. *)
+
+type t
+
+val of_ty : Ty.ty -> t
+(** Snapshot the current solution of an inferred type.  Unresolved
+    variables become the wildcard descriptor. *)
+
+val of_tys : Ty.ty list -> t
+(** Descriptor of a parameter tuple — the dynamic signature of an
+    exported class (its instantiation argument types). *)
+
+val any : t
+(** The wildcard: compatible with everything (what a site must assume
+    about a name it knows nothing about). *)
+
+val compatible : t -> t -> bool
+(** Conservative structural compatibility.  Channel descriptors agree
+    when every method label they share agrees on arity and argument
+    compatibility, and no label demanded by one side is absent from the
+    other side's {e closed} record.  Wildcards agree with anything. *)
+
+val encode : Tyco_support.Wire.enc -> t -> unit
+val decode : Tyco_support.Wire.dec -> t
+(** May raise {!Tyco_support.Wire.Malformed}. *)
+
+val equal : t -> t -> bool
+(** Descriptor identity up to graph isomorphism from the roots. *)
+
+val pp : Format.formatter -> t -> unit

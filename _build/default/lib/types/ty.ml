@@ -1,0 +1,314 @@
+type ty = { mutable tnode : tnode; tid : int }
+
+and tnode =
+  | Tlink of ty
+  | Tdesc of desc
+
+and desc =
+  | Var
+  | Int
+  | Bool
+  | Str
+  | Chan of row
+
+and row = { mutable rnode : rnode; rid : int }
+
+and rnode =
+  | Rlink of row
+  | Rd of rdesc
+
+and rdesc =
+  | Rvar
+  | Rempty
+  | Rcons of string * ty list * row
+
+type ctx = {
+  mutable next : int;
+  (* Pairs of node ids currently being unified; gives coinductive
+     success on cyclic (rational-tree) types. *)
+  mutable visiting : (int * int) list;
+}
+
+let ctx () = { next = 0; visiting = [] }
+
+let fresh_id ctx =
+  let id = ctx.next in
+  ctx.next <- ctx.next + 1;
+  id
+
+let mk ctx desc = { tnode = Tdesc desc; tid = fresh_id ctx }
+let mkr ctx rdesc = { rnode = Rd rdesc; rid = fresh_id ctx }
+let fresh_var ctx = mk ctx Var
+let int_ ctx = mk ctx Int
+let bool_ ctx = mk ctx Bool
+let str ctx = mk ctx Str
+let chan ctx row = mk ctx (Chan row)
+let fresh_rvar ctx = mkr ctx Rvar
+let rempty ctx = mkr ctx Rempty
+let rcons ctx l ts rest = mkr ctx (Rcons (l, ts, rest))
+
+let chan_of_methods ctx ?(open_ = false) methods =
+  let tail = if open_ then fresh_rvar ctx else rempty ctx in
+  let row =
+    List.fold_right (fun (l, ts) rest -> rcons ctx l ts rest) methods tail
+  in
+  chan ctx row
+
+let rec repr t =
+  match t.tnode with
+  | Tlink u ->
+      let r = repr u in
+      if r != u then t.tnode <- Tlink r;
+      r
+  | Tdesc _ -> t
+
+let desc t =
+  match (repr t).tnode with Tdesc d -> d | Tlink _ -> assert false
+
+let rec rrepr r =
+  match r.rnode with
+  | Rlink s ->
+      let rep = rrepr s in
+      if rep != s then r.rnode <- Rlink rep;
+      rep
+  | Rd _ -> r
+
+let rdesc r =
+  match (rrepr r).rnode with Rd d -> d | Rlink _ -> assert false
+
+let ty_id t = (repr t).tid
+
+let row_methods row =
+  let rec go acc row =
+    match rdesc row with
+    | Rempty -> (List.rev acc, false)
+    | Rvar -> (List.rev acc, true)
+    | Rcons (l, ts, rest) -> go ((l, ts) :: acc) rest
+  in
+  go [] (rrepr row)
+
+exception Clash of string
+
+let clash fmt = Format.kasprintf (fun msg -> raise (Clash msg)) fmt
+
+let desc_name = function
+  | Var -> "_"
+  | Int -> "int"
+  | Bool -> "bool"
+  | Str -> "string"
+  | Chan _ -> "channel"
+
+(* Extraction of label [l] (with [arity] arguments) from a row: returns
+   the argument types at [l] and the row without [l].  An open row that
+   lacks [l] grows to include it — this is how uses of a name accumulate
+   methods.  The depth bound guards against pathological cyclic rows. *)
+let rec extract ctx l arity row depth =
+  if depth > 10_000 then clash "recursive method row while looking for '%s'" l;
+  let row = rrepr row in
+  match rdesc row with
+  | Rcons (l', ts', rest) when String.equal l l' ->
+      if List.length ts' <> arity then
+        clash "method '%s' used with %d argument(s) but has %d" l arity
+          (List.length ts');
+      (ts', rest)
+  | Rcons (l', ts', rest) ->
+      let ts, rest_minus = extract ctx l arity rest (depth + 1) in
+      (ts, rcons ctx l' ts' rest_minus)
+  | Rvar ->
+      let ts = List.init arity (fun _ -> fresh_var ctx) in
+      let rest' = fresh_rvar ctx in
+      row.rnode <- Rlink (rcons ctx l ts rest');
+      (ts, rest')
+  | Rempty -> clash "channel has no method '%s'" l
+
+let rec unify0 ctx t1 t2 =
+  let t1 = repr t1 and t2 = repr t2 in
+  if t1 == t2 then ()
+  else
+    match (desc t1, desc t2) with
+    | Var, _ -> t1.tnode <- Tlink t2
+    | _, Var -> t2.tnode <- Tlink t1
+    | Int, Int | Bool, Bool | Str, Str -> t1.tnode <- Tlink t2
+    | Chan r1, Chan r2 ->
+        (* Merge the nodes before descending: on cyclic types the
+           recursion reaches the merged node and stops (rational-tree
+           unification on term graphs). *)
+        t1.tnode <- Tlink t2;
+        unify_row0 ctx r1 r2
+    | d1, d2 -> clash "type mismatch: %s vs %s" (desc_name d1) (desc_name d2)
+
+and unify_row0 ctx r1 r2 =
+  let r1 = rrepr r1 and r2 = rrepr r2 in
+  if r1 == r2 then ()
+  else if
+    List.exists
+      (fun (a, b) ->
+        (a = r1.rid && b = r2.rid) || (a = r2.rid && b = r1.rid))
+      ctx.visiting
+  then ()
+  else begin
+    ctx.visiting <- (r1.rid, r2.rid) :: ctx.visiting;
+    match (rdesc r1, rdesc r2) with
+    | Rvar, _ -> r1.rnode <- Rlink r2
+    | _, Rvar -> r2.rnode <- Rlink r1
+    | Rempty, Rempty -> r1.rnode <- Rlink r2
+    | Rempty, Rcons (l, _, _) | Rcons (l, _, _), Rempty ->
+        clash "channel has no method '%s' (closed record)" l
+    | Rcons (l, ts1, rest1), Rcons _ ->
+        let ts2, rest2 = extract ctx l (List.length ts1) r2 0 in
+        List.iter2 (unify0 ctx) ts1 ts2;
+        unify_row0 ctx rest1 rest2
+  end
+
+let unify ctx t1 t2 =
+  ctx.visiting <- [];
+  unify0 ctx t1 t2
+
+let unify_row ctx r1 r2 =
+  ctx.visiting <- [];
+  unify_row0 ctx r1 r2
+
+(* ------------------------------------------------------------------ *)
+(* Schemes: generalization and instantiation by memoized graph copy.   *)
+
+module ISet = Set.Make (Int)
+
+type scheme = { qtys : ISet.t; qrows : ISet.t; params : ty list }
+
+let reachable tys =
+  let tset = ref ISet.empty and rset = ref ISet.empty in
+  let rec go_ty t =
+    let t = repr t in
+    if not (ISet.mem t.tid !tset) then begin
+      tset := ISet.add t.tid !tset;
+      match desc t with
+      | Var | Int | Bool | Str -> ()
+      | Chan r -> go_row r
+    end
+  and go_row r =
+    let r = rrepr r in
+    if not (ISet.mem r.rid !rset) then begin
+      rset := ISet.add r.rid !rset;
+      match rdesc r with
+      | Rvar | Rempty -> ()
+      | Rcons (_, ts, rest) ->
+          List.iter go_ty ts;
+          go_row rest
+    end
+  in
+  List.iter go_ty tys;
+  (!tset, !rset)
+
+let generalize _ctx ~env_tys params =
+  let env_t, env_r = reachable env_tys in
+  let par_t, par_r = reachable params in
+  { qtys = ISet.diff par_t env_t; qrows = ISet.diff par_r env_r; params }
+
+let mono params = { qtys = ISet.empty; qrows = ISet.empty; params }
+let scheme_arity s = List.length s.params
+let scheme_params s = s.params
+
+let instantiate ctx s =
+  let tmemo : (int, ty) Hashtbl.t = Hashtbl.create 16 in
+  let rmemo : (int, row) Hashtbl.t = Hashtbl.create 16 in
+  let rec copy_ty t =
+    let t = repr t in
+    match Hashtbl.find_opt tmemo t.tid with
+    | Some t' -> t'
+    | None -> (
+        match desc t with
+        | Var ->
+            let t' = if ISet.mem t.tid s.qtys then fresh_var ctx else t in
+            Hashtbl.add tmemo t.tid t';
+            t'
+        | Int | Bool | Str ->
+            Hashtbl.add tmemo t.tid t;
+            t
+        | Chan r ->
+            (* Create the node first so cycles tie back to it. *)
+            let t' = mk ctx Var in
+            Hashtbl.add tmemo t.tid t';
+            t'.tnode <- Tdesc (Chan (copy_row r));
+            t')
+  and copy_row r =
+    let r = rrepr r in
+    match Hashtbl.find_opt rmemo r.rid with
+    | Some r' -> r'
+    | None -> (
+        match rdesc r with
+        | Rvar ->
+            let r' = if ISet.mem r.rid s.qrows then fresh_rvar ctx else r in
+            Hashtbl.add rmemo r.rid r';
+            r'
+        | Rempty ->
+            Hashtbl.add rmemo r.rid r;
+            r
+        | Rcons (l, ts, rest) ->
+            let r' = mkr ctx Rvar in
+            Hashtbl.add rmemo r.rid r';
+            r'.rnode <- Rd (Rcons (l, List.map copy_ty ts, copy_row rest));
+            r')
+  in
+  List.map copy_ty s.params
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-aware printing.                                               *)
+
+let pp ppf t =
+  let named : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let counter = ref 0 in
+  let name_for id =
+    match Hashtbl.find_opt named id with
+    | Some n -> n
+    | None ->
+        let n = Printf.sprintf "µ%d" !counter in
+        incr counter;
+        Hashtbl.add named id n;
+        n
+  in
+  let rec go_ty path ppf t =
+    let t = repr t in
+    if List.mem t.tid path then
+      Format.pp_print_string ppf (name_for t.tid)
+    else
+      match desc t with
+      | Var -> Format.fprintf ppf "'a%d" t.tid
+      | Int -> Format.pp_print_string ppf "int"
+      | Bool -> Format.pp_print_string ppf "bool"
+      | Str -> Format.pp_print_string ppf "string"
+      | Chan r ->
+          let path = t.tid :: path in
+          let binder =
+            match Hashtbl.find_opt named t.tid with
+            | Some n -> n ^ "."
+            | None -> ""
+          in
+          (* Two passes would be needed to know about back-edges in
+             advance; instead the binder shows up only when the body
+             already referenced it, which the second rendering pass
+             below ensures. *)
+          Format.fprintf ppf "%s{%a}" binder (go_row path) r
+  and go_row path ppf r =
+    let methods, open_ = row_methods r in
+    let pp_m ppf (l, ts) =
+      Format.fprintf ppf "%s:(%a)" l
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (go_ty path))
+        ts
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+      pp_m ppf methods;
+    if open_ then
+      Format.pp_print_string ppf (if methods = [] then ".." else "; ..")
+  in
+  (* First render into a scratch buffer to discover back-edges, then
+     render for real so µ-binders appear on the right nodes. *)
+  let scratch = Buffer.create 64 in
+  let sppf = Format.formatter_of_buffer scratch in
+  go_ty [] sppf t;
+  Format.pp_print_flush sppf ();
+  go_ty [] ppf t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,103 @@
+(** The TyCO type language and its unifier.
+
+    Channel types are records of methods — [Chan { l1:(T..); l2:(T..) }]
+    — following the TyCO type system (Vasconcelos, paper ref [24]).
+    Two implementation choices, recorded in DESIGN.md:
+
+    - {b Row polymorphism}: a message [x!l\[v\]] only requires that [x]'s
+      record contains [l]; open rows (ending in a row variable) express
+      that requirement, and unification extends them as more uses appear.
+    - {b Rational trees}: recursive protocols such as the [Cell]'s [self]
+      (whose methods mention [self]'s own type) unify without explicit
+      µ-binders; the unifier merges graph nodes before descending, so
+      cyclic types converge instead of looping.
+
+    All types live in a {!ctx}, which owns the fresh-node counter. *)
+
+type ctx
+
+val ctx : unit -> ctx
+
+type ty
+type row
+
+type desc =
+  | Var
+  | Int
+  | Bool
+  | Str
+  | Chan of row
+
+type rdesc =
+  | Rvar
+  | Rempty
+  | Rcons of string * ty list * row
+
+(** {1 Construction} *)
+
+val fresh_var : ctx -> ty
+val int_ : ctx -> ty
+val bool_ : ctx -> ty
+val str : ctx -> ty
+val chan : ctx -> row -> ty
+
+val chan_of_methods : ctx -> ?open_:bool -> (string * ty list) list -> ty
+(** Convenience: a channel whose row lists the given methods, closed by
+    [Rempty] (default) or by a fresh row variable. *)
+
+val fresh_rvar : ctx -> row
+val rempty : ctx -> row
+val rcons : ctx -> string -> ty list -> row -> row
+
+(** {1 Observation} *)
+
+val repr : ty -> ty
+(** Union-find representative (path-compressed). *)
+
+val desc : ty -> desc
+val rrepr : row -> row
+val rdesc : row -> rdesc
+
+val row_methods : row -> (string * ty list) list * bool
+(** Methods listed by the row, and whether the row is open (ends in a
+    row variable). *)
+
+val ty_id : ty -> int
+(** Stable identity of the representative node. *)
+
+(** {1 Unification} *)
+
+exception Clash of string
+(** Carries a human-readable description of the mismatch. *)
+
+val unify : ctx -> ty -> ty -> unit
+val unify_row : ctx -> row -> row -> unit
+
+(** {1 Schemes (class types)} *)
+
+type scheme
+(** The generalized parameter types of a class definition. *)
+
+val generalize : ctx -> env_tys:ty list -> ty list -> scheme
+(** [generalize ctx ~env_tys param_tys] quantifies every variable and
+    row variable reachable from [param_tys] but not from [env_tys]. *)
+
+val instantiate : ctx -> scheme -> ty list
+(** Fresh copy of the scheme's parameter types, quantified variables
+    renewed, shared structure preserved. *)
+
+val scheme_arity : scheme -> int
+
+(** [scheme_params s] returns the parameter types as stored (quantified
+    variables included); exposed so that enclosing scopes can keep them
+    monomorphic during their own generalizations. *)
+val scheme_params : scheme -> ty list
+val mono : ty list -> scheme
+(** A scheme with no quantified variables. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> ty -> unit
+(** Cycle-aware: back-edges print as [µN] references. *)
+
+val to_string : ty -> string

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Bool Format Int List String Tyco_compiler Tyco_support Tyco_syntax Value

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Tyco_compiler Tyco_support Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Format Tyco_support

@@ -1,0 +1,357 @@
+module Dq = Tyco_support.Dq
+module Stats = Tyco_support.Stats
+module Netref = Tyco_support.Netref
+module Ast = Tyco_syntax.Ast
+module Block = Tyco_compiler.Block
+module Instr = Tyco_compiler.Instr
+module Link = Tyco_compiler.Link
+
+type remote_op =
+  | Rmsg of Netref.t * string * Value.t list
+  | Robj of Netref.t * Value.obj
+  | Rfetch of Netref.t * Value.t list
+  | Rexport_name of string * Value.chan
+  | Rexport_class of string * Value.cls
+  | Rimport of {
+      site : string;
+      name : string;
+      is_class : bool;
+      cont : int;
+      captured : Value.t list;
+    }
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+type thread = { t_block : int; t_env : Value.t array }
+
+type t = {
+  name : string;
+  area : Link.area;
+  runq : thread Dq.t;
+  remote : remote_op Dq.t;
+  mutable chan_uid : int;
+  stats : Stats.t;
+  c_instr : Stats.Counter.t;
+  c_threads : Stats.Counter.t;
+  c_comm : Stats.Counter.t;
+  c_msgs_parked : Stats.Counter.t;
+  c_objs_parked : Stats.Counter.t;
+  c_insts : Stats.Counter.t;
+  c_defgroups : Stats.Counter.t;
+  c_remote : Stats.Counter.t;
+  d_thread_len : Stats.Dist.t;
+}
+
+let create ?(name = "site") area =
+  let stats = Stats.create () in
+  { name;
+    area;
+    runq = Dq.create ();
+    remote = Dq.create ();
+    chan_uid = 0;
+    stats;
+    c_instr = Stats.counter stats "instructions";
+    c_threads = Stats.counter stats "threads";
+    c_comm = Stats.counter stats "comm_local";
+    c_msgs_parked = Stats.counter stats "msgs_parked";
+    c_objs_parked = Stats.counter stats "objs_parked";
+    c_insts = Stats.counter stats "insts";
+    c_defgroups = Stats.counter stats "defgroups";
+    c_remote = Stats.counter stats "remote_ops";
+    d_thread_len = Stats.dist stats "thread_len" }
+
+let area t = t.area
+let stats t = t.stats
+
+let new_chan t name =
+  let uid = t.chan_uid in
+  t.chan_uid <- uid + 1;
+  { Value.ch_uid = uid; ch_name = name; ch_state = Value.Empty }
+
+let builtin_chan t name handler =
+  let c = new_chan t name in
+  c.Value.ch_state <- Value.Builtin handler;
+  c
+
+(* Make a frame for a block: the given initial values fill the first
+   slots, the rest are padded (uninitialized locals). *)
+let frame_for t ~block ~init =
+  let blk = Link.block t.area block in
+  let n = blk.Block.blk_nslots in
+  let frame = Array.make (max n (List.length init)) (Value.Vint 0) in
+  List.iteri (fun i v -> frame.(i) <- v) init;
+  frame
+
+let spawn t ~block ~env =
+  Dq.push_back t.runq { t_block = block; t_env = frame_for t ~block ~init:env }
+
+let spawn_entry t ~entry ~io = spawn t ~block:entry ~env:[ Value.Vchan io ]
+
+(* Fire a method: the object's method table entry for [label] runs with
+   frame [args..][closure env..]. *)
+let fire_method t (obj : Value.obj) label (args : Value.t list) =
+  let mt = Link.mtable t.area obj.Value.obj_mtable in
+  let entry =
+    match
+      Array.to_list mt.Block.mt_entries
+      |> List.find_opt (fun (e : Block.mentry) -> String.equal e.Block.me_label label)
+    with
+    | Some e -> e
+    | None -> err "no method '%s' at object (protocol error)" label
+  in
+  if entry.Block.me_nparams <> List.length args then
+    err "method '%s': expected %d argument(s), got %d" label
+      entry.Block.me_nparams (List.length args);
+  Stats.Counter.incr t.c_comm;
+  spawn t ~block:entry.Block.me_block
+    ~env:(args @ Array.to_list obj.Value.obj_env)
+
+let inject_msg t (chan : Value.chan) label args =
+  match chan.Value.ch_state with
+  | Value.Builtin handler -> handler label args
+  | Value.Objs q ->
+      let obj =
+        match Dq.pop_front q with Some o -> o | None -> assert false
+      in
+      if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
+      fire_method t obj label args
+  | Value.Empty ->
+      let q = Dq.create () in
+      Dq.push_back q { Value.msg_label = label; msg_args = args };
+      Stats.Counter.incr t.c_msgs_parked;
+      chan.Value.ch_state <- Value.Msgs q
+  | Value.Msgs q ->
+      Stats.Counter.incr t.c_msgs_parked;
+      Dq.push_back q { Value.msg_label = label; msg_args = args }
+
+let inject_obj t (chan : Value.chan) (obj : Value.obj) =
+  match chan.Value.ch_state with
+  | Value.Builtin _ -> err "object placed at builtin channel '%s'" chan.Value.ch_name
+  | Value.Msgs q ->
+      let m = match Dq.pop_front q with Some m -> m | None -> assert false in
+      if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
+      fire_method t obj m.Value.msg_label m.Value.msg_args
+  | Value.Empty ->
+      let q = Dq.create () in
+      Dq.push_back q obj;
+      Stats.Counter.incr t.c_objs_parked;
+      chan.Value.ch_state <- Value.Objs q
+  | Value.Objs q ->
+      Stats.Counter.incr t.c_objs_parked;
+      Dq.push_back q obj
+
+let instantiate t (cls : Value.cls) args =
+  let g = Link.group t.area cls.Value.cls_group in
+  let sig_ = g.Block.grp_classes.(cls.Value.cls_index) in
+  if sig_.Block.cls_nparams <> List.length args then
+    err "class '%s': expected %d argument(s), got %d" sig_.Block.cls_name
+      sig_.Block.cls_nparams (List.length args);
+  Stats.Counter.incr t.c_insts;
+  spawn t ~block:sig_.Block.cls_block
+    ~env:(args @ Array.to_list cls.Value.cls_env)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution.                                              *)
+
+let as_int = function Value.Vint n -> n | v -> err "expected int, got %s" (Value.type_name v)
+let as_bool = function Value.Vbool b -> b | v -> err "expected bool, got %s" (Value.type_name v)
+
+let value_eq a b =
+  match (a, b) with
+  | Value.Vint x, Value.Vint y -> Int.equal x y
+  | Value.Vbool x, Value.Vbool y -> Bool.equal x y
+  | Value.Vstr x, Value.Vstr y -> String.equal x y
+  | Value.Vchan x, Value.Vchan y -> Value.same_chan x y
+  | Value.Vnetref x, Value.Vnetref y -> Netref.equal x y
+  | _, _ -> a == b
+
+let exec_binop op a b =
+  match op with
+  | Ast.Add -> Value.Vint (as_int a + as_int b)
+  | Ast.Sub -> Value.Vint (as_int a - as_int b)
+  | Ast.Mul -> Value.Vint (as_int a * as_int b)
+  | Ast.Div ->
+      let d = as_int b in
+      if d = 0 then err "division by zero" else Value.Vint (as_int a / d)
+  | Ast.Mod ->
+      let d = as_int b in
+      if d = 0 then err "modulo by zero" else Value.Vint (as_int a mod d)
+  | Ast.Lt -> Value.Vbool (as_int a < as_int b)
+  | Ast.Le -> Value.Vbool (as_int a <= as_int b)
+  | Ast.Gt -> Value.Vbool (as_int a > as_int b)
+  | Ast.Ge -> Value.Vbool (as_int a >= as_int b)
+  | Ast.Eq -> Value.Vbool (value_eq a b)
+  | Ast.Neq -> Value.Vbool (not (value_eq a b))
+  | Ast.And -> Value.Vbool (as_bool a && as_bool b)
+  | Ast.Or -> Value.Vbool (as_bool a || as_bool b)
+
+(* Pop [n] argument values pushed left-to-right: the top of stack is the
+   last argument. *)
+let pop_args stack n =
+  let rec go acc stack n =
+    if n = 0 then (acc, stack)
+    else
+      match stack with
+      | v :: rest -> go (v :: acc) rest (n - 1)
+      | [] -> err "operand stack underflow"
+  in
+  go [] stack n
+
+let push_remote t op =
+  Stats.Counter.incr t.c_remote;
+  Dq.push_back t.remote op
+
+(* Execute one thread to completion; returns instructions executed and
+   their summed virtual-time cost. *)
+let run_thread t (th : thread) =
+  let blk = Link.block t.area th.t_block in
+  let code = blk.Block.blk_code in
+  let env = th.t_env in
+  let executed = ref 0 in
+  let cost = ref 0 in
+  let rec step pc stack =
+    if pc >= Array.length code then ()
+    else begin
+      incr executed;
+      cost := !cost + Instr.cost code.(pc);
+      match code.(pc) with
+      | Instr.Push_int n -> step (pc + 1) (Value.Vint n :: stack)
+      | Instr.Push_bool b -> step (pc + 1) (Value.Vbool b :: stack)
+      | Instr.Push_str s -> step (pc + 1) (Value.Vstr s :: stack)
+      | Instr.Load i -> step (pc + 1) (env.(i) :: stack)
+      | Instr.Store i -> (
+          match stack with
+          | v :: rest ->
+              env.(i) <- v;
+              step (pc + 1) rest
+          | [] -> err "operand stack underflow")
+      | Instr.Binop op -> (
+          match stack with
+          | b :: a :: rest -> step (pc + 1) (exec_binop op a b :: rest)
+          | _ -> err "operand stack underflow")
+      | Instr.Unop Ast.Neg -> (
+          match stack with
+          | a :: rest -> step (pc + 1) (Value.Vint (-as_int a) :: rest)
+          | [] -> err "operand stack underflow")
+      | Instr.Unop Ast.Not -> (
+          match stack with
+          | a :: rest -> step (pc + 1) (Value.Vbool (not (as_bool a)) :: rest)
+          | [] -> err "operand stack underflow")
+      | Instr.Jump target -> step target stack
+      | Instr.Jump_if_false target -> (
+          match stack with
+          | v :: rest ->
+              if as_bool v then step (pc + 1) rest else step target rest
+          | [] -> err "operand stack underflow")
+      | Instr.New_chan slot ->
+          env.(slot) <- Value.Vchan (new_chan t "c");
+          step (pc + 1) stack
+      | Instr.Trmsg (label, argc) -> (
+          match stack with
+          | target :: rest ->
+              let args, rest = pop_args rest argc in
+              (match target with
+              | Value.Vchan c -> inject_msg t c label args
+              | Value.Vnetref r -> push_remote t (Rmsg (r, label, args))
+              | v -> err "trmsg target is %s, not a channel" (Value.type_name v));
+              step (pc + 1) rest
+          | [] -> err "operand stack underflow")
+      | Instr.Trobj mt_id -> (
+          let mt = Link.mtable t.area mt_id in
+          let captured =
+            Array.map (fun slot -> env.(slot)) mt.Block.mt_captures
+          in
+          let obj = { Value.obj_mtable = mt_id; obj_env = captured } in
+          match stack with
+          | Value.Vchan c :: rest ->
+              inject_obj t c obj;
+              step (pc + 1) rest
+          | Value.Vnetref r :: rest ->
+              push_remote t (Robj (r, obj));
+              step (pc + 1) rest
+          | v :: _ -> err "trobj target is %s, not a channel" (Value.type_name v)
+          | [] -> err "operand stack underflow")
+      | Instr.Defgroup gid ->
+          Stats.Counter.incr t.c_defgroups;
+          let g = Link.group t.area gid in
+          let ncap = Array.length g.Block.grp_captures in
+          let nclasses = Array.length g.Block.grp_classes in
+          let shared = Array.make (ncap + nclasses) (Value.Vint 0) in
+          Array.iteri
+            (fun i slot -> shared.(i) <- env.(slot))
+            g.Block.grp_captures;
+          Array.iteri
+            (fun i _ ->
+              let v =
+                Value.Vclass
+                  { Value.cls_group = gid; cls_index = i; cls_env = shared }
+              in
+              shared.(ncap + i) <- v;
+              env.(g.Block.grp_slots.(i)) <- v)
+            g.Block.grp_classes;
+          step (pc + 1) stack
+      | Instr.Instof argc -> (
+          match stack with
+          | target :: rest ->
+              let args, rest = pop_args rest argc in
+              (match target with
+              | Value.Vclass c -> instantiate t c args
+              | Value.Vclassref r -> push_remote t (Rfetch (r, args))
+              | v -> err "instof target is %s, not a class" (Value.type_name v));
+              step (pc + 1) rest
+          | [] -> err "operand stack underflow")
+      | Instr.Export_name x -> (
+          match stack with
+          | Value.Vchan c :: rest ->
+              push_remote t (Rexport_name (x, c));
+              step (pc + 1) rest
+          | v :: _ ->
+              err "export of %s, not a local channel"
+                (Value.type_name (match v with v -> v))
+          | [] -> err "operand stack underflow")
+      | Instr.Export_class (x, slot) -> (
+          match env.(slot) with
+          | Value.Vclass c ->
+              push_remote t (Rexport_class (x, c));
+              step (pc + 1) stack
+          | v -> err "export of %s, not a local class" (Value.type_name v))
+      | Instr.Import_name { site; name; cont; captures } ->
+          push_remote t
+            (Rimport
+               { site; name; is_class = false; cont;
+                 captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
+          step (pc + 1) stack
+      | Instr.Import_class { site; name; cont; captures } ->
+          push_remote t
+            (Rimport
+               { site; name; is_class = true; cont;
+                 captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
+          step (pc + 1) stack
+    end
+  in
+  step 0 [];
+  (!executed, !cost)
+
+let runnable t = not (Dq.is_empty t.runq)
+
+let run t ~budget =
+  let executed = ref 0 in
+  let cost = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !executed < budget do
+    match Dq.pop_front t.runq with
+    | None -> continue_ := false
+    | Some th ->
+        Stats.Counter.incr t.c_threads;
+        let n, c = run_thread t th in
+        Stats.Counter.add t.c_instr n;
+        Stats.Dist.add t.d_thread_len (float_of_int n);
+        executed := !executed + n;
+        cost := !cost + c
+  done;
+  (!executed, !cost)
+
+let pop_remote_op t = Dq.pop_front t.remote
+let pending_remote_ops t = Dq.length t.remote

@@ -1,0 +1,89 @@
+(** The execution engine of one site's virtual machine (paper Fig. 3).
+
+    The machine owns the architecture the paper lists: a {e program
+    area} (a {!Tyco_compiler.Link.area}, growable by dynamic linking),
+    a {e heap} of channels, a {e run-queue} of threads, a {e local
+    variable table} (each thread's frame) and an {e operand stack}
+    (per-thread, used by builtin expressions).
+
+    It is deliberately network-blind: instructions whose target is a
+    network reference — [trmsg]/[trobj] on a remote name, [instof] on a
+    remote class, [export]/[import] — do not touch the network here.
+    They append a {!remote_op} to the machine's outgoing-operations
+    queue, which the embedding site drains, serializes (translating
+    references through its export table) and hands to the node's TyCOd
+    daemon.  Symmetrically, the site {e injects} incoming work with
+    {!inject_msg}/{!inject_obj}/{!spawn}.
+
+    A {e thread} is one byte-code block plus its frame; threads run to
+    completion (they contain no blocking instructions — waiting is
+    represented by parked messages/objects in channels), which is what
+    keeps context switches fast (paper §1). *)
+
+type t
+
+(** Remote effects surfaced to the embedding site, in program order. *)
+type remote_op =
+  | Rmsg of Tyco_support.Netref.t * string * Value.t list
+      (** remote method invocation — the SHIPM path *)
+  | Robj of Tyco_support.Netref.t * Value.obj
+      (** object migration — the SHIPO path *)
+  | Rfetch of Tyco_support.Netref.t * Value.t list
+      (** instantiation of a remote class: FETCH request, instantiation
+          args parked until the code arrives *)
+  | Rexport_name of string * Value.chan
+  | Rexport_class of string * Value.cls
+  | Rimport of {
+      site : string;
+      name : string;
+      is_class : bool;
+      cont : int;
+      captured : Value.t list;
+    }
+
+exception Error of string
+(** Dynamic protocol errors: no such method, arity mismatch, ill-typed
+    builtin operands, [Instof] of a non-class… *)
+
+val create : ?name:string -> Tyco_compiler.Link.area -> t
+val area : t -> Tyco_compiler.Link.area
+
+val new_chan : t -> string -> Value.chan
+val builtin_chan : t -> string -> (string -> Value.t list -> unit) -> Value.chan
+
+val spawn : t -> block:int -> env:Value.t list -> unit
+(** Enqueue a thread whose frame starts with the given values (locals
+    beyond them are allocated per the block's slot count). *)
+
+val spawn_entry : t -> entry:int -> io:Value.chan -> unit
+
+val inject_msg : t -> Value.chan -> string -> Value.t list -> unit
+(** Deliver a message to a local channel (local [trmsg]); fires a
+    waiting object or parks. *)
+
+val inject_obj : t -> Value.chan -> Value.obj -> unit
+
+val instantiate : t -> Value.cls -> Value.t list -> unit
+(** Run one instantiation (used for fetched classes and directly by
+    [instof]). *)
+
+val runnable : t -> bool
+
+val run : t -> budget:int -> int * int
+(** Execute threads until the run-queue empties or the instruction
+    budget is exhausted (threads are atomic, so slightly more than
+    [budget] instructions may run).  Returns
+    [(instructions executed, virtual-time cost in ns)] — the cost is
+    the sum of {!Tyco_compiler.Instr.cost} over executed instructions
+    and drives the simulation clock. *)
+
+val pop_remote_op : t -> remote_op option
+val pending_remote_ops : t -> int
+
+(** {1 Metrics} *)
+
+val stats : t -> Tyco_support.Stats.t
+(** Counters: [instructions], [threads], [comm_local], [msgs_parked],
+    [objs_parked], [insts], [defgroups], [remote_ops];
+    distribution [thread_len] (instructions per thread — experiment
+    E7's granularity evidence). *)

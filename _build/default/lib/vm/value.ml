@@ -1,0 +1,47 @@
+module Dq = Tyco_support.Dq
+module Netref = Tyco_support.Netref
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vchan of chan
+  | Vnetref of Netref.t
+  | Vclass of cls
+  | Vclassref of Netref.t
+
+and chan = {
+  ch_uid : int;
+  ch_name : string;
+  mutable ch_state : chan_state;
+}
+
+and chan_state =
+  | Empty
+  | Msgs of msg Dq.t
+  | Objs of obj Dq.t
+  | Builtin of (string -> t list -> unit)
+
+and msg = { msg_label : string; msg_args : t list }
+and obj = { obj_mtable : int; obj_env : t array }
+and cls = { cls_group : int; cls_index : int; cls_env : t array }
+
+let type_name = function
+  | Vint _ -> "int"
+  | Vbool _ -> "bool"
+  | Vstr _ -> "string"
+  | Vchan _ -> "channel"
+  | Vnetref _ -> "network reference"
+  | Vclass _ -> "class"
+  | Vclassref _ -> "class reference"
+
+let pp ppf = function
+  | Vint n -> Format.fprintf ppf "%d" n
+  | Vbool b -> Format.fprintf ppf "%b" b
+  | Vstr s -> Format.fprintf ppf "%S" s
+  | Vchan c -> Format.fprintf ppf "#%s.%d" c.ch_name c.ch_uid
+  | Vnetref r -> Netref.pp ppf r
+  | Vclass c -> Format.fprintf ppf "<class g%d.%d>" c.cls_group c.cls_index
+  | Vclassref r -> Netref.pp ppf r
+
+let same_chan a b = a == b

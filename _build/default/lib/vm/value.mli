@@ -1,0 +1,53 @@
+(** Run-time values of the extended TyCO virtual machine (paper §5).
+
+    “Variables may now hold, besides local references, network
+    references.  A local reference is a pointer to the heap of the
+    local site.  A network reference … is a pointer to a data structure
+    allocated in the heap of some remote site.”
+
+    Local channel references are {!chan} (heap objects with a message
+    or object queue); remote ones are [Vnetref].  Classes are values
+    too: [Vclass] is a local class closure created by [defgroup], and
+    [Vclassref] a remote class whose instantiation triggers FETCH. *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstr of string
+  | Vchan of chan
+  | Vnetref of Tyco_support.Netref.t
+  | Vclass of cls
+  | Vclassref of Tyco_support.Netref.t
+
+and chan = {
+  ch_uid : int;
+  ch_name : string;  (** diagnostic label *)
+  mutable ch_state : chan_state;
+}
+
+(** A channel holds pending messages {e or} pending objects, never
+    both (a matching pair reduces immediately).  [Builtin] channels
+    execute a host handler on message delivery — the I/O port of each
+    site is one. *)
+and chan_state =
+  | Empty
+  | Msgs of msg Tyco_support.Dq.t
+  | Objs of obj Tyco_support.Dq.t
+  | Builtin of (string -> t list -> unit)
+
+and msg = { msg_label : string; msg_args : t list }
+
+(** An object closure: a method table (program-area index) plus the
+    captured environment shared by its methods. *)
+and obj = { obj_mtable : int; obj_env : t array }
+
+(** A class closure: its definition group (program-area index), its
+    position within the group, and the group's shared environment
+    [captured..][class values..] (mutually recursive via that array). *)
+and cls = { cls_group : int; cls_index : int; cls_env : t array }
+
+val type_name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val same_chan : chan -> chan -> bool
+(** Identity, not structure. *)

@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Congruence Fmt Interp List Network Printf QCheck2 QCheck_alcotest Term Test_syntax Tyco_calculus Tyco_syntax

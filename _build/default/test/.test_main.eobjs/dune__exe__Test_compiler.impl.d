@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Asm Block Bytecode Compile Disasm Fmt Instr Link List Printf String Tyco_compiler Tyco_support Tyco_syntax Tyco_vm

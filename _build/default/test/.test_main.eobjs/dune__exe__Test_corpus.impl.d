@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Api Dityco Format List Output String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Api Array Buffer Cluster Dityco List Output Printf QCheck2 QCheck_alcotest String Tyco_compiler Tyco_net

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Congruence Dityco Equiv Interp List Network Printf QCheck2 QCheck_alcotest String Term Test_syntax Tyco_calculus Tyco_syntax

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Export_table Latency List Nameservice Packet QCheck2 QCheck_alcotest Simnet String Tyco_net Tyco_support

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Api Dityco List Output Prelude

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Api Array Cluster Dityco Failure Filename Fun List Output Report Site String Sys Tcp_runner Termination Tyco_net Tyco_support Tyco_syntax

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Api Buffer Cluster Dityco List Output Printf Site String Tyco_support

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Dq Fqueue Heap Ids Int64 List Netref Option Prng QCheck2 QCheck_alcotest Stats Tyco_support Vec Wire

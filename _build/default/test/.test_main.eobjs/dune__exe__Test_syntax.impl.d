@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Lexer List Loc Parser Pp Printf QCheck2 QCheck_alcotest Sugar Token Tyco_syntax

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Hashtbl Infer List Printf QCheck2 QCheck_alcotest Rtti String Ty Tyco_support Tyco_syntax Tyco_types

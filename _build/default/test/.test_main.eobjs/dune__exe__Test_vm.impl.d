@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Fmt List Machine Tyco_compiler Tyco_support Tyco_syntax Tyco_vm Value

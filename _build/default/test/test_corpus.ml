@@ -1,0 +1,373 @@
+(* A behavioural corpus: one table entry per distinct language/runtime
+   behaviour.  Every program runs on the byte-code runtime, its outputs
+   are checked against the expectation, and the reference semantics
+   must agree (so each entry is simultaneously a golden test and a
+   differential test).
+
+   Outputs are written compactly: [i n] = printi n at the given site,
+   [b v] = printb, [s v] = print. *)
+
+open Dityco
+
+type expect = I of string * int | B of string * bool | S of string * string
+
+let to_event = function
+  | I (site, n) -> { Output.site; label = "printi"; args = [ Output.Oint n ] }
+  | B (site, v) -> { Output.site; label = "printb"; args = [ Output.Obool v ] }
+  | S (site, v) -> { Output.site; label = "print"; args = [ Output.Ostr v ] }
+
+(* (name, source, expected output multiset) *)
+let corpus : (string * string * expect list) list =
+  [
+    (* -------------------- expressions -------------------- *)
+    ("arith precedence", "io!printi[2 + 3 * 4]", [ I ("main", 14) ]);
+    ("arith parens", "io!printi[(2 + 3) * 4]", [ I ("main", 20) ]);
+    ("negative literals", "io!printi[-7 + 2]", [ I ("main", -5) ]);
+    ("division truncates", "io!printi[7 / 2]", [ I ("main", 3) ]);
+    ("modulo", "io!printi[17 % 5]", [ I ("main", 2) ]);
+    ("comparison chain", "io!printb[1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3]",
+     [ B ("main", true) ]);
+    ("equality ints", "io!printb[3 == 3 && 3 != 4]", [ B ("main", true) ]);
+    ("equality bools", "io!printb[true == true && false != true]",
+     [ B ("main", true) ]);
+    ("boolean or short", "io!printb[false || true]", [ B ("main", true) ]);
+    ("not", "io!printb[not false]", [ B ("main", true) ]);
+    ("string output", {| io!print["hi there"] |}, [ S ("main", "hi there") ]);
+    ("string escapes", {| io!print["a\nb"] |}, [ S ("main", "a\nb") ]);
+    ("strict args evaluated once",
+     "new x (x![1 + 1] | x?(v) = io!printi[v + v])", [ I ("main", 4) ]);
+
+    (* -------------------- control -------------------- *)
+    ("if true", "if 1 < 2 then io!printi[1] else io!printi[2]",
+     [ I ("main", 1) ]);
+    ("if false", "if 2 < 1 then io!printi[1] else io!printi[2]",
+     [ I ("main", 2) ]);
+    ("nested if",
+     "if true then (if false then io!printi[1] else io!printi[2]) else nil",
+     [ I ("main", 2) ]);
+    ("if with par branches",
+     "if true then (io!printi[1] | io!printi[2]) else nil",
+     [ I ("main", 1); I ("main", 2) ]);
+
+    (* -------------------- channels -------------------- *)
+    ("simple rendezvous", "new x (x![5] | x?(v) = io!printi[v])",
+     [ I ("main", 5) ]);
+    ("object first", "new x ((x?(v) = io!printi[v]) | x![6])",
+     [ I ("main", 6) ]);
+    ("message fifo",
+     "new x (x![1] | x![2] | x?(v) = io!printi[v] | x?(v) = io!printi[v])",
+     [ I ("main", 1); I ("main", 2) ]);
+    ("label dispatch",
+     {| new x (x?{ a(k) = io!printi[k], b(k) = io!printi[k * 10] } | x!b[3]) |},
+     [ I ("main", 30) ]);
+    ("zero-arg method", "new x (x?{ go() = io!printi[1] } | x!go[])",
+     [ I ("main", 1) ]);
+    ("three-method object",
+     {| new x (x?{ a() = io!printi[1], b() = io!printi[2], c() = io!printi[3] }
+        | x!c[]) |},
+     [ I ("main", 3) ]);
+    ("channel passed as value",
+     "new a, b (a![b] | a?(c) = c![9] | b?(v) = io!printi[v])",
+     [ I ("main", 9) ]);
+    ("unmatched message quiesces", "new x x![1]", []);
+    ("unmatched object quiesces", "new x x?(v) = io!printi[v]", []);
+    ("two channels independent",
+     "new x, y (x![1] | y![2] | x?(v) = io!printi[v] | y?(v) = io!printi[v + 10])",
+     [ I ("main", 1); I ("main", 12) ]);
+
+    (* -------------------- classes -------------------- *)
+    ("simple instantiation", "def K() = io!printi[7] in K[]",
+     [ I ("main", 7) ]);
+    ("class args", "def K(a, b) = io!printi[a - b] in K[10, 4]",
+     [ I ("main", 6) ]);
+    ("tail recursion",
+     "def L(n) = if n == 0 then io!printi[0] else L[n - 1] in L[100]",
+     [ I ("main", 0) ]);
+    ("mutual recursion",
+     {| def E(n) = if n == 0 then io!printb[true] else O[n - 1]
+        and O(n) = if n == 0 then io!printb[false] else E[n - 1]
+        in E[5] |},
+     [ B ("main", false) ]);
+    ("two instances",
+     "def K(v) = io!printi[v] in (K[1] | K[2])",
+     [ I ("main", 1); I ("main", 2) ]);
+    ("class captures channel",
+     "new out (def K(v) = out![v] in K[3] | out?(v) = io!printi[v])",
+     [ I ("main", 3) ]);
+    ("nested def shadows",
+     {| def K() = io!printi[1]
+        in (def K() = io!printi[2] in K[]) |},
+     [ I ("main", 2) ]);
+    ("inner def sees outer",
+     {| def A(v) = io!printi[v]
+        in (def B() = A[8] in B[]) |},
+     [ I ("main", 8) ]);
+    ("polymorphic reuse",
+     {| def Id(v, k) = k![v]
+        in (new a (Id[5, a] | a?(x) = io!printi[x])
+           | new b (Id[true, b] | b?(x) = io!printb[x])) |},
+     [ I ("main", 5); B ("main", true) ]);
+    ("state machine via recursion",
+     {| def Cnt(self, n) = self?{ tick() = (if n == 2 then io!printi[n + 1]
+                                            else Cnt[self, n + 1]) }
+        in new c (Cnt[c, 0] | c!tick[] | c!tick[] | c!tick[]) |},
+     [ I ("main", 3) ]);
+
+    (* -------------------- sugar -------------------- *)
+    ("let sugar",
+     "new s ((s?(q, k) = k![q * q]) | let v = s![6] in io!printi[v])",
+     [ I ("main", 36) ]);
+    ("nested lets",
+     {| new s (def Srv(me) = me?(q, k) = (k![q + 1] | Srv[me]) in Srv[s]
+        | let a = s![1] in let b = s![a] in io!printi[b]) |},
+     [ I ("main", 3) ]);
+    ("val label default",
+     "new x (x![4] | x?{ val(v) = io!printi[v] })", [ I ("main", 4) ]);
+
+    (* -------------------- distribution -------------------- *)
+    ("remote message",
+     {| site a { export new p p?(v) = io!printi[v] }
+        site b { import p from a in p![11] } |},
+     [ I ("a", 11) ]);
+    ("remote reply",
+     {| site a { export new p p?(v, k) = k![v * 2] }
+        site b { import p from a in
+                 new k (p![21, k] | k?(v) = io!printi[v]) } |},
+     [ I ("b", 42) ]);
+    ("two importers",
+     {| site a { export new p
+          def S(me) = me?(v) = (io!printi[v] | S[me]) in S[p] }
+        site b { import p from a in p![1] }
+        site c { import p from a in p![2] } |},
+     [ I ("a", 1); I ("a", 2) ]);
+    ("three-hop relay",
+     {| site a { export new pa pa?(v) = io!printi[v] }
+        site b { export new pb import pa from a in pb?(v) = pa![v + 1] }
+        site c { import pb from b in pb![40] } |},
+     [ I ("a", 41) ]);
+    ("object ships to exporter",
+     {| site a { export new p p![9] }
+        site b { import p from a in p?(v) = io!printi[v] } |},
+     [ I ("b", 9) ]);
+    ("fetch: lexical io prints at home",
+     (* the fetched class's free [io] is bound at the defining site, so
+        although the instantiation runs at b, the print happens at a *)
+     {| site a { export def K() = io!printi[1] in nil }
+        site b { import K from a in K[] } |},
+     [ I ("a", 1) ]);
+    ("fetch: parameters are local",
+     (* sending to a parameter instead reaches b's local channel *)
+     {| site a { export def K(out) = out![1] in nil }
+        site b { import K from a in
+                 new o (K[o] | o?(v) = io!printi[v]) } |},
+     [ I ("b", 1) ]);
+    ("fetched class keeps home names",
+     {| site a { new log ((log?(v) = io!printi[v])
+                 | export def K(x) = log![x] in nil) }
+        site b { import K from a in K[77] } |},
+     [ I ("a", 77) ]);
+    ("shipped object keeps io home",
+     {| site a { export new p p?(k) = k?(v) = io!printi[v] }
+        site b { import p from a in new mine (p![mine] | mine![13]) } |},
+     [ I ("a", 13) ]);
+    ("import class twice",
+     {| site a { export def K(v) = io!printi[v] in nil }
+        site b { import K from a in (K[1] | K[2]) } |},
+     [ I ("a", 1); I ("a", 2) ]);
+    ("export def used at home too",
+     (* both instantiations print at a: K's io is lexically a's *)
+     {| site a { export def K(v) = io!printi[v] in K[5] }
+        site b { import K from a in K[6] } |},
+     [ I ("a", 5); I ("a", 6) ]);
+    ("remote name in remote message",
+     {| site a { export new pa pa?(k) = k![1] }
+        site b { export new pb
+                 import pa from a in
+                 (pa![pb] | pb?(v) = io!printi[v]) } |},
+     [ I ("b", 1) ]);
+    ("mutually importing sites",
+     {| site a { export new pa
+                 import pb from b in ((pa?(v) = io!printi[v]) | pb![2]) }
+        site b { export new pb
+                 import pa from a in ((pb?(v) = io!printi[v + 10]) | pa![1]) } |},
+     [ I ("a", 1); I ("b", 12) ]);
+    ("import from self",
+     {| site a { export new p ((p?(v) = io!printi[v])
+                 | import p from a in p![3]) } |},
+     [ I ("a", 3) ]);
+
+    (* -------------------- combined patterns -------------------- *)
+    ("ping-pong three rounds",
+     {| site srv { def S(me) = me?(v, k) = (k![v + 1] | S[me])
+                   in export new svc S[svc] }
+        site cli { import svc from srv in
+                   def Go(n) = if n == 0 then io!printi[n]
+                               else let v = svc![n] in Go[n - 1]
+                   in Go[3] } |},
+     [ I ("cli", 0) ]);
+    ("fan-out then join",
+     {| new a, b, j (
+          (new k1 (a![k1] | k1?(x) = j![x]))
+        | (new k2 (b![k2] | k2?(x) = j![x]))
+        | a?(k) = k![1] | b?(k) = k![2]
+        | j?(x) = j?(y) = io!printi[x + y]) |},
+     [ I ("main", 3) ]);
+    ("collatz 27 steps",
+     {| def C(n, steps) =
+          if n == 1 then io!printi[steps]
+          else (if n % 2 == 0 then C[n / 2, steps + 1]
+                else C[3 * n + 1, steps + 1])
+        in C[27, 0] |},
+     [ I ("main", 111) ]);
+    ("string comparison",
+     {| if "abc" == "abc" then io!print["same"] else io!print["diff"] |},
+     [ S ("main", "same") ]);
+    ("channel identity equality",
+     "new a (io!printb[a == a] | new b io!printb[a == b])",
+     [ B ("main", true); B ("main", false) ]);
+    ("class value shared by reference",
+     {| new c (def K(self, n) = self?{ get(r) = (r![n] | K[self, n]) } in K[c, 4]
+        | new r (c!get[r] | r?(v) = io!printi[v])) |},
+     [ I ("main", 4) ]);
+    ("deep expression nesting",
+     "io!printi[((((1 + 2) * 3) - 4) / 5) % 6]",
+     [ I ("main", 1) ]);
+    ("method can rebuild its own object",
+     {| new x (x?{ once(v) = (io!printi[v] | x?{ once(v) = io!printi[v + 100] }) }
+        | x!once[1] | x!once[2]) |},
+     [ I ("main", 1); I ("main", 102) ]);
+    ("remote fan-out to two exporters",
+     {| site a { export new pa pa?(v) = io!printi[v] }
+        site b { export new pb pb?(v) = io!printi[v * 2] }
+        site c { import pa from a in import pb from b in (pa![3] | pb![3]) } |},
+     [ I ("a", 3); I ("b", 6) ]);
+    ("shipped object captures local channel",
+     (* the object ships to a; its body replies on b's local channel *)
+     {| site a { export new p p!go[] }
+        site b { import p from a in
+                 new home (p?{ go() = home![5] } | home?(v) = io!printi[v]) } |},
+     [ I ("b", 5) ]);
+    ("chain of fetched classes",
+     (* K fetched by b; K's body instantiates L, also defined at a, so
+        the fetch brings the group and L runs at b too *)
+     {| site a { export def K(out) = L[out, 1] and L(out, v) = out![v + 1] in nil }
+        site b { import K from a in new o (K[o] | o?(v) = io!printi[v]) } |},
+     [ I ("b", 2) ]);
+    ("export used before and after import resolution",
+     {| site a { export new p (p?(v) = io!printi[v] | p?(v) = io!printi[v + 10]) }
+        site b { import p from a in (p![1] | p![2]) } |},
+     [ I ("a", 1); I ("a", 12) ]);
+    ("io input combined with remote call",
+     {| site a { export new sq sq?(v, k) = k![v * v] }
+        site b { import sq from a in
+                 new r (io!readi[r] | r?(n) =
+                   new k (sq![n, k] | k?(v) = io!printi[v])) } |},
+     [ I ("b", 49) ]);
+    ("fibonacci via channels",
+     {| def Fib(n, k) =
+          if n < 2 then k![n]
+          else new k1, k2 (Fib[n - 1, k1] | Fib[n - 2, k2]
+               | k1?(a) = k2?(b) = k![a + b])
+        in new out (Fib[10, out] | out?(v) = io!printi[v]) |},
+     [ I ("main", 55) ]);
+  ]
+
+(* every site named "b" gets the input feed [7]; harmless for entries
+   that never read *)
+let corpus_inputs = [ ("b", [ 7 ]); ("main", [ 7 ]) ]
+
+let run_one (name, src, expected) =
+  let prog = Api.parse src in
+  (match Api.typecheck prog with
+  | _ -> ()
+  | exception Api.Error e ->
+      Alcotest.failf "%s: does not typecheck: %s" name (Api.error_message e));
+  let r = Api.run_program ~inputs:corpus_inputs prog in
+  let got = List.map snd r.Api.outputs in
+  if not (Output.same_multiset got (List.map to_event expected)) then
+    Alcotest.failf "%s: got %s" name
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Output.pp_event) got));
+  if not (Api.agree_with_reference ~inputs:corpus_inputs prog) then
+    Alcotest.failf "%s: reference semantics disagrees" name
+
+let tests =
+  List.map
+    (fun ((name, _, _) as entry) ->
+      (name, `Quick, fun () -> run_one entry))
+    corpus
+
+(* ------------------------------------------------------------------ *)
+(* Negative corpus: programs the type checker must reject, each for a
+   distinct reason.                                                    *)
+
+let rejections : (string * string) list =
+  [ ("unbound name", "zzz![1]");
+    ("unbound class", "Zzz[1]");
+    ("int plus bool", "io!printi[1 + true]");
+    ("bool arithmetic", "io!printi[true * false]");
+    ("compare int to bool", "io!printb[1 == true]");
+    ("compare string to int", {| io!printb["a" == 1] |});
+    ("not on int", "io!printb[not 1]");
+    ("neg on bool", "io!printi[-true]");
+    ("and on ints", "io!printb[1 && 2]");
+    ("if on int", "if 1 then nil else nil");
+    ("branch type irrelevant but cond checked", "if 1 + 1 then nil else nil");
+    ("print wrong type", "io!print[42]");
+    ("printi wrong type", {| io!printi["x"] |});
+    ("printb wrong type", "io!printb[7]");
+    ("io unknown method", "io!flush[]");
+    ("object at io", "io?(v) = nil");
+    ("message label missing", "new x (x?{ a() = nil } | x!b[])");
+    ("message arity low", "new x (x?{ a(u, v) = nil } | x!a[1])");
+    ("message arity high", "new x (x?{ a(u) = nil } | x!a[1, 2])");
+    ("message arg type", "new x (x?{ a(u) = io!printi[u + 1] } | x!a[true])");
+    ("conflicting objects", "new x (x?{ a() = nil } | x?{ b() = nil })");
+    ("class arity low", "def K(a, b) = nil in K[1]");
+    ("class arity high", "def K(a) = nil in K[1, 2]");
+    ("class arg type", "def K(a) = io!printi[a] in K[true]");
+    ("duplicate methods", "new x x?{ a() = nil, a() = nil }");
+    ("duplicate params", "new x x?{ a(u, u) = nil }");
+    ("duplicate class in group", "def K() = nil and K() = nil in K[]");
+    ("duplicate class params", "def K(a, a) = nil in K[1, 2]");
+    ("monomorphic params in one instantiation",
+     "def K(a, b) = io!printb[a == b] in K[1, true]");
+    ("channel used at two value types",
+     "new x (x![1] | x![true] | (x?(v) = io!printi[v]) | x?(v) = io!printi[v])");
+    ("name used as both int and channel",
+     "new x (x?(v) = (v![1] | io!printi[v]))");
+    ("self-application protocol",
+     "new x (x![x] | x?(v) = io!printb[v == 1])");
+    ("import from site without export",
+     {| site a { nil } site b { import p from a in p![1] } |});
+    ("import class without export",
+     {| site a { nil } site b { import K from a in K[] } |});
+    ("cross-site arg type",
+     {| site a { export new p p?(v) = io!printi[v] }
+        site b { import p from a in p![true] } |});
+    ("cross-site arity",
+     {| site a { export new p p?(v) = io!printi[v] }
+        site b { import p from a in p![1, 2] } |});
+    ("cross-site label",
+     {| site a { export new p p?{ go() = nil } }
+        site b { import p from a in p!stop[] } |});
+    ("cross-site class arg",
+     {| site a { export def K(v) = io!printi[v] in nil }
+        site b { import K from a in K[false] } |});
+    ("let reply type",
+     "new s ((s?(q, k) = k![q]) | let v = s![1] in io!printb[v])") ]
+
+let rejection_tests =
+  List.map
+    (fun (name, src) ->
+      ( "reject: " ^ name,
+        `Quick,
+        fun () ->
+          match Api.typecheck (Api.parse src) with
+          | exception Api.Error (Api.Type_error _) -> ()
+          | exception Api.Error e ->
+              Alcotest.failf "wrong error class: %s" (Api.error_message e)
+          | _ -> Alcotest.fail "program was accepted" ))
+    rejections
+
+let tests = tests @ rejection_tests

@@ -1,0 +1,272 @@
+(* Differential testing: random multi-site programs, correct by
+   construction (typed, quiescing), must produce identical output
+   multisets under the byte-code runtime and the reference semantics.
+
+   The generator builds a random pipeline of forwarder stages spread
+   over up to three sites.  Each stage listens on an exported name and
+   transforms/forwards tokens; stage kinds cover plain forwarding
+   (SHIPM or local COMM depending on placement), fan-out, conditionals,
+   and a FETCH-using stage that instantiates a class imported from
+   another site.  A random number of integer tokens is injected at the
+   head; the tail prints.  Every inter-stage edge that crosses sites
+   exercises the name service, shipment and translation machinery. *)
+
+open Dityco
+
+type stage_kind =
+  | Forward of int        (* next![v + c] *)
+  | Fanout                (* next![v] twice *)
+  | Collatz               (* if v % 2 == 0 then next![v / 2] else next![v * 3 + 1] *)
+  | Via_class             (* k <- Double[v]; next![k] — fetches when remote *)
+
+type spec = {
+  n_sites : int;
+  stages : (int * stage_kind) list; (* (site, kind) per stage; >= 1 *)
+  class_site : int;                 (* owner of the Double class *)
+  injector_site : int;
+  tokens : int list;
+}
+
+let site_name i = Printf.sprintf "n%d" i
+
+let render (s : spec) : string =
+  let n = List.length s.stages in
+  let stage_site i =
+    if i >= n then s.injector_site (* unused *)
+    else fst (List.nth s.stages i)
+  in
+  let buf = Buffer.create 1024 in
+  let site_bodies = Array.make s.n_sites [] in
+  let add_to site piece = site_bodies.(site) <- piece :: site_bodies.(site) in
+  (* the Double class at its owner site *)
+  add_to s.class_site "export def Double(v, k) = k![v * 2] in nil";
+  (* stages *)
+  List.iteri
+    (fun i (site, kind) ->
+      let me = Printf.sprintf "f%d" i in
+      let listener =
+        if i = n - 1 then
+          (* tail: print *)
+          Printf.sprintf
+            "export new %s def L%d(me) = me?(v) = (io!printi[v] | L%d[me]) in L%d[%s]"
+            me i i i me
+        else
+          let next = Printf.sprintf "f%d" (i + 1) in
+          let next_site = stage_site (i + 1) in
+          let body =
+            match kind with
+            | Forward c -> Printf.sprintf "next![v + %d]" c
+            | Fanout -> "(next![v] | next![v])"
+            | Collatz ->
+                "(if v % 2 == 0 then next![v / 2] else next![v * 3 + 1])"
+            | Via_class ->
+                "new k (Double[v, k] | k?(w) = next![w])"
+          in
+          let def =
+            Printf.sprintf
+              "def L%d(me, next) = me?(v) = (%s | L%d[me, next]) in L%d[%s, %s]"
+              i body i i me next
+          in
+          let def =
+            match kind with
+            | Via_class ->
+                Printf.sprintf "import Double from %s in %s"
+                  (site_name s.class_site) def
+            | Forward _ | Fanout | Collatz -> def
+          in
+          Printf.sprintf "export new %s import %s from %s in %s" me next
+            (site_name next_site) def
+      in
+      add_to site listener)
+    s.stages;
+  (* injector *)
+  let injections =
+    String.concat " | " (List.map (Printf.sprintf "f0![%d]") s.tokens)
+  in
+  add_to s.injector_site
+    (Printf.sprintf "import f0 from %s in (%s)" (site_name (stage_site 0))
+       (if s.tokens = [] then "nil" else injections));
+  for i = 0 to s.n_sites - 1 do
+    Buffer.add_string buf (Printf.sprintf "site %s {\n" (site_name i));
+    (match site_bodies.(i) with
+    | [] -> Buffer.add_string buf "  nil\n"
+    | pieces ->
+        (* Each piece is parenthesized so that one piece's prefix scope
+           (export/import/def) cannot swallow its siblings: an import
+           that lexically guards the export it waits for would deadlock
+           the dynamic name-service implementation (see DESIGN.md,
+           "import is operational in the implementation"). *)
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf
+          (String.concat "\n  | "
+             (List.map (Printf.sprintf "(%s)") (List.rev pieces)));
+        Buffer.add_char buf '\n');
+    Buffer.add_string buf "}\n"
+  done;
+  Buffer.contents buf
+
+
+let gen_spec =
+  let open QCheck2.Gen in
+  let* n_sites = int_range 1 3 in
+  let* n_stages = int_range 1 4 in
+  let* stages =
+    list_size (return n_stages)
+      (pair (int_range 0 (n_sites - 1))
+         (oneof
+            [ map (fun c -> Forward c) (int_range 0 9);
+              return Fanout;
+              return Collatz;
+              return Via_class ]))
+  in
+  let* class_site = int_range 0 (n_sites - 1) in
+  let* injector_site = int_range 0 (n_sites - 1) in
+  let* tokens = list_size (int_range 0 4) (int_range 0 50) in
+  return { n_sites; stages; class_site; injector_site; tokens }
+
+let spec_print s = render s
+
+let differential_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random pipelines: VM = reference" ~count:60
+       ~print:spec_print gen_spec
+       (fun spec ->
+         let src = render spec in
+         match Api.parse src with
+         | exception Api.Error e ->
+             QCheck2.Test.fail_reportf "generated program does not parse: %s\n%s"
+               (Api.error_message e) src
+         | prog -> (
+             match Api.typecheck prog with
+             | exception Api.Error e ->
+                 QCheck2.Test.fail_reportf
+                   "generated program ill-typed: %s\n%s"
+                   (Api.error_message e) src
+             | _ -> Api.agree_with_reference ~max_steps:2_000_000 prog)))
+
+(* A fixed regression corpus drawn from generator shapes that exercise
+   every stage kind at once. *)
+let regression_pipeline () =
+  let spec =
+    { n_sites = 3;
+      stages =
+        [ (0, Forward 3); (1, Via_class); (2, Collatz); (1, Fanout);
+          (0, Forward 1) ];
+      class_site = 2;
+      injector_site = 1;
+      tokens = [ 1; 8; 13 ] }
+  in
+  let prog = Api.parse (render spec) in
+  ignore (Api.typecheck prog);
+  if not (Api.agree_with_reference prog) then
+    Alcotest.fail "regression pipeline diverged"
+
+let stage_list_bug_guard () =
+  (* one-stage pipeline where injector and stage share a site *)
+  let spec =
+    { n_sites = 1; stages = [ (0, Forward 0) ]; class_site = 0;
+      injector_site = 0; tokens = [ 42 ] }
+  in
+  let prog = Api.parse (render spec) in
+  let outs = List.map snd (Api.run_program prog).Api.outputs in
+  Alcotest.(check int) "token delivered" 1 (List.length outs)
+
+let tests =
+  [ differential_prop;
+    ("regression pipeline", `Quick, regression_pipeline);
+    ("single-site pipeline", `Quick, stage_list_bug_guard) ]
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic testing: program outputs must be invariant under every
+   runtime configuration — quantum, placement, link model, scheduling
+   seed, name-service deployment.  Only virtual time may change.       *)
+
+let gen_config =
+  let open QCheck2.Gen in
+  let* quantum = oneofl [ 8; 64; 512; 4096 ] in
+  let* seed = int_range 0 1000 in
+  let* pack = bool in
+  let* ns_repl = bool in
+  let* slow_link = bool in
+  let topology =
+    if slow_link then
+      { Tyco_net.Simnet.default_topology with
+        Tyco_net.Simnet.cluster = Tyco_net.Latency.fast_ethernet }
+    else Tyco_net.Simnet.default_topology
+  in
+  return
+    ( { Cluster.default_config with
+        Cluster.quantum;
+        seed;
+        topology;
+        ns_mode = (if ns_repl then Cluster.Replicated else Cluster.Centralized) },
+      pack )
+
+let metamorphic_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"outputs invariant under runtime config"
+       ~count:40
+       QCheck2.Gen.(pair gen_spec gen_config)
+       (fun (spec, (config, pack)) ->
+         let src = render spec in
+         let prog = Api.parse src in
+         (match Api.typecheck prog with
+         | _ -> ()
+         | exception Api.Error _ -> QCheck2.assume_fail ());
+         let reference = Api.run_program prog in
+         let variant =
+           Api.run_program ~config
+             ?placement:(if pack then Some (fun _ -> 0) else None)
+             prog
+         in
+         Output.same_multiset
+           (List.map snd reference.Api.outputs)
+           (List.map snd variant.Api.outputs)))
+
+let tests = tests @ [ metamorphic_prop ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialization properties over generated programs: byte-code and
+   assembly both round-trip exactly for every compiled site.           *)
+
+let serialization_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"bytecode+asm roundtrip on random pipelines"
+       ~count:50 gen_spec
+       (fun spec ->
+         let prog = Api.parse (render spec) in
+         let units = Api.compile prog in
+         List.for_all
+           (fun (_, u) ->
+             let bytes = Tyco_compiler.Bytecode.unit_to_string u in
+             let via_bytes =
+               Tyco_compiler.Bytecode.unit_of_string bytes
+             in
+             let via_asm =
+               Tyco_compiler.Asm.parse (Tyco_compiler.Asm.print u)
+             in
+             Tyco_compiler.Bytecode.unit_to_string via_bytes = bytes
+             && Tyco_compiler.Bytecode.unit_to_string via_asm = bytes)
+           units))
+
+let peephole_agrees_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"peephole-off runtime agrees with reference too" ~count:25
+       gen_spec
+       (fun spec ->
+         let prog = Api.parse (render spec) in
+         (match Api.typecheck prog with
+         | _ -> ()
+         | exception Api.Error _ -> QCheck2.assume_fail ());
+         let units =
+           Tyco_compiler.Compile.compile_program ~optimize:false prog
+         in
+         let cluster = Cluster.create () in
+         Cluster.load cluster units;
+         Cluster.run cluster;
+         let raw = List.map snd (Cluster.outputs cluster) in
+         let opt = List.map snd (Api.run_program prog).Api.outputs in
+         Output.same_multiset raw opt))
+
+let tests = tests @ [ serialization_roundtrip_prop; peephole_agrees_prop ]

@@ -1,0 +1,249 @@
+(* Network substrate tests: latency models, packets, export tables,
+   name service, and the discrete-event engine. *)
+
+open Tyco_net
+module Netref = Tyco_support.Netref
+module Wire = Tyco_support.Wire
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Latency models                                                      *)
+
+let latency_hierarchy () =
+  let t m = Latency.transfer_ns m ~bytes:64 in
+  check Alcotest.bool "shm < myrinet" true
+    (t Latency.shared_memory < t Latency.myrinet);
+  check Alcotest.bool "myrinet < ethernet" true
+    (t Latency.myrinet < t Latency.fast_ethernet)
+
+let latency_bandwidth_matters () =
+  let small = Latency.transfer_ns Latency.fast_ethernet ~bytes:10 in
+  let large = Latency.transfer_ns Latency.fast_ethernet ~bytes:100_000 in
+  (* 100 KB at 100 Mb/s is ~8 ms; far beyond the base latency *)
+  check Alcotest.bool "size dominates for large payloads" true
+    (large > 50 * small)
+
+let latency_custom () =
+  let m =
+    Latency.custom ~name:"test" ~latency_ns:100 ~bytes_per_ns:1.0
+      ~per_packet_ns:10
+  in
+  check Alcotest.int "formula" (100 + 10 + 64) (Latency.transfer_ns m ~bytes:64)
+
+(* ------------------------------------------------------------------ *)
+(* Packets                                                             *)
+
+let gen_netref =
+  QCheck2.Gen.(
+    map
+      (fun (h, s, i, k) ->
+        Netref.make
+          ~kind:(if k then Netref.Channel else Netref.Class)
+          ~heap_id:h ~site_id:s ~ip:i)
+      (quad small_nat small_nat small_nat bool))
+
+let gen_wvalue =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun n -> Packet.Wint n) int;
+        map (fun b -> Packet.Wbool b) bool;
+        map (fun s -> Packet.Wstr s) (small_string ~gen:printable);
+        map (fun r -> Packet.Wref r) gen_netref ])
+
+let gen_packet =
+  QCheck2.Gen.(
+    oneof
+      [ map3
+          (fun dst label args -> Packet.Pmsg { dst; label; args })
+          gen_netref (small_string ~gen:(char_range 'a' 'z'))
+          (list_size (int_range 0 4) gen_wvalue);
+        map3
+          (fun dst code env ->
+            Packet.Pobj
+              { dst; code; code_key = (1, 2, 3); mtable = 0; env })
+          gen_netref (small_string ~gen:printable)
+          (list_size (int_range 0 3) gen_wvalue);
+        map
+          (fun cls ->
+            Packet.Pfetch_req
+              { cls; req_id = 7; requester_site = 1; requester_ip = 2 })
+          gen_netref;
+        map2
+          (fun code env_captures ->
+            Packet.Pfetch_rep
+              { req_id = 3; dst_site = 1; dst_ip = 0; code;
+                code_key = (0, 0, 0); group = 0; index = 1; env_captures })
+          (small_string ~gen:printable)
+          (list_size (int_range 0 3) gen_wvalue);
+        map
+          (fun nref ->
+            Packet.Pns_register { site_name = "a"; id_name = "x"; nref; rtti = "" })
+          gen_netref;
+        return
+          (Packet.Pns_lookup
+             { site_name = "a"; id_name = "x"; want_class = true; req_id = 1;
+               requester_site = 0; requester_ip = 0 });
+        map
+          (fun r ->
+            Packet.Pns_reply
+              { req_id = 9; dst_site = 2; dst_ip = 1; result = r; rtti = "d" })
+          (option gen_netref) ])
+
+let packet_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"packet wire roundtrip" ~count:500 gen_packet
+       (fun p ->
+         let s = Packet.to_string p in
+         Packet.to_string (Packet.of_string s) = s))
+
+let packet_size_is_wire_size =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"byte_size = serialized length" ~count:200
+       gen_packet (fun p ->
+         Packet.byte_size p = String.length (Packet.to_string p)))
+
+let packet_dst_routing () =
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:3 ~ip:7 in
+  check Alcotest.int "msg routes to owner ip" 7
+    (Packet.dst_ip (Packet.Pmsg { dst = r; label = "l"; args = [] }) ~ns_ip:0);
+  check Alcotest.int "ns packets route to ns" 5
+    (Packet.dst_ip
+       (Packet.Pns_register { site_name = "a"; id_name = "x"; nref = r; rtti = "" })
+       ~ns_ip:5)
+
+let packet_malformed () =
+  check Alcotest.bool "garbage" true
+    (match Packet.of_string "\x63zz" with
+    | exception Wire.Malformed _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Export table                                                        *)
+
+let export_table_stable () =
+  let t = Export_table.create () in
+  let a = Export_table.export t ~uid:10 "chan-a" in
+  let b = Export_table.export t ~uid:11 "chan-b" in
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.int "re-export reuses" a (Export_table.export t ~uid:10 "chan-a");
+  check (Alcotest.option Alcotest.string) "resolve" (Some "chan-b")
+    (Export_table.resolve t b);
+  check (Alcotest.option Alcotest.string) "unknown" None
+    (Export_table.resolve t 99);
+  check Alcotest.int "size" 2 (Export_table.size t)
+
+(* ------------------------------------------------------------------ *)
+(* Name service                                                        *)
+
+let ns_register_lookup () =
+  let ns = Nameservice.create () in
+  Nameservice.register_site ns "a" ~site_id:0 ~ip:1;
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "site" (Some (0, 1))
+    (Nameservice.lookup_site ns "a");
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:4 ~site_id:0 ~ip:1 in
+  let released = Nameservice.register_id ns ~site:"a" ~name:"p" r in
+  check Alcotest.int "no waiters yet" 0 (List.length released);
+  let w = { Nameservice.w_req_id = 1; w_site = 2; w_ip = 3 } in
+  match Nameservice.lookup_id ns ~site:"a" ~name:"p" w with
+  | Some (r', _) -> check Alcotest.bool "found" true (Netref.equal r r')
+  | None -> Alcotest.fail "should resolve immediately"
+
+let ns_parks_and_releases () =
+  let ns = Nameservice.create () in
+  let w1 = { Nameservice.w_req_id = 1; w_site = 2; w_ip = 3 } in
+  let w2 = { Nameservice.w_req_id = 2; w_site = 4; w_ip = 5 } in
+  check Alcotest.bool "parked" true
+    (Nameservice.lookup_id ns ~site:"a" ~name:"p" w1 = None);
+  check Alcotest.bool "parked again" true
+    (Nameservice.lookup_id ns ~site:"a" ~name:"p" w2 = None);
+  check Alcotest.int "pending" 2 (Nameservice.pending ns);
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:0 ~ip:0 in
+  let released = Nameservice.register_id ns ~site:"a" ~name:"p" r in
+  check Alcotest.int "both released in order" 2 (List.length released);
+  check Alcotest.int "fifo" 1 (List.hd released).Nameservice.w_req_id;
+  check Alcotest.int "drained" 0 (Nameservice.pending ns)
+
+(* ------------------------------------------------------------------ *)
+(* Simnet                                                              *)
+
+let simnet_event_order () =
+  let sim = Simnet.create ~seed:1 () in
+  let log = ref [] in
+  Simnet.schedule sim ~delay:30 (fun () -> log := 30 :: !log);
+  Simnet.schedule sim ~delay:10 (fun () -> log := 10 :: !log);
+  Simnet.schedule sim ~delay:20 (fun () -> log := 20 :: !log);
+  ignore (Simnet.run sim ());
+  check (Alcotest.list Alcotest.int) "time order" [ 10; 20; 30 ]
+    (List.rev !log);
+  check Alcotest.int "clock" 30 (Simnet.now sim)
+
+let simnet_fifo_ties () =
+  let sim = Simnet.create ~seed:1 () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Simnet.schedule sim ~delay:100 (fun () -> log := i :: !log)
+  done;
+  ignore (Simnet.run sim ());
+  check (Alcotest.list Alcotest.int) "insertion order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let simnet_cascading () =
+  let sim = Simnet.create ~seed:1 () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 10 then Simnet.schedule sim ~delay:5 tick
+  in
+  Simnet.schedule sim ~delay:5 tick;
+  let events = Simnet.run sim () in
+  check Alcotest.int "events" 10 events;
+  check Alcotest.int "clock" 50 (Simnet.now sim)
+
+let simnet_run_guard () =
+  let sim = Simnet.create ~seed:1 () in
+  let rec forever () = Simnet.schedule sim ~delay:1 forever in
+  Simnet.schedule sim ~delay:1 forever;
+  check Alcotest.bool "livelock detected" true
+    (match Simnet.run sim ~max_events:1000 () with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let simnet_topology_links () =
+  let sim = Simnet.create ~seed:1 () in
+  let same = Simnet.packet_delay sim ~src_ip:1 ~dst_ip:1 ~bytes:64 in
+  let cross = Simnet.packet_delay sim ~src_ip:1 ~dst_ip:2 ~bytes:64 in
+  check Alcotest.bool "intra < inter" true (same < cross);
+  let topo =
+    { Simnet.default_topology with Simnet.external_ips = [ 9 ] }
+  in
+  let sim = Simnet.create ~topology:topo ~seed:1 () in
+  let ext = Simnet.packet_delay sim ~src_ip:1 ~dst_ip:9 ~bytes:64 in
+  check Alcotest.bool "external slowest" true (ext > cross)
+
+let simnet_negative_delay () =
+  let sim = Simnet.create ~seed:1 () in
+  check Alcotest.bool "rejected" true
+    (match Simnet.schedule sim ~delay:(-5) (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let tests =
+  [ ("latency hierarchy", `Quick, latency_hierarchy);
+    ("latency bandwidth", `Quick, latency_bandwidth_matters);
+    ("latency custom formula", `Quick, latency_custom);
+    packet_roundtrip;
+    packet_size_is_wire_size;
+    ("packet routing", `Quick, packet_dst_routing);
+    ("packet malformed", `Quick, packet_malformed);
+    ("export table", `Quick, export_table_stable);
+    ("nameservice register/lookup", `Quick, ns_register_lookup);
+    ("nameservice parks waiters", `Quick, ns_parks_and_releases);
+    ("simnet event order", `Quick, simnet_event_order);
+    ("simnet fifo ties", `Quick, simnet_fifo_ties);
+    ("simnet cascading events", `Quick, simnet_cascading);
+    ("simnet livelock guard", `Quick, simnet_run_guard);
+    ("simnet topology links", `Quick, simnet_topology_links);
+    ("simnet negative delay", `Quick, simnet_negative_delay) ]

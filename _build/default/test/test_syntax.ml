@@ -1,0 +1,374 @@
+(* Lexer, parser, pretty-printer and desugaring tests. *)
+
+open Tyco_syntax
+
+let check = Alcotest.check
+
+let parse = Parser.parse_proc
+let pp_roundtrip p = Parser.parse_proc (Pp.proc_to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let toks src =
+  List.map fst (Lexer.tokenize src)
+
+let lexer_basic () =
+  check Alcotest.int "count" 9
+    (List.length (toks "x!read[1, y]"));
+  (match toks "a_1'?{}" with
+  | [ Token.IDENT "a_1'"; Token.QUERY; Token.LBRACE; Token.RBRACE; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "identifier with prime/underscore");
+  match toks "X[v]" with
+  | [ Token.UIDENT "X"; Token.LBRACKET; Token.IDENT "v"; Token.RBRACKET;
+      Token.EOF ] -> ()
+  | _ -> Alcotest.fail "class variable"
+
+let lexer_comments () =
+  check Alcotest.int "line comment" 1 (List.length (toks "-- hello\n"));
+  check Alcotest.int "block comment" 1 (List.length (toks "{- x {- nested -} y -}"));
+  match toks "a {- c -} b" with
+  | [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "comment between tokens"
+
+let lexer_strings () =
+  (match toks {|"a\nb\t\"q\\"|} with
+  | [ Token.STRING "a\nb\t\"q\\"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "escapes");
+  let fails s =
+    match Lexer.tokenize s with
+    | exception Lexer.Error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "unterminated" true (fails {|"abc|});
+  check Alcotest.bool "newline in string" true (fails "\"a\nb\"");
+  check Alcotest.bool "bad escape" true (fails {|"\q"|});
+  check Alcotest.bool "bad char" true (fails "a # b");
+  check Alcotest.bool "unterminated comment" true (fails "{- xx")
+
+let lexer_operators () =
+  match toks "a <= b != c && d || e >= f == g" with
+  | [ Token.IDENT "a"; Token.LE; Token.IDENT "b"; Token.NEQ; Token.IDENT "c";
+      Token.AMPAMP; Token.IDENT "d"; Token.BARBAR; Token.IDENT "e"; Token.GE;
+      Token.IDENT "f"; Token.EQEQ; Token.IDENT "g"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "two-char operators"
+
+let lexer_positions () =
+  let pairs = Lexer.tokenize "x\n  y" in
+  match pairs with
+  | [ (_, l1); (_, l2); _eof ] ->
+      check Alcotest.int "line1" 1 l1.Loc.start_pos.Loc.line;
+      check Alcotest.int "line2" 2 l2.Loc.start_pos.Loc.line;
+      check Alcotest.int "col2" 3 l2.Loc.start_pos.Loc.col
+  | _ -> Alcotest.fail "token count"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let parses_to src expected =
+  let p = parse src in
+  if not (Ast.equal p expected) then
+    Alcotest.failf "parsed %s as %s" src (Pp.proc_to_string p)
+
+let parser_message_forms () =
+  parses_to "x!read[1]" (Ast.msg "x" "read" [ Ast.eint 1 ]);
+  parses_to "x![1]" (Ast.msg "x" Ast.default_label [ Ast.eint 1 ]);
+  parses_to "x![]" (Ast.msg "x" Ast.default_label []);
+  parses_to "x!go[]" (Ast.msg "x" "go" [])
+
+let parser_object_sugar () =
+  let expected =
+    Ast.obj "x"
+      [ { Ast.m_label = Ast.default_label; m_params = [ "y" ];
+          m_body = Ast.msg "y" Ast.default_label [] } ]
+  in
+  parses_to "x?(y) = y![]" expected;
+  parses_to "x?{ val(y) = y![] }" expected
+
+let parser_par_assoc () =
+  (* '|' nests to the right but flattening gives the same list *)
+  let p = parse "a![] | b![] | c![]" in
+  let rec leaves (q : Ast.proc) =
+    match q.Loc.it with
+    | Ast.Ppar (x, y) -> leaves x @ leaves y
+    | Ast.Pmsg (n, _, _) -> [ n ]
+    | _ -> []
+  in
+  check (Alcotest.list Alcotest.string) "leaves" [ "a"; "b"; "c" ] (leaves p)
+
+let parser_scope_extends_right () =
+  (* new x P1 | P2 == new x (P1 | P2) *)
+  let p = parse "new x x![] | x!go[]" in
+  match p.Loc.it with
+  | Ast.Pnew ([ "x" ], body) -> (
+      match body.Loc.it with
+      | Ast.Ppar _ -> ()
+      | _ -> Alcotest.fail "scope did not extend over '|'")
+  | _ -> Alcotest.fail "expected new"
+
+let parser_method_body_stops_at_comma () =
+  let p = parse "x?{ a() = y![] | z![], b() = nil }" in
+  match p.Loc.it with
+  | Ast.Pobj (_, [ m1; m2 ]) ->
+      check Alcotest.string "m1" "a" m1.Ast.m_label;
+      check Alcotest.string "m2" "b" m2.Ast.m_label;
+      (match m1.Ast.m_body.Loc.it with
+      | Ast.Ppar _ -> ()
+      | _ -> Alcotest.fail "body should contain the par")
+  | _ -> Alcotest.fail "expected 2-method object"
+
+let parser_def_and () =
+  let p = parse "def A() = nil and B(x) = x![] in A[]" in
+  match p.Loc.it with
+  | Ast.Pdef ([ a; b ], _) ->
+      check Alcotest.string "A" "A" a.Ast.d_name;
+      check Alcotest.string "B" "B" b.Ast.d_name;
+      check (Alcotest.list Alcotest.string) "params" [ "x" ] b.Ast.d_params
+  | _ -> Alcotest.fail "expected def group"
+
+let parser_expr_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3 == 7 && true" in
+  match e.Loc.it with
+  | Ast.Ebin (Ast.And, lhs, _) -> (
+      match lhs.Loc.it with
+      | Ast.Ebin (Ast.Eq, sum, _) -> (
+          match sum.Loc.it with
+          | Ast.Ebin (Ast.Add, _, prod) -> (
+              match prod.Loc.it with
+              | Ast.Ebin (Ast.Mul, _, _) -> ()
+              | _ -> Alcotest.fail "mul should bind tighter than add")
+          | _ -> Alcotest.fail "add under ==")
+      | _ -> Alcotest.fail "== under &&")
+  | _ -> Alcotest.fail "&& at top"
+
+let parser_nil_forms () =
+  parses_to "nil" Ast.nil;
+  parses_to "0" Ast.nil
+
+let parser_network () =
+  let prog = Parser.parse_program "site a { nil } site b { x![] }" in
+  check Alcotest.int "sites" 2 (List.length prog.Ast.sites);
+  check Alcotest.string "names" "a" (List.hd prog.Ast.sites).Ast.s_name
+
+let parser_bare_process_is_main () =
+  let prog = Parser.parse_program "x![]" in
+  match prog.Ast.sites with
+  | [ { Ast.s_name = "main"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected single main site"
+
+let parser_import_export () =
+  let p = parse "import x from s in import K from s in (x![] | K[])" in
+  (match p.Loc.it with
+  | Ast.Pimport_name ("x", "s", q) -> (
+      match q.Loc.it with
+      | Ast.Pimport_class ("K", "s", _) -> ()
+      | _ -> Alcotest.fail "class import")
+  | _ -> Alcotest.fail "name import");
+  let p = parse "export new a, b a![]" in
+  (match p.Loc.it with
+  | Ast.Pexport_new ([ "a"; "b" ], _) -> ()
+  | _ -> Alcotest.fail "export new");
+  let p = parse "export def A() = nil in A[]" in
+  match p.Loc.it with
+  | Ast.Pexport_def ([ _ ], _) -> ()
+  | _ -> Alcotest.fail "export def"
+
+let parser_errors () =
+  let fails s =
+    match parse s with exception Parser.Error _ -> true | _ -> false
+  in
+  check Alcotest.bool "missing bracket" true (fails "x!read[1");
+  check Alcotest.bool "lone ident" true (fails "x");
+  check Alcotest.bool "bad method sep" true (fails "x?{ a() = nil; b() = nil }");
+  check Alcotest.bool "def without in" true (fails "def A() = nil A[]");
+  check Alcotest.bool "class as name" true (fails "X!l[]");
+  check Alcotest.bool "trailing junk" true (fails "nil nil")
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+
+let free_names_cases () =
+  let p = parse "new x (x!m[y] | z?(w) = w![u])" in
+  check (Alcotest.list Alcotest.string) "free names" [ "y"; "z"; "u" ]
+    (Ast.free_names p);
+  let p = parse "def A(a) = b![a] in (A[1] | C[2])" in
+  check (Alcotest.list Alcotest.string) "free classes" [ "C" ]
+    (Ast.free_classes p);
+  check (Alcotest.list Alcotest.string) "names under def" [ "b" ]
+    (Ast.free_names p)
+
+let size_counts () =
+  check Alcotest.bool "size grows" true
+    (Ast.size (parse "x![1, 2] | y![]") > Ast.size (parse "x![1]"))
+
+(* ------------------------------------------------------------------ *)
+(* Random AST round-trip                                               *)
+
+let gen_ident =
+  QCheck2.Gen.(map (fun i -> Printf.sprintf "v%d" i) (int_range 0 5))
+
+let gen_label =
+  QCheck2.Gen.(map (fun i -> Printf.sprintf "m%d" i) (int_range 0 3))
+
+let gen_uident =
+  QCheck2.Gen.(map (fun i -> Printf.sprintf "K%d" i) (int_range 0 3))
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [ map Ast.evar gen_ident;
+                map Ast.eint (int_range 0 100);
+                map Ast.ebool bool;
+                map Ast.estr (small_string ~gen:(char_range 'a' 'z')) ]
+          else
+            oneof
+              [ map Ast.evar gen_ident;
+                map Ast.eint (int_range 0 100);
+                map2
+                  (fun op (a, b) -> Tyco_syntax.Loc.no_loc (Ast.Ebin (op, a, b)))
+                  (oneofl
+                     [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Lt; Ast.Eq;
+                       Ast.And; Ast.Or ])
+                  (pair (self (n / 2)) (self (n / 2)));
+                map
+                  (fun a -> Tyco_syntax.Loc.no_loc (Ast.Eun (Ast.Not, a)))
+                  (self (n / 2)) ])
+        (min n 4))
+
+let gen_proc =
+  let open QCheck2.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [ return Ast.nil;
+                map2 (fun x es -> Ast.msg x Ast.default_label es) gen_ident
+                  (list_size (int_range 0 2) gen_expr);
+                map2 (fun x es -> Ast.inst x es) gen_uident
+                  (list_size (int_range 0 2) gen_expr) ]
+          else
+            oneof
+              [ map2 Ast.par (self (n / 2)) (self (n / 2));
+                map2
+                  (fun xs p -> Ast.new_ xs p)
+                  (list_size (int_range 1 2) gen_ident)
+                  (self (n - 1));
+                map3
+                  (fun x l ms -> Ast.obj x [ { Ast.m_label = l; m_params = ms; m_body = Ast.nil } ])
+                  gen_ident gen_label
+                  (list_size (int_range 0 2) gen_ident)
+                  (* simple objects; deep bodies come from other nodes *)
+                ;
+                map3
+                  (fun x (l, ps) body ->
+                    Ast.obj x [ { Ast.m_label = l; m_params = ps; m_body = body } ])
+                  gen_ident
+                  (pair gen_label (list_size (int_range 0 2) gen_ident))
+                  (self (n / 2));
+                map3
+                  (fun d body p ->
+                    Ast.def
+                      [ { Ast.d_name = "K0"; d_params = d; d_body = body } ]
+                      p)
+                  (list_size (int_range 0 2) gen_ident)
+                  (self (n / 2)) (self (n / 2));
+                map3
+                  (fun e a b -> Tyco_syntax.Loc.no_loc (Ast.Pif (e, a, b)))
+                  gen_expr (self (n / 2)) (self (n / 2)) ])
+        (min size 12))
+
+let roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"pp/parse round-trip" ~count:500 gen_proc
+       (fun p ->
+         match pp_roundtrip p with
+         | p' -> Ast.equal p p'
+         | exception Parser.Error (m, _) ->
+             QCheck2.Test.fail_reportf "re-parse failed: %s on %s" m
+               (Pp.proc_to_string p)))
+
+let size_positive_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"size positive and stable under pp" ~count:200
+       gen_proc (fun p -> Ast.size p > 0 && Ast.size (pp_roundtrip p) = Ast.size p))
+
+(* ------------------------------------------------------------------ *)
+(* Desugaring                                                          *)
+
+let sugar_let () =
+  let p = parse "let v = x!get[1] in io!printi[v]" in
+  let d = Sugar.desugar p in
+  check Alcotest.bool "kernel" true (Sugar.is_kernel d);
+  match d.Loc.it with
+  | Ast.Pnew ([ r ], body) -> (
+      match body.Loc.it with
+      | Ast.Ppar (m, o) -> (
+          (match m.Loc.it with
+          | Ast.Pmsg ("x", "get", [ _; reply ]) -> (
+              match reply.Loc.it with
+              | Ast.Evar r' -> check Alcotest.string "reply name" r r'
+              | _ -> Alcotest.fail "last arg should be the reply name")
+          | _ -> Alcotest.fail "message shape");
+          match o.Loc.it with
+          | Ast.Pobj (r', [ m1 ]) ->
+              check Alcotest.string "object at reply" r r';
+              check Alcotest.string "label" Ast.default_label m1.Ast.m_label;
+              check (Alcotest.list Alcotest.string) "binds v" [ "v" ]
+                m1.Ast.m_params
+          | _ -> Alcotest.fail "object shape")
+      | _ -> Alcotest.fail "par shape")
+  | _ -> Alcotest.fail "new shape"
+
+let sugar_avoids_capture () =
+  (* the continuation already uses _r0: the fresh reply name must differ *)
+  let p = parse "new _r0 let v = x!get[_r0] in _r0![v]" in
+  let d = Sugar.desugar p in
+  check Alcotest.bool "kernel" true (Sugar.is_kernel d);
+  (* run the free-name analysis: _r0 must still be bound by the outer new *)
+  check (Alcotest.list Alcotest.string) "frees" [ "x" ] (Ast.free_names d)
+
+let sugar_nested_lets () =
+  let p = parse "let a = x!m[] in let b = y!m[a] in io!printi[a + b]" in
+  let d = Sugar.desugar p in
+  check Alcotest.bool "kernel" true (Sugar.is_kernel d);
+  check (Alcotest.list Alcotest.string) "frees" [ "x"; "y"; "io" ]
+    (Ast.free_names d)
+
+let sugar_idempotent_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"desugar idempotent on kernel terms" ~count:200
+       gen_proc (fun p ->
+         (* generated terms contain no let: desugar must be identity *)
+         Ast.equal (Sugar.desugar p) p))
+
+let tests =
+  [ ("lexer basic", `Quick, lexer_basic);
+    ("lexer comments", `Quick, lexer_comments);
+    ("lexer strings+errors", `Quick, lexer_strings);
+    ("lexer operators", `Quick, lexer_operators);
+    ("lexer positions", `Quick, lexer_positions);
+    ("parser message forms", `Quick, parser_message_forms);
+    ("parser object sugar", `Quick, parser_object_sugar);
+    ("parser par association", `Quick, parser_par_assoc);
+    ("parser prefix scope", `Quick, parser_scope_extends_right);
+    ("parser method body extent", `Quick, parser_method_body_stops_at_comma);
+    ("parser def groups", `Quick, parser_def_and);
+    ("parser expr precedence", `Quick, parser_expr_precedence);
+    ("parser nil forms", `Quick, parser_nil_forms);
+    ("parser network programs", `Quick, parser_network);
+    ("parser bare process", `Quick, parser_bare_process_is_main);
+    ("parser import/export", `Quick, parser_import_export);
+    ("parser errors", `Quick, parser_errors);
+    ("free names/classes", `Quick, free_names_cases);
+    ("ast size", `Quick, size_counts);
+    roundtrip_prop;
+    size_positive_prop;
+    ("sugar let expansion", `Quick, sugar_let);
+    ("sugar capture avoidance", `Quick, sugar_avoids_capture);
+    ("sugar nested lets", `Quick, sugar_nested_lets);
+    sugar_idempotent_prop ]

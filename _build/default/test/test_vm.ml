@@ -1,0 +1,272 @@
+(* Virtual machine tests: channel rendez-vous semantics, builtins,
+   dynamic errors, closures and mutual recursion, remote-operation
+   surfacing, and metrics. *)
+
+open Tyco_vm
+module Parser = Tyco_syntax.Parser
+module Compile = Tyco_compiler.Compile
+module Link = Tyco_compiler.Link
+module Netref = Tyco_support.Netref
+module Stats = Tyco_support.Stats
+
+let check = Alcotest.check
+
+(* Run a single-site program and collect io events. *)
+let run_vm ?(budget = 1_000_000) src =
+  let unit_ = Compile.compile_proc (Parser.parse_proc src) in
+  let area, entry = Link.of_unit unit_ in
+  let vm = Machine.create area in
+  let outs = ref [] in
+  let io =
+    Machine.builtin_chan vm "io" (fun label args ->
+        outs := (label, args) :: !outs)
+  in
+  Machine.spawn_entry vm ~entry ~io;
+  let _instrs, _cost = Machine.run vm ~budget in
+  (vm, List.rev !outs)
+
+let out_testable =
+  let pp ppf (l, args) =
+    Fmt.pf ppf "%s[%a]" l (Fmt.list ~sep:Fmt.comma Value.pp) args
+  in
+  Alcotest.testable pp (fun (l1, a1) (l2, a2) ->
+      l1 = l2
+      && List.length a1 = List.length a2
+      && List.for_all2
+           (fun x y ->
+             match (x, y) with
+             | Value.Vint a, Value.Vint b -> a = b
+             | Value.Vbool a, Value.Vbool b -> a = b
+             | Value.Vstr a, Value.Vstr b -> a = b
+             | _ -> false)
+           a1 a2)
+
+let ints label xs = List.map (fun n -> (label, [ Value.Vint n ])) xs
+
+(* ------------------------------------------------------------------ *)
+(* Rendez-vous semantics                                                *)
+
+let msg_then_obj () =
+  let _, outs = run_vm "new x (x![5] | x?(v) = io!printi[v])" in
+  check (Alcotest.list out_testable) "fires" (ints "printi" [ 5 ]) outs
+
+let obj_then_msg () =
+  let _, outs = run_vm "new x ((x?(v) = io!printi[v]) | x![6])" in
+  check (Alcotest.list out_testable) "fires" (ints "printi" [ 6 ]) outs
+
+let fifo_messages () =
+  let _, outs =
+    run_vm
+      "new x (x![1] | x![2] | x![3] | x?(v) = io!printi[v] | x?(v) = io!printi[v] | x?(v) = io!printi[v])"
+  in
+  check (Alcotest.list out_testable) "fifo" (ints "printi" [ 1; 2; 3 ]) outs
+
+let fifo_objects () =
+  let _, outs =
+    run_vm
+      {| new x ((x?(v) = io!printi[v * 10]) | (x?(v) = io!printi[v * 100])
+         | x![1] | x![1]) |}
+  in
+  check (Alcotest.list out_testable) "object order" (ints "printi" [ 10; 100 ]) outs
+
+let label_dispatch () =
+  let _, outs =
+    run_vm
+      {| new x (x?{ inc(v, k) = k![v + 1], dec(v, k) = k![v - 1] }
+         | new k (x!dec[10, k] | k?(r) = io!printi[r])) |}
+  in
+  check (Alcotest.list out_testable) "dec selected" (ints "printi" [ 9 ]) outs
+
+let unmatched_message_parks () =
+  let vm, outs = run_vm "new x x![1]" in
+  check (Alcotest.list out_testable) "no output" [] outs;
+  check Alcotest.bool "not runnable" false (Machine.runnable vm);
+  let parked =
+    Stats.Counter.value (Stats.counter (Machine.stats vm) "msgs_parked")
+  in
+  check Alcotest.int "parked" 1 parked
+
+(* ------------------------------------------------------------------ *)
+(* Closures                                                            *)
+
+let closure_captures_environment () =
+  let _, outs =
+    run_vm
+      {| new x, y (y![7] | (x?(v) = y?(w) = io!printi[v + w]) | x![35]) |}
+  in
+  check (Alcotest.list out_testable) "captured v" (ints "printi" [ 42 ]) outs
+
+let class_env_mutual_recursion () =
+  let _, outs =
+    run_vm
+      {| new base (base![3] |
+         def Even(n) = if n == 0 then (base?(b) = io!printi[b]) else Odd[n - 1]
+         and Odd(n) = Even[n - 1]
+         in Even[8]) |}
+  in
+  check (Alcotest.list out_testable) "group shares env" (ints "printi" [ 3 ]) outs
+
+let nested_defs () =
+  let _, outs =
+    run_vm
+      {| def Outer(k) = (def Inner(v) = k![v * 2] in Inner[21])
+         in new k (Outer[k] | k?(v) = io!printi[v]) |}
+  in
+  check (Alcotest.list out_testable) "nested groups" (ints "printi" [ 42 ]) outs
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and control                                             *)
+
+let expression_ops () =
+  let _, outs =
+    run_vm
+      {| io!printi[2 * 3 + 10 / 2 - 7 % 4]
+       | io!printb[1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3]
+       | io!printb[not (1 == 2) && (1 != 2 || false)]
+       | io!printi[-5] |}
+  in
+  check Alcotest.int "four outputs" 4 (List.length outs);
+  check (Alcotest.list out_testable) "values"
+    [ ("printi", [ Value.Vint 8 ]);
+      ("printb", [ Value.Vbool true ]);
+      ("printb", [ Value.Vbool true ]);
+      ("printi", [ Value.Vint (-5) ]) ]
+    outs
+
+let if_branches () =
+  let _, outs =
+    run_vm
+      {| if 1 < 2 then io!printi[1] else io!printi[2]
+       | if false then io!printi[3] else io!printi[4] |}
+  in
+  check (Alcotest.list out_testable) "branches" (ints "printi" [ 1; 4 ]) outs
+
+let string_values () =
+  let _, outs = run_vm {| io!print["hello"] |} in
+  check (Alcotest.list out_testable) "string"
+    [ ("print", [ Value.Vstr "hello" ]) ]
+    outs
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic errors                                                      *)
+
+let vm_errors () =
+  let fails src =
+    match run_vm src with exception Machine.Error _ -> true | _ -> false
+  in
+  check Alcotest.bool "div zero" true (fails "io!printi[1 / 0]");
+  check Alcotest.bool "mod zero" true (fails "io!printi[1 % 0]");
+  check Alcotest.bool "no such method" true
+    (fails "new x (x?{ a() = nil } | x!b[])");
+  check Alcotest.bool "arity" true (fails "new x (x?{ a(u) = nil } | x!a[])");
+  check Alcotest.bool "object at builtin" true (fails "io?(v) = nil")
+
+(* ------------------------------------------------------------------ *)
+(* Remote operation surfacing                                          *)
+
+let run_site_program site_name src =
+  let units = Compile.compile_program (Parser.parse_program src) in
+  let unit_ = List.assoc site_name units in
+  let area, entry = Link.of_unit unit_ in
+  let vm = Machine.create area in
+  let io = Machine.builtin_chan vm "io" (fun _ _ -> ()) in
+  Machine.spawn_entry vm ~entry ~io;
+  ignore (Machine.run vm ~budget:100_000);
+  vm
+
+let export_surfaces () =
+  let vm =
+    run_site_program "a" {| site a { export new p p?(x) = nil } |}
+  in
+  match Machine.pop_remote_op vm with
+  | Some (Machine.Rexport_name ("p", _)) -> ()
+  | _ -> Alcotest.fail "expected Rexport_name"
+
+let import_surfaces () =
+  let vm = run_site_program "b" {| site b { import p from a in p![1] } |} in
+  match Machine.pop_remote_op vm with
+  | Some (Machine.Rimport { site = "a"; name = "p"; is_class = false; _ }) -> ()
+  | _ -> Alcotest.fail "expected Rimport"
+
+let remote_msg_surfaces () =
+  let vm = run_site_program "b" {| site b { import p from a in p![1] } |} in
+  ignore (Machine.pop_remote_op vm);
+  (* feed the name-service reply by spawning the continuation with a
+     remote reference, as the site would *)
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:9 ~ip:9 in
+  (match Machine.pop_remote_op vm with
+  | None -> ()
+  | Some _ -> Alcotest.fail "only one op expected");
+  Machine.spawn vm ~block:1 ~env:[ Value.Vnetref r ];
+  ignore (Machine.run vm ~budget:1000);
+  match Machine.pop_remote_op vm with
+  | Some (Machine.Rmsg (r', "val", [ Value.Vint 1 ])) ->
+      check Alcotest.bool "same ref" true (Netref.equal r r')
+  | _ -> Alcotest.fail "expected Rmsg"
+
+let fetch_surfaces () =
+  let vm = run_site_program "b" {| site b { import K from a in K[5] } |} in
+  (match Machine.pop_remote_op vm with
+  | Some (Machine.Rimport { is_class = true; _ }) -> ()
+  | _ -> Alcotest.fail "expected class import");
+  let r = Netref.make ~kind:Netref.Class ~heap_id:0 ~site_id:9 ~ip:9 in
+  Machine.spawn vm ~block:1 ~env:[ Value.Vclassref r ];
+  ignore (Machine.run vm ~budget:1000);
+  match Machine.pop_remote_op vm with
+  | Some (Machine.Rfetch (r', [ Value.Vint 5 ])) ->
+      check Alcotest.bool "same ref" true (Netref.equal r r')
+  | _ -> Alcotest.fail "expected Rfetch"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics and scheduling                                              *)
+
+let budget_respected () =
+  let unit_ =
+    Compile.compile_proc
+      (Parser.parse_proc "def Loop() = Loop[] in Loop[]")
+  in
+  let area, entry = Link.of_unit unit_ in
+  let vm = Machine.create area in
+  let io = Machine.builtin_chan vm "io" (fun _ _ -> ()) in
+  Machine.spawn_entry vm ~entry ~io;
+  let executed, cost = Machine.run vm ~budget:500 in
+  check Alcotest.bool "stopped near budget" true
+    (executed >= 500 && executed < 600);
+  check Alcotest.bool "cost positive" true (cost > 0);
+  check Alcotest.bool "still runnable" true (Machine.runnable vm)
+
+let thread_granularity () =
+  let vm, _ =
+    run_vm
+      {| def Cell(self, v) =
+           self?{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+         in new c (Cell[c, 0] | new r (c!read[r] | r?(v) = io!printi[v])) |}
+  in
+  let d = Stats.dist (Machine.stats vm) "thread_len" in
+  check Alcotest.bool "threads are tens of instructions" true
+    (Stats.Dist.count d > 0 && Stats.Dist.mean d < 100.0);
+  let threads =
+    Stats.Counter.value (Stats.counter (Machine.stats vm) "threads")
+  in
+  check Alcotest.bool "several threads ran" true (threads >= 4)
+
+let tests =
+  [ ("msg then obj", `Quick, msg_then_obj);
+    ("obj then msg", `Quick, obj_then_msg);
+    ("fifo messages", `Quick, fifo_messages);
+    ("fifo objects", `Quick, fifo_objects);
+    ("label dispatch", `Quick, label_dispatch);
+    ("unmatched message parks", `Quick, unmatched_message_parks);
+    ("closure captures env", `Quick, closure_captures_environment);
+    ("class group mutual recursion", `Quick, class_env_mutual_recursion);
+    ("nested defs", `Quick, nested_defs);
+    ("expression ops", `Quick, expression_ops);
+    ("if branches", `Quick, if_branches);
+    ("string values", `Quick, string_values);
+    ("vm dynamic errors", `Quick, vm_errors);
+    ("export surfaces remote op", `Quick, export_surfaces);
+    ("import surfaces remote op", `Quick, import_surfaces);
+    ("remote message surfaces", `Quick, remote_msg_surfaces);
+    ("fetch surfaces", `Quick, fetch_surfaces);
+    ("run budget respected", `Quick, budget_respected);
+    ("thread granularity", `Quick, thread_granularity) ]
