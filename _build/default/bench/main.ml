@@ -551,6 +551,55 @@ let e14 () =
              Simnet.cluster = Latency.fast_ethernet }))
     [ 1; 4; 16; 64 ]
 
+(* ------------------------------------------------------------------ *)
+(* E15 — reliable delivery under an adversarial fabric.                 *)
+
+let e15 () =
+  section "E15"
+    "chaos: at-least-once delivery cost under packet loss (drop/dup/reorder)";
+  let src = pingpong_src 30 in
+  let clean = run src in
+  let clean_outs = List.map snd clean.Api.outputs in
+  row "  %-22s %12s %9s %8s %8s %8s  %s@." "fabric" "virtual ns" "packets"
+    "drops" "retries" "dupes" "outputs";
+  let trial name config =
+    let r = run ~config src in
+    let stats = Cluster.stats r.Api.cluster in
+    let c n = Stats.counter_value stats n in
+    row "  %-22s %12d %9d %8d %8d %8d  %s@." name r.Api.virtual_ns
+      r.Api.packets (c "drops") (c "retries") (c "dupes_suppressed")
+      (if Output.same_multiset clean_outs (List.map snd r.Api.outputs) then
+         "intact"
+       else "LOST")
+  in
+  trial "clean (seed run)"
+    { Cluster.default_config with Cluster.reliable = true };
+  List.iter
+    (fun drop ->
+      let faults =
+        { Simnet.no_faults with
+          Simnet.drop; duplicate = 0.1; reorder = 0.3; reorder_ns = 50_000 }
+      in
+      trial
+        (Printf.sprintf "drop %.1f" drop)
+        { Cluster.default_config with Cluster.faults; reliable = true })
+    [ 0.1; 0.2; 0.3 ];
+  (* the same adversary over a WAN-grade link: timeouts are dwarfed by
+     propagation, so loss costs relatively less *)
+  let faults =
+    { Simnet.no_faults with
+      Simnet.drop = 0.2; duplicate = 0.1; reorder = 0.3;
+      reorder_ns = 50_000 }
+  in
+  trial "drop 0.2 over WAN"
+    { Cluster.default_config with
+      Cluster.topology =
+        { Simnet.default_topology with Simnet.cluster = Latency.wan };
+      faults;
+      reliable = true;
+      retry =
+        { Cluster.default_retry_params with Cluster.rto_ns = 12_000_000 } }
+
 let () =
   Format.printf "DiTyCO experiment harness (see DESIGN.md / EXPERIMENTS.md)@.";
   e1 ();
@@ -567,4 +616,5 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   Format.printf "@.done.@."

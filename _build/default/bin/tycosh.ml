@@ -124,7 +124,8 @@ let run_tcp path nodes =
 let run path nodes cores quantum topo until verbose seed replicated_ns trace interactive_mode tcp json =
   try
     let config =
-      { Dityco.Cluster.nodes;
+      { Dityco.Cluster.default_config with
+        Dityco.Cluster.nodes;
         cores_per_node = cores;
         quantum;
         topology = topology_of_string topo;

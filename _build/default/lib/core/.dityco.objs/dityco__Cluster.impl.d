@@ -1,1 +1,1 @@
-lib/core/cluster.ml: Array Hashtbl List Node Option Output Printf Site Tyco_compiler Tyco_net Tyco_support
+lib/core/cluster.ml: Array Format Hashtbl List Node Option Output Printf Site Tyco_compiler Tyco_net Tyco_support

@@ -1,1 +1,1 @@
-lib/core/cluster.mli: Node Output Site Tyco_compiler Tyco_net
+lib/core/cluster.mli: Node Output Site Tyco_compiler Tyco_net Tyco_support

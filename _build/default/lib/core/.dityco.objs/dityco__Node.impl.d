@@ -1,1 +1,1 @@
-lib/core/node.ml: Array List Site
+lib/core/node.ml: Array Hashtbl List Site

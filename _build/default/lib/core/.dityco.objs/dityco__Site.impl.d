@@ -1,1 +1,1 @@
-lib/core/site.ml: Array Format Hashtbl List Option Output String Tyco_compiler Tyco_net Tyco_support Tyco_types Tyco_vm
+lib/core/site.ml: Array Format Hashtbl List Option Output Printf String Tyco_compiler Tyco_net Tyco_support Tyco_types Tyco_vm

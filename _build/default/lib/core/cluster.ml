@@ -1,7 +1,10 @@
 module Simnet = Tyco_net.Simnet
 module Packet = Tyco_net.Packet
+module Latency = Tyco_net.Latency
 module Nameservice = Tyco_net.Nameservice
 module Netref = Tyco_support.Netref
+module Stats = Tyco_support.Stats
+module Prng = Tyco_support.Prng
 
 (* The paper's first implementation uses a centralized name service;
    its stated future work is a distributed one "for reasons of both
@@ -11,6 +14,18 @@ module Netref = Tyco_support.Netref
    replicas over the cluster links. *)
 type ns_mode = Centralized | Replicated
 
+(* Daemon-level retransmission: an unacknowledged frame is re-sent
+   under exponential backoff (jittered via the simulation PRNG) up to
+   [max_attempts] times before the destination is suspected. *)
+type retry_params = {
+  rto_ns : int;
+  rto_backoff : float;
+  max_attempts : int;
+}
+
+let default_retry_params =
+  { rto_ns = 300_000; rto_backoff = 2.0; max_attempts = 12 }
+
 type config = {
   nodes : int;
   cores_per_node : int;
@@ -18,6 +33,11 @@ type config = {
   topology : Simnet.topology;
   seed : int;
   ns_mode : ns_mode;
+  ns_replicas : int;
+  faults : Simnet.fault_model;
+  reliable : bool;
+  retry : retry_params;
+  site_retry : Site.retry;
 }
 
 let default_config =
@@ -26,7 +46,12 @@ let default_config =
     quantum = 512;
     topology = Simnet.default_topology;
     seed = 42;
-    ns_mode = Centralized }
+    ns_mode = Centralized;
+    ns_replicas = 0;
+    faults = Simnet.no_faults;
+    reliable = false;
+    retry = default_retry_params;
+    site_retry = Site.default_retry }
 
 type wrapper = {
   site : Site.t;
@@ -51,6 +76,16 @@ type t = {
   mutable suspected : (int * string) list;
   mutable busy_until : int;  (* completion time of the latest quantum *)
   mutable trace : (int * Packet.t) list;  (* send-time packet log, newest first *)
+  (* fault/reliability bookkeeping *)
+  stats : Stats.t;
+  c_drops : Stats.Counter.t;
+  c_dupes : Stats.Counter.t;
+  c_reorders : Stats.Counter.t;
+  c_retries : Stats.Counter.t;
+  c_dupes_suppressed : Stats.Counter.t;
+  c_timeouts : Stats.Counter.t;
+  c_acks : Stats.Counter.t;
+  c_dead_letters : Stats.Counter.t;
 }
 
 (* Cost of a name-service transaction at the service itself. *)
@@ -60,13 +95,24 @@ let ns_processing_cost = 1_000
 let context_switch_cost = 200
 
 let create ?(config = default_config) () =
-  let sim = Simnet.create ~topology:config.topology ~seed:config.seed () in
+  let sim =
+    Simnet.create ~topology:config.topology ~faults:config.faults
+      ~seed:config.seed ()
+  in
+  let stats = Stats.create () in
   { cfg = config;
     sim;
     replicas =
       (match config.ns_mode with
       | Centralized -> [| Nameservice.create () |]
-      | Replicated -> Array.init config.nodes (fun _ -> Nameservice.create ()));
+      | Replicated ->
+          (* replica [r] is hosted by node ip [r]; fewer replicas than
+             nodes is allowed — nodes without one consult ip mod r *)
+          let n =
+            if config.ns_replicas <= 0 then config.nodes
+            else min config.nodes config.ns_replicas
+          in
+          Array.init n (fun _ -> Nameservice.create ()));
     (* in centralized mode the service lives on node 0's address, as a
        well-known location every site knows in advance (paper §5) *)
     ns_ip = 0;
@@ -84,6 +130,15 @@ let create ?(config = default_config) () =
     suspected = [];
     busy_until = 0;
     trace = [];
+    stats;
+    c_drops = Stats.counter stats "drops";
+    c_dupes = Stats.counter stats "dupes";
+    c_reorders = Stats.counter stats "reorders";
+    c_retries = Stats.counter stats "retries";
+    c_dupes_suppressed = Stats.counter stats "dupes_suppressed";
+    c_timeouts = Stats.counter stats "timeouts";
+    c_acks = Stats.counter stats "acks";
+    c_dead_letters = Stats.counter stats "dead_letters";
   }
 
 let sim t = t.sim
@@ -93,7 +148,7 @@ let site t name = (Hashtbl.find t.by_name name).site
 let sites t = List.rev_map (fun w -> w.site) t.wrappers
 let nodes t = Array.to_list t.node_arr
 let outputs t = List.rev t.outs
-let output_events t = List.rev_map snd t.outs |> List.rev |> List.rev
+let output_events t = List.rev_map snd t.outs
 let packets_sent t = t.packets
 let bytes_sent t = t.bytes
 let in_flight t = t.in_flight
@@ -107,6 +162,21 @@ let replica_of t ip =
   | Replicated -> t.replicas.(ip mod Array.length t.replicas)
 let suspected_failures t = List.rev t.suspected
 let packet_trace t = List.rev t.trace
+let stats t = t.stats
+let dead_letters t = Stats.Counter.value t.c_dead_letters
+let node_of_ip t ip = t.node_arr.(ip)
+
+(* One reliable transmission: a frame retransmitted until the peer
+   daemon acknowledges it (or attempts are exhausted). *)
+type xmit = {
+  x_src_ip : int;
+  x_dst_ip : int;
+  x_seq : int;
+  x_packet : Packet.t;
+  x_bytes : int;
+  mutable x_attempts : int;
+  mutable x_acked : bool;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling.                                                         *)
@@ -137,22 +207,101 @@ and pump_event t w =
 (* ------------------------------------------------------------------ *)
 (* Packet transport (the TyCOd role).                                  *)
 
+(* One physical transmission over the fabric: rolls the fault dice and
+   schedules [action] once per surviving copy. *)
+and transmit t ~src_ip ~dst_ip ~bytes action =
+  let base = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
+  let v = Simnet.fault_verdict t.sim ~src_ip ~dst_ip ~base_delay:base in
+  Stats.Counter.add t.c_drops v.Simnet.v_dropped;
+  if v.Simnet.v_duplicated then Stats.Counter.incr t.c_dupes;
+  Stats.Counter.add t.c_reorders v.Simnet.v_reordered;
+  List.iter
+    (fun delay ->
+      t.in_flight <- t.in_flight + 1;
+      Simnet.schedule t.sim ~delay (fun () ->
+          t.in_flight <- t.in_flight - 1;
+          action ()))
+    v.Simnet.v_delays
+
+and route_ip t ~src_ip (p : Packet.t) =
+  match (t.cfg.ns_mode, p) with
+  (* replicated service: consult the nearest replica — the local one
+     when this node hosts a replica, otherwise the node (ip mod
+     replicas) that hosts this node's home replica.  Replica indices
+     and node ips must not be conflated: replica [r] lives on node ip
+     [r], which is only every node when there are as many replicas as
+     nodes. *)
+  | Replicated, (Packet.Pns_register _ | Packet.Pns_lookup _) ->
+      src_ip mod Array.length t.replicas
+  | _ -> Packet.dst_ip p ~ns_ip:t.ns_ip
+
 and send_packet t ~src_ip (p : Packet.t) =
-  let bytes = Packet.byte_size p in
-  let dst_ip =
-    match (t.cfg.ns_mode, p) with
-    (* replicated service: name-service traffic stays on the node *)
-    | Replicated, (Packet.Pns_register _ | Packet.Pns_lookup _) -> src_ip
-    | _ -> Packet.dst_ip p ~ns_ip:t.ns_ip
+  let dst_ip = route_ip t ~src_ip p in
+  if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip p
+  else begin
+    let bytes = Packet.byte_size p in
+    t.packets <- t.packets + 1;
+    t.bytes <- t.bytes + bytes;
+    t.trace <- (Simnet.now t.sim, p) :: t.trace;
+    transmit t ~src_ip ~dst_ip ~bytes (fun () -> deliver t ~at_ip:dst_ip p)
+  end
+
+and send_reliable t ~src_ip ~dst_ip (p : Packet.t) =
+  let seq = Node.fresh_seq (node_of_ip t src_ip) ~dst_ip in
+  let bytes =
+    Packet.frame_byte_size (Packet.Fdata { src_ip; seq; payload = p })
   in
-  let delay = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
+  attempt_xmit t
+    { x_src_ip = src_ip; x_dst_ip = dst_ip; x_seq = seq; x_packet = p;
+      x_bytes = bytes; x_attempts = 0; x_acked = false }
+
+and attempt_xmit t (x : xmit) =
+  x.x_attempts <- x.x_attempts + 1;
+  if x.x_attempts > 1 then Stats.Counter.incr t.c_retries;
   t.packets <- t.packets + 1;
-  t.bytes <- t.bytes + bytes;
-  t.in_flight <- t.in_flight + 1;
-  t.trace <- (Simnet.now t.sim, p) :: t.trace;
-  Simnet.schedule t.sim ~delay (fun () ->
-      t.in_flight <- t.in_flight - 1;
-      deliver t ~at_ip:dst_ip p)
+  t.bytes <- t.bytes + x.x_bytes;
+  t.trace <- (Simnet.now t.sim, x.x_packet) :: t.trace;
+  transmit t ~src_ip:x.x_src_ip ~dst_ip:x.x_dst_ip ~bytes:x.x_bytes (fun () ->
+      receive_frame t x);
+  let r = t.cfg.retry in
+  let backoff =
+    int_of_float
+      (float_of_int r.rto_ns
+      *. (r.rto_backoff ** float_of_int (x.x_attempts - 1)))
+  in
+  let jitter = Prng.int (Simnet.prng t.sim) ((r.rto_ns / 4) + 1) in
+  Simnet.schedule t.sim ~delay:(backoff + jitter) (fun () ->
+      if not x.x_acked then
+        if x.x_attempts >= r.max_attempts then begin
+          Stats.Counter.incr t.c_timeouts;
+          t.suspected <-
+            (Simnet.now t.sim, Printf.sprintf "ip#%d" x.x_dst_ip)
+            :: t.suspected;
+          t.outs <-
+            ( Simnet.now t.sim,
+              { Output.site = "daemon";
+                label = "undeliverable";
+                args =
+                  [ Output.Ostr (Format.asprintf "%a" Packet.pp x.x_packet) ]
+              } )
+            :: t.outs
+        end
+        else attempt_xmit t x)
+
+and receive_frame t (x : xmit) =
+  (* the receiving daemon suppresses replayed (src, seq) pairs, then
+     acknowledges — whether or not the addressed site is still alive:
+     dead-peer detection is the request-deadline layer's concern *)
+  if Node.admit (node_of_ip t x.x_dst_ip) ~src_ip:x.x_src_ip ~seq:x.x_seq then
+    deliver t ~at_ip:x.x_dst_ip x.x_packet
+  else Stats.Counter.incr t.c_dupes_suppressed;
+  send_ack t x
+
+and send_ack t (x : xmit) =
+  Stats.Counter.incr t.c_acks;
+  t.bytes <- t.bytes + Latency.ack_bytes;
+  transmit t ~src_ip:x.x_dst_ip ~dst_ip:x.x_src_ip ~bytes:Latency.ack_bytes
+    (fun () -> x.x_acked <- true)
 
 and deliver t ~at_ip (p : Packet.t) =
   match p with
@@ -160,18 +309,16 @@ and deliver t ~at_ip (p : Packet.t) =
       register_at t ~replica_ip:at_ip ~site_name ~id_name ~rtti nref;
       (* replicated mode: propagate to every other replica *)
       if t.cfg.ns_mode = Replicated then begin
+        let nrep = Array.length t.replicas in
+        let home = at_ip mod nrep in
         let bytes = Packet.byte_size p in
         Array.iteri
           (fun other _ ->
-            if other <> at_ip mod Array.length t.replicas then begin
-              let delay =
-                Simnet.packet_delay t.sim ~src_ip:at_ip ~dst_ip:other ~bytes
-              in
+            if other <> home then begin
+              (* replica [other] is hosted by node ip [other] *)
               t.packets <- t.packets + 1;
               t.bytes <- t.bytes + bytes;
-              t.in_flight <- t.in_flight + 1;
-              Simnet.schedule t.sim ~delay (fun () ->
-                  t.in_flight <- t.in_flight - 1;
+              transmit t ~src_ip:at_ip ~dst_ip:other ~bytes (fun () ->
                   register_at t ~replica_ip:other ~site_name ~id_name ~rtti
                     nref)
             end)
@@ -219,7 +366,13 @@ and reply_ns t ~from_ip p =
 
 and deliver_to_site t site_id p =
   match Hashtbl.find_opt t.by_id site_id with
-  | None -> ()
+  | None ->
+      (* a packet addressed to a site this cluster never loaded: count
+         it as a dead letter and record the phantom destination rather
+         than dropping it silently *)
+      Stats.Counter.incr t.c_dead_letters;
+      t.suspected <-
+        (Simnet.now t.sim, Printf.sprintf "site#%d" site_id) :: t.suspected
   | Some w ->
       if Site.alive w.site then begin
         Site.deliver w.site p;
@@ -250,11 +403,23 @@ let load ?placement ?(annotations = fun _ -> None) ?(inputs = fun _ -> [])
       let node = t.node_arr.(node_idx) in
       let site_id = t.next_site_id in
       t.next_site_id <- site_id + 1;
+      let schedule =
+        (* request deadlines need virtual timers; only armed in
+           reliable mode so the seed's park-forever semantics (and its
+           tests) are untouched by default *)
+        if t.cfg.reliable then
+          Some (fun ~delay f -> Simnet.schedule t.sim ~delay f)
+        else None
+      in
       let w =
         { site =
             Site.create
               ?annotations:(annotations name)
               ~inputs:(inputs name)
+              ~retry:t.cfg.site_retry
+              ?schedule
+              ~on_suspect:(fun who ->
+                t.suspected <- (Simnet.now t.sim, who) :: t.suspected)
               ~name ~site_id ~ip:(Node.ip node)
               ~send:(fun p -> send_packet t ~src_ip:(Node.ip node) p)
               ~on_output:(fun e -> t.outs <- (Simnet.now t.sim, e) :: t.outs)
@@ -294,3 +459,7 @@ let kill_site t name ~at =
   let w = Hashtbl.find t.by_name name in
   let delay = max 0 (at - Simnet.now t.sim) in
   Simnet.schedule t.sim ~delay (fun () -> Site.kill w.site)
+
+(* Test/experiment hook: push a raw packet into the fabric as if a
+   site on [src_ip] had sent it. *)
+let inject_packet t ~src_ip p = send_packet t ~src_ip p

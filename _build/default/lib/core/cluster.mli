@@ -16,6 +16,21 @@ type t
     registrations broadcast — is [Replicated]. *)
 type ns_mode = Centralized | Replicated
 
+(** Daemon-level retransmission (used when [reliable] is on): an
+    unacknowledged frame is re-sent under exponential backoff — initial
+    timeout [rto_ns], multiplied by [rto_backoff] per attempt, jittered
+    by the simulation PRNG — and after [max_attempts] sends the
+    destination is suspected and the packet surfaces as an
+    ["undeliverable"] output event. *)
+type retry_params = {
+  rto_ns : int;
+  rto_backoff : float;
+  max_attempts : int;
+}
+
+val default_retry_params : retry_params
+(** 300 µs initial timeout, doubling, 12 attempts. *)
+
 type config = {
   nodes : int;            (** cluster size; Fig. 1 uses 4 *)
   cores_per_node : int;   (** Fig. 1 uses dual-processor PCs: 2 *)
@@ -23,6 +38,20 @@ type config = {
   topology : Tyco_net.Simnet.topology;
   seed : int;
   ns_mode : ns_mode;
+  ns_replicas : int;
+      (** Replicated mode: how many name-service replicas ([<= nodes];
+          [0] means one per node).  Replica [r] is hosted by node ip
+          [r]; nodes without a local replica consult [ip mod replicas]
+          over the network. *)
+  faults : Tyco_net.Simnet.fault_model;
+      (** Link-fault injection (default [Simnet.no_faults]). *)
+  reliable : bool;
+      (** Turn on at-least-once delivery: sequence-numbered frames,
+          receiver-side dedup, ack-driven retransmission per [retry],
+          and per-request deadlines at the sites per [site_retry].
+          Default [false]: the seed's fire-and-forget transport. *)
+  retry : retry_params;
+  site_retry : Site.retry;
 }
 
 val default_config : config
@@ -80,8 +109,22 @@ val kill_site : t -> string -> at:int -> unit
 (** Schedule a site failure at the given virtual time. *)
 
 val suspected_failures : t -> (int * string) list
-(** [(time, site)] — failures noticed by the simplified detector (a
-    packet was addressed to a dead site). *)
+(** [(time, who)] — failures noticed by the simplified detector: a
+    packet addressed to a dead or unknown site, a daemon exhausting its
+    retransmissions towards a peer ([ip#n]), or a site abandoning a
+    FETCH / import request ([site#n], exporter name). *)
+
+val stats : t -> Tyco_support.Stats.t
+(** Fault/reliability counters: ["drops"], ["dupes"], ["reorders"],
+    ["retries"], ["dupes_suppressed"], ["timeouts"], ["acks"],
+    ["dead_letters"]. *)
+
+val dead_letters : t -> int
+(** Packets addressed to site ids this cluster never loaded. *)
+
+val inject_packet : t -> src_ip:int -> Tyco_net.Packet.t -> unit
+(** Test/experiment hook: push a raw packet into the fabric as if a
+    site on [src_ip] had sent it. *)
 
 val packet_trace : t -> (int * Tyco_net.Packet.t) list
 (** Every packet with its send timestamp, chronological — the

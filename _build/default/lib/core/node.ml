@@ -1,13 +1,24 @@
+(* Receiver-side duplicate suppression: for one peer, [floor] is the
+   lowest sequence number not yet delivered contiguously and [seen]
+   the out-of-order ones above it.  Because senders number packets per
+   destination, the stream has no permanent holes and the window stays
+   a handful of entries even under heavy reordering. *)
+type rx_window = { mutable floor : int; seen : (int, unit) Hashtbl.t }
+
 type t = {
   node_id : int;
   ip : int;
   cores : int array;  (* time each core becomes free *)
   mutable sites : Site.t list;
+  (* transport endpoint state of the node's daemon (TyCOd) *)
+  tx_seq : (int, int ref) Hashtbl.t;    (* dst ip -> next sequence no. *)
+  rx : (int, rx_window) Hashtbl.t;      (* src ip -> dedup window *)
 }
 
 let create ~node_id ~ip ~cores =
   if cores < 1 then invalid_arg "Node.create: cores must be >= 1";
-  { node_id; ip; cores = Array.make cores 0; sites = [] }
+  { node_id; ip; cores = Array.make cores 0; sites = [];
+    tx_seq = Hashtbl.create 8; rx = Hashtbl.create 8 }
 
 let node_id t = t.node_id
 let ip t = t.ip
@@ -22,3 +33,41 @@ let earliest_core t =
   (!best, t.cores.(!best))
 
 let occupy t ~core ~until = t.cores.(core) <- max t.cores.(core) until
+
+(* ------------------------------------------------------------------ *)
+(* Transport endpoint.                                                 *)
+
+let fresh_seq t ~dst_ip =
+  let r =
+    match Hashtbl.find_opt t.tx_seq dst_ip with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.tx_seq dst_ip r;
+        r
+  in
+  let s = !r in
+  incr r;
+  s
+
+let admit t ~src_ip ~seq =
+  let w =
+    match Hashtbl.find_opt t.rx src_ip with
+    | Some w -> w
+    | None ->
+        let w = { floor = 0; seen = Hashtbl.create 8 } in
+        Hashtbl.add t.rx src_ip w;
+        w
+  in
+  if seq < w.floor || Hashtbl.mem w.seen seq then false
+  else begin
+    Hashtbl.add w.seen seq ();
+    while Hashtbl.mem w.seen w.floor do
+      Hashtbl.remove w.seen w.floor;
+      w.floor <- w.floor + 1
+    done;
+    true
+  end
+
+let dedup_window_size t =
+  Hashtbl.fold (fun _ w acc -> acc + Hashtbl.length w.seen) t.rx 0

@@ -18,3 +18,20 @@ val earliest_core : t -> int * int
 (** [(core index, time it becomes free)]. *)
 
 val occupy : t -> core:int -> until:int -> unit
+
+(** {1 Transport endpoint}
+
+    Sequence numbering and duplicate suppression of the node's daemon,
+    used by the cluster's at-least-once delivery layer. *)
+
+val fresh_seq : t -> dst_ip:int -> int
+(** Next sequence number of this node's stream towards [dst_ip]
+    (numbered per destination so receiver windows stay gapless). *)
+
+val admit : t -> src_ip:int -> seq:int -> bool
+(** [true] exactly the first time a given [(src_ip, seq)] is offered;
+    retransmitted or duplicated copies return [false]. *)
+
+val dedup_window_size : t -> int
+(** Out-of-order entries currently buffered across all peers — bounded
+    by in-flight reordering, not by traffic volume. *)

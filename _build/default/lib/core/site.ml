@@ -25,6 +25,27 @@ type annotations = {
 
 let no_annotations = { a_export_rtti = []; a_import_expect = [] }
 
+(* End-to-end recovery of the request/reply protocols (FETCH, name
+   service): a request left unanswered past its deadline is re-sent
+   with exponential backoff; after [r_max_tries] sends the request
+   fails gracefully instead of hanging. *)
+type retry = {
+  r_timeout_ns : int;
+  r_backoff : float;
+  r_max_tries : int;
+}
+
+let default_retry = { r_timeout_ns = 4_000_000; r_backoff = 2.0; r_max_tries = 6 }
+
+type fetch_req = { fr_ref : Netref.t; mutable fr_tries : int }
+
+type import_req = {
+  ir_cont : int;
+  ir_captured : Value.t list;
+  ir_key : string * string;
+  mutable ir_tries : int;
+}
+
 type t = {
   name : string;
   site_id : int;
@@ -38,17 +59,26 @@ type t = {
   (* export tables (paper: one per site, mapping local heap pointers to
      network references and back) *)
   chan_exports : Value.chan Export_table.t;
-  mutable class_exports : (Value.cls * int) list;
+  (* (cls_group, cls_index) -> exported instances; a bucket holds one
+     entry per distinct captured environment (compared physically) *)
+  class_exports : (int * int, (Value.cls * int) list) Hashtbl.t;
   class_by_heap : (int, Value.cls) Hashtbl.t;
   mutable next_class_heap : int;
   (* FETCH protocol state *)
   fetch_cache : Value.cls Netref.Tbl.t;
   fetch_pending : Value.t list list Netref.Tbl.t;
-  fetch_reqs : (int, Netref.t) Hashtbl.t;
+  fetch_reqs : (int, fetch_req) Hashtbl.t;
   (* import (name service) state *)
-  (* req -> continuation block, captured values, (site, name) *)
-  import_reqs : (int, int * Value.t list * (string * string)) Hashtbl.t;
+  import_reqs : (int, import_req) Hashtbl.t;
+  (* requests already answered or abandoned: late duplicate replies
+     (a retransmission artifact) are dropped instead of raising *)
+  done_reqs : (int, unit) Hashtbl.t;
   mutable next_req : int;
+  (* request recovery; deadlines are armed only when the runtime
+     provides a timer facility *)
+  retry : retry;
+  schedule : (delay:int -> (unit -> unit) -> unit) option;
+  on_suspect : string -> unit;
   (* receiver-side linking caches: origin code key -> linked index *)
   obj_code_cache : (int * int * int, int) Hashtbl.t;
   grp_code_cache : (int * int * int, int) Hashtbl.t;
@@ -61,6 +91,8 @@ type t = {
   c_fetches : Stats.Counter.t;
   c_ships_in : Stats.Counter.t;
   c_links : Stats.Counter.t;
+  c_retries : Stats.Counter.t;
+  c_timeouts : Stats.Counter.t;
 }
 
 let name t = t.name
@@ -71,8 +103,9 @@ let alive t = t.alive
 let outputs t = List.rev t.outputs
 let stats t = t.stats
 
-let create ?(annotations = no_annotations) ?(inputs = []) ~name ~site_id
-    ~ip ~send ~on_output ~unit_ () =
+let create ?(annotations = no_annotations) ?(inputs = [])
+    ?(retry = default_retry) ?schedule ?(on_suspect = fun _ -> ()) ~name
+    ~site_id ~ip ~send ~on_output ~unit_ () =
   let area, entry = Link.of_unit unit_ in
   let vm = Machine.create ~name area in
   let stats = Machine.stats vm in
@@ -86,14 +119,18 @@ let create ?(annotations = no_annotations) ?(inputs = []) ~name ~site_id
     entry;
     inbox = Dq.create ();
     chan_exports = Export_table.create ();
-    class_exports = [];
+    class_exports = Hashtbl.create 8;
     class_by_heap = Hashtbl.create 8;
     next_class_heap = 0;
     fetch_cache = Netref.Tbl.create 8;
     fetch_pending = Netref.Tbl.create 8;
     fetch_reqs = Hashtbl.create 8;
     import_reqs = Hashtbl.create 8;
+    done_reqs = Hashtbl.create 8;
     next_req = 0;
+    retry;
+    schedule;
+    on_suspect;
     obj_code_cache = Hashtbl.create 8;
     grp_code_cache = Hashtbl.create 8;
     outputs = [];
@@ -104,7 +141,9 @@ let create ?(annotations = no_annotations) ?(inputs = []) ~name ~site_id
     c_pk_out = Stats.counter stats "packets_out";
     c_fetches = Stats.counter stats "fetches";
     c_ships_in = Stats.counter stats "ships_in";
-    c_links = Stats.counter stats "links" }
+    c_links = Stats.counter stats "links";
+    c_retries = Stats.counter stats "retries";
+    c_timeouts = Stats.counter stats "timeouts" }
 
 let fresh_req t =
   let r = t.next_req in
@@ -123,20 +162,21 @@ let export_chan t (c : Value.chan) : Netref.t =
   Netref.make ~kind:Netref.Channel ~heap_id ~site_id:t.site_id ~ip:t.ip
 
 let export_class t (c : Value.cls) : Netref.t =
+  let key = (c.Value.cls_group, c.Value.cls_index) in
+  let bucket =
+    Option.value ~default:[] (Hashtbl.find_opt t.class_exports key)
+  in
   let heap_id =
     match
       List.find_opt
-        (fun ((c', _) : Value.cls * int) ->
-          c'.Value.cls_group = c.Value.cls_group
-          && c'.Value.cls_index = c.Value.cls_index
-          && c'.Value.cls_env == c.Value.cls_env)
-        t.class_exports
+        (fun ((c', _) : Value.cls * int) -> c'.Value.cls_env == c.Value.cls_env)
+        bucket
     with
     | Some (_, heap_id) -> heap_id
     | None ->
         let heap_id = t.next_class_heap in
         t.next_class_heap <- heap_id + 1;
-        t.class_exports <- (c, heap_id) :: t.class_exports;
+        Hashtbl.replace t.class_exports key ((c, heap_id) :: bucket);
         Hashtbl.add t.class_by_heap heap_id c;
         heap_id
   in
@@ -185,6 +225,98 @@ let rtti_of_export t x =
   | None -> ""
 
 (* ------------------------------------------------------------------ *)
+(* Request deadlines (FETCH and name-service lookups).                 *)
+
+let emit_failure t label detail =
+  let event =
+    { Output.site = t.name; label; args = [ Output.Ostr detail ] }
+  in
+  t.outputs <- event :: t.outputs;
+  t.on_output event
+
+(* Deadline of the [tries]-th send: exponential backoff with a
+   deterministic per-request jitter that desynchronizes retry bursts
+   without consuming simulation randomness. *)
+let rto t ~req_id ~tries =
+  let r = t.retry in
+  let base =
+    int_of_float
+      (float_of_int r.r_timeout_ns *. (r.r_backoff ** float_of_int (tries - 1)))
+  in
+  base + ((req_id * 7919 + tries * 104729) mod ((r.r_timeout_ns / 4) + 1))
+
+let send_fetch_req t req_id (r : Netref.t) =
+  send t
+    (Packet.Pfetch_req
+       { cls = r; req_id; requester_site = t.site_id; requester_ip = t.ip })
+
+let rec arm_fetch_deadline t req_id =
+  match t.schedule with
+  | None -> ()
+  | Some sched -> (
+      match Hashtbl.find_opt t.fetch_reqs req_id with
+      | None -> ()
+      | Some fr ->
+          sched ~delay:(rto t ~req_id ~tries:fr.fr_tries) (fun () ->
+              fetch_deadline t req_id))
+
+and fetch_deadline t req_id =
+  if t.alive then
+    match Hashtbl.find_opt t.fetch_reqs req_id with
+    | None -> () (* answered in the meantime *)
+    | Some fr ->
+        if fr.fr_tries >= t.retry.r_max_tries then begin
+          Hashtbl.remove t.fetch_reqs req_id;
+          Hashtbl.replace t.done_reqs req_id ();
+          Netref.Tbl.remove t.fetch_pending fr.fr_ref;
+          Stats.Counter.incr t.c_timeouts;
+          emit_failure t "fetch-failed" (Format.asprintf "%a" Netref.pp fr.fr_ref);
+          t.on_suspect (Printf.sprintf "site#%d" fr.fr_ref.Netref.site_id)
+        end
+        else begin
+          fr.fr_tries <- fr.fr_tries + 1;
+          Stats.Counter.incr t.c_retries;
+          send_fetch_req t req_id fr.fr_ref;
+          arm_fetch_deadline t req_id
+        end
+
+let send_import_req t req_id ~site ~name ~is_class =
+  send t
+    (Packet.Pns_lookup
+       { site_name = site; id_name = name; want_class = is_class; req_id;
+         requester_site = t.site_id; requester_ip = t.ip })
+
+let rec arm_import_deadline t req_id ~is_class =
+  match t.schedule with
+  | None -> ()
+  | Some sched -> (
+      match Hashtbl.find_opt t.import_reqs req_id with
+      | None -> ()
+      | Some ir ->
+          sched ~delay:(rto t ~req_id ~tries:ir.ir_tries) (fun () ->
+              import_deadline t req_id ~is_class))
+
+and import_deadline t req_id ~is_class =
+  if t.alive then
+    match Hashtbl.find_opt t.import_reqs req_id with
+    | None -> ()
+    | Some ir ->
+        let site, name = ir.ir_key in
+        if ir.ir_tries >= t.retry.r_max_tries then begin
+          Hashtbl.remove t.import_reqs req_id;
+          Hashtbl.replace t.done_reqs req_id ();
+          Stats.Counter.incr t.c_timeouts;
+          emit_failure t "import-failed" (Printf.sprintf "%s.%s" site name);
+          t.on_suspect site
+        end
+        else begin
+          ir.ir_tries <- ir.ir_tries + 1;
+          Stats.Counter.incr t.c_retries;
+          send_import_req t req_id ~site ~name ~is_class;
+          arm_import_deadline t req_id ~is_class
+        end
+
+(* ------------------------------------------------------------------ *)
 (* Outgoing remote operations (drained after each VM quantum).         *)
 
 let start_fetch t (r : Netref.t) args =
@@ -198,11 +330,9 @@ let start_fetch t (r : Netref.t) args =
       if pending = [] then begin
         Stats.Counter.incr t.c_fetches;
         let req_id = fresh_req t in
-        Hashtbl.replace t.fetch_reqs req_id r;
-        send t
-          (Packet.Pfetch_req
-             { cls = r; req_id; requester_site = t.site_id;
-               requester_ip = t.ip })
+        Hashtbl.replace t.fetch_reqs req_id { fr_ref = r; fr_tries = 1 };
+        send_fetch_req t req_id r;
+        arm_fetch_deadline t req_id
       end
 
 let handle_remote_op t (op : Machine.remote_op) =
@@ -234,11 +364,11 @@ let handle_remote_op t (op : Machine.remote_op) =
              rtti = rtti_of_export t x })
   | Machine.Rimport { site; name; is_class; cont; captured } ->
       let req_id = fresh_req t in
-      Hashtbl.replace t.import_reqs req_id (cont, captured, (site, name));
-      send t
-        (Packet.Pns_lookup
-           { site_name = site; id_name = name; want_class = is_class; req_id;
-             requester_site = t.site_id; requester_ip = t.ip })
+      Hashtbl.replace t.import_reqs req_id
+        { ir_cont = cont; ir_captured = captured; ir_key = (site, name);
+          ir_tries = 1 };
+      send_import_req t req_id ~site ~name ~is_class;
+      arm_import_deadline t req_id ~is_class
 
 (* ------------------------------------------------------------------ *)
 (* Incoming packets.                                                   *)
@@ -307,13 +437,18 @@ let handle_packet t (p : Packet.t) =
              group;
              index = c.Value.cls_index;
              env_captures })
+  | Packet.Pfetch_rep { req_id; _ } when Hashtbl.mem t.done_reqs req_id ->
+      (* a late duplicate of an already-answered (or abandoned) FETCH:
+         retransmission makes these normal, not a protocol violation *)
+      ()
   | Packet.Pfetch_rep { req_id; code; code_key; group; index; env_captures; _ } ->
       let nref =
         match Hashtbl.find_opt t.fetch_reqs req_id with
-        | Some r -> r
+        | Some fr -> fr.fr_ref
         | None -> perr "fetch reply for unknown request %d" req_id
       in
       Hashtbl.remove t.fetch_reqs req_id;
+      Hashtbl.replace t.done_reqs req_id ();
       let area_grp =
         link_once t t.grp_code_cache code_key code (fun (o : Link.offsets) ->
             group + o.Link.grp_off)
@@ -343,9 +478,12 @@ let handle_packet t (p : Packet.t) =
       List.iter (fun args -> Machine.instantiate t.vm cls args) (List.rev pending)
   | Packet.Pns_reply { req_id; result; rtti; _ } -> (
       match Hashtbl.find_opt t.import_reqs req_id with
-      | None -> perr "name service reply for unknown request %d" req_id
-      | Some (cont, captured, key) -> (
+      | None ->
+          if not (Hashtbl.mem t.done_reqs req_id) then
+            perr "name service reply for unknown request %d" req_id
+      | Some { ir_cont = cont; ir_captured = captured; ir_key = key; _ } -> (
           Hashtbl.remove t.import_reqs req_id;
+          Hashtbl.replace t.done_reqs req_id ();
           match result with
           | None -> perr "name service reported unresolvable import"
           | Some r ->
@@ -361,7 +499,8 @@ let handle_packet t (p : Packet.t) =
                    (fun (k, expect) ->
                      if k = key && not (Rtti.compatible expect remote) then
                        perr
-                         "type mismatch on import %s.%s: expected %s,                           exporter provides %s"
+                         "type mismatch on import %s.%s: expected %s, \
+                          exporter provides %s"
                          (fst key) (snd key)
                          (Format.asprintf "%a" Rtti.pp expect)
                          (Format.asprintf "%a" Rtti.pp remote))

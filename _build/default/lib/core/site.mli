@@ -32,9 +32,27 @@ type annotations = {
 
 val no_annotations : annotations
 
+(** End-to-end recovery of the request/reply protocols (FETCH and
+    name-service lookups): an unanswered request is re-sent under
+    exponential backoff ([r_timeout_ns], [r_backoff]) and, after
+    [r_max_tries] sends, fails gracefully — a ["fetch-failed"] /
+    ["import-failed"] output event plus a suspicion report — instead
+    of hanging forever on a dead peer. *)
+type retry = {
+  r_timeout_ns : int;
+  r_backoff : float;
+  r_max_tries : int;
+}
+
+val default_retry : retry
+(** 4 ms initial deadline, doubling, 6 tries (~4 s virtual horizon). *)
+
 val create :
   ?annotations:annotations ->
   ?inputs:int list ->
+  ?retry:retry ->
+  ?schedule:(delay:int -> (unit -> unit) -> unit) ->
+  ?on_suspect:(string -> unit) ->
   name:string ->
   site_id:int ->
   ip:int ->
@@ -44,7 +62,11 @@ val create :
   unit ->
   t
 (** [send] hands a packet to the node's daemon; [on_output] observes
-    I/O port events (they are also recorded locally). *)
+    I/O port events (they are also recorded locally).  [schedule]
+    provides virtual timers: when present, outstanding FETCH and
+    import requests are given deadlines per [retry] (without it, the
+    seed behaviour: requests wait forever).  [on_suspect] hears the
+    description of the peer each time a request is abandoned. *)
 
 val name : t -> string
 val site_id : t -> int

@@ -18,6 +18,17 @@ let shared_memory =
   { name = "shared-memory"; latency_ns = 300; bytes_per_ns = 8.0;
     per_packet_ns = 100 }
 
+(* 10 Mb/s = 0.00125 bytes/ns; 5 ms one-way.  A long-haul link for the
+   chaos scenarios: the regime where loss and retransmission dominate,
+   which the cluster fabrics above never enter. *)
+let wan =
+  { name = "wan-10m"; latency_ns = 5_000_000; bytes_per_ns = 0.00125;
+    per_packet_ns = 10_000 }
+
+(* Transport-level acknowledgement frames carry no payload; their cost
+   is one header. *)
+let ack_bytes = 16
+
 let custom ~name ~latency_ns ~bytes_per_ns ~per_packet_ns =
   { name; latency_ns; bytes_per_ns; per_packet_ns }
 

@@ -206,11 +206,54 @@ let to_string p =
 let of_string s = decode (Wire.decoder s)
 let byte_size p = String.length (to_string p)
 
+(* ------------------------------------------------------------------ *)
+(* Transport frames: the at-least-once layer under the protocols.      *)
+
+type frame =
+  | Fdata of { src_ip : int; seq : int; payload : t }
+  | Fack of { src_ip : int; seq : int }
+
+let encode_frame enc = function
+  | Fdata { src_ip; seq; payload } ->
+      Wire.u8 enc 0;
+      Wire.varint enc src_ip;
+      Wire.varint enc seq;
+      encode enc payload
+  | Fack { src_ip; seq } ->
+      Wire.u8 enc 1;
+      Wire.varint enc src_ip;
+      Wire.varint enc seq
+
+let decode_frame dec =
+  match Wire.read_u8 dec with
+  | 0 ->
+      let src_ip = Wire.read_varint dec in
+      let seq = Wire.read_varint dec in
+      let payload = decode dec in
+      Fdata { src_ip; seq; payload }
+  | 1 ->
+      let src_ip = Wire.read_varint dec in
+      let seq = Wire.read_varint dec in
+      Fack { src_ip; seq }
+  | n -> raise (Wire.Malformed (Printf.sprintf "frame tag %d" n))
+
+let frame_to_string f =
+  let enc = Wire.encoder () in
+  encode_frame enc f;
+  Wire.to_string enc
+
+let frame_of_string s = decode_frame (Wire.decoder s)
+let frame_byte_size f = String.length (frame_to_string f)
+
 let pp_wvalue ppf = function
   | Wint n -> Format.fprintf ppf "%d" n
   | Wbool b -> Format.fprintf ppf "%b" b
   | Wstr s -> Format.fprintf ppf "%S" s
   | Wref r -> Netref.pp ppf r
+
+let pp_frame ppf = function
+  | Fdata { src_ip; seq; _ } -> Format.fprintf ppf "data %d#%d" src_ip seq
+  | Fack { src_ip; seq } -> Format.fprintf ppf "ack %d#%d" src_ip seq
 
 let pp ppf = function
   | Pmsg { dst; label; args } ->

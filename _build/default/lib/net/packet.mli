@@ -79,5 +79,29 @@ val of_string : string -> t
 val byte_size : t -> int
 (** Serialized size, for the link cost models. *)
 
+(** {1 Transport frames}
+
+    The at-least-once layer under the protocols: a daemon wraps each
+    outgoing packet in an [Fdata] frame stamped with its node address
+    and a per-destination sequence number, and acknowledges each frame
+    it receives with an [Fack].  Unacknowledged frames are
+    retransmitted; the receiver recognizes replayed [(src_ip, seq)]
+    pairs and suppresses the duplicate delivery, so every packet
+    reaches its site exactly once even over a lossy, duplicating
+    link. *)
+
+type frame =
+  | Fdata of { src_ip : int; seq : int; payload : t }
+  | Fack of { src_ip : int; seq : int }
+      (** acknowledges the [Fdata] with the same [(src_ip, seq)];
+          routed back to [src_ip] *)
+
+val encode_frame : Tyco_support.Wire.enc -> frame -> unit
+val decode_frame : Tyco_support.Wire.dec -> frame
+val frame_to_string : frame -> string
+val frame_of_string : string -> frame
+val frame_byte_size : frame -> int
+val pp_frame : Format.formatter -> frame -> unit
+
 val pp : Format.formatter -> t -> unit
 val pp_wvalue : Format.formatter -> wvalue -> unit

@@ -97,6 +97,11 @@ let dist t name =
       t.order <- name :: t.order;
       d
 
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> Counter.value c
+  | None -> 0
+
 let counters t =
   List.filter_map (Hashtbl.find_opt t.counters) (List.rev t.order)
 

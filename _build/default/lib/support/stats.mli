@@ -48,6 +48,10 @@ val create : unit -> t
 val counter : t -> string -> Counter.t
 (** Idempotent: returns the existing counter when the name is known. *)
 
+val counter_value : t -> string -> int
+(** Current value of a counter, 0 when it was never registered —
+    read-only observation that does not create the counter. *)
+
 val dist : t -> string -> Dist.t
 val counters : t -> Counter.t list
 val dists : t -> Dist.t list

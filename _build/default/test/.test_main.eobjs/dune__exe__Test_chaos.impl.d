@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Api Cluster Dityco List Node Output Test_runtime Tyco_net Tyco_support

@@ -1,0 +1,174 @@
+(* Chaos tests: the runtime protocols (SHIP, FETCH, name service)
+   under an adversarial fabric — packet loss, duplication, reordering
+   and partitions — must produce exactly the outputs of a fault-free
+   run, and must fail gracefully (not hang) when a peer is truly dead.
+
+   Everything is driven by the simulation PRNG, so each (program,
+   seed) pair is a fixed, reproducible adversary: a passing seed
+   passes forever. *)
+
+open Dityco
+module Simnet = Tyco_net.Simnet
+module Packet = Tyco_net.Packet
+module Netref = Tyco_support.Netref
+module Stats = Tyco_support.Stats
+
+let check = Alcotest.check
+let ev_testable = Alcotest.testable Output.pp_event Output.equal_event
+
+let chaos_faults =
+  { Simnet.drop = 0.2; duplicate = 0.1; reorder = 0.3; reorder_ns = 50_000;
+    partitions = [] }
+
+let chaos_config ?(faults = chaos_faults) seed =
+  { Cluster.default_config with Cluster.seed; faults; reliable = true }
+
+let run ?config src = Api.run_program ?config (Api.parse src)
+let events r = List.map snd r.Api.outputs
+
+let chaos_programs =
+  List.filter
+    (fun (name, _) ->
+      List.mem name [ "cell"; "rpc"; "applet-fetch"; "applet-ship" ])
+    Test_runtime.paper_programs
+
+let seeds = [ 7; 1234; 99991 ]
+
+(* ------------------------------------------------------------------ *)
+(* Reliability: chaos outputs = fault-free outputs                     *)
+
+let chaos_preserves_outputs () =
+  List.iter
+    (fun (name, src) ->
+      let clean = events (run src) in
+      List.iter
+        (fun seed ->
+          let noisy = events (run ~config:(chaos_config seed) src) in
+          if not (Output.same_multiset clean noisy) then
+            Alcotest.failf "%s (seed %d): outputs differ under faults" name
+              seed)
+        seeds)
+    chaos_programs
+
+let chaos_is_deterministic () =
+  let src = List.assoc "applet-ship" chaos_programs in
+  let a = run ~config:(chaos_config 7) src in
+  let b = run ~config:(chaos_config 7) src in
+  check (Alcotest.list ev_testable) "same outputs" (events a) (events b);
+  check Alcotest.int "same virtual time" a.Api.virtual_ns b.Api.virtual_ns;
+  check Alcotest.int "same packets" a.Api.packets b.Api.packets
+
+let chaos_exercises_fault_paths () =
+  (* across the fixed seeds, the adversary must actually have bitten:
+     drops happened, retransmissions recovered them, and the dedup
+     window suppressed duplicated/retransmitted frames *)
+  let total name =
+    List.fold_left
+      (fun acc seed ->
+        let r =
+          run ~config:(chaos_config seed)
+            (List.assoc "applet-ship" chaos_programs)
+        in
+        acc + Stats.counter_value (Cluster.stats r.Api.cluster) name)
+      0 seeds
+  in
+  check Alcotest.bool "drops > 0" true (total "drops" > 0);
+  check Alcotest.bool "retries > 0" true (total "retries" > 0);
+  check Alcotest.bool "dupes suppressed > 0" true
+    (total "dupes_suppressed" > 0);
+  check Alcotest.bool "acks > 0" true (total "acks" > 0)
+
+let partition_heals () =
+  (* a 2 ms cut between the client's node and the rest of the world is
+     bridged by retransmission: same outputs as the clean run *)
+  let src = List.assoc "rpc" chaos_programs in
+  let clean = events (run src) in
+  let faults =
+    { Simnet.no_faults with
+      Simnet.partitions =
+        [ { Simnet.p_a = 0; p_b = 1; p_from = 0; p_until = 2_000_000 } ] }
+  in
+  let r = run ~config:(chaos_config ~faults 7) src in
+  check Alcotest.bool "outputs survive the partition" true
+    (Output.same_multiset clean (events r));
+  check Alcotest.bool "after healing time" true
+    (r.Api.virtual_ns >= 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful failure: dead peers produce bounded, visible errors        *)
+
+let fetch_from_dead_site_fails_fast () =
+  (* the server registers its exported class and dies; the client's
+     FETCH can never be answered.  The request deadline must abandon it
+     within the retry horizon and say so, instead of hanging forever *)
+  let src = List.assoc "applet-fetch" chaos_programs in
+  let prog = Api.parse src in
+  let cluster =
+    Cluster.create ~config:(chaos_config ~faults:Simnet.no_faults 7) ()
+  in
+  Cluster.load cluster (Api.compile prog);
+  Cluster.kill_site cluster "server" ~at:1;
+  Cluster.run cluster;
+  let outs = List.map snd (Cluster.outputs cluster) in
+  check Alcotest.bool "fetch-failed reported" true
+    (List.exists (fun e -> e.Output.label = "fetch-failed") outs);
+  check Alcotest.bool "no applet output" false
+    (List.exists (fun e -> e.Output.label = "printi") outs);
+  check Alcotest.bool "server suspected" true
+    (Cluster.suspected_failures cluster <> []);
+  check Alcotest.bool "bounded virtual time" true
+    (Cluster.virtual_time cluster < 1_000_000_000)
+
+let unreliable_transport_loses () =
+  (* without [reliable], a fully lossy fabric silently eats the RPC:
+     the seed's fire-and-forget behaviour, now at least visible in the
+     drop counter *)
+  let src = List.assoc "rpc" chaos_programs in
+  let faults = { Simnet.no_faults with Simnet.drop = 1.0 } in
+  let config =
+    { Cluster.default_config with Cluster.seed = 7; faults } in
+  let r = run ~config src in
+  check (Alcotest.list ev_testable) "no outputs" [] (events r);
+  check Alcotest.bool "drops counted" true
+    (Stats.counter_value (Cluster.stats r.Api.cluster) "drops" > 0)
+
+let dead_letters_counted () =
+  let cluster = Cluster.create () in
+  let dst = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:99 ~ip:1 in
+  Cluster.inject_packet cluster ~src_ip:0
+    (Packet.Pmsg { dst; label = "x"; args = [] });
+  Cluster.run cluster;
+  check Alcotest.int "dead letter counted" 1 (Cluster.dead_letters cluster);
+  check Alcotest.bool "phantom site recorded" true
+    (List.exists
+       (fun (_, who) -> who = "site#99")
+       (Cluster.suspected_failures cluster))
+
+(* ------------------------------------------------------------------ *)
+(* Dedup window (Node.admit) unit behaviour                            *)
+
+let dedup_window () =
+  let n = Node.create ~node_id:0 ~ip:0 ~cores:1 in
+  check Alcotest.bool "first seq 0" true (Node.admit n ~src_ip:1 ~seq:0);
+  check Alcotest.bool "replay rejected" false (Node.admit n ~src_ip:1 ~seq:0);
+  check Alcotest.bool "out of order admitted" true
+    (Node.admit n ~src_ip:1 ~seq:2);
+  check Alcotest.int "one buffered" 1 (Node.dedup_window_size n);
+  check Alcotest.bool "gap filled" true (Node.admit n ~src_ip:1 ~seq:1);
+  check Alcotest.int "window drained" 0 (Node.dedup_window_size n);
+  check Alcotest.bool "below floor rejected" false
+    (Node.admit n ~src_ip:1 ~seq:1);
+  check Alcotest.bool "replay of reordered rejected" false
+    (Node.admit n ~src_ip:1 ~seq:2);
+  (* streams are per-peer: another source starts at its own floor *)
+  check Alcotest.bool "independent peer" true (Node.admit n ~src_ip:2 ~seq:0)
+
+let tests =
+  [ ("chaos: outputs preserved (3 seeds)", `Quick, chaos_preserves_outputs);
+    ("chaos: deterministic", `Quick, chaos_is_deterministic);
+    ("chaos: fault paths exercised", `Quick, chaos_exercises_fault_paths);
+    ("chaos: partition heals", `Quick, partition_heals);
+    ("dead site: fetch fails fast", `Quick, fetch_from_dead_site_fails_fast);
+    ("unreliable: drops lose packets", `Quick, unreliable_transport_loses);
+    ("dead letters counted", `Quick, dead_letters_counted);
+    ("dedup window", `Quick, dedup_window) ]

@@ -230,6 +230,139 @@ let simnet_negative_delay () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let simnet_run_budget_boundary () =
+  (* a queue that drains in exactly [max_events] events completes; one
+     more pending event over the budget raises *)
+  let chain n =
+    let sim = Simnet.create ~seed:1 () in
+    let left = ref n in
+    let rec tick () =
+      decr left;
+      if !left > 0 then Simnet.schedule sim ~delay:1 tick
+    in
+    Simnet.schedule sim ~delay:1 tick;
+    sim
+  in
+  check Alcotest.int "exact budget drains" 10
+    (Simnet.run (chain 10) ~max_events:10 ());
+  check Alcotest.bool "budget + 1 raises" true
+    (match Simnet.run (chain 11) ~max_events:10 () with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+
+let fault_free_identity () =
+  let sim = Simnet.create ~seed:1 () in
+  let v = Simnet.fault_verdict sim ~src_ip:1 ~dst_ip:2 ~base_delay:500 in
+  check (Alcotest.list Alcotest.int) "one copy, base delay" [ 500 ]
+    v.Simnet.v_delays;
+  check Alcotest.int "nothing dropped" 0 v.Simnet.v_dropped
+
+let fault_drop_everything () =
+  let fm = { Simnet.no_faults with Simnet.drop = 1.0 } in
+  let sim = Simnet.create ~faults:fm ~seed:1 () in
+  let v = Simnet.fault_verdict sim ~src_ip:1 ~dst_ip:2 ~base_delay:500 in
+  check (Alcotest.list Alcotest.int) "no copies" [] v.Simnet.v_delays;
+  check Alcotest.bool "drop counted" true (v.Simnet.v_dropped >= 1)
+
+let fault_duplicate_everything () =
+  let fm = { Simnet.no_faults with Simnet.duplicate = 1.0 } in
+  let sim = Simnet.create ~faults:fm ~seed:1 () in
+  let v = Simnet.fault_verdict sim ~src_ip:1 ~dst_ip:2 ~base_delay:500 in
+  check Alcotest.int "two copies" 2 (List.length v.Simnet.v_delays);
+  check Alcotest.bool "flagged" true v.Simnet.v_duplicated
+
+let fault_intra_node_exempt () =
+  (* same-ip traffic is shared memory: never faulted even at drop 1 *)
+  let fm = { Simnet.no_faults with Simnet.drop = 1.0; duplicate = 1.0 } in
+  let sim = Simnet.create ~faults:fm ~seed:1 () in
+  let v = Simnet.fault_verdict sim ~src_ip:3 ~dst_ip:3 ~base_delay:42 in
+  check (Alcotest.list Alcotest.int) "delivered untouched" [ 42 ]
+    v.Simnet.v_delays
+
+let fault_partition_window () =
+  let fm =
+    { Simnet.no_faults with
+      Simnet.partitions =
+        [ { Simnet.p_a = 1; p_b = 2; p_from = 0; p_until = 100 } ] }
+  in
+  let sim = Simnet.create ~faults:fm ~seed:1 () in
+  check Alcotest.bool "cut at t=0" true
+    (Simnet.partitioned sim ~src_ip:1 ~dst_ip:2);
+  check Alcotest.bool "symmetric" true
+    (Simnet.partitioned sim ~src_ip:2 ~dst_ip:1);
+  check Alcotest.bool "other links untouched" false
+    (Simnet.partitioned sim ~src_ip:1 ~dst_ip:3);
+  let v = Simnet.fault_verdict sim ~src_ip:1 ~dst_ip:2 ~base_delay:10 in
+  check (Alcotest.list Alcotest.int) "dropped while cut" [] v.Simnet.v_delays;
+  let healed = ref true in
+  Simnet.schedule sim ~delay:150 (fun () ->
+      healed := not (Simnet.partitioned sim ~src_ip:1 ~dst_ip:2));
+  ignore (Simnet.run sim ());
+  check Alcotest.bool "healed after p_until" true !healed
+
+let fault_determinism () =
+  let fm =
+    { Simnet.drop = 0.3; duplicate = 0.2; reorder = 0.5; reorder_ns = 1_000;
+      partitions = [] }
+  in
+  let roll seed =
+    let sim = Simnet.create ~faults:fm ~seed () in
+    List.init 50 (fun _ ->
+        (Simnet.fault_verdict sim ~src_ip:0 ~dst_ip:1 ~base_delay:100)
+          .Simnet.v_delays)
+  in
+  check Alcotest.bool "same seed, same verdicts" true (roll 7 = roll 7);
+  check Alcotest.bool "different seed differs" true (roll 7 <> roll 8)
+
+(* ------------------------------------------------------------------ *)
+(* Transport frames                                                    *)
+
+let gen_frame =
+  QCheck2.Gen.(
+    oneof
+      [ map3
+          (fun src_ip seq payload ->
+            Packet.Fdata { src_ip; seq; payload })
+          small_nat small_nat gen_packet;
+        map2 (fun src_ip seq -> Packet.Fack { src_ip; seq }) small_nat
+          small_nat ])
+
+let frame_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"frame wire roundtrip" ~count:300 gen_frame
+       (fun f ->
+         let s = Packet.frame_to_string f in
+         Packet.frame_to_string (Packet.frame_of_string s) = s
+         && Packet.frame_byte_size f = String.length s))
+
+(* ------------------------------------------------------------------ *)
+(* Name service: parked-waiter ordering across interleaved keys        *)
+
+let ns_waiter_ordering () =
+  let ns = Nameservice.create () in
+  let w id = { Nameservice.w_req_id = id; w_site = id; w_ip = 0 } in
+  (* interleave parks on two distinct keys *)
+  ignore (Nameservice.lookup_id ns ~site:"a" ~name:"p" (w 1));
+  ignore (Nameservice.lookup_id ns ~site:"a" ~name:"q" (w 2));
+  ignore (Nameservice.lookup_id ns ~site:"a" ~name:"p" (w 3));
+  ignore (Nameservice.lookup_id ns ~site:"a" ~name:"q" (w 4));
+  ignore (Nameservice.lookup_id ns ~site:"a" ~name:"p" (w 5));
+  check Alcotest.int "all parked" 5 (Nameservice.pending ns);
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:0 ~ip:0 in
+  let released = Nameservice.register_id ns ~site:"a" ~name:"p" r in
+  check (Alcotest.list Alcotest.int) "p's waiters, FIFO" [ 1; 3; 5 ]
+    (List.map (fun x -> x.Nameservice.w_req_id) released);
+  check Alcotest.int "q still parked" 2 (Nameservice.pending ns);
+  let released = Nameservice.register_id ns ~site:"a" ~name:"q" r in
+  check (Alcotest.list Alcotest.int) "q's waiters, FIFO" [ 2; 4 ]
+    (List.map (fun x -> x.Nameservice.w_req_id) released);
+  check Alcotest.int "drained" 0 (Nameservice.pending ns);
+  check Alcotest.int "re-registration releases nobody" 0
+    (List.length (Nameservice.register_id ns ~site:"a" ~name:"p" r))
+
 let tests =
   [ ("latency hierarchy", `Quick, latency_hierarchy);
     ("latency bandwidth", `Quick, latency_bandwidth_matters);
@@ -245,5 +378,14 @@ let tests =
     ("simnet fifo ties", `Quick, simnet_fifo_ties);
     ("simnet cascading events", `Quick, simnet_cascading);
     ("simnet livelock guard", `Quick, simnet_run_guard);
+    ("simnet budget boundary", `Quick, simnet_run_budget_boundary);
     ("simnet topology links", `Quick, simnet_topology_links);
-    ("simnet negative delay", `Quick, simnet_negative_delay) ]
+    ("simnet negative delay", `Quick, simnet_negative_delay);
+    ("faults: clean link identity", `Quick, fault_free_identity);
+    ("faults: drop all", `Quick, fault_drop_everything);
+    ("faults: duplicate all", `Quick, fault_duplicate_everything);
+    ("faults: intra-node exempt", `Quick, fault_intra_node_exempt);
+    ("faults: partition window", `Quick, fault_partition_window);
+    ("faults: deterministic", `Quick, fault_determinism);
+    frame_roundtrip;
+    ("nameservice waiter ordering", `Quick, ns_waiter_ordering) ]

@@ -447,10 +447,41 @@ let replicated_ns_race () =
     (events r);
   check Alcotest.int "no pending" 0 (Cluster.name_service_pending r.Api.cluster)
 
+let replicated_ns_fewer_replicas_than_nodes () =
+  (* regression: replica indices are not node ips.  With 2 replicas on
+     a 4-node cluster, importers placed on the replica-less nodes 2 and
+     3 must consult their home replica (ip mod 2) over the network and
+     still resolve — the old code conflated the broadcast skip index
+     with the handling node's ip and only worked when replicas = nodes *)
+  let src =
+    {| site server { export new p
+         def L(x) = p?(v) = (io!printi[v] | L[x]) in L[0] }
+       site c1 { import p from server in p![1] }
+       site c2 { import p from server in p![2] } |}
+  in
+  let placement = function
+    | "server" -> 0
+    | "c1" -> 2
+    | _ -> 3
+  in
+  let central = run ~placement src in
+  let cfg =
+    { Cluster.default_config with
+      Cluster.nodes = 4; ns_mode = Cluster.Replicated; ns_replicas = 2 }
+  in
+  let repl = run ~config:cfg ~placement src in
+  check Alcotest.bool "same outputs" true
+    (Output.same_multiset (events central) (events repl));
+  check Alcotest.int "no pending" 0
+    (Cluster.name_service_pending repl.Api.cluster)
+
 let replicated_tests =
   [ ("replicated NS: same outputs", `Quick, replicated_ns_same_outputs);
     ("replicated NS: broadcast vs lookups", `Quick, replicated_ns_faster_lookups);
-    ("replicated NS: registration race", `Quick, replicated_ns_race) ]
+    ("replicated NS: registration race", `Quick, replicated_ns_race);
+    ( "replicated NS: nodes > replicas",
+      `Quick,
+      replicated_ns_fewer_replicas_than_nodes ) ]
 
 let tests = tests @ replicated_tests
 
