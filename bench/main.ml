@@ -21,12 +21,47 @@ let section id title =
 let row fmt = Format.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* Modes and machine-readable output.
+
+   --smoke   reduced iteration counts (CI-friendly wall clock)
+   --json    additionally write the recorded measurements as a flat
+             JSON object (default BENCH_PR2.json; override with --out)
+
+   Keys are flat ("e1_vm_ns_per_reduction") so shell pipelines can
+   extract them without a JSON parser. *)
+
+let smoke = ref false
+let json_mode = ref false
+let json_path = ref "BENCH_PR2.json"
+let json_kvs : (string * string) list ref = ref [] (* newest first *)
+
+let record k v = json_kvs := (k, v) :: !json_kvs
+let record_f k v =
+  record k (if Float.is_finite v then Printf.sprintf "%.1f" v else "null")
+let record_i k v = record k (string_of_int v)
+
+let write_json () =
+  let oc = open_out !json_path in
+  output_string oc "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then output_string oc ",";
+      output_string oc (Printf.sprintf "\n  \"%s\": %s" k v))
+    (List.rev !json_kvs);
+  output_string oc "\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d measurements)@." !json_path
+    (List.length !json_kvs)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel helper: estimated ns per run of a thunk.                   *)
 
 let bench_ns name f =
   let open Bechamel in
   let test = Test.make ~name (Staged.stage f) in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None () in
+  let limit = if !smoke then 50 else 300 in
+  let quota = Time.second (if !smoke then 0.1 else 0.4) in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde:None () in
   let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -36,6 +71,17 @@ let bench_ns name f =
   | [ est ] -> (
       match Analyze.OLS.estimates est with Some [ ns ] -> ns | _ -> nan)
   | _ -> nan
+
+(* Minor-heap words allocated per run of a thunk — the allocation-rate
+   side of the hot-path story (ns/run alone hides GC pressure). *)
+let minor_words_per_run f =
+  ignore (f ()); (* warm-up: one-time setup allocations don't count *)
+  let runs = if !smoke then 3 else 10 in
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (f ())
+  done;
+  (Gc.minor_words () -. before) /. float_of_int runs
 
 (* ------------------------------------------------------------------ *)
 (* Workload sources.                                                   *)
@@ -77,18 +123,23 @@ let e1 () =
      compact and efficient)";
   let n = 200 in
   let prog = Api.parse (counter_src n) in
-  let vm_ns =
-    bench_ns "vm" (fun () -> ignore (Api.run_program ~typecheck:false prog))
-  in
+  let run_vm () = ignore (Api.run_program ~typecheck:false prog) in
+  let vm_ns = bench_ns "vm" run_vm in
   let ref_ns = bench_ns "ref" (fun () -> ignore (Api.run_reference prog)) in
+  let vm_words = minor_words_per_run run_vm in
   let reductions = float_of_int (2 * n) in
   row "workload: counter, %d synchronous bumps (~%.0f reductions)@." n
     reductions;
-  row "  %-28s %12.0f ns/run  %8.1f ns/reduction@."
-    "byte-code VM (full cluster)" vm_ns (vm_ns /. reductions);
+  row "  %-28s %12.0f ns/run  %8.1f ns/reduction  %10.0f minor-words/run@."
+    "byte-code VM (full cluster)" vm_ns (vm_ns /. reductions) vm_words;
   row "  %-28s %12.0f ns/run  %8.1f ns/reduction@." "reference interpreter"
     ref_ns (ref_ns /. reductions);
-  row "  speedup: %.1fx@." (ref_ns /. vm_ns)
+  row "  speedup: %.1fx@." (ref_ns /. vm_ns);
+  record_f "e1_vm_ns_per_run" vm_ns;
+  record_f "e1_vm_ns_per_reduction" (vm_ns /. reductions);
+  record_f "e1_ref_ns_per_reduction" (ref_ns /. reductions);
+  record_f "e1_speedup" (ref_ns /. vm_ns);
+  record_f "e1_vm_minor_words_per_run" vm_words
 
 (* ------------------------------------------------------------------ *)
 (* E2 — byte-code compactness.                                         *)
@@ -142,7 +193,9 @@ let e2 () =
       in
       row "  %-10s %8d %8d %8d %8d %12.2f@." name (String.length src)
         ast_nodes instrs bytes
-        (float_of_int bytes /. float_of_int ast_nodes))
+        (float_of_int bytes /. float_of_int ast_nodes);
+      record_i (Printf.sprintf "e2_%s_code_bytes" name) bytes;
+      record_i (Printf.sprintf "e2_%s_instrs" name) instrs)
     programs
 
 (* ------------------------------------------------------------------ *)
@@ -546,9 +599,14 @@ let e14 () =
         let r = run ~config src in
         match r.Api.outputs with (ts, _) :: _ -> ts | [] -> -1
       in
-      row "  %-10d %14d %14d@." nargs (t Simnet.default_topology)
-        (t { Simnet.default_topology with
-             Simnet.cluster = Latency.fast_ethernet }))
+      let myri = t Simnet.default_topology in
+      let ether =
+        t { Simnet.default_topology with
+            Simnet.cluster = Latency.fast_ethernet }
+      in
+      row "  %-10d %14d %14d@." nargs myri ether;
+      record_i (Printf.sprintf "e14_args%d_myrinet_ns" nargs) myri;
+      record_i (Printf.sprintf "e14_args%d_ethernet_ns" nargs) ether)
     [ 1; 4; 16; 64 ]
 
 (* ------------------------------------------------------------------ *)
@@ -601,20 +659,48 @@ let e15 () =
         { Cluster.default_retry_params with Cluster.rto_ns = 12_000_000 } }
 
 let () =
-  Format.printf "DiTyCO experiment harness (see DESIGN.md / EXPERIMENTS.md)@.";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--json" :: rest ->
+        json_mode := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        json_path := path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: %s [--smoke] [--json] [--out FILE]  (unknown arg %s)\n"
+          Sys.argv.(0) arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Format.printf "DiTyCO experiment harness (see DESIGN.md / EXPERIMENTS.md)%s@."
+    (if !smoke then " [smoke mode]" else "");
+  if !smoke then begin
+    (* the measurements CI gates on; the rest are skipped for speed *)
+    e1 ();
+    e2 ();
+    e14 ()
+  end
+  else begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ();
+    e11 ();
+    e12 ();
+    e13 ();
+    e14 ();
+    e15 ()
+  end;
+  if !json_mode then write_json ();
   Format.printf "@.done.@."

@@ -29,7 +29,7 @@ let pp_instr ppf (ins : Instr.t) =
   | Instr.Jump n -> Format.fprintf ppf "jmp %d" n
   | Instr.Jump_if_false n -> Format.fprintf ppf "jmpf %d" n
   | Instr.New_chan i -> Format.fprintf ppf "newc %d" i
-  | Instr.Trmsg (l, n) -> Format.fprintf ppf "trmsg %s/%d" l n
+  | Instr.Trmsg { label; argc; _ } -> Format.fprintf ppf "trmsg %s/%d" label argc
   | Instr.Trobj mt -> Format.fprintf ppf "trobj mt%d" mt
   | Instr.Defgroup g -> Format.fprintf ppf "defgroup g%d" g
   | Instr.Instof n -> Format.fprintf ppf "instof %d" n
@@ -171,8 +171,12 @@ let parse_instr lineno ws : Instr.t =
       match String.rindex_opt ln '/' with
       | Some i ->
           Instr.Trmsg
-            ( String.sub ln 0 i,
-              int_of lineno (String.sub ln (i + 1) (String.length ln - i - 1)) )
+            {
+              label = String.sub ln 0 i;
+              lid = -1;
+              argc =
+                int_of lineno (String.sub ln (i + 1) (String.length ln - i - 1));
+            }
       | None -> err "line %d: expected trmsg label/argc" lineno)
   | [ "trobj"; mt ] -> Instr.Trobj (ref_of lineno "mt" mt)
   | [ "defgroup"; g ] -> Instr.Defgroup (ref_of lineno "g" g)

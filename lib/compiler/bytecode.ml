@@ -51,10 +51,11 @@ let encode_instr enc (ins : Instr.t) =
   | Instr.New_chan i ->
       Wire.u8 enc 10;
       Wire.varint enc i
-  | Instr.Trmsg (l, n) ->
+  | Instr.Trmsg { label; argc; _ } ->
+      (* [lid] is area-local, reassigned by the receiver's linker. *)
       Wire.u8 enc 11;
-      Wire.string enc l;
-      Wire.varint enc n
+      Wire.string enc label;
+      Wire.varint enc argc
   | Instr.Trobj mt ->
       Wire.u8 enc 12;
       Wire.varint enc mt
@@ -100,7 +101,7 @@ let decode_instr dec : Instr.t =
   | 11 ->
       let l = Wire.read_string dec in
       let n = Wire.read_varint dec in
-      Instr.Trmsg (l, n)
+      Instr.Trmsg { label = l; lid = -1; argc = n }
   | 12 -> Instr.Trobj (Wire.read_varint dec)
   | 13 -> Instr.Defgroup (Wire.read_varint dec)
   | 14 -> Instr.Instof (Wire.read_varint dec)

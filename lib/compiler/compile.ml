@@ -237,7 +237,7 @@ and compile st b env (p : Ast.proc) : unit =
   | Ast.Pmsg (x, l, es) ->
       List.iter (compile_expr st b env) es;
       emit b (Instr.Load (lookup_name env x));
-      emit b (Instr.Trmsg (l, List.length es))
+      emit b (Instr.Trmsg { label = l; lid = -1; argc = List.length es })
   | Ast.Pobj (x, ms) ->
       let mt = compile_methods st env ms in
       emit b (Instr.Load (lookup_name env x));

@@ -11,7 +11,7 @@ type t =
   | Jump of int
   | Jump_if_false of int
   | New_chan of int
-  | Trmsg of string * int
+  | Trmsg of { label : string; lid : int; argc : int }
   | Trobj of int
   | Defgroup of int
   | Instof of int
@@ -42,7 +42,7 @@ let pp ppf = function
   | Jump n -> Format.fprintf ppf "jmp %d" n
   | Jump_if_false n -> Format.fprintf ppf "jmpf %d" n
   | New_chan i -> Format.fprintf ppf "newc %d" i
-  | Trmsg (l, n) -> Format.fprintf ppf "trmsg %s/%d" l n
+  | Trmsg { label; argc; _ } -> Format.fprintf ppf "trmsg %s/%d" label argc
   | Trobj mt -> Format.fprintf ppf "trobj mt%d" mt
   | Defgroup g -> Format.fprintf ppf "defgroup g%d" g
   | Instof n -> Format.fprintf ppf "instof/%d" n

@@ -27,7 +27,10 @@ type t =
   | Jump_if_false of int
   (* processes *)
   | New_chan of int       (** fresh channel into slot *)
-  | Trmsg of string * int (** label, argc; stack: args..., target on top *)
+  | Trmsg of { label : string; lid : int; argc : int }
+      (** stack: args..., target on top.  [lid] is the area-local
+          interned id of [label], assigned by {!Link.link}; [-1] until
+          the instruction is linked.  It never travels on the wire. *)
   | Trobj of int          (** method-table index; stack: target on top *)
   | Defgroup of int       (** definition-group index *)
   | Instof of int         (** argc; stack: args..., class value on top *)

@@ -21,6 +21,32 @@ val group : area -> int -> Block.group
 val n_blocks : area -> int
 val n_instrs : area -> int
 
+(** {1 Method-label interning}
+
+    Linking interns every method label occurring in a [Trmsg]
+    instruction or a method-table entry to a dense area-local integer
+    id, and gives each method table a direct-mapped id → entry-index
+    array.  Method dispatch and parked-message matching then never
+    compare strings.  Ids are local to one area and never travel on the
+    wire — the receiver of shipped code re-interns under its own
+    area. *)
+
+val intern : area -> string -> int
+(** Id of a label, interning it on first sight. *)
+
+val label_name : area -> int -> string
+(** Inverse of {!intern}. *)
+
+val n_labels : area -> int
+
+val method_entry : area -> int -> lid:int -> int
+(** Index into [mt_entries] of method table [mt] for interned label
+    [lid], or [-1] when the table has no such method.  O(1). *)
+
+val costs : area -> int -> int array
+(** Per-pc {!Instr.cost} of a block, precomputed at link time (parallel
+    to {!block}). *)
+
 type offsets = { blk_off : int; mt_off : int; grp_off : int }
 
 val link : area -> Block.unit_ -> offsets

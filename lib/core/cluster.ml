@@ -86,6 +86,7 @@ type t = {
   c_timeouts : Stats.Counter.t;
   c_acks : Stats.Counter.t;
   c_dead_letters : Stats.Counter.t;
+  c_same_node : Stats.Counter.t;
 }
 
 (* Cost of a name-service transaction at the service itself. *)
@@ -139,6 +140,7 @@ let create ?(config = default_config) () =
     c_timeouts = Stats.counter stats "timeouts";
     c_acks = Stats.counter stats "acks";
     c_dead_letters = Stats.counter stats "dead_letters";
+    c_same_node = Stats.counter stats "same_node_fast";
   }
 
 let sim t = t.sim
@@ -164,6 +166,7 @@ let suspected_failures t = List.rev t.suspected
 let packet_trace t = List.rev t.trace
 let stats t = t.stats
 let dead_letters t = Stats.Counter.value t.c_dead_letters
+let same_node_fast t = Stats.Counter.value t.c_same_node
 let node_of_ip t ip = t.node_arr.(ip)
 
 (* One reliable transmission: a frame retransmitted until the peer
@@ -237,7 +240,23 @@ and route_ip t ~src_ip (p : Packet.t) =
 
 and send_packet t ~src_ip (p : Packet.t) =
   let dst_ip = route_ip t ~src_ip p in
-  if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip p
+  if dst_ip = src_ip then begin
+    (* Same-node fast path (the paper's same-node optimization): both
+       endpoints share the node's memory, so the packet is handed to the
+       destination inbox as-is — no wire encode/decode, no size
+       accounting, and no frame/ack machinery even in reliable mode
+       (loopback traffic is exempt from the fault model).  Only the
+       shared-memory latency is charged.  [in_flight] is still
+       maintained: quiescence detection counts these deliveries. *)
+    Stats.Counter.incr t.c_same_node;
+    t.trace <- (Simnet.now t.sim, p) :: t.trace;
+    let delay = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes:0 in
+    t.in_flight <- t.in_flight + 1;
+    Simnet.schedule t.sim ~delay (fun () ->
+        t.in_flight <- t.in_flight - 1;
+        deliver t ~at_ip:dst_ip p)
+  end
+  else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip p
   else begin
     let bytes = Packet.byte_size p in
     t.packets <- t.packets + 1;

@@ -98,6 +98,14 @@ val output_events : t -> Output.event list
 
 val packets_sent : t -> int
 val bytes_sent : t -> int
+
+val same_node_fast : t -> int
+(** Deliveries that took the same-node shared-memory fast path: source
+    and destination share a node, so the packet skipped serialization,
+    framing and acknowledgements entirely and paid only the
+    shared-memory latency.  These do not count in {!packets_sent} /
+    {!bytes_sent} — nothing crossed the fabric. *)
+
 val in_flight : t -> int
 val name_service_pending : t -> int
 (** Unresolved imports (nonzero at quiescence indicates a program
@@ -117,7 +125,7 @@ val suspected_failures : t -> (int * string) list
 val stats : t -> Tyco_support.Stats.t
 (** Fault/reliability counters: ["drops"], ["dupes"], ["reorders"],
     ["retries"], ["dupes_suppressed"], ["timeouts"], ["acks"],
-    ["dead_letters"]. *)
+    ["dead_letters"], ["same_node_fast"]. *)
 
 val dead_letters : t -> int
 (** Packets addressed to site ids this cluster never loaded. *)

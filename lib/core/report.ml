@@ -18,6 +18,7 @@ type t = {
   sim_events : int;
   packets : int;
   bytes : int;
+  same_node_fast : int;
   outputs : (int * Output.event) list;
   sites : site_stats list;
   suspected_failures : (int * string) list;
@@ -44,6 +45,7 @@ let of_cluster cluster =
     sim_events = Tyco_net.Simnet.events_processed (Cluster.sim cluster);
     packets = Cluster.packets_sent cluster;
     bytes = Cluster.bytes_sent cluster;
+    same_node_fast = Cluster.same_node_fast cluster;
     outputs = Cluster.outputs cluster;
     sites = List.map site_stats (Cluster.sites cluster);
     suspected_failures = Cluster.suspected_failures cluster }
@@ -101,8 +103,9 @@ let site_json s =
 let to_json t =
   Printf.sprintf
     "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\
-     \"outputs\":%s,\"sites\":%s,\"suspected_failures\":%s}"
-    t.virtual_ns t.sim_events t.packets t.bytes
+     \"same_node_fast\":%d,\"outputs\":%s,\"sites\":%s,\
+     \"suspected_failures\":%s}"
+    t.virtual_ns t.sim_events t.packets t.bytes t.same_node_fast
     (jlist output_json t.outputs)
     (jlist site_json t.sites)
     (jlist

@@ -24,6 +24,9 @@ type t = {
   sim_events : int;
   packets : int;
   bytes : int;
+  same_node_fast : int;
+      (** deliveries that used the same-node shared-memory fast path
+          (no serialization; excluded from [packets]/[bytes]) *)
   outputs : (int * Output.event) list;
   sites : site_stats list;
   suspected_failures : (int * string) list;

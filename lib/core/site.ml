@@ -66,7 +66,7 @@ type t = {
   mutable next_class_heap : int;
   (* FETCH protocol state *)
   fetch_cache : Value.cls Netref.Tbl.t;
-  fetch_pending : Value.t list list Netref.Tbl.t;
+  fetch_pending : Value.t array list Netref.Tbl.t;
   fetch_reqs : (int, fetch_req) Hashtbl.t;
   (* import (name service) state *)
   import_reqs : (int, import_req) Hashtbl.t;
@@ -319,9 +319,9 @@ and import_deadline t req_id ~is_class =
 (* ------------------------------------------------------------------ *)
 (* Outgoing remote operations (drained after each VM quantum).         *)
 
-let start_fetch t (r : Netref.t) args =
+let start_fetch t (r : Netref.t) (args : Value.t array) =
   match Netref.Tbl.find_opt t.fetch_cache r with
-  | Some cls -> Machine.instantiate t.vm cls args
+  | Some cls -> Machine.instantiate_args t.vm cls args
   | None ->
       let pending =
         Option.value ~default:[] (Netref.Tbl.find_opt t.fetch_pending r)
@@ -338,7 +338,9 @@ let start_fetch t (r : Netref.t) args =
 let handle_remote_op t (op : Machine.remote_op) =
   match op with
   | Machine.Rmsg (dst, label, args) ->
-      send t (Packet.Pmsg { dst; label; args = List.map (to_wire t) args })
+      send t
+        (Packet.Pmsg
+           { dst; label; args = List.map (to_wire t) (Array.to_list args) })
   | Machine.Robj (dst, obj) ->
       let unit_ = Link.snapshot (Machine.area t.vm) in
       let code_unit, mtable = Bytecode.extract_mtable unit_ obj.Value.obj_mtable in
@@ -475,7 +477,9 @@ let handle_packet t (p : Packet.t) =
         Option.value ~default:[] (Netref.Tbl.find_opt t.fetch_pending nref)
       in
       Netref.Tbl.remove t.fetch_pending nref;
-      List.iter (fun args -> Machine.instantiate t.vm cls args) (List.rev pending)
+      List.iter
+        (fun args -> Machine.instantiate_args t.vm cls args)
+        (List.rev pending)
   | Packet.Pns_reply { req_id; result; rtti; _ } -> (
       match Hashtbl.find_opt t.import_reqs req_id with
       | None ->

@@ -204,7 +204,62 @@ let to_string p =
   Wire.to_string enc
 
 let of_string s = decode (Wire.decoder s)
-let byte_size p = String.length (to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Byte accounting without encoding.
+
+   The simulated transport only needs packet {e sizes} (the bandwidth
+   term of the latency model); fully encoding into a fresh buffer per
+   send just to measure its length dominated the transport hot path.
+   These mirror the encoders arithmetically; test_net asserts
+   [byte_size p = String.length (to_string p)] for every constructor
+   so the two cannot drift. *)
+
+let wvalue_size = function
+  | Wint n -> 1 + Wire.zint_size n
+  | Wbool _ -> 2
+  | Wstr s -> 1 + Wire.string_size s
+  | Wref r -> 1 + Netref.byte_size r
+
+let wvalues_size args =
+  List.fold_left
+    (fun acc w -> acc + wvalue_size w)
+    (Wire.varint_size (List.length args))
+    args
+
+let key_size (a, b, c) =
+  Wire.varint_size a + Wire.varint_size b + Wire.varint_size c
+
+let byte_size = function
+  | Pmsg { dst; label; args } ->
+      1 + Netref.byte_size dst + Wire.string_size label + wvalues_size args
+  | Pobj { dst; code; code_key; mtable; env } ->
+      1 + Netref.byte_size dst + Wire.string_size code + key_size code_key
+      + Wire.varint_size mtable + wvalues_size env
+  | Pfetch_req { cls; req_id; requester_site; requester_ip } ->
+      1 + Netref.byte_size cls + Wire.varint_size req_id
+      + Wire.varint_size requester_site
+      + Wire.varint_size requester_ip
+  | Pfetch_rep { req_id; dst_site; dst_ip; code; code_key; group; index;
+                 env_captures } ->
+      1 + Wire.varint_size req_id + Wire.varint_size dst_site
+      + Wire.varint_size dst_ip + Wire.string_size code + key_size code_key
+      + Wire.varint_size group + Wire.varint_size index
+      + wvalues_size env_captures
+  | Pns_register { site_name; id_name; nref; rtti } ->
+      1 + Wire.string_size site_name + Wire.string_size id_name
+      + Netref.byte_size nref + Wire.string_size rtti
+  | Pns_lookup { site_name; id_name; want_class = _; req_id; requester_site;
+                 requester_ip } ->
+      1 + Wire.string_size site_name + Wire.string_size id_name + 1
+      + Wire.varint_size req_id
+      + Wire.varint_size requester_site
+      + Wire.varint_size requester_ip
+  | Pns_reply { req_id; dst_site; dst_ip; result; rtti } ->
+      1 + Wire.varint_size req_id + Wire.varint_size dst_site
+      + Wire.varint_size dst_ip
+      + (match result with None -> 1 | Some r -> 1 + Netref.byte_size r)
+      + Wire.string_size rtti
 
 (* ------------------------------------------------------------------ *)
 (* Transport frames: the at-least-once layer under the protocols.      *)
@@ -243,7 +298,12 @@ let frame_to_string f =
   Wire.to_string enc
 
 let frame_of_string s = decode_frame (Wire.decoder s)
-let frame_byte_size f = String.length (frame_to_string f)
+
+let frame_byte_size = function
+  | Fdata { src_ip; seq; payload } ->
+      1 + Wire.varint_size src_ip + Wire.varint_size seq + byte_size payload
+  | Fack { src_ip; seq } ->
+      1 + Wire.varint_size src_ip + Wire.varint_size seq
 
 let pp_wvalue ppf = function
   | Wint n -> Format.fprintf ppf "%d" n

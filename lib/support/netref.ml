@@ -18,6 +18,10 @@ let encode enc t =
   Wire.varint enc t.site_id;
   Wire.varint enc t.ip
 
+let byte_size t =
+  1 + Wire.varint_size t.heap_id + Wire.varint_size t.site_id
+  + Wire.varint_size t.ip
+
 let decode dec =
   let kind =
     match Wire.read_u8 dec with

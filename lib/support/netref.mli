@@ -32,5 +32,8 @@ val pp : Format.formatter -> t -> unit
 val encode : Wire.enc -> t -> unit
 val decode : Wire.dec -> t
 
+val byte_size : t -> int
+(** Bytes {!encode} would emit, computed arithmetically. *)
+
 module Map : Map.S with type key = t
 module Tbl : Hashtbl.S with type key = t

@@ -31,6 +31,19 @@ let zint enc v =
 
 let bool enc b = u8 enc (if b then 1 else 0)
 
+(* ------------------------------------------------------------------ *)
+(* Size arithmetic: the number of bytes each writer above would emit,
+   without allocating a buffer.  Kept next to the writers so a format
+   change cannot drift silently — the test suite asserts
+   [measured = String.length encoded] over every packet constructor. *)
+
+let varint_size v =
+  let rec go v n = if v >= 0 && v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
+let zint_size v = varint_size ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+let string_size s = varint_size (String.length s) + String.length s
+
 let float enc f =
   let bits = Int64.bits_of_float f in
   for i = 0 to 7 do

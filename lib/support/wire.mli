@@ -24,6 +24,15 @@ val varint : enc -> int -> unit
 val zint : enc -> int -> unit
 (** Signed integer, zigzag + LEB128. *)
 
+val varint_size : int -> int
+(** Bytes {!varint} would emit, without encoding. *)
+
+val zint_size : int -> int
+(** Bytes {!zint} would emit, without encoding. *)
+
+val string_size : string -> int
+(** Bytes {!string} would emit (length prefix + payload). *)
+
 val bool : enc -> bool -> unit
 val float : enc -> float -> unit
 val string : enc -> string -> unit

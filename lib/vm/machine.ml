@@ -7,9 +7,9 @@ module Instr = Tyco_compiler.Instr
 module Link = Tyco_compiler.Link
 
 type remote_op =
-  | Rmsg of Netref.t * string * Value.t list
+  | Rmsg of Netref.t * string * Value.t array
   | Robj of Netref.t * Value.obj
-  | Rfetch of Netref.t * Value.t list
+  | Rfetch of Netref.t * Value.t array
   | Rexport_name of string * Value.chan
   | Rexport_class of string * Value.cls
   | Rimport of {
@@ -32,6 +32,11 @@ type t = {
   runq : thread Dq.t;
   remote : remote_op Dq.t;
   mutable chan_uid : int;
+  (* Operand stack, shared by all threads of this machine: a thread runs
+     to completion and leaves the stack empty, so one growable array
+     replaces a freshly-consed list per thread. *)
+  mutable ostack : Value.t array;
+  mutable osp : int;
   stats : Stats.t;
   c_instr : Stats.Counter.t;
   c_threads : Stats.Counter.t;
@@ -51,6 +56,8 @@ let create ?(name = "site") area =
     runq = Dq.create ();
     remote = Dq.create ();
     chan_uid = 0;
+    ostack = Array.make 64 (Value.Vint 0);
+    osp = 0;
     stats;
     c_instr = Stats.counter stats "instructions";
     c_threads = Stats.counter stats "threads";
@@ -87,44 +94,64 @@ let frame_for t ~block ~init =
 let spawn t ~block ~env =
   Dq.push_back t.runq { t_block = block; t_env = frame_for t ~block ~init:env }
 
+(* Frame [args..][extra..] built with two blits — the method-fire and
+   instantiation paths, where the old [args @ Array.to_list env] rebuilt
+   both sides as lists. *)
+let spawn_call t ~block ~(args : Value.t array) ~(extra : Value.t array) =
+  let blk = Link.block t.area block in
+  let na = Array.length args and ne = Array.length extra in
+  let frame =
+    Array.make (max blk.Block.blk_nslots (na + ne)) (Value.Vint 0)
+  in
+  Array.blit args 0 frame 0 na;
+  Array.blit extra 0 frame na ne;
+  Dq.push_back t.runq { t_block = block; t_env = frame }
+
 let spawn_entry t ~entry ~io = spawn t ~block:entry ~env:[ Value.Vchan io ]
 
-(* Fire a method: the object's method table entry for [label] runs with
-   frame [args..][closure env..]. *)
-let fire_method t (obj : Value.obj) label (args : Value.t list) =
+(* Fire a method: the object's method table entry for interned label
+   [lid] runs with frame [args..][closure env..].  The entry is found
+   through the area's direct-mapped dispatch table — O(1), no string
+   comparison. *)
+let fire_method t (obj : Value.obj) ~lid (args : Value.t array) =
+  let idx = Link.method_entry t.area obj.Value.obj_mtable ~lid in
+  if idx < 0 then
+    err "%s: no method '%s' at object (protocol error)" t.name
+      (if lid >= 0 && lid < Link.n_labels t.area then
+         Link.label_name t.area lid
+       else "<unknown label>");
   let mt = Link.mtable t.area obj.Value.obj_mtable in
-  let entry =
-    match
-      Array.to_list mt.Block.mt_entries
-      |> List.find_opt (fun (e : Block.mentry) -> String.equal e.Block.me_label label)
-    with
-    | Some e -> e
-    | None -> err "no method '%s' at object (protocol error)" label
-  in
-  if entry.Block.me_nparams <> List.length args then
-    err "method '%s': expected %d argument(s), got %d" label
-      entry.Block.me_nparams (List.length args);
+  let entry = mt.Block.mt_entries.(idx) in
+  if entry.Block.me_nparams <> Array.length args then
+    err "%s: method '%s': expected %d argument(s), got %d" t.name
+      entry.Block.me_label entry.Block.me_nparams (Array.length args);
   Stats.Counter.incr t.c_comm;
-  spawn t ~block:entry.Block.me_block
-    ~env:(args @ Array.to_list obj.Value.obj_env)
+  spawn_call t ~block:entry.Block.me_block ~args ~extra:obj.Value.obj_env
 
-let inject_msg t (chan : Value.chan) label args =
+(* Hot path: label already interned (Trmsg operand, parked message). *)
+let inject_msg_id t (chan : Value.chan) ~lid (args : Value.t array) =
   match chan.Value.ch_state with
-  | Value.Builtin handler -> handler label args
+  | Value.Builtin handler ->
+      handler (Link.label_name t.area lid) (Array.to_list args)
   | Value.Objs q ->
       let obj =
         match Dq.pop_front q with Some o -> o | None -> assert false
       in
       if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      fire_method t obj label args
+      fire_method t obj ~lid args
   | Value.Empty ->
       let q = Dq.create () in
-      Dq.push_back q { Value.msg_label = label; msg_args = args };
+      Dq.push_back q { Value.msg_lid = lid; msg_args = args };
       Stats.Counter.incr t.c_msgs_parked;
       chan.Value.ch_state <- Value.Msgs q
   | Value.Msgs q ->
       Stats.Counter.incr t.c_msgs_parked;
-      Dq.push_back q { Value.msg_label = label; msg_args = args }
+      Dq.push_back q { Value.msg_lid = lid; msg_args = args }
+
+(* Cold entry point for the embedding site (packet delivery, builtin
+   replies): labels arrive as strings and are interned here. *)
+let inject_msg t chan label args =
+  inject_msg_id t chan ~lid:(Link.intern t.area label) (Array.of_list args)
 
 let inject_obj t (chan : Value.chan) (obj : Value.obj) =
   match chan.Value.ch_state with
@@ -132,7 +159,7 @@ let inject_obj t (chan : Value.chan) (obj : Value.obj) =
   | Value.Msgs q ->
       let m = match Dq.pop_front q with Some m -> m | None -> assert false in
       if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      fire_method t obj m.Value.msg_label m.Value.msg_args
+      fire_method t obj ~lid:m.Value.msg_lid m.Value.msg_args
   | Value.Empty ->
       let q = Dq.create () in
       Dq.push_back q obj;
@@ -142,15 +169,16 @@ let inject_obj t (chan : Value.chan) (obj : Value.obj) =
       Stats.Counter.incr t.c_objs_parked;
       Dq.push_back q obj
 
-let instantiate t (cls : Value.cls) args =
+let instantiate_args t (cls : Value.cls) (args : Value.t array) =
   let g = Link.group t.area cls.Value.cls_group in
   let sig_ = g.Block.grp_classes.(cls.Value.cls_index) in
-  if sig_.Block.cls_nparams <> List.length args then
-    err "class '%s': expected %d argument(s), got %d" sig_.Block.cls_name
-      sig_.Block.cls_nparams (List.length args);
+  if sig_.Block.cls_nparams <> Array.length args then
+    err "%s: class '%s': expected %d argument(s), got %d" t.name
+      sig_.Block.cls_name sig_.Block.cls_nparams (Array.length args);
   Stats.Counter.incr t.c_insts;
-  spawn t ~block:sig_.Block.cls_block
-    ~env:(args @ Array.to_list cls.Value.cls_env)
+  spawn_call t ~block:sig_.Block.cls_block ~args ~extra:cls.Value.cls_env
+
+let instantiate t cls args = instantiate_args t cls (Array.of_list args)
 
 (* ------------------------------------------------------------------ *)
 (* Instruction execution.                                              *)
@@ -187,17 +215,29 @@ let exec_binop op a b =
   | Ast.And -> Value.Vbool (as_bool a && as_bool b)
   | Ast.Or -> Value.Vbool (as_bool a || as_bool b)
 
-(* Pop [n] argument values pushed left-to-right: the top of stack is the
-   last argument. *)
-let pop_args stack n =
-  let rec go acc stack n =
-    if n = 0 then (acc, stack)
-    else
-      match stack with
-      | v :: rest -> go (v :: acc) rest (n - 1)
-      | [] -> err "operand stack underflow"
-  in
-  go [] stack n
+(* Operand-stack primitives over the machine-owned array. *)
+
+let[@inline] push_op t v =
+  (if t.osp = Array.length t.ostack then begin
+     let bigger = Array.make (2 * Array.length t.ostack) (Value.Vint 0) in
+     Array.blit t.ostack 0 bigger 0 t.osp;
+     t.ostack <- bigger
+   end);
+  Array.unsafe_set t.ostack t.osp v;
+  t.osp <- t.osp + 1
+
+let[@inline] pop_op t =
+  if t.osp = 0 then err "operand stack underflow";
+  t.osp <- t.osp - 1;
+  Array.unsafe_get t.ostack t.osp
+
+(* Pop [n] argument values pushed left-to-right: one [Array.sub] of the
+   stack's top segment — the stack grows upward, so the segment is
+   already in argument order. *)
+let pop_args t n =
+  if t.osp < n then err "operand stack underflow";
+  t.osp <- t.osp - n;
+  Array.sub t.ostack t.osp n
 
 let push_remote t op =
   Stats.Counter.incr t.c_remote;
@@ -206,73 +246,67 @@ let push_remote t op =
 (* Execute one thread to completion; returns instructions executed and
    their summed virtual-time cost. *)
 let run_thread t (th : thread) =
-  let blk = Link.block t.area th.t_block in
-  let code = blk.Block.blk_code in
+  let code = (Link.block t.area th.t_block).Block.blk_code in
+  (* Per-pc costs precomputed at link time: the step loop adds an array
+     element instead of re-dispatching on the instruction. *)
+  let costs = Link.costs t.area th.t_block in
   let env = th.t_env in
   let executed = ref 0 in
   let cost = ref 0 in
-  let rec step pc stack =
+  t.osp <- 0;
+  let rec step pc =
     if pc >= Array.length code then ()
     else begin
       incr executed;
-      cost := !cost + Instr.cost code.(pc);
-      match code.(pc) with
-      | Instr.Push_int n -> step (pc + 1) (Value.Vint n :: stack)
-      | Instr.Push_bool b -> step (pc + 1) (Value.Vbool b :: stack)
-      | Instr.Push_str s -> step (pc + 1) (Value.Vstr s :: stack)
-      | Instr.Load i -> step (pc + 1) (env.(i) :: stack)
-      | Instr.Store i -> (
-          match stack with
-          | v :: rest ->
-              env.(i) <- v;
-              step (pc + 1) rest
-          | [] -> err "operand stack underflow")
-      | Instr.Binop op -> (
-          match stack with
-          | b :: a :: rest -> step (pc + 1) (exec_binop op a b :: rest)
-          | _ -> err "operand stack underflow")
-      | Instr.Unop Ast.Neg -> (
-          match stack with
-          | a :: rest -> step (pc + 1) (Value.Vint (-as_int a) :: rest)
-          | [] -> err "operand stack underflow")
-      | Instr.Unop Ast.Not -> (
-          match stack with
-          | a :: rest -> step (pc + 1) (Value.Vbool (not (as_bool a)) :: rest)
-          | [] -> err "operand stack underflow")
-      | Instr.Jump target -> step target stack
-      | Instr.Jump_if_false target -> (
-          match stack with
-          | v :: rest ->
-              if as_bool v then step (pc + 1) rest else step target rest
-          | [] -> err "operand stack underflow")
+      cost := !cost + Array.unsafe_get costs pc;
+      match Array.unsafe_get code pc with
+      | Instr.Push_int n -> push_op t (Value.Vint n); step (pc + 1)
+      | Instr.Push_bool b -> push_op t (Value.Vbool b); step (pc + 1)
+      | Instr.Push_str s -> push_op t (Value.Vstr s); step (pc + 1)
+      | Instr.Load i -> push_op t env.(i); step (pc + 1)
+      | Instr.Store i ->
+          env.(i) <- pop_op t;
+          step (pc + 1)
+      | Instr.Binop op ->
+          let b = pop_op t in
+          let a = pop_op t in
+          push_op t (exec_binop op a b);
+          step (pc + 1)
+      | Instr.Unop Ast.Neg ->
+          push_op t (Value.Vint (-as_int (pop_op t)));
+          step (pc + 1)
+      | Instr.Unop Ast.Not ->
+          push_op t (Value.Vbool (not (as_bool (pop_op t))));
+          step (pc + 1)
+      | Instr.Jump target -> step target
+      | Instr.Jump_if_false target ->
+          if as_bool (pop_op t) then step (pc + 1) else step target
       | Instr.New_chan slot ->
           env.(slot) <- Value.Vchan (new_chan t "c");
-          step (pc + 1) stack
-      | Instr.Trmsg (label, argc) -> (
-          match stack with
-          | target :: rest ->
-              let args, rest = pop_args rest argc in
-              (match target with
-              | Value.Vchan c -> inject_msg t c label args
-              | Value.Vnetref r -> push_remote t (Rmsg (r, label, args))
-              | v -> err "trmsg target is %s, not a channel" (Value.type_name v));
-              step (pc + 1) rest
-          | [] -> err "operand stack underflow")
+          step (pc + 1)
+      | Instr.Trmsg { lid; argc; _ } ->
+          let target = pop_op t in
+          let args = pop_args t argc in
+          (match target with
+          | Value.Vchan c -> inject_msg_id t c ~lid args
+          | Value.Vnetref r ->
+              push_remote t (Rmsg (r, Link.label_name t.area lid, args))
+          | v -> err "trmsg target is %s, not a channel" (Value.type_name v));
+          step (pc + 1)
       | Instr.Trobj mt_id -> (
           let mt = Link.mtable t.area mt_id in
           let captured =
             Array.map (fun slot -> env.(slot)) mt.Block.mt_captures
           in
           let obj = { Value.obj_mtable = mt_id; obj_env = captured } in
-          match stack with
-          | Value.Vchan c :: rest ->
+          match pop_op t with
+          | Value.Vchan c ->
               inject_obj t c obj;
-              step (pc + 1) rest
-          | Value.Vnetref r :: rest ->
+              step (pc + 1)
+          | Value.Vnetref r ->
               push_remote t (Robj (r, obj));
-              step (pc + 1) rest
-          | v :: _ -> err "trobj target is %s, not a channel" (Value.type_name v)
-          | [] -> err "operand stack underflow")
+              step (pc + 1)
+          | v -> err "trobj target is %s, not a channel" (Value.type_name v))
       | Instr.Defgroup gid ->
           Stats.Counter.incr t.c_defgroups;
           let g = Link.group t.area gid in
@@ -291,47 +325,42 @@ let run_thread t (th : thread) =
               shared.(ncap + i) <- v;
               env.(g.Block.grp_slots.(i)) <- v)
             g.Block.grp_classes;
-          step (pc + 1) stack
-      | Instr.Instof argc -> (
-          match stack with
-          | target :: rest ->
-              let args, rest = pop_args rest argc in
-              (match target with
-              | Value.Vclass c -> instantiate t c args
-              | Value.Vclassref r -> push_remote t (Rfetch (r, args))
-              | v -> err "instof target is %s, not a class" (Value.type_name v));
-              step (pc + 1) rest
-          | [] -> err "operand stack underflow")
+          step (pc + 1)
+      | Instr.Instof argc ->
+          let target = pop_op t in
+          let args = pop_args t argc in
+          (match target with
+          | Value.Vclass c -> instantiate_args t c args
+          | Value.Vclassref r -> push_remote t (Rfetch (r, args))
+          | v -> err "instof target is %s, not a class" (Value.type_name v));
+          step (pc + 1)
       | Instr.Export_name x -> (
-          match stack with
-          | Value.Vchan c :: rest ->
+          match pop_op t with
+          | Value.Vchan c ->
               push_remote t (Rexport_name (x, c));
-              step (pc + 1) rest
-          | v :: _ ->
-              err "export of %s, not a local channel"
-                (Value.type_name (match v with v -> v))
-          | [] -> err "operand stack underflow")
+              step (pc + 1)
+          | v -> err "export of %s, not a local channel" (Value.type_name v))
       | Instr.Export_class (x, slot) -> (
           match env.(slot) with
           | Value.Vclass c ->
               push_remote t (Rexport_class (x, c));
-              step (pc + 1) stack
+              step (pc + 1)
           | v -> err "export of %s, not a local class" (Value.type_name v))
       | Instr.Import_name { site; name; cont; captures } ->
           push_remote t
             (Rimport
                { site; name; is_class = false; cont;
                  captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
-          step (pc + 1) stack
+          step (pc + 1)
       | Instr.Import_class { site; name; cont; captures } ->
           push_remote t
             (Rimport
                { site; name; is_class = true; cont;
                  captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
-          step (pc + 1) stack
+          step (pc + 1)
     end
   in
-  step 0 [];
+  step 0;
   (!executed, !cost)
 
 let runnable t = not (Dq.is_empty t.runq)

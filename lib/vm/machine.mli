@@ -4,7 +4,9 @@
     area} (a {!Tyco_compiler.Link.area}, growable by dynamic linking),
     a {e heap} of channels, a {e run-queue} of threads, a {e local
     variable table} (each thread's frame) and an {e operand stack}
-    (per-thread, used by builtin expressions).
+    (used by builtin expressions; one machine-owned growable array,
+    reused across threads — a thread runs to completion and leaves it
+    empty, so nothing is allocated per thread).
 
     It is deliberately network-blind: instructions whose target is a
     network reference — [trmsg]/[trobj] on a remote name, [instof] on a
@@ -24,11 +26,11 @@ type t
 
 (** Remote effects surfaced to the embedding site, in program order. *)
 type remote_op =
-  | Rmsg of Tyco_support.Netref.t * string * Value.t list
+  | Rmsg of Tyco_support.Netref.t * string * Value.t array
       (** remote method invocation — the SHIPM path *)
   | Robj of Tyco_support.Netref.t * Value.obj
       (** object migration — the SHIPO path *)
-  | Rfetch of Tyco_support.Netref.t * Value.t list
+  | Rfetch of Tyco_support.Netref.t * Value.t array
       (** instantiation of a remote class: FETCH request, instantiation
           args parked until the code arrives *)
   | Rexport_name of string * Value.chan
@@ -59,13 +61,23 @@ val spawn_entry : t -> entry:int -> io:Value.chan -> unit
 
 val inject_msg : t -> Value.chan -> string -> Value.t list -> unit
 (** Deliver a message to a local channel (local [trmsg]); fires a
-    waiting object or parks. *)
+    waiting object or parks.  Cold entry point: the label is interned
+    into the area's label table here.  The VM's own hot paths carry the
+    interned id and never re-hash the string. *)
+
+val inject_msg_id : t -> Value.chan -> lid:int -> Value.t array -> unit
+(** Hot-path variant of {!inject_msg} for callers that already hold the
+    interned label id (see {!Tyco_compiler.Link.intern}). *)
 
 val inject_obj : t -> Value.chan -> Value.obj -> unit
 
 val instantiate : t -> Value.cls -> Value.t list -> unit
 (** Run one instantiation (used for fetched classes and directly by
     [instof]). *)
+
+val instantiate_args : t -> Value.cls -> Value.t array -> unit
+(** {!instantiate} without the list→array conversion, for callers that
+    already hold the argument array (e.g. parked FETCH arguments). *)
 
 val runnable : t -> bool
 

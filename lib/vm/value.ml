@@ -22,7 +22,7 @@ and chan_state =
   | Objs of obj Dq.t
   | Builtin of (string -> t list -> unit)
 
-and msg = { msg_label : string; msg_args : t list }
+and msg = { msg_lid : int; msg_args : t array }
 and obj = { obj_mtable : int; obj_env : t array }
 and cls = { cls_group : int; cls_index : int; cls_env : t array }
 

@@ -35,7 +35,11 @@ and chan_state =
   | Objs of obj Tyco_support.Dq.t
   | Builtin of (string -> t list -> unit)
 
-and msg = { msg_label : string; msg_args : t list }
+and msg = { msg_lid : int; msg_args : t array }
+(** A parked message.  [msg_lid] is the label interned in the owning
+    site's program area ({!Tyco_compiler.Link.intern}); matching a
+    parked message against an arriving object is an integer-indexed
+    table lookup, never a string comparison. *)
 
 (** An object closure: a method table (program-area index) plus the
     captured environment shared by its methods. *)

@@ -21,7 +21,9 @@ let compile_message () =
   let u = compile "new x x!m[1, 2]" in
   check Alcotest.int "one block" 1 (Array.length u.Block.blocks);
   check Alcotest.bool "trmsg emitted" true
-    (has_instr u (function Instr.Trmsg ("m", 2) -> true | _ -> false));
+    (has_instr u (function
+      | Instr.Trmsg { label = "m"; argc = 2; _ } -> true
+      | _ -> false));
   check Alcotest.bool "newc emitted" true
     (has_instr u (function Instr.New_chan _ -> true | _ -> false))
 

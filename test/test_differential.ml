@@ -18,6 +18,7 @@ type stage_kind =
   | Fanout                (* next![v] twice *)
   | Collatz               (* if v % 2 == 0 then next![v / 2] else next![v * 3 + 1] *)
   | Via_class             (* k <- Double[v]; next![k] — fetches when remote *)
+  | Dispatch              (* multi-label object: val re-dispatches to even/odd *)
 
 type spec = {
   n_sites : int;
@@ -53,26 +54,40 @@ let render (s : spec) : string =
         else
           let next = Printf.sprintf "f%d" (i + 1) in
           let next_site = stage_site (i + 1) in
-          let body =
-            match kind with
-            | Forward c -> Printf.sprintf "next![v + %d]" c
-            | Fanout -> "(next![v] | next![v])"
-            | Collatz ->
-                "(if v % 2 == 0 then next![v / 2] else next![v * 3 + 1])"
-            | Via_class ->
-                "new k (Double[v, k] | k?(w) = next![w])"
-          in
           let def =
-            Printf.sprintf
-              "def L%d(me, next) = me?(v) = (%s | L%d[me, next]) in L%d[%s, %s]"
-              i body i i me next
+            match kind with
+            | Dispatch ->
+                (* Three labels on one channel: the plain [val] send from
+                   the previous stage is re-dispatched to a sibling label
+                   chosen by parity, so both the parked-message and the
+                   parked-object matching paths see distinct interned
+                   label ids on the same channel. *)
+                Printf.sprintf
+                  "def L%d(me, next) = me?{ val(v) = (L%d[me, next] | if v \
+                   %% 2 == 0 then me!even[v] else me!odd[v]), even(v) = \
+                   (next![v + 1] | L%d[me, next]), odd(v) = (next![v * 3] | \
+                   L%d[me, next]) } in L%d[%s, %s]"
+                  i i i i i me next
+            | Forward _ | Fanout | Collatz | Via_class ->
+                let body =
+                  match kind with
+                  | Forward c -> Printf.sprintf "next![v + %d]" c
+                  | Fanout -> "(next![v] | next![v])"
+                  | Collatz ->
+                      "(if v % 2 == 0 then next![v / 2] else next![v * 3 + 1])"
+                  | Via_class -> "new k (Double[v, k] | k?(w) = next![w])"
+                  | Dispatch -> assert false
+                in
+                Printf.sprintf
+                  "def L%d(me, next) = me?(v) = (%s | L%d[me, next]) in L%d[%s, %s]"
+                  i body i i me next
           in
           let def =
             match kind with
             | Via_class ->
                 Printf.sprintf "import Double from %s in %s"
                   (site_name s.class_site) def
-            | Forward _ | Fanout | Collatz -> def
+            | Forward _ | Fanout | Collatz | Dispatch -> def
           in
           Printf.sprintf "export new %s import %s from %s in %s" me next
             (site_name next_site) def
@@ -117,7 +132,8 @@ let gen_spec =
             [ map (fun c -> Forward c) (int_range 0 9);
               return Fanout;
               return Collatz;
-              return Via_class ]))
+              return Via_class;
+              return Dispatch ]))
   in
   let* class_site = int_range 0 (n_sites - 1) in
   let* injector_site = int_range 0 (n_sites - 1) in
@@ -151,7 +167,7 @@ let regression_pipeline () =
     { n_sites = 3;
       stages =
         [ (0, Forward 3); (1, Via_class); (2, Collatz); (1, Fanout);
-          (0, Forward 1) ];
+          (2, Dispatch); (0, Forward 1) ];
       class_site = 2;
       injector_site = 1;
       tokens = [ 1; 8; 13 ] }

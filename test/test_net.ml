@@ -103,6 +103,58 @@ let packet_size_is_wire_size =
        gen_packet (fun p ->
          Packet.byte_size p = String.length (Packet.to_string p)))
 
+(* Deterministic companion to the property above: one sample of every
+   packet and frame constructor, so a size-arithmetic bug in a rarely
+   generated branch fails by name rather than by shrunk counterexample.
+   [byte_size]/[frame_byte_size] are computed arithmetically (no
+   encode-to-measure) and must agree with the encoder exactly. *)
+let packet_size_every_constructor () =
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:300 ~site_id:2 ~ip:1 in
+  let cr = Netref.make ~kind:Netref.Class ~heap_id:0 ~site_id:129 ~ip:3 in
+  let args =
+    [ Packet.Wint (-5); Packet.Wbool true; Packet.Wstr "payload";
+      Packet.Wref r; Packet.Wref cr; Packet.Wint max_int ]
+  in
+  let samples =
+    [ Packet.Pmsg { dst = r; label = "bump"; args };
+      Packet.Pmsg { dst = r; label = ""; args = [] };
+      Packet.Pobj
+        { dst = r; code = String.make 200 '\x7f'; code_key = (1, 2, 300);
+          mtable = 129; env = args };
+      Packet.Pfetch_req
+        { cls = cr; req_id = 1000; requester_site = 0; requester_ip = 200 };
+      Packet.Pfetch_rep
+        { req_id = 300; dst_site = 1; dst_ip = 0; code = "bytecode";
+          code_key = (0, 0, 0); group = 128; index = 1;
+          env_captures = args };
+      Packet.Pns_register
+        { site_name = "server"; id_name = "p"; nref = cr; rtti = "\x01\x02" };
+      Packet.Pns_register
+        { site_name = ""; id_name = ""; nref = r; rtti = "" };
+      Packet.Pns_lookup
+        { site_name = "server"; id_name = "p"; want_class = false;
+          req_id = 129; requester_site = 3; requester_ip = 1 };
+      Packet.Pns_reply
+        { req_id = 9; dst_site = 2; dst_ip = 1; result = Some cr; rtti = "d" };
+      Packet.Pns_reply
+        { req_id = 129; dst_site = 0; dst_ip = 0; result = None; rtti = "" } ]
+  in
+  List.iter
+    (fun p ->
+      check Alcotest.int
+        (Format.asprintf "byte_size %a" Packet.pp p)
+        (String.length (Packet.to_string p))
+        (Packet.byte_size p))
+    samples;
+  List.iter
+    (fun f ->
+      check Alcotest.int
+        (Format.asprintf "frame_byte_size %a" Packet.pp_frame f)
+        (String.length (Packet.frame_to_string f))
+        (Packet.frame_byte_size f))
+    [ Packet.Fdata { src_ip = 129; seq = 1000; payload = List.hd samples };
+      Packet.Fack { src_ip = 0; seq = 130 } ]
+
 let packet_dst_routing () =
   let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:3 ~ip:7 in
   check Alcotest.int "msg routes to owner ip" 7
@@ -369,6 +421,7 @@ let tests =
     ("latency custom formula", `Quick, latency_custom);
     packet_roundtrip;
     packet_size_is_wire_size;
+    ("byte_size per constructor", `Quick, packet_size_every_constructor);
     ("packet routing", `Quick, packet_dst_routing);
     ("packet malformed", `Quick, packet_malformed);
     ("export table", `Quick, export_table_stable);

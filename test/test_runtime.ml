@@ -398,6 +398,52 @@ let isolated_tests =
 let tests = tests @ isolated_tests
 
 (* ------------------------------------------------------------------ *)
+(* Same-node shared-memory fast path                                   *)
+
+let fast_path_src =
+  {| site a { export new p p?(v) = io!printi[v] }
+     site b { import p from a in p![5] } |}
+
+let expected_fast_path_events =
+  [ { Output.site = "a"; label = "printi"; args = [ Output.Oint 5 ] } ]
+
+let same_node_fast_path () =
+  (* everything on node 0 — also the name service's node — so every
+     delivery is intra-node: the whole run must cross the fabric zero
+     times (no serialization happens at all; byte accounting would
+     have recorded it) *)
+  let all0 = run ~placement:(fun _ -> 0) fast_path_src in
+  check (Alcotest.list ev_testable) "outputs" expected_fast_path_events
+    (events all0);
+  check Alcotest.int "no fabric packets" 0 all0.Api.packets;
+  check Alcotest.int "no fabric bytes" 0 all0.Api.bytes;
+  check Alcotest.bool "fast path used" true
+    (Cluster.same_node_fast all0.Api.cluster > 0);
+  (* spread over nodes 1 and 2 — away from the name service on node 0 —
+     every send crosses the fabric and the fast path never fires *)
+  let cross =
+    run ~placement:(fun n -> if n = "a" then 1 else 2) fast_path_src
+  in
+  check (Alcotest.list ev_testable) "same outputs" expected_fast_path_events
+    (events cross);
+  check Alcotest.int "fast path unused cross-node" 0
+    (Cluster.same_node_fast cross.Api.cluster);
+  check Alcotest.bool "packets crossed the fabric" true (cross.Api.packets > 0)
+
+let same_node_fast_path_reliable () =
+  (* reliable mode normally frames, acks and retransmits — intra-node
+     traffic must skip all of it *)
+  let cfg = { Cluster.default_config with Cluster.reliable = true } in
+  let r = run ~config:cfg ~placement:(fun _ -> 0) fast_path_src in
+  check (Alcotest.list ev_testable) "outputs" expected_fast_path_events
+    (events r);
+  check Alcotest.int "no frames" 0 r.Api.packets;
+  check Alcotest.int "no acks" 0
+    (Tyco_support.Stats.counter_value (Cluster.stats r.Api.cluster) "acks");
+  check Alcotest.bool "fast path used" true
+    (Cluster.same_node_fast r.Api.cluster > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Replicated name service (paper future work)                         *)
 
 let replicated_cfg =
@@ -426,9 +472,14 @@ let replicated_ns_faster_lookups () =
   let repl = run ~config:replicated_cfg src in
   check Alcotest.bool "same outputs" true
     (Output.same_multiset (events central) (events repl));
-  (* replication broadcasts registrations, so more packets... *)
-  check Alcotest.bool "more packets (broadcast)" true
-    (repl.Api.packets > central.Api.packets);
+  (* local replicas turn the lookup round-trips into same-node
+     shared-memory deliveries; even with the registration broadcast,
+     fewer packets cross the fabric than under the centralized service *)
+  check Alcotest.bool "fewer fabric packets (local lookups)" true
+    (repl.Api.packets < central.Api.packets);
+  check Alcotest.bool "more same-node deliveries" true
+    (Cluster.same_node_fast repl.Api.cluster
+    > Cluster.same_node_fast central.Api.cluster);
   (* ...but the time to the last resolution should not regress much *)
   check Alcotest.bool "not slower than 1.5x" true
     (float_of_int repl.Api.virtual_ns
@@ -476,7 +527,9 @@ let replicated_ns_fewer_replicas_than_nodes () =
     (Cluster.name_service_pending repl.Api.cluster)
 
 let replicated_tests =
-  [ ("replicated NS: same outputs", `Quick, replicated_ns_same_outputs);
+  [ ("same-node fast path", `Quick, same_node_fast_path);
+    ("same-node fast path (reliable)", `Quick, same_node_fast_path_reliable);
+    ("replicated NS: same outputs", `Quick, replicated_ns_same_outputs);
     ("replicated NS: broadcast vs lookups", `Quick, replicated_ns_faster_lookups);
     ("replicated NS: registration race", `Quick, replicated_ns_race);
     ( "replicated NS: nodes > replicas",

@@ -200,7 +200,7 @@ let remote_msg_surfaces () =
   Machine.spawn vm ~block:1 ~env:[ Value.Vnetref r ];
   ignore (Machine.run vm ~budget:1000);
   match Machine.pop_remote_op vm with
-  | Some (Machine.Rmsg (r', "val", [ Value.Vint 1 ])) ->
+  | Some (Machine.Rmsg (r', "val", [| Value.Vint 1 |])) ->
       check Alcotest.bool "same ref" true (Netref.equal r r')
   | _ -> Alcotest.fail "expected Rmsg"
 
@@ -213,7 +213,7 @@ let fetch_surfaces () =
   Machine.spawn vm ~block:1 ~env:[ Value.Vclassref r ];
   ignore (Machine.run vm ~budget:1000);
   match Machine.pop_remote_op vm with
-  | Some (Machine.Rfetch (r', [ Value.Vint 5 ])) ->
+  | Some (Machine.Rfetch (r', [| Value.Vint 5 |])) ->
       check Alcotest.bool "same ref" true (Netref.equal r r')
   | _ -> Alcotest.fail "expected Rfetch"
 
