@@ -658,6 +658,33 @@ let e15 () =
       retry =
         { Cluster.default_retry_params with Cluster.rto_ns = 12_000_000 } }
 
+(* ------------------------------------------------------------------ *)
+(* Traced E1: one iteration of the E1 workload with causal tracing on. *)
+(* Exercises the observability layer end-to-end and leaves the trace   *)
+(* as an artifact (CI uploads it); the gated E1 numbers above are      *)
+(* measured with tracing off, so this also documents that the default  *)
+(* path carries no tracing cost.                                       *)
+
+let traced_e1 out =
+  section "E1-traced" "one traced E1 iteration (causal trace artifact)";
+  let config = { Cluster.default_config with Cluster.tracing = true } in
+  let r = run ~config (counter_src 200) in
+  let tr = Cluster.tracer r.Api.cluster in
+  let events = List.length (Tyco_support.Trace.events tr) in
+  let data =
+    if Filename.check_suffix out ".json" then
+      Tyco_support.Trace.to_chrome_json tr
+    else Tyco_support.Trace.serialize tr
+  in
+  let oc = open_out_bin out in
+  output_string oc data;
+  close_out oc;
+  row "  %d trace events, %d bytes written to %s@." events
+    (String.length data) out;
+  record_i "e1_trace_events" events
+
+let trace_out = ref None
+
 let () =
   let rec parse = function
     | [] -> ()
@@ -670,9 +697,13 @@ let () =
     | "--out" :: path :: rest ->
         json_path := path;
         parse rest
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: %s [--smoke] [--json] [--out FILE]  (unknown arg %s)\n"
+          "usage: %s [--smoke] [--json] [--out FILE] [--trace-out FILE]  \
+           (unknown arg %s)\n"
           Sys.argv.(0) arg;
         exit 2
   in
@@ -702,5 +733,6 @@ let () =
     e14 ();
     e15 ()
   end;
+  (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();
   Format.printf "@.done.@."

@@ -1,0 +1,218 @@
+(* tyco-trace — offline analysis of causal trace archives.
+
+   A traced run ([tycosh --trace-out FILE], or [--run] here) records
+   every VM, protocol and transport event as a node in a causal tree:
+   thread spans parent the packets they send, packets parent the
+   threads they spawn on the remote site.  This tool loads such an
+   archive (the versioned "TYCT" binary form of {!Tyco_support.Trace})
+   and answers the profiling question directly: which message chains
+   were slowest, and where inside each chain did the time go. *)
+
+module Trace = Tyco_support.Trace
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Run a network program on a fresh traced cluster and capture its
+   archive — profiling without the intermediate file. *)
+let run_traced path nodes seed =
+  let config =
+    { Dityco.Cluster.default_config with
+      Dityco.Cluster.nodes;
+      seed;
+      tracing = true }
+  in
+  let prog = Dityco.Api.parse ~file:path (read_file path) in
+  let r = Dityco.Api.run_program ~config prog in
+  let tr = Dityco.Cluster.tracer r.Dityco.Api.cluster in
+  { Trace.ar_tracks = Trace.tracks tr;
+    ar_dropped = Trace.dropped tr;
+    ar_events = Trace.events tr }
+
+(* ------------------------------------------------------------------ *)
+(* Causal chains: one per trace_id (= one root span), events in       *)
+(* timestamp order as {!Trace.events} already yields them.            *)
+
+type chain = {
+  c_trace : int;
+  c_start : int;
+  c_finish : int;               (* max over events of ts + dur *)
+  c_hops : int;                 (* Send events: wire crossings *)
+  c_events : Trace.event list;  (* chronological *)
+}
+
+let chains_of (ar : Trace.archive) =
+  let by_trace = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let id = e.Trace.ev_span.Trace.trace_id in
+      if id <> 0 then
+        let prev = try Hashtbl.find by_trace id with Not_found -> [] in
+        Hashtbl.replace by_trace id (e :: prev))
+    ar.Trace.ar_events;
+  Hashtbl.fold
+    (fun id rev_events acc ->
+      let events = List.rev rev_events in
+      let start =
+        List.fold_left
+          (fun m (e : Trace.event) -> min m e.Trace.ev_ts)
+          max_int events
+      in
+      let finish =
+        List.fold_left
+          (fun m (e : Trace.event) -> max m (e.Trace.ev_ts + e.Trace.ev_dur))
+          0 events
+      in
+      let hops =
+        List.fold_left
+          (fun n (e : Trace.event) ->
+            match e.Trace.ev_kind with Trace.Send _ -> n + 1 | _ -> n)
+          0 events
+      in
+      { c_trace = id;
+        c_start = start;
+        c_finish = finish;
+        c_hops = hops;
+        c_events = events }
+      :: acc)
+    by_trace []
+
+let duration c = c.c_finish - c.c_start
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let kind_detail = function
+  | Trace.Run_slice { instrs; cost } ->
+      Printf.sprintf "  %d instrs, %dns" instrs cost
+  | Trace.Send { pk; bytes } ->
+      Printf.sprintf "  %s, %dB" (Trace.pk_name pk) bytes
+  | Trace.Deliver { pk; same_node } ->
+      Printf.sprintf "  %s%s" (Trace.pk_name pk)
+        (if same_node then ", same-node" else "")
+  | Trace.Link_code { bytes } -> Printf.sprintf "  %dB" bytes
+  | Trace.Retransmit { attempt } -> Printf.sprintf "  attempt %d" attempt
+  | _ -> ""
+
+let print_chain track_name c =
+  Printf.printf "-- chain %d: %dns, %d events, %d wire hops\n" c.c_trace
+    (duration c) (List.length c.c_events) c.c_hops;
+  List.iter
+    (fun (e : Trace.event) ->
+      Printf.printf "   +%9dns  %-10s %-13s%s\n"
+        (e.Trace.ev_ts - c.c_start)
+        (track_name e.Trace.ev_track)
+        (Trace.kind_name e.Trace.ev_kind)
+        (kind_detail e.Trace.ev_kind))
+    c.c_events
+
+let analyze (ar : Trace.archive) top =
+  let track_name =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun (id, name) -> Hashtbl.replace tbl id name) ar.Trace.ar_tracks;
+    fun id ->
+      try Hashtbl.find tbl id
+      with Not_found -> if id = Trace.fabric_track then "fabric" else
+        Printf.sprintf "track%d" id
+  in
+  let chains = chains_of ar in
+  Printf.printf "trace: %d events on %d tracks, %d causal chains%s\n"
+    (List.length ar.Trace.ar_events)
+    (List.length ar.Trace.ar_tracks)
+    (List.length chains)
+    (if ar.Trace.ar_dropped = 0 then ""
+     else Printf.sprintf " (%d events dropped from full rings)"
+            ar.Trace.ar_dropped);
+  let slowest =
+    List.sort
+      (fun a b ->
+        match compare (duration b) (duration a) with
+        | 0 -> compare a.c_trace b.c_trace
+        | c -> c)
+      chains
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  let shown = take top slowest in
+  if shown <> [] then
+    Printf.printf "top %d slowest causal chains:\n" (List.length shown);
+  List.iter (print_chain track_name) shown
+
+let main file run_prog top json_out nodes seed =
+  try
+    let ar =
+      match run_prog with
+      | Some p -> run_traced p nodes seed
+      | None ->
+          if file = "" then (
+            prerr_endline
+              "tyco-trace: give a trace archive, or --run PROGRAM";
+            exit 2);
+          Trace.deserialize (read_file file)
+    in
+    (match json_out with
+    | Some out ->
+        write_file out (Trace.to_chrome_json (Trace.of_archive ar));
+        Printf.printf "wrote Chrome trace JSON to %s (open in Perfetto)\n" out
+    | None -> ());
+    analyze ar top
+  with
+  | Tyco_support.Wire.Malformed m ->
+      Printf.eprintf "tyco-trace: not a trace archive: %s\n" m;
+      exit 1
+  | Dityco.Api.Error e ->
+      Printf.eprintf "%s\n" (Dityco.Api.error_message e);
+      exit 1
+  | Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+
+let file_arg =
+  Arg.(value & pos 0 string "" & info [] ~docv:"TRACE"
+       ~doc:"Binary trace archive written by tycosh --trace-out (or \
+             tyco-trace --json on a previous archive); omit with --run.")
+
+let run_arg =
+  Arg.(value & opt (some string) None & info [ "run" ] ~docv:"PROGRAM"
+       ~doc:"Run this network program on a traced simulated cluster and \
+             analyze the resulting trace directly.")
+
+let top_arg =
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+       ~doc:"How many of the slowest causal chains to print.")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Also export the trace as Chrome trace-event JSON for \
+             Perfetto / chrome://tracing.")
+
+let nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N"
+       ~doc:"Cluster nodes for --run.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Simulation seed for --run.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tyco-trace" ~version:"1.0"
+       ~doc:"Analyze causal traces of DiTyCO runs: slowest chains, \
+             per-hop latency, Perfetto export")
+    Term.(const main $ file_arg $ run_arg $ top_arg $ json_arg $ nodes_arg
+          $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -10,6 +10,12 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
 let topology_of_string = function
   | "myrinet" -> Tyco_net.Simnet.default_topology
   | "ethernet" ->
@@ -121,7 +127,7 @@ let run_tcp path nodes =
       Format.eprintf "error: %s@." m;
       exit 1
 
-let run path nodes cores quantum topo until verbose seed replicated_ns trace interactive_mode tcp json =
+let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out interactive_mode tcp json =
   try
     let config =
       { Dityco.Cluster.default_config with
@@ -130,6 +136,7 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace int
         quantum;
         topology = topology_of_string topo;
         seed;
+        tracing = trace_out <> None;
         ns_mode =
           (if replicated_ns then Dityco.Cluster.Replicated
            else Dityco.Cluster.Centralized) }
@@ -138,6 +145,17 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace int
     if tcp then (run_tcp path nodes; exit 0);
     let prog = Dityco.Api.parse ~file:path (read_file path) in
     let r = Dityco.Api.run_program ~config ?until prog in
+    (match trace_out with
+    | Some out ->
+        (* .json → Chrome trace-event form for Perfetto; anything else →
+           the binary archive that [tyco-trace] analyzes *)
+        let tr = Dityco.Cluster.tracer r.Dityco.Api.cluster in
+        write_file out
+          (if Filename.check_suffix out ".json" then
+             Tyco_support.Trace.to_chrome_json tr
+           else Tyco_support.Trace.serialize tr);
+        if not json then Format.printf "-- trace written to %s@." out
+    | None -> ());
     if json then begin
       print_endline (Dityco.Report.to_json (Dityco.Report.of_result r));
       exit 0
@@ -220,6 +238,13 @@ let trace =
        ~doc:"Print every packet (shipments, fetches, name service) with \
              its virtual send time.")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+       ~doc:"Record a causal trace of the run and write it to FILE: \
+             Chrome trace-event JSON if FILE ends in .json (open in \
+             Perfetto), else the binary archive that tyco-trace \
+             analyzes.")
+
 let replicated_ns =
   Arg.(value & flag & info [ "replicated-ns" ]
        ~doc:"Use a per-node replicated name service instead of the \
@@ -230,7 +255,7 @@ let cmd =
     (Cmd.info "tycosh" ~version:"1.0"
        ~doc:"Submit DiTyCO network programs to a simulated cluster")
     Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
-          $ verbose $ seed $ replicated_ns $ trace $ interactive_flag $ tcp_flag
-          $ json_flag)
+          $ verbose $ seed $ replicated_ns $ trace $ trace_out
+          $ interactive_flag $ tcp_flag $ json_flag)
 
 let () = exit (Cmd.eval cmd)

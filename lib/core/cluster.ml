@@ -5,6 +5,8 @@ module Nameservice = Tyco_net.Nameservice
 module Netref = Tyco_support.Netref
 module Stats = Tyco_support.Stats
 module Prng = Tyco_support.Prng
+module Trace = Tyco_support.Trace
+module Dq = Tyco_support.Dq
 
 (* The paper's first implementation uses a centralized name service;
    its stated future work is a distributed one "for reasons of both
@@ -38,6 +40,9 @@ type config = {
   reliable : bool;
   retry : retry_params;
   site_retry : Site.retry;
+  tracing : bool;
+  trace_capacity : int;
+  packet_log_capacity : int;
 }
 
 let default_config =
@@ -51,7 +56,10 @@ let default_config =
     faults = Simnet.no_faults;
     reliable = false;
     retry = default_retry_params;
-    site_retry = Site.default_retry }
+    site_retry = Site.default_retry;
+    tracing = false;
+    trace_capacity = 65536;
+    packet_log_capacity = 4096 }
 
 type wrapper = {
   site : Site.t;
@@ -75,7 +83,12 @@ type t = {
   mutable in_flight : int;
   mutable suspected : (int * string) list;
   mutable busy_until : int;  (* completion time of the latest quantum *)
-  mutable trace : (int * Packet.t) list;  (* send-time packet log, newest first *)
+  (* send-time packet log: a bounded ring (oldest dropped past
+     [packet_log_capacity] — the unbounded list it replaces grew with
+     every packet of a long run) *)
+  plog : (int * Packet.t) Dq.t;
+  mutable plog_dropped : int;
+  tracer : Trace.t;
   (* fault/reliability bookkeeping *)
   stats : Stats.t;
   c_drops : Stats.Counter.t;
@@ -87,6 +100,8 @@ type t = {
   c_acks : Stats.Counter.t;
   c_dead_letters : Stats.Counter.t;
   c_same_node : Stats.Counter.t;
+  d_lat_wire : Stats.Dist.t;
+  d_lat_retransmit : Stats.Dist.t;
 }
 
 (* Cost of a name-service transaction at the service itself. *)
@@ -101,6 +116,10 @@ let create ?(config = default_config) () =
       ~seed:config.seed ()
   in
   let stats = Stats.create () in
+  let tracer =
+    Trace.create ~capacity:config.trace_capacity ~enabled:config.tracing ()
+  in
+  Trace.register_track tracer ~id:Trace.fabric_track ~name:"fabric";
   { cfg = config;
     sim;
     replicas =
@@ -130,7 +149,9 @@ let create ?(config = default_config) () =
     in_flight = 0;
     suspected = [];
     busy_until = 0;
-    trace = [];
+    plog = Dq.create ();
+    plog_dropped = 0;
+    tracer;
     stats;
     c_drops = Stats.counter stats "drops";
     c_dupes = Stats.counter stats "dupes";
@@ -141,6 +162,8 @@ let create ?(config = default_config) () =
     c_acks = Stats.counter stats "acks";
     c_dead_letters = Stats.counter stats "dead_letters";
     c_same_node = Stats.counter stats "same_node_fast";
+    d_lat_wire = Stats.dist stats "lat_wire";
+    d_lat_retransmit = Stats.dist stats "lat_retransmit";
   }
 
 let sim t = t.sim
@@ -163,7 +186,18 @@ let replica_of t ip =
   | Centralized -> t.replicas.(0)
   | Replicated -> t.replicas.(ip mod Array.length t.replicas)
 let suspected_failures t = List.rev t.suspected
-let packet_trace t = List.rev t.trace
+
+let log_packet t p =
+  Dq.push_back t.plog (Simnet.now t.sim, p);
+  if Dq.length t.plog > t.cfg.packet_log_capacity then begin
+    ignore (Dq.pop_front t.plog);
+    t.plog_dropped <- t.plog_dropped + 1
+  end
+
+let packet_trace t = Dq.to_list t.plog
+
+let packet_trace_dropped t = t.plog_dropped
+let tracer t = t.tracer
 let stats t = t.stats
 let dead_letters t = Stats.Counter.value t.c_dead_letters
 let same_node_fast t = Stats.Counter.value t.c_same_node
@@ -176,6 +210,7 @@ type xmit = {
   x_dst_ip : int;
   x_seq : int;
   x_packet : Packet.t;
+  x_span : Trace.span; (* the packet's causal span, kept across retries *)
   x_bytes : int;
   mutable x_attempts : int;
   mutable x_acked : bool;
@@ -199,7 +234,7 @@ and pump_event t w =
       (* all processors busy: wait for one (Fig. 1's dual-CPU nodes) *)
       request_pump t w ~delay:(free - now)
     else begin
-      let cost = Site.pump w.site ~quantum:t.cfg.quantum in
+      let cost = Site.pump ~now w.site ~quantum:t.cfg.quantum in
       let duration = cost + context_switch_cost in
       Node.occupy w.node ~core ~until:(now + duration);
       t.busy_until <- max t.busy_until (now + duration);
@@ -214,6 +249,7 @@ and pump_event t w =
    schedules [action] once per surviving copy. *)
 and transmit t ~src_ip ~dst_ip ~bytes action =
   let base = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
+  Stats.Dist.add t.d_lat_wire (float_of_int base);
   let v = Simnet.fault_verdict t.sim ~src_ip ~dst_ip ~base_delay:base in
   Stats.Counter.add t.c_drops v.Simnet.v_dropped;
   if v.Simnet.v_duplicated then Stats.Counter.incr t.c_dupes;
@@ -238,7 +274,7 @@ and route_ip t ~src_ip (p : Packet.t) =
       src_ip mod Array.length t.replicas
   | _ -> Packet.dst_ip p ~ns_ip:t.ns_ip
 
-and send_packet t ~src_ip (p : Packet.t) =
+and send_packet t ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
   let dst_ip = route_ip t ~src_ip p in
   if dst_ip = src_ip then begin
     (* Same-node fast path (the paper's same-node optimization): both
@@ -247,39 +283,47 @@ and send_packet t ~src_ip (p : Packet.t) =
        accounting, and no frame/ack machinery even in reliable mode
        (loopback traffic is exempt from the fault model).  Only the
        shared-memory latency is charged.  [in_flight] is still
-       maintained: quiescence detection counts these deliveries. *)
+       maintained: quiescence detection counts these deliveries.  The
+       causal span still travels — by reference, like the packet. *)
     Stats.Counter.incr t.c_same_node;
-    t.trace <- (Simnet.now t.sim, p) :: t.trace;
+    log_packet t p;
     let delay = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes:0 in
     t.in_flight <- t.in_flight + 1;
     Simnet.schedule t.sim ~delay (fun () ->
         t.in_flight <- t.in_flight - 1;
-        deliver t ~at_ip:dst_ip p)
+        deliver t ~at_ip:dst_ip ~ctx ~same_node:true p)
   end
-  else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip p
+  else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip ~ctx p
   else begin
     let bytes = Packet.byte_size p in
     t.packets <- t.packets + 1;
     t.bytes <- t.bytes + bytes;
-    t.trace <- (Simnet.now t.sim, p) :: t.trace;
-    transmit t ~src_ip ~dst_ip ~bytes (fun () -> deliver t ~at_ip:dst_ip p)
+    log_packet t p;
+    transmit t ~src_ip ~dst_ip ~bytes (fun () ->
+        deliver t ~at_ip:dst_ip ~ctx p)
   end
 
-and send_reliable t ~src_ip ~dst_ip (p : Packet.t) =
+and send_reliable t ~src_ip ~dst_ip ~ctx (p : Packet.t) =
   let seq = Node.fresh_seq (node_of_ip t src_ip) ~dst_ip in
   let bytes =
     Packet.frame_byte_size (Packet.Fdata { src_ip; seq; payload = p })
   in
   attempt_xmit t
     { x_src_ip = src_ip; x_dst_ip = dst_ip; x_seq = seq; x_packet = p;
-      x_bytes = bytes; x_attempts = 0; x_acked = false }
+      x_span = ctx; x_bytes = bytes; x_attempts = 0; x_acked = false }
 
 and attempt_xmit t (x : xmit) =
   x.x_attempts <- x.x_attempts + 1;
-  if x.x_attempts > 1 then Stats.Counter.incr t.c_retries;
+  if x.x_attempts > 1 then begin
+    Stats.Counter.incr t.c_retries;
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+        ~span:x.x_span
+        (Trace.Retransmit { attempt = x.x_attempts })
+  end;
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + x.x_bytes;
-  t.trace <- (Simnet.now t.sim, x.x_packet) :: t.trace;
+  log_packet t x.x_packet;
   transmit t ~src_ip:x.x_src_ip ~dst_ip:x.x_dst_ip ~bytes:x.x_bytes (fun () ->
       receive_frame t x);
   let r = t.cfg.retry in
@@ -293,6 +337,9 @@ and attempt_xmit t (x : xmit) =
       if not x.x_acked then
         if x.x_attempts >= r.max_attempts then begin
           Stats.Counter.incr t.c_timeouts;
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer ~ts:(Simnet.now t.sim)
+              ~track:Trace.fabric_track ~span:x.x_span Trace.Timeout;
           t.suspected <-
             (Simnet.now t.sim, Printf.sprintf "ip#%d" x.x_dst_ip)
             :: t.suspected;
@@ -305,14 +352,20 @@ and attempt_xmit t (x : xmit) =
               } )
             :: t.outs
         end
-        else attempt_xmit t x)
+        else begin
+          (* the whole wait was retransmission overhead: the packet sat
+             unacknowledged for [backoff + jitter] virtual ns *)
+          Stats.Dist.add t.d_lat_retransmit
+            (float_of_int (backoff + jitter));
+          attempt_xmit t x
+        end)
 
 and receive_frame t (x : xmit) =
   (* the receiving daemon suppresses replayed (src, seq) pairs, then
      acknowledges — whether or not the addressed site is still alive:
      dead-peer detection is the request-deadline layer's concern *)
   if Node.admit (node_of_ip t x.x_dst_ip) ~src_ip:x.x_src_ip ~seq:x.x_seq then
-    deliver t ~at_ip:x.x_dst_ip x.x_packet
+    deliver t ~at_ip:x.x_dst_ip ~ctx:x.x_span x.x_packet
   else Stats.Counter.incr t.c_dupes_suppressed;
   send_ack t x
 
@@ -320,12 +373,19 @@ and send_ack t (x : xmit) =
   Stats.Counter.incr t.c_acks;
   t.bytes <- t.bytes + Latency.ack_bytes;
   transmit t ~src_ip:x.x_dst_ip ~dst_ip:x.x_src_ip ~bytes:Latency.ack_bytes
-    (fun () -> x.x_acked <- true)
+    (fun () ->
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+          ~span:x.x_span Trace.Ack;
+      x.x_acked <- true)
 
-and deliver t ~at_ip (p : Packet.t) =
+and deliver t ~at_ip ?(ctx = Trace.null_span) ?(same_node = false) (p : Packet.t) =
   match p with
   | Packet.Pns_register { site_name; id_name; nref; rtti } ->
-      register_at t ~replica_ip:at_ip ~site_name ~id_name ~rtti nref;
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+          ~span:ctx Trace.Ns_serve;
+      register_at t ~replica_ip:at_ip ~site_name ~id_name ~rtti ~ctx nref;
       (* replicated mode: propagate to every other replica *)
       if t.cfg.ns_mode = Replicated then begin
         let nrep = Array.length t.replicas in
@@ -339,11 +399,14 @@ and deliver t ~at_ip (p : Packet.t) =
               t.bytes <- t.bytes + bytes;
               transmit t ~src_ip:at_ip ~dst_ip:other ~bytes (fun () ->
                   register_at t ~replica_ip:other ~site_name ~id_name ~rtti
-                    nref)
+                    ~ctx nref)
             end)
           t.replicas
       end
   | Packet.Pns_lookup { site_name; id_name; req_id; requester_site; requester_ip; _ } -> (
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+          ~span:ctx Trace.Ns_serve;
       let waiter =
         { Nameservice.w_req_id = req_id; w_site = requester_site;
           w_ip = requester_ip }
@@ -351,25 +414,26 @@ and deliver t ~at_ip (p : Packet.t) =
       let ns = replica_of t at_ip in
       match Nameservice.lookup_id ns ~site:site_name ~name:id_name waiter with
       | Some (nref, rtti) ->
-          reply_ns t ~from_ip:at_ip
+          reply_ns t ~from_ip:at_ip ~ctx
             (Packet.Pns_reply
                { req_id; dst_site = requester_site; dst_ip = requester_ip;
                  result = Some nref; rtti })
       | None -> (* parked until the registration arrives *) ())
   | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
-      deliver_to_site t dst.Netref.site_id p
-  | Packet.Pfetch_req { cls; _ } -> deliver_to_site t cls.Netref.site_id p
+      deliver_to_site t dst.Netref.site_id ~ctx ~same_node p
+  | Packet.Pfetch_req { cls; _ } ->
+      deliver_to_site t cls.Netref.site_id ~ctx ~same_node p
   | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
-      deliver_to_site t dst_site p
+      deliver_to_site t dst_site ~ctx ~same_node p
 
-and register_at t ~replica_ip ~site_name ~id_name ~rtti nref =
+and register_at t ~replica_ip ~site_name ~id_name ~rtti ~ctx nref =
   let ns = replica_of t replica_ip in
   let waiters =
     Nameservice.register_id ns ~site:site_name ~name:id_name ~rtti nref
   in
   List.iter
     (fun (wtr : Nameservice.waiter) ->
-      reply_ns t ~from_ip:replica_ip
+      reply_ns t ~from_ip:replica_ip ~ctx
         (Packet.Pns_reply
            { req_id = wtr.Nameservice.w_req_id;
              dst_site = wtr.Nameservice.w_site;
@@ -378,12 +442,25 @@ and register_at t ~replica_ip ~site_name ~id_name ~rtti nref =
              rtti }))
     waiters
 
-and reply_ns t ~from_ip p =
-  (* name-service processing cost, then the reply travels as a packet *)
+and reply_ns t ~from_ip ~ctx p =
+  (* name-service processing cost, then the reply travels as a packet —
+     under a span of its own, a child of the request (or registration)
+     that triggered it *)
+  let ctx' =
+    if Trace.enabled t.tracer then Trace.fresh_span t.tracer ~parent:ctx
+    else Trace.null_span
+  in
   Simnet.schedule t.sim ~delay:ns_processing_cost (fun () ->
-      send_packet t ~src_ip:from_ip p)
+      (* the name service is not a site, so the reply's [Send] lands on
+         the fabric track — every packet span must have one for the
+         causal tree (and the Perfetto flow arrow) to be complete *)
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+          ~span:ctx'
+          (Trace.Send { pk = Packet.trace_pk p; bytes = Packet.byte_size p });
+      send_packet t ~src_ip:from_ip ~ctx:ctx' p)
 
-and deliver_to_site t site_id p =
+and deliver_to_site t site_id ~ctx ~same_node p =
   match Hashtbl.find_opt t.by_id site_id with
   | None ->
       (* a packet addressed to a site this cluster never loaded: count
@@ -394,7 +471,11 @@ and deliver_to_site t site_id p =
         (Simnet.now t.sim, Printf.sprintf "site#%d" site_id) :: t.suspected
   | Some w ->
       if Site.alive w.site then begin
-        Site.deliver w.site p;
+        let now = Simnet.now t.sim in
+        if Trace.enabled t.tracer then
+          Trace.emit t.tracer ~ts:now ~track:site_id ~span:ctx
+            (Trace.Deliver { pk = Packet.trace_pk p; same_node });
+        Site.deliver ~ctx ~now w.site p;
         request_pump t w ~delay:0
       end
       else
@@ -439,8 +520,8 @@ let load ?placement ?(annotations = fun _ -> None) ?(inputs = fun _ -> [])
               ?schedule
               ~on_suspect:(fun who ->
                 t.suspected <- (Simnet.now t.sim, who) :: t.suspected)
-              ~name ~site_id ~ip:(Node.ip node)
-              ~send:(fun p -> send_packet t ~src_ip:(Node.ip node) p)
+              ~trace:t.tracer ~name ~site_id ~ip:(Node.ip node)
+              ~send:(fun ctx p -> send_packet t ~src_ip:(Node.ip node) ~ctx p)
               ~on_output:(fun e -> t.outs <- (Simnet.now t.sim, e) :: t.outs)
               ~unit_ ();
           node;

@@ -52,6 +52,19 @@ type config = {
           Default [false]: the seed's fire-and-forget transport. *)
   retry : retry_params;
   site_retry : Site.retry;
+  tracing : bool;
+      (** Turn on causal tracing: every site gets a track in the shared
+          {!Tyco_support.Trace} collector, packets carry spans, and the
+          run can be exported with {!tracer} (Chrome JSON or binary
+          archive).  Default [false] — the collector is the disabled
+          singleton and every instrumentation point costs one
+          load-and-branch. *)
+  trace_capacity : int;
+      (** Per-track event-ring bound when [tracing] (default 65536). *)
+  packet_log_capacity : int;
+      (** Bound on the {!packet_trace} ring (default 4096); the oldest
+          entries are dropped beyond it — see
+          {!packet_trace_dropped}. *)
 }
 
 val default_config : config
@@ -135,9 +148,19 @@ val inject_packet : t -> src_ip:int -> Tyco_net.Packet.t -> unit
     site on [src_ip] had sent it. *)
 
 val packet_trace : t -> (int * Tyco_net.Packet.t) list
-(** Every packet with its send timestamp, chronological — the
-    observable migration behaviour of a run (shipments, fetches,
-    name-service traffic).  [tycosh --trace] prints it. *)
+(** The most recent packets (up to [packet_log_capacity]) with their
+    send timestamps, chronological — the observable migration
+    behaviour of a run (shipments, fetches, name-service traffic).
+    [tycosh --trace] prints it. *)
+
+val packet_trace_dropped : t -> int
+(** Packets evicted from the bounded {!packet_trace} ring.  [0] means
+    the log is complete. *)
+
+val tracer : t -> Tyco_support.Trace.t
+(** The run's causal-trace collector — the disabled singleton unless
+    [config.tracing]; export with {!Tyco_support.Trace.to_chrome_json}
+    or {!Tyco_support.Trace.serialize}. *)
 
 (** {1 Internals exposed for the experiment harness} *)
 

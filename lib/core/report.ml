@@ -11,6 +11,14 @@ type site_stats = {
   ss_links : int;
   ss_thread_len_mean : float;
   ss_thread_len_p95 : float;
+  ss_runq_depth_mean : float;
+}
+
+type breakdown = {
+  b_queue_wait : Stats.Dist.summary option;
+  b_wire : Stats.Dist.summary option;
+  b_retransmit : Stats.Dist.summary option;
+  b_execute : Stats.Dist.summary option;
 }
 
 type t = {
@@ -21,6 +29,7 @@ type t = {
   same_node_fast : int;
   outputs : (int * Output.event) list;
   sites : site_stats list;
+  breakdown : breakdown;
   suspected_failures : (int * string) list;
 }
 
@@ -28,6 +37,7 @@ let site_stats site =
   let s = Site.stats site in
   let c name = Stats.Counter.value (Stats.counter s name) in
   let d = Stats.dist s "thread_len" in
+  let rq = Stats.dist s "runq_depth" in
   { ss_name = Site.name site;
     ss_instructions = c "instructions";
     ss_threads = c "threads";
@@ -38,16 +48,39 @@ let site_stats site =
     ss_links = c "links";
     ss_thread_len_mean = (if Stats.Dist.count d = 0 then 0. else Stats.Dist.mean d);
     ss_thread_len_p95 =
-      (if Stats.Dist.count d = 0 then 0. else Stats.Dist.percentile d 0.95) }
+      (if Stats.Dist.count d = 0 then 0. else Stats.Dist.percentile d 0.95);
+    ss_runq_depth_mean =
+      (if Stats.Dist.count rq = 0 then 0. else Stats.Dist.mean rq) }
+
+(* Pool one distribution across all sites (queue-wait, execute): a
+   fresh Dist refilled from each site's retained samples.  The pool is
+   an estimate past the reservoir cap, like its inputs. *)
+let pooled name sites =
+  let pool = Stats.Dist.create name in
+  List.iter
+    (fun site ->
+      Array.iter
+        (Stats.Dist.add pool)
+        (Stats.Dist.samples (Stats.dist (Site.stats site) name)))
+    sites;
+  Stats.Dist.summary_opt pool
 
 let of_cluster cluster =
+  let sites = Cluster.sites cluster in
+  let cstats = Cluster.stats cluster in
   { virtual_ns = Cluster.virtual_time cluster;
     sim_events = Tyco_net.Simnet.events_processed (Cluster.sim cluster);
     packets = Cluster.packets_sent cluster;
     bytes = Cluster.bytes_sent cluster;
     same_node_fast = Cluster.same_node_fast cluster;
     outputs = Cluster.outputs cluster;
-    sites = List.map site_stats (Cluster.sites cluster);
+    sites = List.map site_stats sites;
+    breakdown =
+      { b_queue_wait = pooled "queue_wait_ns" sites;
+        b_wire = Stats.Dist.summary_opt (Stats.dist cstats "lat_wire");
+        b_retransmit =
+          Stats.Dist.summary_opt (Stats.dist cstats "lat_retransmit");
+        b_execute = pooled "execute_ns" sites };
     suspected_failures = Cluster.suspected_failures cluster }
 
 let of_result (r : Api.result) = of_cluster r.Api.cluster
@@ -94,20 +127,41 @@ let site_json s =
   Printf.sprintf
     "{\"name\":%s,\"instructions\":%d,\"threads\":%d,\"comm_local\":%d,\
      \"packets_in\":%d,\"packets_out\":%d,\"fetches\":%d,\"links\":%d,\
-     \"thread_len_mean\":%s,\"thread_len_p95\":%s}"
+     \"thread_len_mean\":%s,\"thread_len_p95\":%s,\"runq_depth_mean\":%s}"
     (jstr s.ss_name) s.ss_instructions s.ss_threads s.ss_comm_local
     s.ss_packets_in s.ss_packets_out s.ss_fetches s.ss_links
     (jfloat s.ss_thread_len_mean)
     (jfloat s.ss_thread_len_p95)
+    (jfloat s.ss_runq_depth_mean)
+
+(* An absent summary (no samples — e.g. an idle site) is [null], never
+   [inf]: {!Stats.Dist.summary_opt} is the total-function path. *)
+let summary_json = function
+  | None -> "null"
+  | Some (s : Stats.Dist.summary) ->
+      Printf.sprintf
+        "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
+        s.Stats.Dist.s_n (jfloat s.Stats.Dist.s_mean)
+        (jfloat s.Stats.Dist.s_min) (jfloat s.Stats.Dist.s_max)
+        (jfloat s.Stats.Dist.s_p50) (jfloat s.Stats.Dist.s_p95)
+
+let breakdown_json b =
+  Printf.sprintf
+    "{\"queue_wait\":%s,\"wire\":%s,\"retransmit\":%s,\"execute\":%s}"
+    (summary_json b.b_queue_wait)
+    (summary_json b.b_wire)
+    (summary_json b.b_retransmit)
+    (summary_json b.b_execute)
 
 let to_json t =
   Printf.sprintf
     "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\
      \"same_node_fast\":%d,\"outputs\":%s,\"sites\":%s,\
-     \"suspected_failures\":%s}"
+     \"latency_breakdown\":%s,\"suspected_failures\":%s}"
     t.virtual_ns t.sim_events t.packets t.bytes t.same_node_fast
     (jlist output_json t.outputs)
     (jlist site_json t.sites)
+    (breakdown_json t.breakdown)
     (jlist
        (fun (ts, name) -> Printf.sprintf "{\"t\":%d,\"site\":%s}" ts (jstr name))
        t.suspected_failures)

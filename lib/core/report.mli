@@ -17,6 +17,23 @@ type site_stats = {
   ss_links : int;
   ss_thread_len_mean : float;
   ss_thread_len_p95 : float;
+  ss_runq_depth_mean : float;
+      (** mean run-queue depth at quantum start — the latency-hiding
+          evidence: deep queues mean remote waits are overlapped *)
+}
+
+(** Where a run's latency went (summaries are [None] when no samples
+    were recorded — emitted as [null], never [inf]):
+    - [b_queue_wait] — packet arrival to processing, pooled over sites;
+    - [b_wire] — physical link delay per transmission;
+    - [b_retransmit] — time spent waiting on unacknowledged frames
+      (reliable mode only);
+    - [b_execute] — VM cost per pump quantum, pooled over sites. *)
+type breakdown = {
+  b_queue_wait : Tyco_support.Stats.Dist.summary option;
+  b_wire : Tyco_support.Stats.Dist.summary option;
+  b_retransmit : Tyco_support.Stats.Dist.summary option;
+  b_execute : Tyco_support.Stats.Dist.summary option;
 }
 
 type t = {
@@ -29,6 +46,7 @@ type t = {
           (no serialization; excluded from [packets]/[bytes]) *)
   outputs : (int * Output.event) list;
   sites : site_stats list;
+  breakdown : breakdown;
   suspected_failures : (int * string) list;
 }
 

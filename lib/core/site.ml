@@ -1,6 +1,7 @@
 module Dq = Tyco_support.Dq
 module Stats = Tyco_support.Stats
 module Netref = Tyco_support.Netref
+module Trace = Tyco_support.Trace
 module Block = Tyco_compiler.Block
 module Bytecode = Tyco_compiler.Bytecode
 module Link = Tyco_compiler.Link
@@ -37,12 +38,17 @@ type retry = {
 
 let default_retry = { r_timeout_ns = 4_000_000; r_backoff = 2.0; r_max_tries = 6 }
 
-type fetch_req = { fr_ref : Netref.t; mutable fr_tries : int }
+type fetch_req = {
+  fr_ref : Netref.t;
+  fr_span : Trace.span; (* request's causal span, reused by retries *)
+  mutable fr_tries : int;
+}
 
 type import_req = {
   ir_cont : int;
   ir_captured : Value.t list;
   ir_key : string * string;
+  ir_span : Trace.span;
   mutable ir_tries : int;
 }
 
@@ -50,12 +56,16 @@ type t = {
   name : string;
   site_id : int;
   ip : int;
-  send : Packet.t -> unit;
+  send : Trace.span -> Packet.t -> unit;
   on_output : Output.event -> unit;
   annotations : annotations;
+  tr : Trace.t;
   vm : Machine.t;
   entry : int;
-  inbox : Packet.t Dq.t;
+  (* (packet, causal span, enqueue virtual time) — the span came over
+     the wire (or the same-node fast path); the timestamp feeds the
+     queue-wait half of the latency breakdown *)
+  inbox : (Packet.t * Trace.span * int) Dq.t;
   (* export tables (paper: one per site, mapping local heap pointers to
      network references and back) *)
   chan_exports : Value.chan Export_table.t;
@@ -93,6 +103,8 @@ type t = {
   c_links : Stats.Counter.t;
   c_retries : Stats.Counter.t;
   c_timeouts : Stats.Counter.t;
+  d_queue_wait : Stats.Dist.t;
+  d_execute : Stats.Dist.t;
 }
 
 let name t = t.name
@@ -104,10 +116,11 @@ let outputs t = List.rev t.outputs
 let stats t = t.stats
 
 let create ?(annotations = no_annotations) ?(inputs = [])
-    ?(retry = default_retry) ?schedule ?(on_suspect = fun _ -> ()) ~name
-    ~site_id ~ip ~send ~on_output ~unit_ () =
+    ?(retry = default_retry) ?schedule ?(on_suspect = fun _ -> ())
+    ?(trace = Trace.disabled) ~name ~site_id ~ip ~send ~on_output ~unit_ () =
   let area, entry = Link.of_unit unit_ in
-  let vm = Machine.create ~name area in
+  let vm = Machine.create ~name ~trace ~track:site_id area in
+  Trace.register_track trace ~id:site_id ~name;
   let stats = Machine.stats vm in
   { name;
     site_id;
@@ -115,6 +128,7 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     send;
     on_output;
     annotations;
+    tr = trace;
     vm;
     entry;
     inbox = Dq.create ();
@@ -143,16 +157,31 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     c_ships_in = Stats.counter stats "ships_in";
     c_links = Stats.counter stats "links";
     c_retries = Stats.counter stats "retries";
-    c_timeouts = Stats.counter stats "timeouts" }
+    c_timeouts = Stats.counter stats "timeouts";
+    d_queue_wait = Stats.dist stats "queue_wait_ns";
+    d_execute = Stats.dist stats "execute_ns" }
 
 let fresh_req t =
   let r = t.next_req in
   t.next_req <- r + 1;
   r
 
-let send t p =
+(* Hand a packet to the daemon under causal span [ctx] (null when
+   tracing is off).  The [Send] event is emitted here — on the sending
+   site's track, at the site's current virtual clock — so the flow
+   arrow to the matching [Deliver] starts where the cause lives. *)
+let send t ~ctx p =
   Stats.Counter.incr t.c_pk_out;
-  t.send p
+  if Trace.enabled t.tr then
+    Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
+      (Trace.Send { pk = Packet.trace_pk p; bytes = Packet.byte_size p });
+  t.send ctx p
+
+(* The span a freshly-made packet travels under: a child of the thread
+   (or delivery) that caused it. *)
+let packet_span t ~parent =
+  if Trace.enabled t.tr then Trace.fresh_span t.tr ~parent
+  else Trace.null_span
 
 (* ------------------------------------------------------------------ *)
 (* The two-step reference translation.                                 *)
@@ -245,8 +274,8 @@ let rto t ~req_id ~tries =
   in
   base + ((req_id * 7919 + tries * 104729) mod ((r.r_timeout_ns / 4) + 1))
 
-let send_fetch_req t req_id (r : Netref.t) =
-  send t
+let send_fetch_req t req_id ~ctx (r : Netref.t) =
+  send t ~ctx
     (Packet.Pfetch_req
        { cls = r; req_id; requester_site = t.site_id; requester_ip = t.ip })
 
@@ -276,12 +305,12 @@ and fetch_deadline t req_id =
         else begin
           fr.fr_tries <- fr.fr_tries + 1;
           Stats.Counter.incr t.c_retries;
-          send_fetch_req t req_id fr.fr_ref;
+          send_fetch_req t req_id ~ctx:fr.fr_span fr.fr_ref;
           arm_fetch_deadline t req_id
         end
 
-let send_import_req t req_id ~site ~name ~is_class =
-  send t
+let send_import_req t req_id ~ctx ~site ~name ~is_class =
+  send t ~ctx
     (Packet.Pns_lookup
        { site_name = site; id_name = name; want_class = is_class; req_id;
          requester_site = t.site_id; requester_ip = t.ip })
@@ -312,16 +341,19 @@ and import_deadline t req_id ~is_class =
         else begin
           ir.ir_tries <- ir.ir_tries + 1;
           Stats.Counter.incr t.c_retries;
-          send_import_req t req_id ~site ~name ~is_class;
+          send_import_req t req_id ~ctx:ir.ir_span ~site ~name ~is_class;
           arm_import_deadline t req_id ~is_class
         end
 
 (* ------------------------------------------------------------------ *)
 (* Outgoing remote operations (drained after each VM quantum).         *)
 
-let start_fetch t (r : Netref.t) (args : Value.t array) =
+(* [sp] is the span of the thread that requested the instantiation. *)
+let start_fetch t ~sp (r : Netref.t) (args : Value.t array) =
   match Netref.Tbl.find_opt t.fetch_cache r with
-  | Some cls -> Machine.instantiate_args t.vm cls args
+  | Some cls ->
+      Machine.set_current_span t.vm sp;
+      Machine.instantiate_args t.vm cls args
   | None ->
       let pending =
         Option.value ~default:[] (Netref.Tbl.find_opt t.fetch_pending r)
@@ -330,46 +362,51 @@ let start_fetch t (r : Netref.t) (args : Value.t array) =
       if pending = [] then begin
         Stats.Counter.incr t.c_fetches;
         let req_id = fresh_req t in
-        Hashtbl.replace t.fetch_reqs req_id { fr_ref = r; fr_tries = 1 };
-        send_fetch_req t req_id r;
+        let ctx = packet_span t ~parent:sp in
+        Hashtbl.replace t.fetch_reqs req_id
+          { fr_ref = r; fr_span = ctx; fr_tries = 1 };
+        send_fetch_req t req_id ~ctx r;
         arm_fetch_deadline t req_id
       end
 
-let handle_remote_op t (op : Machine.remote_op) =
+(* [sp] is the span of the VM thread that pushed the op: every packet
+   it causes travels as that span's child. *)
+let handle_remote_op t (op : Machine.remote_op) (sp : Trace.span) =
   match op with
   | Machine.Rmsg (dst, label, args) ->
-      send t
+      send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pmsg
            { dst; label; args = List.map (to_wire t) (Array.to_list args) })
   | Machine.Robj (dst, obj) ->
       let unit_ = Link.snapshot (Machine.area t.vm) in
       let code_unit, mtable = Bytecode.extract_mtable unit_ obj.Value.obj_mtable in
-      send t
+      send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pobj
            { dst;
              code = Bytecode.unit_to_string code_unit;
              code_key = (t.ip, t.site_id, obj.Value.obj_mtable);
              mtable;
              env = List.map (to_wire t) (Array.to_list obj.Value.obj_env) })
-  | Machine.Rfetch (r, args) -> start_fetch t r args
+  | Machine.Rfetch (r, args) -> start_fetch t ~sp r args
   | Machine.Rexport_name (x, chan) ->
       let nref = export_chan t chan in
-      send t
+      send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pns_register
            { site_name = t.name; id_name = x; nref;
              rtti = rtti_of_export t x })
   | Machine.Rexport_class (x, cls) ->
       let nref = export_class t cls in
-      send t
+      send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pns_register
            { site_name = t.name; id_name = x; nref;
              rtti = rtti_of_export t x })
   | Machine.Rimport { site; name; is_class; cont; captured } ->
       let req_id = fresh_req t in
+      let ctx = packet_span t ~parent:sp in
       Hashtbl.replace t.import_reqs req_id
         { ir_cont = cont; ir_captured = captured; ir_key = (site, name);
-          ir_tries = 1 };
-      send_import_req t req_id ~site ~name ~is_class;
+          ir_span = ctx; ir_tries = 1 };
+      send_import_req t req_id ~ctx ~site ~name ~is_class;
       arm_import_deadline t req_id ~is_class
 
 (* ------------------------------------------------------------------ *)
@@ -382,7 +419,7 @@ let resolve_local_chan t (r : Netref.t) : Value.chan =
   | Some c -> c
   | None -> perr "unknown channel heap id %d" r.Netref.heap_id
 
-let link_once t cache key code root_of =
+let link_once t ~ctx cache key code root_of =
   match Hashtbl.find_opt cache key with
   | Some linked -> linked
   | None ->
@@ -391,13 +428,20 @@ let link_once t cache key code root_of =
         with Tyco_support.Wire.Malformed m -> perr "malformed byte-code: %s" m
       in
       Stats.Counter.incr t.c_links;
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
+          (Trace.Link_code { bytes = String.length code });
       let offsets = Link.link (Machine.area t.vm) sub in
       let linked = root_of offsets in
       Hashtbl.replace cache key linked;
       linked
 
-let handle_packet t (p : Packet.t) =
+(* [ctx] is the packet's span: everything its processing causes — the
+   threads injections spawn, the reply a FETCH request triggers — is
+   recorded as its descendant. *)
+let handle_packet t ~ctx (p : Packet.t) =
   Stats.Counter.incr t.c_pk_in;
+  Machine.set_current_span t.vm ctx;
   match p with
   | Packet.Pmsg { dst; label; args } ->
       Stats.Counter.incr t.c_ships_in;
@@ -407,13 +451,16 @@ let handle_packet t (p : Packet.t) =
       Stats.Counter.incr t.c_ships_in;
       let chan = resolve_local_chan t dst in
       let area_mt =
-        link_once t t.obj_code_cache code_key code (fun (o : Link.offsets) ->
-            mtable + o.Link.mt_off)
+        link_once t ~ctx t.obj_code_cache code_key code
+          (fun (o : Link.offsets) -> mtable + o.Link.mt_off)
       in
       let obj =
         { Value.obj_mtable = area_mt;
           obj_env = Array.of_list (List.map (of_wire t) env) }
       in
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
+          Trace.Obj_commit;
       Machine.inject_obj t.vm chan obj
   | Packet.Pfetch_req { cls; req_id; requester_site; requester_ip } ->
       if cls.Netref.kind <> Netref.Class then perr "fetch of a channel reference";
@@ -429,7 +476,7 @@ let handle_packet t (p : Packet.t) =
       let env_captures =
         List.init ncap (fun i -> to_wire t c.Value.cls_env.(i))
       in
-      send t
+      send t ~ctx:(packet_span t ~parent:ctx)
         (Packet.Pfetch_rep
            { req_id;
              dst_site = requester_site;
@@ -452,8 +499,8 @@ let handle_packet t (p : Packet.t) =
       Hashtbl.remove t.fetch_reqs req_id;
       Hashtbl.replace t.done_reqs req_id ();
       let area_grp =
-        link_once t t.grp_code_cache code_key code (fun (o : Link.offsets) ->
-            group + o.Link.grp_off)
+        link_once t ~ctx t.grp_code_cache code_key code
+          (fun (o : Link.offsets) -> group + o.Link.grp_off)
       in
       let g = Link.group (Machine.area t.vm) area_grp in
       let ncap = Array.length g.Block.grp_captures in
@@ -540,7 +587,8 @@ let start t =
   let io = Machine.builtin_chan t.vm "io" (io_handler t) in
   Machine.spawn_entry t.vm ~entry:t.entry ~io
 
-let deliver t p = if t.alive then Dq.push_back t.inbox p
+let deliver ?(ctx = Trace.null_span) ?(now = 0) t p =
+  if t.alive then Dq.push_back t.inbox (p, ctx, now)
 
 let busy t =
   t.alive && (Machine.runnable t.vm || not (Dq.is_empty t.inbox))
@@ -553,27 +601,31 @@ let outstanding t =
 let packet_handling_cost = 800
 let remote_op_cost = 600
 
-let pump t ~quantum =
+let pump ?(now = 0) t ~quantum =
   if not t.alive then 0
   else begin
     let cost = ref 0 in
     let rec drain_inbox () =
       match Dq.pop_front t.inbox with
       | None -> ()
-      | Some p ->
+      | Some (p, ctx, enq) ->
+          Machine.set_clock t.vm (now + !cost);
+          Stats.Dist.add t.d_queue_wait (float_of_int (now + !cost - enq));
           cost := !cost + packet_handling_cost;
-          handle_packet t p;
+          handle_packet t ~ctx p;
           drain_inbox ()
     in
     drain_inbox ();
+    Machine.set_clock t.vm (now + !cost);
     let _instrs, vm_cost = Machine.run t.vm ~budget:quantum in
+    Stats.Dist.add t.d_execute (float_of_int vm_cost);
     cost := !cost + vm_cost;
     let rec drain_ops () =
-      match Machine.pop_remote_op t.vm with
+      match Machine.pop_remote_traced t.vm with
       | None -> ()
-      | Some op ->
+      | Some (op, sp) ->
           cost := !cost + remote_op_cost;
-          handle_remote_op t op;
+          handle_remote_op t op sp;
           drain_ops ()
     in
     drain_ops ();

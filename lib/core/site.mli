@@ -53,20 +53,26 @@ val create :
   ?retry:retry ->
   ?schedule:(delay:int -> (unit -> unit) -> unit) ->
   ?on_suspect:(string -> unit) ->
+  ?trace:Tyco_support.Trace.t ->
   name:string ->
   site_id:int ->
   ip:int ->
-  send:(Tyco_net.Packet.t -> unit) ->
+  send:(Tyco_support.Trace.span -> Tyco_net.Packet.t -> unit) ->
   on_output:(Output.event -> unit) ->
   unit_:Tyco_compiler.Block.unit_ ->
   unit ->
   t
-(** [send] hands a packet to the node's daemon; [on_output] observes
-    I/O port events (they are also recorded locally).  [schedule]
-    provides virtual timers: when present, outstanding FETCH and
-    import requests are given deadlines per [retry] (without it, the
-    seed behaviour: requests wait forever).  [on_suspect] hears the
-    description of the peer each time a request is abandoned. *)
+(** [send] hands a packet to the node's daemon together with the
+    packet's causal span ({!Tyco_support.Trace.null_span} when tracing
+    is off); [on_output] observes I/O port events (they are also
+    recorded locally).  [schedule] provides virtual timers: when
+    present, outstanding FETCH and import requests are given deadlines
+    per [retry] (without it, the seed behaviour: requests wait
+    forever).  [on_suspect] hears the description of the peer each time
+    a request is abandoned.  [trace] is the run's event collector
+    (default {!Tyco_support.Trace.disabled}); the site registers a
+    track named after itself and emits its VM and protocol events
+    there. *)
 
 val name : t -> string
 val site_id : t -> int
@@ -75,8 +81,12 @@ val ip : t -> int
 val start : t -> unit
 (** Spawn the entry thread (slot 0 = the I/O port). *)
 
-val deliver : t -> Tyco_net.Packet.t -> unit
-(** Called by the daemon: enqueue an incoming packet. *)
+val deliver :
+  ?ctx:Tyco_support.Trace.span -> ?now:int -> t -> Tyco_net.Packet.t -> unit
+(** Called by the daemon: enqueue an incoming packet.  [ctx] is the
+    span the packet travelled under (defaults to the null span); [now]
+    the virtual arrival time, the baseline of the queue-wait sample
+    taken when the packet is finally processed. *)
 
 val busy : t -> bool
 (** Has runnable threads or unprocessed incoming packets. *)
@@ -84,10 +94,13 @@ val busy : t -> bool
 val outstanding : t -> int
 (** In-flight fetch and name-service requests originated here. *)
 
-val pump : t -> quantum:int -> int
+val pump : ?now:int -> t -> quantum:int -> int
 (** One execution quantum: drain the incoming queue, run up to
     [quantum] VM instructions, drain the outgoing remote operations.
-    Returns the virtual-time cost in ns. *)
+    Returns the virtual-time cost in ns.  [now] is the quantum's
+    virtual start time (default [0]); it seeds the VM clock so trace
+    events and the [queue_wait_ns]/[execute_ns] distributions carry
+    simulation timestamps. *)
 
 val kill : t -> unit
 (** Site failure injection: drops all state; subsequent deliveries are
@@ -95,7 +108,14 @@ val kill : t -> unit
 
 val alive : t -> bool
 val outputs : t -> Output.event list
+
 val stats : t -> Tyco_support.Stats.t
+(** Shared with the VM's registry.  Besides the machine's counters it
+    holds the site's protocol counters and the two site-side halves of
+    the latency breakdown: distributions [queue_wait_ns] (arrival to
+    processing of each incoming packet) and [execute_ns] (VM cost per
+    pump quantum). *)
+
 val vm : t -> Tyco_vm.Machine.t
 
 exception Protocol_error of string

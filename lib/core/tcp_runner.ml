@@ -1,6 +1,7 @@
 module Packet = Tyco_net.Packet
 module Nameservice = Tyco_net.Nameservice
 module Netref = Tyco_support.Netref
+module Trace = Tyco_support.Trace
 
 type result = {
   outputs : Output.event list;
@@ -75,7 +76,9 @@ type node = {
   (* accepted incoming connections with reassembly buffers *)
   mutable accepted : (Unix.file_descr * conn_buf) list;
   mutable sites : Site.t list;
-  inbox : Packet.t Queue.t;      (* only touched by this node's thread *)
+  (* only touched by this node's thread; packets keep their causal
+     span, exactly as they do over the TCP links (trailer) *)
+  inbox : (Packet.t * Trace.span) Queue.t;
   ns : Nameservice.t;            (* used by node 0 only *)
   idle : bool Atomic.t;
 }
@@ -116,11 +119,13 @@ let peer_fd shared node peer =
       Hashtbl.add node.peers peer fd;
       fd
 
-let send_to shared node peer (p : Packet.t) =
+let send_to shared node peer ~ctx (p : Packet.t) =
   Atomic.incr shared.in_flight;
   Atomic.incr shared.total_packets;
   let fd = peer_fd shared node peer in
-  let b = frame (Packet.to_string p) in
+  (* the trace span rides the versioned trailer — an untraced run
+     produces bytes identical to [Packet.to_string] *)
+  let b = frame (Packet.to_string_traced ~ctx p) in
   (* loopback writes of small frames complete immediately; loop for
      completeness *)
   let rec write_all off =
@@ -137,7 +142,7 @@ let send_to shared node peer (p : Packet.t) =
 (* ------------------------------------------------------------------ *)
 (* Per-node event loop.                                                *)
 
-let route shared node (p : Packet.t) =
+let route shared node ~ctx (p : Packet.t) =
   let dst_node =
     match p with
     | Packet.Pns_register _ | Packet.Pns_lookup _ -> 0
@@ -146,10 +151,10 @@ let route shared node (p : Packet.t) =
     | Packet.Pfetch_rep { dst_ip; _ } | Packet.Pns_reply { dst_ip; _ } ->
         dst_ip
   in
-  if dst_node = node.node_id then Queue.push p node.inbox
-  else send_to shared node dst_node p
+  if dst_node = node.node_id then Queue.push (p, ctx) node.inbox
+  else send_to shared node dst_node ~ctx p
 
-let handle_ns shared node (p : Packet.t) =
+let handle_ns shared node ~ctx (p : Packet.t) =
   match p with
   | Packet.Pns_register { site_name; id_name; nref; rtti } ->
       let waiters =
@@ -158,7 +163,7 @@ let handle_ns shared node (p : Packet.t) =
       in
       List.iter
         (fun (w : Nameservice.waiter) ->
-          route shared node
+          route shared node ~ctx
             (Packet.Pns_reply
                { req_id = w.Nameservice.w_req_id;
                  dst_site = w.Nameservice.w_site;
@@ -174,27 +179,29 @@ let handle_ns shared node (p : Packet.t) =
       in
       match Nameservice.lookup_id node.ns ~site:site_name ~name:id_name w with
       | Some (nref, rtti) ->
-          route shared node
+          route shared node ~ctx
             (Packet.Pns_reply
                { req_id; dst_site = requester_site; dst_ip = requester_ip;
                  result = Some nref; rtti })
       | None -> ())
   | _ -> ()
 
-let deliver shared node (p : Packet.t) =
+let deliver shared node ~ctx (p : Packet.t) =
   match p with
-  | Packet.Pns_register _ | Packet.Pns_lookup _ -> handle_ns shared node p
+  | Packet.Pns_register _ | Packet.Pns_lookup _ -> handle_ns shared node ~ctx p
   | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
       List.iter
-        (fun s -> if Site.site_id s = dst.Netref.site_id then Site.deliver s p)
+        (fun s ->
+          if Site.site_id s = dst.Netref.site_id then Site.deliver ~ctx s p)
         node.sites
   | Packet.Pfetch_req { cls; _ } ->
       List.iter
-        (fun s -> if Site.site_id s = cls.Netref.site_id then Site.deliver s p)
+        (fun s ->
+          if Site.site_id s = cls.Netref.site_id then Site.deliver ~ctx s p)
         node.sites
   | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
       List.iter
-        (fun s -> if Site.site_id s = dst_site then Site.deliver s p)
+        (fun s -> if Site.site_id s = dst_site then Site.deliver ~ctx s p)
         node.sites
 
 let node_loop shared node () =
@@ -219,7 +226,10 @@ let node_loop shared node () =
               (fun payload ->
                 Atomic.decr shared.in_flight;
                 worked := true;
-                deliver shared node (Packet.of_string payload))
+                let p, sp = Packet.of_string_traced payload in
+                deliver shared node
+                  ~ctx:(Option.value ~default:Trace.null_span sp)
+                  p)
               (buf_drain cb)
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
             ())
@@ -227,7 +237,8 @@ let node_loop shared node () =
     (* locally queued packets (self-routed name-service traffic) *)
     while not (Queue.is_empty node.inbox) do
       worked := true;
-      deliver shared node (Queue.pop node.inbox)
+      let p, ctx = Queue.pop node.inbox in
+      deliver shared node ~ctx p
     done;
     (* run the sites *)
     List.iter
@@ -297,7 +308,7 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
       let site =
         Site.create ~name ~site_id ~ip:node.node_id
           ~inputs:(inputs name)
-          ~send:(fun p -> route shared node p)
+          ~send:(fun ctx p -> route shared node ~ctx p)
           ~on_output:(fun e ->
             Mutex.lock shared.outputs_mu;
             shared.outputs <- e :: shared.outputs;

@@ -1,5 +1,6 @@
 module Wire = Tyco_support.Wire
 module Netref = Tyco_support.Netref
+module Trace = Tyco_support.Trace
 
 type wvalue =
   | Wint of int
@@ -53,6 +54,16 @@ type t =
       result : Netref.t option;
       rtti : string;
     }
+
+(* The packet-kind tag carried by trace events. *)
+let trace_pk = function
+  | Pmsg _ -> Trace.Kmsg
+  | Pobj _ -> Trace.Kobj
+  | Pfetch_req _ -> Trace.Kfetch_req
+  | Pfetch_rep _ -> Trace.Kfetch_rep
+  | Pns_register _ -> Trace.Kns_register
+  | Pns_lookup _ -> Trace.Kns_lookup
+  | Pns_reply _ -> Trace.Kns_reply
 
 let dst_ip t ~ns_ip =
   match t with
@@ -206,6 +217,49 @@ let to_string p =
 let of_string s = decode (Wire.decoder s)
 
 (* ------------------------------------------------------------------ *)
+(* Trace-context trailer.
+
+   The causal span rides {e after} the packet body as a versioned
+   optional extension: a decoder that does not know about it stops at
+   the end of the body and never reads the trailer, and a decoder that
+   does probes [at_end] — so traced and untraced daemons interoperate
+   in both directions.  The trailer is deliberately {e not} charged by
+   [byte_size]: tracing must not perturb the latency model it is
+   measuring. *)
+
+let ctx_version = 1
+
+let encode_ctx enc (sp : Trace.span) =
+  Wire.u8 enc ctx_version;
+  Wire.varint enc sp.Trace.trace_id;
+  Wire.varint enc sp.Trace.span_id;
+  Wire.varint enc sp.Trace.parent_id
+
+let decode_ctx dec =
+  if Wire.at_end dec then None
+  else
+    match Wire.read_u8 dec with
+    | 1 ->
+        let trace_id = Wire.read_varint dec in
+        let span_id = Wire.read_varint dec in
+        let parent_id = Wire.read_varint dec in
+        Some { Trace.trace_id; span_id; parent_id }
+    | _ -> None (* later trailer version: skip what we can't parse *)
+
+let to_string_traced ?ctx p =
+  let enc = Wire.encoder () in
+  encode enc p;
+  (match ctx with
+  | Some sp when not (Trace.is_null sp) -> encode_ctx enc sp
+  | _ -> ());
+  Wire.to_string enc
+
+let of_string_traced s =
+  let dec = Wire.decoder s in
+  let p = decode dec in
+  (p, decode_ctx dec)
+
+(* ------------------------------------------------------------------ *)
 (* Byte accounting without encoding.
 
    The simulated transport only needs packet {e sizes} (the bandwidth
@@ -298,6 +352,19 @@ let frame_to_string f =
   Wire.to_string enc
 
 let frame_of_string s = decode_frame (Wire.decoder s)
+
+let frame_to_string_traced ?ctx f =
+  let enc = Wire.encoder () in
+  encode_frame enc f;
+  (match ctx with
+  | Some sp when not (Trace.is_null sp) -> encode_ctx enc sp
+  | _ -> ());
+  Wire.to_string enc
+
+let frame_of_string_traced s =
+  let dec = Wire.decoder s in
+  let f = decode_frame dec in
+  (f, decode_ctx dec)
 
 let frame_byte_size = function
   | Fdata { src_ip; seq; payload } ->

@@ -71,13 +71,33 @@ type t =
 val dst_ip : t -> ns_ip:int -> int
 (** Destination node of a packet ([ns_ip] for name-service traffic). *)
 
+val trace_pk : t -> Tyco_support.Trace.pk
+(** The packet-kind tag trace [Send]/[Deliver] events carry. *)
+
 val encode : Tyco_support.Wire.enc -> t -> unit
 val decode : Tyco_support.Wire.dec -> t
 val to_string : t -> string
 val of_string : string -> t
 
 val byte_size : t -> int
-(** Serialized size, for the link cost models. *)
+(** Serialized size, for the link cost models.  Deliberately excludes
+    the trace-context trailer: tracing must not perturb the latency
+    model it observes. *)
+
+(** {1 Trace-context trailer}
+
+    The causal span of a traced packet rides after the body as a
+    versioned optional extension.  Compatibility holds both ways: a
+    plain {!of_string} never reads past the body, and
+    {!of_string_traced} on an untraced packet finds the decoder
+    [at_end] and returns [None] — also on a trailer of a {e newer}
+    version, which it skips rather than rejects. *)
+
+val to_string_traced : ?ctx:Tyco_support.Trace.span -> t -> string
+(** [to_string] plus a trailer when [ctx] is a real (non-null) span;
+    without one the output is byte-identical to {!to_string}. *)
+
+val of_string_traced : string -> t * Tyco_support.Trace.span option
 
 (** {1 Transport frames}
 
@@ -100,6 +120,11 @@ val encode_frame : Tyco_support.Wire.enc -> frame -> unit
 val decode_frame : Tyco_support.Wire.dec -> frame
 val frame_to_string : frame -> string
 val frame_of_string : string -> frame
+
+val frame_to_string_traced : ?ctx:Tyco_support.Trace.span -> frame -> string
+val frame_of_string_traced : string -> frame * Tyco_support.Trace.span option
+(** Same trailer scheme as {!to_string_traced}, at the frame layer. *)
+
 val frame_byte_size : frame -> int
 val pp_frame : Format.formatter -> frame -> unit
 

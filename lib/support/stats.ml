@@ -10,9 +10,17 @@ module Counter = struct
 end
 
 module Dist = struct
+  (* Reservoir cap: long runs (millions of latency samples) previously
+     accumulated every sample as a cons list; past this many, Vitter's
+     algorithm R keeps a uniform sample instead.  [n]/[sum]/[lo]/[hi]
+     stay exact streaming values; percentiles become estimates. *)
+  let reservoir_cap = 8192
+
   type t = {
     name : string;
-    mutable samples : float list;
+    reservoir : float array; (* first [filled] slots are live *)
+    mutable filled : int;
+    rng : Prng.t; (* deterministic: seeded from the name *)
     mutable n : int;
     mutable sum : float;
     mutable lo : float;
@@ -21,29 +29,48 @@ module Dist = struct
   }
 
   let create name =
-    { name; samples = []; n = 0; sum = 0.; lo = infinity; hi = neg_infinity;
+    { name;
+      reservoir = Array.make reservoir_cap 0.;
+      filled = 0;
+      rng = Prng.create (Hashtbl.hash name);
+      n = 0;
+      sum = 0.;
+      lo = infinity;
+      hi = neg_infinity;
       sorted = None }
 
   let name t = t.name
 
   let add t x =
-    t.samples <- x :: t.samples;
+    if t.filled < reservoir_cap then begin
+      t.reservoir.(t.filled) <- x;
+      t.filled <- t.filled + 1;
+      t.sorted <- None
+    end
+    else begin
+      (* algorithm R: keep the new sample with probability cap/(n+1) *)
+      let j = Prng.int t.rng (t.n + 1) in
+      if j < reservoir_cap then begin
+        t.reservoir.(j) <- x;
+        t.sorted <- None
+      end
+    end;
     t.n <- t.n + 1;
     t.sum <- t.sum +. x;
     if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x;
-    t.sorted <- None
+    if x > t.hi then t.hi <- x
 
   let count t = t.n
   let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
   let min t = t.lo
   let max t = t.hi
+  let samples t = Array.sub t.reservoir 0 t.filled
 
   let sorted t =
     match t.sorted with
     | Some a -> a
     | None ->
-        let a = Array.of_list t.samples in
+        let a = samples t in
         Array.sort Float.compare a;
         t.sorted <- Some a;
         a
@@ -51,12 +78,29 @@ module Dist = struct
   let percentile t p =
     if t.n = 0 then invalid_arg "Dist.percentile: no samples";
     let a = sorted t in
-    let rank = int_of_float (ceil (p *. float_of_int t.n)) in
-    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    let k = Array.length a in
+    let rank = int_of_float (ceil (p *. float_of_int k)) in
+    let idx = Stdlib.max 0 (Stdlib.min (k - 1) (rank - 1)) in
     a.(idx)
 
+  type summary = {
+    s_n : int;
+    s_mean : float;
+    s_min : float;
+    s_max : float;
+    s_p50 : float;
+    s_p95 : float;
+  }
+
+  let summary_opt t =
+    if t.n = 0 then None
+    else
+      Some
+        { s_n = t.n; s_mean = mean t; s_min = t.lo; s_max = t.hi;
+          s_p50 = percentile t 0.5; s_p95 = percentile t 0.95 }
+
   let reset t =
-    t.samples <- [];
+    t.filled <- 0;
     t.n <- 0;
     t.sum <- 0.;
     t.lo <- infinity;

@@ -22,17 +22,53 @@ end
 module Dist : sig
   type t
 
+  val reservoir_cap : int
+  (** Bound on retained samples (8192).  Beyond it, reservoir sampling
+      (Vitter's algorithm R, driven by a {!Prng} seeded from the
+      distribution's name, so runs are deterministic) keeps a uniform
+      subset: {!count}/{!mean}/{!min}/{!max} stay exact streaming
+      values, but {!percentile} becomes an estimate. *)
+
   val create : string -> t
   val name : t -> string
   val add : t -> float -> unit
+
   val count : t -> int
+  (** Exact number of samples observed (not capped). *)
+
   val mean : t -> float
+  (** Exact streaming mean; [0.] when empty. *)
+
   val min : t -> float
+  (** Exact; total: [infinity] when empty (use {!summary_opt} before
+      exporting — [infinity] is not valid JSON). *)
+
   val max : t -> float
+  (** Exact; total: [neg_infinity] when empty. *)
+
+  val samples : t -> float array
+  (** The retained reservoir (every sample below the cap, a uniform
+      subset past it), unsorted.  For pooling and tests. *)
 
   val percentile : t -> float -> float
-  (** [percentile d 0.95] — nearest-rank on the recorded samples.
+  (** [percentile d 0.95] — nearest-rank on the retained samples
+      (exact below {!reservoir_cap}, an estimate past it).
       Raises [Invalid_argument] if no samples were recorded. *)
+
+  (** A total snapshot for exporters: only constructed when at least
+      one sample exists, so no field is ever [infinity]/[nan]. *)
+  type summary = {
+    s_n : int;
+    s_mean : float;
+    s_min : float;
+    s_max : float;
+    s_p50 : float;
+    s_p95 : float;
+  }
+
+  val summary_opt : t -> summary option
+  (** [None] when the distribution is empty — the safe path for JSON
+      emitters (a site that never sampled emits [null], not [inf]). *)
 
   val reset : t -> unit
   val pp_summary : Format.formatter -> t -> unit

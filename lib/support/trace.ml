@@ -1,0 +1,410 @@
+type span = { trace_id : int; span_id : int; parent_id : int }
+
+let null_span = { trace_id = 0; span_id = 0; parent_id = 0 }
+let is_null s = s.span_id = 0
+
+type pk =
+  | Kmsg
+  | Kobj
+  | Kfetch_req
+  | Kfetch_rep
+  | Kns_register
+  | Kns_lookup
+  | Kns_reply
+
+type kind =
+  | Thread_spawn
+  | Run_slice of { instrs : int; cost : int }
+  | Msg_park
+  | Msg_unpark
+  | Obj_park
+  | Obj_unpark
+  | Send of { pk : pk; bytes : int }
+  | Deliver of { pk : pk; same_node : bool }
+  | Obj_commit
+  | Link_code of { bytes : int }
+  | Retransmit of { attempt : int }
+  | Ack
+  | Timeout
+  | Ns_serve
+
+type event = {
+  ev_ts : int;
+  ev_dur : int;
+  ev_track : int;
+  ev_span : span;
+  ev_kind : kind;
+}
+
+let fabric_track = -1
+
+let pk_name = function
+  | Kmsg -> "msg"
+  | Kobj -> "obj"
+  | Kfetch_req -> "fetch-req"
+  | Kfetch_rep -> "fetch-rep"
+  | Kns_register -> "ns-register"
+  | Kns_lookup -> "ns-lookup"
+  | Kns_reply -> "ns-reply"
+
+let kind_name = function
+  | Thread_spawn -> "thread-spawn"
+  | Run_slice _ -> "run-slice"
+  | Msg_park -> "msg-park"
+  | Msg_unpark -> "msg-unpark"
+  | Obj_park -> "obj-park"
+  | Obj_unpark -> "obj-unpark"
+  | Send { pk; _ } -> "send-" ^ pk_name pk
+  | Deliver { pk; _ } -> "deliver-" ^ pk_name pk
+  | Obj_commit -> "obj-commit"
+  | Link_code _ -> "link-code"
+  | Retransmit _ -> "retransmit"
+  | Ack -> "ack"
+  | Timeout -> "timeout"
+  | Ns_serve -> "ns-serve"
+
+(* One bounded ring per track: the oldest entries are overwritten when
+   the ring is full, so a long run keeps its recent history instead of
+   growing without bound (the failure mode the unbounded packet log
+   had).  Entries carry a global sequence number so a multi-track merge
+   can restore emission order among equal timestamps. *)
+type ring = {
+  buf : (int * event) option array;
+  mutable head : int; (* index of the oldest entry *)
+  mutable len : int;
+  mutable rg_dropped : int;
+}
+
+type t = {
+  en : bool;
+  capacity : int;
+  mutable next_id : int;
+  mutable seq : int;
+  rings : (int, ring) Hashtbl.t;
+  mutable track_names : (int * string) list; (* newest first *)
+  mutable base_dropped : int; (* drops recorded by a loaded archive *)
+}
+
+let create ?(capacity = 65536) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { en = enabled;
+    capacity;
+    next_id = 0;
+    seq = 0;
+    rings = Hashtbl.create 8;
+    track_names = [];
+    base_dropped = 0 }
+
+let disabled = create ~capacity:1 ~enabled:false ()
+let enabled t = t.en
+
+let fresh_span t ~parent =
+  if not t.en then null_span
+  else begin
+    t.next_id <- t.next_id + 1;
+    let id = t.next_id in
+    if is_null parent then { trace_id = id; span_id = id; parent_id = 0 }
+    else
+      { trace_id = parent.trace_id; span_id = id;
+        parent_id = parent.span_id }
+  end
+
+let register_track t ~id ~name =
+  if t.en then
+    t.track_names <- (id, name) :: List.remove_assoc id t.track_names
+
+let ring_of t track =
+  match Hashtbl.find_opt t.rings track with
+  | Some r -> r
+  | None ->
+      let r =
+        { buf = Array.make t.capacity None; head = 0; len = 0; rg_dropped = 0 }
+      in
+      Hashtbl.add t.rings track r;
+      r
+
+let emit t ~ts ?(dur = 0) ~track ~span kind =
+  if t.en then begin
+    let r = ring_of t track in
+    let ev = { ev_ts = ts; ev_dur = dur; ev_track = track; ev_span = span;
+               ev_kind = kind }
+    in
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    if r.len < t.capacity then begin
+      r.buf.((r.head + r.len) mod t.capacity) <- Some (seq, ev);
+      r.len <- r.len + 1
+    end
+    else begin
+      r.buf.(r.head) <- Some (seq, ev);
+      r.head <- (r.head + 1) mod t.capacity;
+      r.rg_dropped <- r.rg_dropped + 1
+    end
+  end
+
+let dropped t =
+  Hashtbl.fold (fun _ r acc -> acc + r.rg_dropped) t.rings t.base_dropped
+
+let tracks t = List.rev t.track_names
+
+let events t =
+  let all = ref [] in
+  Hashtbl.iter
+    (fun _ r ->
+      for i = 0 to r.len - 1 do
+        match r.buf.((r.head + i) mod t.capacity) with
+        | Some e -> all := e :: !all
+        | None -> ()
+      done)
+    t.rings;
+  List.map snd
+    (List.sort
+       (fun (sa, a) (sb, b) ->
+         match compare a.ev_ts b.ev_ts with 0 -> compare sa sb | c -> c)
+       !all)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (Perfetto / chrome://tracing).               *)
+
+let buf_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Chrome timestamps are microseconds; the virtual clock is ns. *)
+let buf_ts b ns = Buffer.add_string b (Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000))
+
+let args_of_kind = function
+  | Run_slice { instrs; cost } ->
+      [ ("instrs", string_of_int instrs); ("cost_ns", string_of_int cost) ]
+  | Send { bytes; _ } -> [ ("bytes", string_of_int bytes) ]
+  | Deliver { same_node; _ } ->
+      [ ("same_node", if same_node then "true" else "false") ]
+  | Link_code { bytes } -> [ ("code_bytes", string_of_int bytes) ]
+  | Retransmit { attempt } -> [ ("attempt", string_of_int attempt) ]
+  | _ -> []
+
+let chrome_record b ~name ~ph ~ts ?dur ~pid ~span ?(extra = []) () =
+  Buffer.add_string b "{\"name\":\"";
+  buf_escaped b name;
+  Buffer.add_string b "\",\"cat\":\"tyco\",\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"ts\":";
+  buf_ts b ts;
+  (match dur with
+  | Some d ->
+      Buffer.add_string b ",\"dur\":";
+      buf_ts b d
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":0" pid);
+  if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+  if ph = "s" || ph = "f" then begin
+    Buffer.add_string b (Printf.sprintf ",\"id\":%d" span.span_id);
+    if ph = "f" then Buffer.add_string b ",\"bp\":\"e\""
+  end;
+  Buffer.add_string b
+    (Printf.sprintf ",\"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d"
+       span.trace_id span.span_id span.parent_id);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      Buffer.add_string b k;
+      Buffer.add_string b "\":";
+      Buffer.add_string b v)
+    extra;
+  Buffer.add_string b "}}"
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun (id, name) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":%d,\
+            \"tid\":0,\"args\":{\"name\":\"" id);
+      buf_escaped b name;
+      Buffer.add_string b "\"}}")
+    (tracks t);
+  List.iter
+    (fun ev ->
+      let name = kind_name ev.ev_kind in
+      let extra = args_of_kind ev.ev_kind in
+      sep ();
+      (match ev.ev_kind with
+      | Run_slice _ ->
+          chrome_record b ~name ~ph:"X" ~ts:ev.ev_ts ~dur:ev.ev_dur
+            ~pid:ev.ev_track ~span:ev.ev_span ~extra ()
+      | _ ->
+          chrome_record b ~name ~ph:"i" ~ts:ev.ev_ts ~pid:ev.ev_track
+            ~span:ev.ev_span ~extra ());
+      (* cross-track causality: a flow arrow per packet span *)
+      match ev.ev_kind with
+      | Send _ ->
+          sep ();
+          chrome_record b ~name:"packet" ~ph:"s" ~ts:ev.ev_ts
+            ~pid:ev.ev_track ~span:ev.ev_span ()
+      | Deliver _ ->
+          sep ();
+          chrome_record b ~name:"packet" ~ph:"f" ~ts:ev.ev_ts
+            ~pid:ev.ev_track ~span:ev.ev_span ()
+      | _ -> ())
+    (events t);
+  Buffer.add_string b "\n]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Binary archive (tyco-trace's input).                                 *)
+
+let magic = "TYCT"
+let version = 1
+
+let pk_tag = function
+  | Kmsg -> 0 | Kobj -> 1 | Kfetch_req -> 2 | Kfetch_rep -> 3
+  | Kns_register -> 4 | Kns_lookup -> 5 | Kns_reply -> 6
+
+let pk_of_tag = function
+  | 0 -> Kmsg | 1 -> Kobj | 2 -> Kfetch_req | 3 -> Kfetch_rep
+  | 4 -> Kns_register | 5 -> Kns_lookup | 6 -> Kns_reply
+  | n -> raise (Wire.Malformed (Printf.sprintf "trace pk tag %d" n))
+
+let encode_kind enc = function
+  | Thread_spawn -> Wire.u8 enc 0
+  | Run_slice { instrs; cost } ->
+      Wire.u8 enc 1;
+      Wire.varint enc instrs;
+      Wire.varint enc cost
+  | Msg_park -> Wire.u8 enc 2
+  | Msg_unpark -> Wire.u8 enc 3
+  | Obj_park -> Wire.u8 enc 4
+  | Obj_unpark -> Wire.u8 enc 5
+  | Send { pk; bytes } ->
+      Wire.u8 enc 6;
+      Wire.u8 enc (pk_tag pk);
+      Wire.varint enc bytes
+  | Deliver { pk; same_node } ->
+      Wire.u8 enc 7;
+      Wire.u8 enc (pk_tag pk);
+      Wire.bool enc same_node
+  | Obj_commit -> Wire.u8 enc 8
+  | Link_code { bytes } ->
+      Wire.u8 enc 9;
+      Wire.varint enc bytes
+  | Retransmit { attempt } ->
+      Wire.u8 enc 10;
+      Wire.varint enc attempt
+  | Ack -> Wire.u8 enc 11
+  | Timeout -> Wire.u8 enc 12
+  | Ns_serve -> Wire.u8 enc 13
+
+let decode_kind dec =
+  match Wire.read_u8 dec with
+  | 0 -> Thread_spawn
+  | 1 ->
+      let instrs = Wire.read_varint dec in
+      let cost = Wire.read_varint dec in
+      Run_slice { instrs; cost }
+  | 2 -> Msg_park
+  | 3 -> Msg_unpark
+  | 4 -> Obj_park
+  | 5 -> Obj_unpark
+  | 6 ->
+      let pk = pk_of_tag (Wire.read_u8 dec) in
+      let bytes = Wire.read_varint dec in
+      Send { pk; bytes }
+  | 7 ->
+      let pk = pk_of_tag (Wire.read_u8 dec) in
+      let same_node = Wire.read_bool dec in
+      Deliver { pk; same_node }
+  | 8 -> Obj_commit
+  | 9 -> Link_code { bytes = Wire.read_varint dec }
+  | 10 -> Retransmit { attempt = Wire.read_varint dec }
+  | 11 -> Ack
+  | 12 -> Timeout
+  | 13 -> Ns_serve
+  | n -> raise (Wire.Malformed (Printf.sprintf "trace kind tag %d" n))
+
+type archive = {
+  ar_tracks : (int * string) list;
+  ar_dropped : int;
+  ar_events : event list;
+}
+
+let serialize t =
+  let enc = Wire.encoder () in
+  String.iter (fun c -> Wire.u8 enc (Char.code c)) magic;
+  Wire.u8 enc version;
+  Wire.list enc
+    (fun enc (id, name) ->
+      Wire.zint enc id;
+      Wire.string enc name)
+    (tracks t);
+  Wire.varint enc (dropped t);
+  Wire.list enc
+    (fun enc ev ->
+      Wire.varint enc ev.ev_ts;
+      Wire.varint enc ev.ev_dur;
+      Wire.zint enc ev.ev_track;
+      Wire.varint enc ev.ev_span.trace_id;
+      Wire.varint enc ev.ev_span.span_id;
+      Wire.varint enc ev.ev_span.parent_id;
+      encode_kind enc ev.ev_kind)
+    (events t);
+  Wire.to_string enc
+
+let deserialize s =
+  let dec = Wire.decoder s in
+  String.iter
+    (fun c ->
+      if Wire.read_u8 dec <> Char.code c then
+        raise (Wire.Malformed "not a tyco trace archive"))
+    magic;
+  let v = Wire.read_u8 dec in
+  if v <> version then
+    raise (Wire.Malformed (Printf.sprintf "trace archive version %d" v));
+  let ar_tracks =
+    Wire.read_list dec (fun dec ->
+        let id = Wire.read_zint dec in
+        let name = Wire.read_string dec in
+        (id, name))
+  in
+  let ar_dropped = Wire.read_varint dec in
+  let ar_events =
+    Wire.read_list dec (fun dec ->
+        let ev_ts = Wire.read_varint dec in
+        let ev_dur = Wire.read_varint dec in
+        let ev_track = Wire.read_zint dec in
+        let trace_id = Wire.read_varint dec in
+        let span_id = Wire.read_varint dec in
+        let parent_id = Wire.read_varint dec in
+        let ev_kind = decode_kind dec in
+        { ev_ts; ev_dur; ev_track;
+          ev_span = { trace_id; span_id; parent_id }; ev_kind })
+  in
+  { ar_tracks; ar_dropped; ar_events }
+
+let of_archive ar =
+  let t =
+    create ~capacity:(max 1 (List.length ar.ar_events)) ~enabled:true ()
+  in
+  List.iter (fun (id, name) -> register_track t ~id ~name) ar.ar_tracks;
+  List.iter
+    (fun ev ->
+      emit t ~ts:ev.ev_ts ~dur:ev.ev_dur ~track:ev.ev_track ~span:ev.ev_span
+        ev.ev_kind)
+    ar.ar_events;
+  t.base_dropped <- ar.ar_dropped;
+  t

@@ -1,0 +1,141 @@
+(** Causal tracing: per-site bounded event rings with explicit
+    parent/child spans.
+
+    The paper's performance story (§1/§5) — fine-grained threads,
+    latency hiding, the same-node optimization — is about {e where a
+    message's latency goes} as it crosses site → node → wire → site.
+    This module records that journey as a tree of {e spans}: every VM
+    thread, packet transmission and protocol step gets a span whose
+    parent is the span that caused it, stamped with the simulation's
+    virtual clock.  Because the simulation is deterministic (same
+    program, same seed, same event order), the trace is byte-identical
+    across reruns — it is a reproducible artifact, not a sampling.
+
+    A collector is either {e enabled} or {e disabled} at creation.
+    Disabled collectors never allocate spans ({!fresh_span} returns
+    {!null_span}) and {!emit} returns immediately; hot paths guard
+    event-payload construction behind {!enabled} so tracing costs one
+    load-and-branch when off. *)
+
+(** {1 Spans} *)
+
+(** A node in the causal tree.  [trace_id] names the tree (it equals
+    the root's [span_id]); [parent_id] is [0] at roots.  Span ids are
+    allocated from a single per-collector counter, so they are unique
+    across all sites of a run and deterministic in creation order. *)
+type span = { trace_id : int; span_id : int; parent_id : int }
+
+val null_span : span
+(** The no-trace sentinel (all fields [0]); emitted by disabled
+    collectors and carried by untraced packets. *)
+
+val is_null : span -> bool
+
+(** {1 Events} *)
+
+(** What kind of packet a [Send]/[Deliver] event moved. *)
+type pk =
+  | Kmsg          (** SHIPM: remote method invocation *)
+  | Kobj          (** SHIPO: object migration *)
+  | Kfetch_req
+  | Kfetch_rep
+  | Kns_register
+  | Kns_lookup
+  | Kns_reply
+
+type kind =
+  | Thread_spawn                          (** VM thread queued *)
+  | Run_slice of { instrs : int; cost : int }
+      (** one thread ran to completion; [cost] is its virtual-ns
+          duration (also the event's [ev_dur]) *)
+  | Msg_park | Msg_unpark                 (** message queued at / freed
+                                              from an empty channel *)
+  | Obj_park | Obj_unpark
+  | Send of { pk : pk; bytes : int }      (** packet handed to the
+                                              daemon (0 bytes on the
+                                              same-node fast path) *)
+  | Deliver of { pk : pk; same_node : bool }
+  | Obj_commit                            (** shipped object installed
+                                              at the target channel *)
+  | Link_code of { bytes : int }          (** downloaded byte-code
+                                              linked into the area *)
+  | Retransmit of { attempt : int }       (** reliable mode: frame
+                                              re-sent *)
+  | Ack
+  | Timeout                               (** retransmissions exhausted *)
+  | Ns_serve                              (** name service processed a
+                                              registration or lookup *)
+
+type event = {
+  ev_ts : int;        (** virtual ns *)
+  ev_dur : int;       (** virtual ns; [0] for instants *)
+  ev_track : int;     (** site id, or {!fabric_track} *)
+  ev_span : span;
+  ev_kind : kind;
+}
+
+val fabric_track : int
+(** Track [-1]: daemon/transport events not owned by any site. *)
+
+val kind_name : kind -> string
+val pk_name : pk -> string
+
+(** {1 Collectors} *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] bounds each track's event ring (default 65536 per
+    track); the oldest events of that track are dropped beyond it. *)
+
+val disabled : t
+(** A shared always-off collector: [emit] is a no-op, [fresh_span]
+    returns {!null_span}.  The default everywhere. *)
+
+val enabled : t -> bool
+
+val fresh_span : t -> parent:span -> span
+(** Allocate a child of [parent] ([null_span] parent starts a new
+    trace).  Returns {!null_span} when the collector is disabled. *)
+
+val register_track : t -> id:int -> name:string -> unit
+(** Name a track for the exporters (idempotent; last name wins). *)
+
+val emit : t -> ts:int -> ?dur:int -> track:int -> span:span -> kind -> unit
+
+val events : t -> event list
+(** Surviving events of all tracks, sorted by [ev_ts] (ties broken by
+    emission order). *)
+
+val dropped : t -> int
+(** Events evicted from full rings. *)
+
+val tracks : t -> (int * string) list
+(** Registered [(id, name)] pairs, in registration order. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON (object form, ["traceEvents"] array) —
+    loadable in Perfetto / chrome://tracing.  One process ("pid") per
+    track; [Run_slice] becomes a complete event (["ph":"X"]) with its
+    duration, everything else an instant; every [Send]/[Deliver] pair
+    additionally emits flow events (["ph":"s"]/["f"]) keyed by the
+    packet's span id, drawing the cross-site arrows. *)
+
+val serialize : t -> string
+(** Versioned binary form (tracks, drop count, events) for
+    [tyco-trace]; hardware-independent via {!Wire}. *)
+
+type archive = {
+  ar_tracks : (int * string) list;
+  ar_dropped : int;
+  ar_events : event list;
+}
+
+val deserialize : string -> archive
+(** Raises {!Wire.Malformed} on bad magic, unknown version or
+    truncated input. *)
+
+val of_archive : archive -> t
+(** Rebuild a collector (for re-export) from a loaded archive. *)

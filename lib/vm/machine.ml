@@ -1,6 +1,7 @@
 module Dq = Tyco_support.Dq
 module Stats = Tyco_support.Stats
 module Netref = Tyco_support.Netref
+module Trace = Tyco_support.Trace
 module Ast = Tyco_syntax.Ast
 module Block = Tyco_compiler.Block
 module Instr = Tyco_compiler.Instr
@@ -24,19 +25,25 @@ exception Error of string
 
 let err fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
 
-type thread = { t_block : int; t_env : Value.t array }
+type thread = { t_block : int; t_env : Value.t array; t_span : Trace.span }
 
 type t = {
   name : string;
   area : Link.area;
   runq : thread Dq.t;
-  remote : remote_op Dq.t;
+  remote : (remote_op * Trace.span) Dq.t;
   mutable chan_uid : int;
   (* Operand stack, shared by all threads of this machine: a thread runs
      to completion and leaves the stack empty, so one growable array
      replaces a freshly-consed list per thread. *)
   mutable ostack : Value.t array;
   mutable osp : int;
+  (* Causal tracing (off by default: [tr] is [Trace.disabled], every
+     guard is one load-and-branch, and spans stay [null_span]). *)
+  tr : Trace.t;
+  track : int;
+  mutable clock : int; (* virtual time, maintained by the embedder *)
+  mutable cur_span : Trace.span; (* span causing current spawns *)
   stats : Stats.t;
   c_instr : Stats.Counter.t;
   c_threads : Stats.Counter.t;
@@ -47,9 +54,10 @@ type t = {
   c_defgroups : Stats.Counter.t;
   c_remote : Stats.Counter.t;
   d_thread_len : Stats.Dist.t;
+  d_runq_depth : Stats.Dist.t;
 }
 
-let create ?(name = "site") area =
+let create ?(name = "site") ?(trace = Trace.disabled) ?(track = 0) area =
   let stats = Stats.create () in
   { name;
     area;
@@ -58,6 +66,10 @@ let create ?(name = "site") area =
     chan_uid = 0;
     ostack = Array.make 64 (Value.Vint 0);
     osp = 0;
+    tr = trace;
+    track;
+    clock = 0;
+    cur_span = Trace.null_span;
     stats;
     c_instr = Stats.counter stats "instructions";
     c_threads = Stats.counter stats "threads";
@@ -67,10 +79,16 @@ let create ?(name = "site") area =
     c_insts = Stats.counter stats "insts";
     c_defgroups = Stats.counter stats "defgroups";
     c_remote = Stats.counter stats "remote_ops";
-    d_thread_len = Stats.dist stats "thread_len" }
+    d_thread_len = Stats.dist stats "thread_len";
+    d_runq_depth = Stats.dist stats "runq_depth" }
 
 let area t = t.area
 let stats t = t.stats
+let set_clock t ns = t.clock <- ns
+let clock t = t.clock
+let current_span t = t.cur_span
+let set_current_span t sp = t.cur_span <- sp
+let trace t = t.tr
 
 let new_chan t name =
   let uid = t.chan_uid in
@@ -91,13 +109,28 @@ let frame_for t ~block ~init =
   List.iteri (fun i v -> frame.(i) <- v) init;
   frame
 
+(* All thread creation funnels through here: the new thread's span is a
+   child of [parent] (the spawning thread, or the delivery context the
+   site installed with [set_current_span]). *)
+let enqueue t ~parent ~block frame =
+  let sp =
+    if Trace.enabled t.tr then begin
+      let sp = Trace.fresh_span t.tr ~parent in
+      Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:sp Trace.Thread_spawn;
+      sp
+    end
+    else Trace.null_span
+  in
+  Dq.push_back t.runq { t_block = block; t_env = frame; t_span = sp }
+
 let spawn t ~block ~env =
-  Dq.push_back t.runq { t_block = block; t_env = frame_for t ~block ~init:env }
+  enqueue t ~parent:t.cur_span ~block (frame_for t ~block ~init:env)
 
 (* Frame [args..][extra..] built with two blits — the method-fire and
    instantiation paths, where the old [args @ Array.to_list env] rebuilt
    both sides as lists. *)
-let spawn_call t ~block ~(args : Value.t array) ~(extra : Value.t array) =
+let spawn_call t ~parent ~block ~(args : Value.t array)
+    ~(extra : Value.t array) =
   let blk = Link.block t.area block in
   let na = Array.length args and ne = Array.length extra in
   let frame =
@@ -105,15 +138,16 @@ let spawn_call t ~block ~(args : Value.t array) ~(extra : Value.t array) =
   in
   Array.blit args 0 frame 0 na;
   Array.blit extra 0 frame na ne;
-  Dq.push_back t.runq { t_block = block; t_env = frame }
+  enqueue t ~parent ~block frame
 
 let spawn_entry t ~entry ~io = spawn t ~block:entry ~env:[ Value.Vchan io ]
 
 (* Fire a method: the object's method table entry for interned label
    [lid] runs with frame [args..][closure env..].  The entry is found
    through the area's direct-mapped dispatch table — O(1), no string
-   comparison. *)
-let fire_method t (obj : Value.obj) ~lid (args : Value.t array) =
+   comparison.  [parent] is the span of the {e message} half of the
+   rendez-vous: the message is what causes the method body to run. *)
+let fire_method t (obj : Value.obj) ~parent ~lid (args : Value.t array) =
   let idx = Link.method_entry t.area obj.Value.obj_mtable ~lid in
   if idx < 0 then
     err "%s: no method '%s' at object (protocol error)" t.name
@@ -126,7 +160,8 @@ let fire_method t (obj : Value.obj) ~lid (args : Value.t array) =
     err "%s: method '%s': expected %d argument(s), got %d" t.name
       entry.Block.me_label entry.Block.me_nparams (Array.length args);
   Stats.Counter.incr t.c_comm;
-  spawn_call t ~block:entry.Block.me_block ~args ~extra:obj.Value.obj_env
+  spawn_call t ~parent ~block:entry.Block.me_block ~args
+    ~extra:obj.Value.obj_env
 
 (* Hot path: label already interned (Trmsg operand, parked message). *)
 let inject_msg_id t (chan : Value.chan) ~lid (args : Value.t array) =
@@ -138,15 +173,26 @@ let inject_msg_id t (chan : Value.chan) ~lid (args : Value.t array) =
         match Dq.pop_front q with Some o -> o | None -> assert false
       in
       if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      fire_method t obj ~lid args
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Obj_unpark;
+      fire_method t obj ~parent:t.cur_span ~lid args
   | Value.Empty ->
       let q = Dq.create () in
-      Dq.push_back q { Value.msg_lid = lid; msg_args = args };
+      Dq.push_back q { Value.msg_lid = lid; msg_args = args;
+                       msg_span = t.cur_span };
       Stats.Counter.incr t.c_msgs_parked;
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Msg_park;
       chan.Value.ch_state <- Value.Msgs q
   | Value.Msgs q ->
       Stats.Counter.incr t.c_msgs_parked;
-      Dq.push_back q { Value.msg_lid = lid; msg_args = args }
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Msg_park;
+      Dq.push_back q { Value.msg_lid = lid; msg_args = args;
+                       msg_span = t.cur_span }
 
 (* Cold entry point for the embedding site (packet delivery, builtin
    replies): labels arrive as strings and are interned here. *)
@@ -159,14 +205,24 @@ let inject_obj t (chan : Value.chan) (obj : Value.obj) =
   | Value.Msgs q ->
       let m = match Dq.pop_front q with Some m -> m | None -> assert false in
       if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      fire_method t obj ~lid:m.Value.msg_lid m.Value.msg_args
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:m.Value.msg_span
+          Trace.Msg_unpark;
+      fire_method t obj ~parent:m.Value.msg_span ~lid:m.Value.msg_lid
+        m.Value.msg_args
   | Value.Empty ->
       let q = Dq.create () in
       Dq.push_back q obj;
       Stats.Counter.incr t.c_objs_parked;
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Obj_park;
       chan.Value.ch_state <- Value.Objs q
   | Value.Objs q ->
       Stats.Counter.incr t.c_objs_parked;
+      if Trace.enabled t.tr then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Obj_park;
       Dq.push_back q obj
 
 let instantiate_args t (cls : Value.cls) (args : Value.t array) =
@@ -176,7 +232,8 @@ let instantiate_args t (cls : Value.cls) (args : Value.t array) =
     err "%s: class '%s': expected %d argument(s), got %d" t.name
       sig_.Block.cls_name sig_.Block.cls_nparams (Array.length args);
   Stats.Counter.incr t.c_insts;
-  spawn_call t ~block:sig_.Block.cls_block ~args ~extra:cls.Value.cls_env
+  spawn_call t ~parent:t.cur_span ~block:sig_.Block.cls_block ~args
+    ~extra:cls.Value.cls_env
 
 let instantiate t cls args = instantiate_args t cls (Array.of_list args)
 
@@ -241,7 +298,7 @@ let pop_args t n =
 
 let push_remote t op =
   Stats.Counter.incr t.c_remote;
-  Dq.push_back t.remote op
+  Dq.push_back t.remote (op, t.cur_span)
 
 (* Execute one thread to completion; returns instructions executed and
    their summed virtual-time cost. *)
@@ -369,18 +426,29 @@ let run t ~budget =
   let executed = ref 0 in
   let cost = ref 0 in
   let continue_ = ref true in
+  (* run-queue depth at quantum start: the latency-hiding evidence —
+     deep queues mean remote waits are being overlapped (paper §5) *)
+  Stats.Dist.add t.d_runq_depth (float_of_int (Dq.length t.runq));
   while !continue_ && !executed < budget do
     match Dq.pop_front t.runq with
     | None -> continue_ := false
     | Some th ->
         Stats.Counter.incr t.c_threads;
+        t.cur_span <- th.t_span;
+        let start = t.clock in
         let n, c = run_thread t th in
+        t.clock <- start + c;
+        if Trace.enabled t.tr then
+          Trace.emit t.tr ~ts:start ~dur:c ~track:t.track ~span:th.t_span
+            (Trace.Run_slice { instrs = n; cost = c });
         Stats.Counter.add t.c_instr n;
         Stats.Dist.add t.d_thread_len (float_of_int n);
         executed := !executed + n;
         cost := !cost + c
   done;
+  t.cur_span <- Trace.null_span;
   (!executed, !cost)
 
-let pop_remote_op t = Dq.pop_front t.remote
+let pop_remote_op t = Option.map fst (Dq.pop_front t.remote)
+let pop_remote_traced t = Dq.pop_front t.remote
 let pending_remote_ops t = Dq.length t.remote

@@ -47,8 +47,38 @@ exception Error of string
 (** Dynamic protocol errors: no such method, arity mismatch, ill-typed
     builtin operands, [Instof] of a non-class… *)
 
-val create : ?name:string -> Tyco_compiler.Link.area -> t
+val create :
+  ?name:string ->
+  ?trace:Tyco_support.Trace.t ->
+  ?track:int ->
+  Tyco_compiler.Link.area ->
+  t
+(** [trace] is the site's event collector ({!Tyco_support.Trace.disabled}
+    by default — every instrumentation point is then one load-and-branch
+    and all spans stay [null_span]); [track] is the collector track id
+    this machine's events are emitted on (the site's id). *)
+
 val area : t -> Tyco_compiler.Link.area
+
+(** {1 Causal tracing} *)
+
+val trace : t -> Tyco_support.Trace.t
+
+val set_clock : t -> int -> unit
+(** The machine does not own time: the embedding site sets the virtual
+    clock (ns) before [run]/injections so emitted events carry simulation
+    timestamps.  [run] advances it by each thread's cost. *)
+
+val clock : t -> int
+
+val current_span : t -> Tyco_support.Trace.span
+(** The span causally responsible for whatever the machine does next:
+    inside [run] it is the running thread's span; around an injection it
+    is whatever the embedder installed with {!set_current_span} (e.g.
+    the span of the packet being delivered).  Threads spawned, messages
+    parked and remote ops pushed all inherit it as parent. *)
+
+val set_current_span : t -> Tyco_support.Trace.span -> unit
 
 val new_chan : t -> string -> Value.chan
 val builtin_chan : t -> string -> (string -> Value.t list -> unit) -> Value.chan
@@ -90,6 +120,11 @@ val run : t -> budget:int -> int * int
     and drives the simulation clock. *)
 
 val pop_remote_op : t -> remote_op option
+
+val pop_remote_traced : t -> (remote_op * Tyco_support.Trace.span) option
+(** Like {!pop_remote_op} but also returns the span of the thread that
+    pushed the op — the parent for the network span the site creates. *)
+
 val pending_remote_ops : t -> int
 
 (** {1 Metrics} *)
@@ -97,5 +132,7 @@ val pending_remote_ops : t -> int
 val stats : t -> Tyco_support.Stats.t
 (** Counters: [instructions], [threads], [comm_local], [msgs_parked],
     [objs_parked], [insts], [defgroups], [remote_ops];
-    distribution [thread_len] (instructions per thread — experiment
-    E7's granularity evidence). *)
+    distributions [thread_len] (instructions per thread — experiment
+    E7's granularity evidence) and [runq_depth] (run-queue length
+    sampled at each [run] call — deep queues are the latency-hiding
+    evidence of paper §5). *)

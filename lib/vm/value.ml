@@ -1,5 +1,6 @@
 module Dq = Tyco_support.Dq
 module Netref = Tyco_support.Netref
+module Trace = Tyco_support.Trace
 
 type t =
   | Vint of int
@@ -22,7 +23,7 @@ and chan_state =
   | Objs of obj Dq.t
   | Builtin of (string -> t list -> unit)
 
-and msg = { msg_lid : int; msg_args : t array }
+and msg = { msg_lid : int; msg_args : t array; msg_span : Trace.span }
 and obj = { obj_mtable : int; obj_env : t array }
 and cls = { cls_group : int; cls_index : int; cls_env : t array }
 

@@ -35,11 +35,14 @@ and chan_state =
   | Objs of obj Tyco_support.Dq.t
   | Builtin of (string -> t list -> unit)
 
-and msg = { msg_lid : int; msg_args : t array }
+and msg = { msg_lid : int; msg_args : t array; msg_span : Tyco_support.Trace.span }
 (** A parked message.  [msg_lid] is the label interned in the owning
     site's program area ({!Tyco_compiler.Link.intern}); matching a
     parked message against an arriving object is an integer-indexed
-    table lookup, never a string comparison. *)
+    table lookup, never a string comparison.  [msg_span] remembers the
+    sender's trace span so the thread fired when an object eventually
+    matches is attributed to the message's causal tree
+    ({!Tyco_support.Trace.null_span} when tracing is off). *)
 
 (** An object closure: a method table (program-area index) plus the
     captured environment shared by its methods. *)

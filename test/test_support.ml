@@ -251,7 +251,43 @@ let stats_empty_percentile () =
   check Alcotest.bool "raises" true
     (match Stats.Dist.percentile d 0.5 with
     | exception Invalid_argument _ -> true
-    | _ -> false)
+    | _ -> false);
+  check Alcotest.bool "summary_opt total" true
+    (Stats.Dist.summary_opt d = None)
+
+(* Past the reservoir cap: n/sum/min/max stay exact (streamed), the
+   retained sample set is bounded, and percentiles remain sane
+   estimates. *)
+let stats_reservoir () =
+  let s = Stats.create () in
+  let d = Stats.dist s "big" in
+  let n = 100_000 in
+  for i = 1 to n do
+    Stats.Dist.add d (float_of_int i)
+  done;
+  check Alcotest.int "exact count" n (Stats.Dist.count d);
+  check (Alcotest.float 0.01) "exact mean"
+    (float_of_int (n + 1) /. 2.)
+    (Stats.Dist.mean d);
+  check (Alcotest.float 0.01) "exact min" 1.0 (Stats.Dist.min d);
+  check (Alcotest.float 0.01) "exact max" (float_of_int n) (Stats.Dist.max d);
+  check Alcotest.bool "retention bounded" true
+    (Array.length (Stats.Dist.samples d) <= 8192);
+  let p50 = Stats.Dist.percentile d 0.5 in
+  check Alcotest.bool "p50 estimated from reservoir" true
+    (p50 > float_of_int n *. 0.4 && p50 < float_of_int n *. 0.6)
+
+let stats_reservoir_deterministic () =
+  let fill () =
+    let s = Stats.create () in
+    let d = Stats.dist s "big" in
+    for i = 1 to 50_000 do
+      Stats.Dist.add d (float_of_int i)
+    done;
+    Stats.Dist.samples d
+  in
+  check Alcotest.bool "same retained samples across runs" true
+    (fill () = fill ())
 
 (* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
@@ -339,6 +375,8 @@ let tests =
     ("stats counters", `Quick, stats_counters);
     ("stats percentiles", `Quick, stats_percentiles);
     ("stats empty percentile", `Quick, stats_empty_percentile);
+    ("stats reservoir bounded+exact", `Quick, stats_reservoir);
+    ("stats reservoir deterministic", `Quick, stats_reservoir_deterministic);
     heap_sorted_drain;
     ("heap fifo ties", `Quick, heap_fifo_ties);
     ("vec basic", `Quick, vec_basic);
