@@ -32,7 +32,7 @@ let row fmt = Format.printf fmt
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR2.json"
+let json_path = ref "BENCH_PR4.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -659,6 +659,199 @@ let e15 () =
         { Cluster.default_retry_params with Cluster.rto_ns = 12_000_000 } }
 
 (* ------------------------------------------------------------------ *)
+(* E16 — transmit batching: frames, acks and allocation per message.   *)
+
+(* The burst workload: a client fires [burst] asynchronous [put]s at
+   each of [fanout] remote sinks, then a synchronous [flush] round-trip
+   per sink, [rounds] times.  All of one round's sends leave the client
+   within one scheduling quantum — the shape per-destination coalescing
+   is built for. *)
+let burst_src ~rounds ~burst ~fanout ~payload =
+  let args = String.concat ", " (List.init payload string_of_int) in
+  let params = String.concat ", " (List.init payload (Printf.sprintf "a%d")) in
+  let sink i =
+    Printf.sprintf
+      {| site sink%d {
+           export new svc%d
+           def Serve%d(self) =
+             self?{ put(%s) = Serve%d[self], flush(k) = (k![0] | Serve%d[self]) }
+           in Serve%d[svc%d] } |}
+      i i i params i i i i
+  in
+  let rec round_body i =
+    if i = fanout then "Round[r - 1]"
+    else
+      Printf.sprintf "new k%d (%s svc%d!flush[k%d] | k%d?(v%d) = %s)" i
+        (String.concat ""
+           (List.init burst (fun _ -> Printf.sprintf "svc%d!put[%s] | " i args)))
+        i i i i (round_body (i + 1))
+  in
+  let imports =
+    String.concat " "
+      (List.init fanout (fun i -> Printf.sprintf "import svc%d from sink%d in" i i))
+  in
+  Printf.sprintf
+    {| %s
+       site client {
+         %s
+         def Round(r) = if r == 0 then io!printi[0] else %s
+         in Round[%d] } |}
+    (String.concat "" (List.init fanout sink))
+    imports (round_body 0) rounds
+
+let e16 () =
+  section "E16"
+    "transmit batching: per-destination coalescing, cumulative acks, \
+     buffer pooling";
+  let rounds = if !smoke then 20 else 60 in
+  let burst = 16 in
+  (* client on node 0; sinks spread over the other three nodes *)
+  let placement name =
+    if name = "client" then 0
+    else if String.length name > 4 && String.sub name 0 4 = "sink" then
+      1 + (int_of_string (String.sub name 4 (String.length name - 4)) mod 3)
+    else 0
+  in
+  let cfg ~batching ~reliable =
+    { Cluster.default_config with Cluster.batching; reliable }
+  in
+  let messages ~fanout = rounds * fanout * (burst + 2) in
+  (* one trial: run the burst program, return the per-message stats *)
+  let trial ?(fanout = 1) ?(payload = 1) config =
+    let src = burst_src ~rounds ~burst ~fanout ~payload in
+    let r = run ~config ~placement src in
+    let cl = r.Api.cluster in
+    let stats = Cluster.stats cl in
+    let pk = float_of_int (max 1 r.Api.packets) in
+    ( r,
+      float_of_int (Cluster.frames_sent cl) /. pk,
+      float_of_int (Stats.counter_value stats "acks") /. pk,
+      Cluster.batch_fill_mean cl,
+      Cluster.acks_piggybacked cl )
+  in
+  row "  %d rounds of %d-packet bursts + 1 sync flush, client->sink, \
+       per config:@." rounds burst;
+  row "  %-26s %9s %9s %8s %8s %8s %12s@." "config" "packets" "frames"
+    "frm/pkt" "ack/pkt" "fill" "virtual ns";
+  let show name (r, fpp, app, fill, _piggy) =
+    row "  %-26s %9d %9d %8.2f %8.2f %8.1f %12d@." name r.Api.packets
+      (Cluster.frames_sent r.Api.cluster) fpp app fill r.Api.virtual_ns
+  in
+  let b_unrel = trial (cfg ~batching:true ~reliable:false) in
+  let u_unrel = trial (cfg ~batching:false ~reliable:false) in
+  let b_rel = trial (cfg ~batching:true ~reliable:true) in
+  let u_rel = trial (cfg ~batching:false ~reliable:true) in
+  show "batched" b_unrel;
+  show "unbatched" u_unrel;
+  show "batched + reliable" b_rel;
+  show "unbatched + reliable" u_rel;
+  let (rb, fpp_b, _, fill_b, _) = b_unrel in
+  let (_, fpp_u, _, _, _) = u_unrel in
+  let (rbr, fpp_br, app_br, _, piggy_br) = b_rel in
+  let (_, fpp_ur, app_ur, _, _) = u_rel in
+  (* frames reduction: same workload, same packet count, fewer frames *)
+  let red_unrel = fpp_u /. fpp_b in
+  let red_rel = fpp_ur /. fpp_br in
+  row "  frames reduction: %.1fx unreliable, %.1fx reliable \
+       (acks/packet %.2f -> %.2f, %d piggybacked)@."
+    red_unrel red_rel app_ur app_br piggy_br;
+  (* modeled latency the coalescing saved: n-1 fixed overheads per batch *)
+  let saved =
+    Latency.coalesce_saved_ns
+      (Simnet.default_topology.Simnet.cluster)
+      ~packets:(int_of_float (Float.round fill_b))
+  in
+  row "  mean fill %.1f pkts/batch -> %d ns modeled fixed overhead saved \
+       per flush@." fill_b saved;
+  (* host-side cost: wall clock and allocation per message.  The
+     program is compiled once outside the thunk — the measured loop is
+     place + run on a fresh cluster, so the delta between the two
+     configs is the transport path itself.  A third run with every
+     site on one node (pure same-node fast path, no fabric) gives the
+     workload's VM baseline; subtracting it isolates what the
+     *transport* allocates per message, which is the quantity batching
+     changes. *)
+  let msgs = float_of_int (messages ~fanout:1) in
+  let units = Api.compile (Api.parse (burst_src ~rounds ~burst ~fanout:1 ~payload:1)) in
+  let thunk placement config () =
+    let cluster = Cluster.create ~config () in
+    Cluster.load ~placement cluster units;
+    Cluster.run cluster
+  in
+  let b_ns = bench_ns "e16-batched" (thunk placement (cfg ~batching:true ~reliable:true)) in
+  let u_ns = bench_ns "e16-unbatched" (thunk placement (cfg ~batching:false ~reliable:true)) in
+  let b_words = minor_words_per_run (thunk placement (cfg ~batching:true ~reliable:true)) in
+  let u_words = minor_words_per_run (thunk placement (cfg ~batching:false ~reliable:true)) in
+  let base_words =
+    minor_words_per_run (thunk (fun _ -> 0) (cfg ~batching:true ~reliable:true))
+  in
+  let b_net = (b_words -. base_words) /. msgs in
+  let u_net = (u_words -. base_words) /. msgs in
+  let words_red = 100. *. (1. -. (b_net /. u_net)) in
+  row "  host cost/message (reliable): %.0f ns, %.1f minor-words batched; \
+       %.0f ns, %.1f minor-words unbatched@."
+    (b_ns /. msgs) (b_words /. msgs) (u_ns /. msgs) (u_words /. msgs);
+  row "  transport minor-words/message (net of %.1f same-node baseline): \
+       %.1f batched vs %.1f unbatched (%.0f%% fewer)@."
+    (base_words /. msgs) b_net u_net words_red;
+  record_f "e16_frames_per_packet" fpp_b;
+  record_f "e16_unbatched_frames_per_packet" fpp_u;
+  record_f "e16_frames_reduction" red_unrel;
+  record_f "e16_reliable_frames_per_packet" fpp_br;
+  record_f "e16_reliable_unbatched_frames_per_packet" fpp_ur;
+  record_f "e16_reliable_frames_reduction" red_rel;
+  record_f "e16_acks_per_packet" app_br;
+  record_f "e16_unbatched_acks_per_packet" app_ur;
+  record_i "e16_acks_piggybacked" piggy_br;
+  record_f "e16_batch_fill_mean" fill_b;
+  record_i "e16_batched_virtual_ns" rb.Api.virtual_ns;
+  record_i "e16_reliable_batched_virtual_ns" rbr.Api.virtual_ns;
+  record_f "e16_batched_ns_per_msg" (b_ns /. msgs);
+  record_f "e16_unbatched_ns_per_msg" (u_ns /. msgs);
+  record_f "e16_batched_minor_words_per_msg" (b_words /. msgs);
+  record_f "e16_unbatched_minor_words_per_msg" (u_words /. msgs);
+  record_f "e16_baseline_minor_words_per_msg" (base_words /. msgs);
+  record_f "e16_transport_minor_words_per_msg_batched" b_net;
+  record_f "e16_transport_minor_words_per_msg_unbatched" u_net;
+  record_f "e16_minor_words_reduction_pct" words_red;
+  if not !smoke then begin
+    (* the sweep: flush thresholds x fan-out x payload *)
+    row "  sweep (batched, unreliable): frm/pkt by flush threshold, \
+         fan-out, payload@.";
+    row "  %-34s %8s %8s %8s@." "point" "packets" "frm/pkt" "fill";
+    let sweep name ?fanout ?payload config =
+      let (r, fpp, _, fill, _) = trial ?fanout ?payload config in
+      row "  %-34s %8d %8.2f %8.1f@." name r.Api.packets fpp fill
+    in
+    List.iter
+      (fun n ->
+        sweep
+          (Printf.sprintf "flush_max_packets=%d" n)
+          { (cfg ~batching:true ~reliable:false) with
+            Cluster.flush_max_packets = n })
+      [ 2; 4; 8; 16; 32 ];
+    List.iter
+      (fun d ->
+        sweep
+          (Printf.sprintf "flush_deadline_ns=%d" d)
+          { (cfg ~batching:true ~reliable:false) with
+            Cluster.flush_deadline_ns = d })
+      [ 0; 1_000; 10_000 ];
+    List.iter
+      (fun fanout ->
+        sweep
+          (Printf.sprintf "fanout=%d" fanout)
+          ~fanout (cfg ~batching:true ~reliable:false))
+      [ 1; 2; 3 ];
+    List.iter
+      (fun payload ->
+        sweep
+          (Printf.sprintf "payload=%d args" payload)
+          ~payload (cfg ~batching:true ~reliable:false))
+      [ 1; 8; 32 ]
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -714,7 +907,8 @@ let () =
     (* the measurements CI gates on; the rest are skipped for speed *)
     e1 ();
     e2 ();
-    e14 ()
+    e14 ();
+    e16 ()
   end
   else begin
     e1 ();
@@ -731,7 +925,8 @@ let () =
     e12 ();
     e13 ();
     e14 ();
-    e15 ()
+    e15 ();
+    e16 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

@@ -102,6 +102,7 @@ let kind_detail = function
         (if same_node then ", same-node" else "")
   | Trace.Link_code { bytes } -> Printf.sprintf "  %dB" bytes
   | Trace.Retransmit { attempt } -> Printf.sprintf "  attempt %d" attempt
+  | Trace.Flush_wait { ns } -> Printf.sprintf "  %dns in outbox" ns
   | _ -> ""
 
 let print_chain track_name c =

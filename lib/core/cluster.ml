@@ -43,8 +43,19 @@ type config = {
   tracing : bool;
   trace_capacity : int;
   packet_log_capacity : int;
+  batching : bool;
+  flush_max_packets : int;
+  flush_max_bytes : int;
+  flush_deadline_ns : int;
+  ack_delay_ns : int;
 }
 
+(* Flush defaults tuned by bench E16: a deadline of 0 virtual ns still
+   coalesces everything a site emits within one scheduling event (the
+   flush runs as a separate event at the same timestamp, after the
+   current pump), so bursts batch fully while a lone packet is never
+   delayed.  The ack delay is well under the retransmission timeout so
+   delayed acks cannot cause spurious retransmits. *)
 let default_config =
   { nodes = 4;
     cores_per_node = 2;
@@ -59,13 +70,61 @@ let default_config =
     site_retry = Site.default_retry;
     tracing = false;
     trace_capacity = 65536;
-    packet_log_capacity = 4096 }
+    packet_log_capacity = 4096;
+    batching = true;
+    flush_max_packets = 16;
+    flush_max_bytes = 8192;
+    flush_deadline_ns = 0;
+    ack_delay_ns = 30_000 }
 
 type wrapper = {
   site : Site.t;
   node : Node.t;
   mutable pump_scheduled : bool;
 }
+
+(* Per-(src, dst) transmit coalescing: packets headed for the same
+   node wait here until a flush — by packet-count threshold, byte
+   threshold, or deadline — turns them into one [Fbatch] frame. *)
+type outbox = {
+  ob_src_ip : int;
+  ob_dst_ip : int;
+  (* parallel buffers of queued packets, reused across flushes: they
+     grow to the connection's burst high-water mark once and are never
+     shrunk, so a steady sender enqueues with zero allocation *)
+  mutable ob_pkts : Packet.t array;
+  mutable ob_ctxs : Trace.span array;
+  mutable ob_sizes : int array;   (* payload bytes *)
+  mutable ob_enq_ts : int array;  (* enqueue timestamps *)
+  mutable ob_count : int;
+  mutable ob_bytes : int;
+  mutable ob_flush_scheduled : bool;
+}
+
+(* One reliable batch transmission: retransmitted whole (minus the
+   cumulatively-acked prefix) until the peer's ack floor passes its
+   last sequence number. *)
+type bxmit = {
+  bx_src_ip : int;
+  bx_dst_ip : int;
+  mutable bx_base_seq : int; (* seq of [bx_pkts.(bx_lo)] *)
+  (* the flushed batch, snapshotted from the outbox; content is frozen,
+     acked prefixes advance [bx_lo] instead of rebuilding a list *)
+  bx_pkts : Packet.t array;
+  bx_ctxs : Trace.span array;
+  bx_sizes : int array;
+  mutable bx_lo : int;
+  mutable bx_payload_bytes : int; (* of the unacked suffix *)
+  bx_span : Trace.span; (* the batch's fabric span, kept across retries *)
+  mutable bx_attempts : int;
+  mutable bx_done : bool; (* fully acked, or given up *)
+}
+
+(* Receiver-side delayed-ack state towards one peer: [ak_need] is set
+   by every arriving data batch and cleared by whichever ack goes out
+   first — the piggybacked floor on a reverse-direction batch, or the
+   standalone [Fcum_ack] the timer sends. *)
+type ack_state = { mutable ak_need : bool; mutable ak_armed : bool }
 
 type t = {
   cfg : config;
@@ -89,6 +148,10 @@ type t = {
   plog : (int * Packet.t) Dq.t;
   mutable plog_dropped : int;
   tracer : Trace.t;
+  (* batching state *)
+  outboxes : (int * int, outbox) Hashtbl.t;
+  pending_batches : (int * int, bxmit list ref) Hashtbl.t;
+  ack_states : (int * int, ack_state) Hashtbl.t;
   (* fault/reliability bookkeeping *)
   stats : Stats.t;
   c_drops : Stats.Counter.t;
@@ -100,8 +163,12 @@ type t = {
   c_acks : Stats.Counter.t;
   c_dead_letters : Stats.Counter.t;
   c_same_node : Stats.Counter.t;
+  c_frames : Stats.Counter.t;
+  c_acks_piggybacked : Stats.Counter.t;
   d_lat_wire : Stats.Dist.t;
   d_lat_retransmit : Stats.Dist.t;
+  d_batch_fill : Stats.Dist.t;
+  d_flush_wait : Stats.Dist.t;
 }
 
 (* Cost of a name-service transaction at the service itself. *)
@@ -152,6 +219,9 @@ let create ?(config = default_config) () =
     plog = Dq.create ();
     plog_dropped = 0;
     tracer;
+    outboxes = Hashtbl.create 16;
+    pending_batches = Hashtbl.create 16;
+    ack_states = Hashtbl.create 16;
     stats;
     c_drops = Stats.counter stats "drops";
     c_dupes = Stats.counter stats "dupes";
@@ -162,8 +232,12 @@ let create ?(config = default_config) () =
     c_acks = Stats.counter stats "acks";
     c_dead_letters = Stats.counter stats "dead_letters";
     c_same_node = Stats.counter stats "same_node_fast";
+    c_frames = Stats.counter stats "frames";
+    c_acks_piggybacked = Stats.counter stats "acks_piggybacked";
     d_lat_wire = Stats.dist stats "lat_wire";
     d_lat_retransmit = Stats.dist stats "lat_retransmit";
+    d_batch_fill = Stats.dist stats "batch_fill";
+    d_flush_wait = Stats.dist stats "lat_flush_wait";
   }
 
 let sim t = t.sim
@@ -201,7 +275,42 @@ let tracer t = t.tracer
 let stats t = t.stats
 let dead_letters t = Stats.Counter.value t.c_dead_letters
 let same_node_fast t = Stats.Counter.value t.c_same_node
+let frames_sent t = Stats.Counter.value t.c_frames
+let acks_piggybacked t = Stats.Counter.value t.c_acks_piggybacked
+
+let batch_fill_mean t =
+  if Stats.Dist.count t.d_batch_fill = 0 then 0.
+  else Stats.Dist.mean t.d_batch_fill
+
 let node_of_ip t ip = t.node_arr.(ip)
+
+let outbox_of t ~src_ip ~dst_ip =
+  match Hashtbl.find_opt t.outboxes (src_ip, dst_ip) with
+  | Some ob -> ob
+  | None ->
+      let ob =
+        { ob_src_ip = src_ip; ob_dst_ip = dst_ip; ob_pkts = [||];
+          ob_ctxs = [||]; ob_sizes = [||]; ob_enq_ts = [||];
+          ob_count = 0; ob_bytes = 0; ob_flush_scheduled = false }
+      in
+      Hashtbl.add t.outboxes (src_ip, dst_ip) ob;
+      ob
+
+let ack_state_of t ~at_ip ~peer_ip =
+  match Hashtbl.find_opt t.ack_states (at_ip, peer_ip) with
+  | Some st -> st
+  | None ->
+      let st = { ak_need = false; ak_armed = false } in
+      Hashtbl.add t.ack_states (at_ip, peer_ip) st;
+      st
+
+let pending_of t ~src_ip ~dst_ip =
+  match Hashtbl.find_opt t.pending_batches (src_ip, dst_ip) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.pending_batches (src_ip, dst_ip) r;
+      r
 
 (* One reliable transmission: a frame retransmitted until the peer
    daemon acknowledges it (or attempts are exhausted). *)
@@ -250,17 +359,27 @@ and pump_event t w =
 and transmit t ~src_ip ~dst_ip ~bytes action =
   let base = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
   Stats.Dist.add t.d_lat_wire (float_of_int base);
-  let v = Simnet.fault_verdict t.sim ~src_ip ~dst_ip ~base_delay:base in
-  Stats.Counter.add t.c_drops v.Simnet.v_dropped;
-  if v.Simnet.v_duplicated then Stats.Counter.incr t.c_dupes;
-  Stats.Counter.add t.c_reorders v.Simnet.v_reordered;
-  List.iter
-    (fun delay ->
-      t.in_flight <- t.in_flight + 1;
-      Simnet.schedule t.sim ~delay (fun () ->
-          t.in_flight <- t.in_flight - 1;
-          action ()))
-    v.Simnet.v_delays
+  if not (Simnet.faulted_link t.sim ~src_ip ~dst_ip) then begin
+    (* clean link: exactly one copy at the base delay — no verdict
+       record, no delay list, no PRNG consumption *)
+    t.in_flight <- t.in_flight + 1;
+    Simnet.schedule t.sim ~delay:base (fun () ->
+        t.in_flight <- t.in_flight - 1;
+        action ())
+  end
+  else begin
+    let v = Simnet.fault_verdict t.sim ~src_ip ~dst_ip ~base_delay:base in
+    Stats.Counter.add t.c_drops v.Simnet.v_dropped;
+    if v.Simnet.v_duplicated then Stats.Counter.incr t.c_dupes;
+    Stats.Counter.add t.c_reorders v.Simnet.v_reordered;
+    List.iter
+      (fun delay ->
+        t.in_flight <- t.in_flight + 1;
+        Simnet.schedule t.sim ~delay (fun () ->
+            t.in_flight <- t.in_flight - 1;
+            action ()))
+      v.Simnet.v_delays
+  end
 
 and route_ip t ~src_ip (p : Packet.t) =
   match (t.cfg.ns_mode, p) with
@@ -293,21 +412,308 @@ and send_packet t ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
         t.in_flight <- t.in_flight - 1;
         deliver t ~at_ip:dst_ip ~ctx ~same_node:true p)
   end
+  else if t.cfg.batching then enqueue_outbox t ~src_ip ~dst_ip ~ctx p
   else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip ~ctx p
   else begin
     let bytes = Packet.byte_size p in
     t.packets <- t.packets + 1;
     t.bytes <- t.bytes + bytes;
+    Stats.Counter.incr t.c_frames;
     log_packet t p;
     transmit t ~src_ip ~dst_ip ~bytes (fun () ->
         deliver t ~at_ip:dst_ip ~ctx p)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batched transmit path.
+
+   Every cross-node packet is counted ([packets], [bytes] of its
+   payload contribution, packet log) exactly once, here at enqueue;
+   the flush then charges the fabric one frame and one latency sample
+   for the whole batch.  [in_flight] covers outbox residency so
+   quiescence detection cannot fire between enqueue and flush. *)
+
+and enqueue_outbox t ~src_ip ~dst_ip ~ctx (p : Packet.t) =
+  let ob = outbox_of t ~src_ip ~dst_ip in
+  let bytes = Packet.byte_size p in
+  t.packets <- t.packets + 1;
+  log_packet t p;
+  t.in_flight <- t.in_flight + 1;
+  let n = ob.ob_count in
+  if n = Array.length ob.ob_pkts then begin
+    let cap = max 8 (2 * n) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    ob.ob_pkts <- grow ob.ob_pkts p;
+    ob.ob_ctxs <- grow ob.ob_ctxs Trace.null_span;
+    ob.ob_sizes <- grow ob.ob_sizes 0;
+    ob.ob_enq_ts <- grow ob.ob_enq_ts 0
+  end;
+  ob.ob_pkts.(n) <- p;
+  ob.ob_ctxs.(n) <- ctx;
+  ob.ob_sizes.(n) <- bytes;
+  ob.ob_enq_ts.(n) <- Simnet.now t.sim;
+  ob.ob_count <- n + 1;
+  ob.ob_bytes <- ob.ob_bytes + bytes;
+  if
+    ob.ob_count >= t.cfg.flush_max_packets
+    || ob.ob_bytes >= t.cfg.flush_max_bytes
+  then flush_outbox t ob
+  else if not ob.ob_flush_scheduled then begin
+    ob.ob_flush_scheduled <- true;
+    Simnet.schedule t.sim ~delay:t.cfg.flush_deadline_ns (fun () ->
+        ob.ob_flush_scheduled <- false;
+        flush_outbox t ob)
+  end
+
+and flush_outbox t ob =
+  if ob.ob_count > 0 then begin
+    let count = ob.ob_count in
+    let payload_bytes = ob.ob_bytes in
+    (* snapshot the buffers (the outbox refills while the frame is in
+       flight) — two small arrays, the only per-flush allocation *)
+    let pkts = Array.sub ob.ob_pkts 0 count in
+    let ctxs = Array.sub ob.ob_ctxs 0 count in
+    ob.ob_count <- 0;
+    ob.ob_bytes <- 0;
+    t.in_flight <- t.in_flight - count;
+    let now = Simnet.now t.sim in
+    let traced = Trace.enabled t.tracer in
+    for i = 0 to count - 1 do
+      let wait = now - ob.ob_enq_ts.(i) in
+      Stats.Dist.add t.d_flush_wait (float_of_int wait);
+      if traced && wait > 0 then
+        Trace.emit t.tracer ~ts:now ~track:Trace.fabric_track
+          ~span:ctxs.(i)
+          (Trace.Flush_wait { ns = wait })
+    done;
+    Stats.Dist.add t.d_batch_fill (float_of_int count);
+    (* the batch consumes one sequence number per packet; they come out
+       contiguous because this is the only consumer of the stream *)
+    let src = node_of_ip t ob.ob_src_ip in
+    let base_seq = Node.fresh_seq src ~dst_ip:ob.ob_dst_ip in
+    for _ = 2 to count do
+      ignore (Node.fresh_seq src ~dst_ip:ob.ob_dst_ip)
+    done;
+    if t.cfg.reliable then begin
+      let bx =
+        { bx_src_ip = ob.ob_src_ip; bx_dst_ip = ob.ob_dst_ip;
+          bx_base_seq = base_seq; bx_pkts = pkts; bx_ctxs = ctxs;
+          bx_sizes = Array.sub ob.ob_sizes 0 count; bx_lo = 0;
+          bx_payload_bytes = payload_bytes;
+          bx_span = Trace.fresh_span t.tracer ~parent:Trace.null_span;
+          bx_attempts = 0; bx_done = false }
+      in
+      let pending = pending_of t ~src_ip:ob.ob_src_ip ~dst_ip:ob.ob_dst_ip in
+      pending := bx :: !pending;
+      attempt_batch t bx
+    end
+    else begin
+      (* unreliable: one fire-and-forget frame; the fault dice roll once
+         for the frame, so a dropped frame loses the whole batch — the
+         per-packet path had the same per-transmission loss semantics *)
+      let fbytes =
+        Packet.batch_byte_size ~src_ip:ob.ob_src_ip ~base_seq ~ack_floor:0
+          ~count ~payload_bytes
+      in
+      t.bytes <- t.bytes + fbytes;
+      Stats.Counter.incr t.c_frames;
+      let span =
+        if traced then begin
+          let sp = Trace.fresh_span t.tracer ~parent:Trace.null_span in
+          Trace.emit t.tracer ~ts:now ~track:Trace.fabric_track ~span:sp
+            (Trace.Send { pk = Trace.Kbatch; bytes = fbytes });
+          sp
+        end
+        else Trace.null_span
+      in
+      let dst_ip = ob.ob_dst_ip in
+      transmit t ~src_ip:ob.ob_src_ip ~dst_ip ~bytes:fbytes (fun () ->
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer ~ts:(Simnet.now t.sim)
+              ~track:Trace.fabric_track ~span
+              (Trace.Deliver { pk = Trace.Kbatch; same_node = false });
+          for i = 0 to count - 1 do
+            deliver t ~at_ip:dst_ip ~ctx:ctxs.(i) pkts.(i)
+          done)
+    end
+  end
+
+(* The cumulative-ack floor a batch from [at_ip] to [peer_ip] carries:
+   everything below it of [peer_ip]'s inbound stream has been
+   delivered.  Carrying it satisfies any pending delayed ack, so the
+   timer's standalone [Fcum_ack] is suppressed — a piggybacked ack. *)
+and piggyback_floor t ~at_ip ~peer_ip =
+  let st = ack_state_of t ~at_ip ~peer_ip in
+  if st.ak_need then begin
+    st.ak_need <- false;
+    Stats.Counter.incr t.c_acks;
+    Stats.Counter.incr t.c_acks_piggybacked
+  end;
+  Node.rx_floor (node_of_ip t at_ip) ~src_ip:peer_ip
+
+and attempt_batch t (bx : bxmit) =
+  bx.bx_attempts <- bx.bx_attempts + 1;
+  if bx.bx_attempts > 1 then begin
+    Stats.Counter.incr t.c_retries;
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+        ~span:bx.bx_span
+        (Trace.Retransmit { attempt = bx.bx_attempts })
+  end;
+  (* snapshot what this attempt puts on the wire ([lo] and [base_seq]
+     as of now): a later cumulative ack may trim the batch while copies
+     of this frame are in flight *)
+  let base_seq = bx.bx_base_seq in
+  let lo = bx.bx_lo in
+  let count = Array.length bx.bx_pkts - lo in
+  let ack_floor =
+    piggyback_floor t ~at_ip:bx.bx_src_ip ~peer_ip:bx.bx_dst_ip
+  in
+  let fbytes =
+    Packet.batch_byte_size ~src_ip:bx.bx_src_ip ~base_seq ~ack_floor ~count
+      ~payload_bytes:bx.bx_payload_bytes
+  in
+  t.bytes <- t.bytes + fbytes;
+  Stats.Counter.incr t.c_frames;
+  if Trace.enabled t.tracer && bx.bx_attempts = 1 then
+    Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+      ~span:bx.bx_span
+      (Trace.Send { pk = Trace.Kbatch; bytes = fbytes });
+  transmit t ~src_ip:bx.bx_src_ip ~dst_ip:bx.bx_dst_ip ~bytes:fbytes
+    (fun () ->
+      receive_batch t ~src_ip:bx.bx_src_ip ~dst_ip:bx.bx_dst_ip ~base_seq
+        ~ack_floor ~span:bx.bx_span ~pkts:bx.bx_pkts ~ctxs:bx.bx_ctxs ~lo);
+  let r = t.cfg.retry in
+  let backoff =
+    int_of_float
+      (float_of_int r.rto_ns
+      *. (r.rto_backoff ** float_of_int (bx.bx_attempts - 1)))
+  in
+  let jitter = Prng.int (Simnet.prng t.sim) ((r.rto_ns / 4) + 1) in
+  Simnet.schedule t.sim ~delay:(backoff + jitter) (fun () ->
+      if not bx.bx_done then
+        if bx.bx_attempts >= r.max_attempts then begin
+          bx.bx_done <- true;
+          let pending =
+            pending_of t ~src_ip:bx.bx_src_ip ~dst_ip:bx.bx_dst_ip
+          in
+          pending := List.filter (fun b -> b != bx) !pending;
+          Stats.Counter.incr t.c_timeouts;
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer ~ts:(Simnet.now t.sim)
+              ~track:Trace.fabric_track ~span:bx.bx_span Trace.Timeout;
+          t.suspected <-
+            (Simnet.now t.sim, Printf.sprintf "ip#%d" bx.bx_dst_ip)
+            :: t.suspected;
+          for i = bx.bx_lo to Array.length bx.bx_pkts - 1 do
+            t.outs <-
+              ( Simnet.now t.sim,
+                { Output.site = "daemon";
+                  label = "undeliverable";
+                  args =
+                    [ Output.Ostr
+                        (Format.asprintf "%a" Packet.pp bx.bx_pkts.(i)) ]
+                } )
+              :: t.outs
+          done
+        end
+        else begin
+          Stats.Dist.add t.d_lat_retransmit (float_of_int (backoff + jitter));
+          attempt_batch t bx
+        end)
+
+and receive_batch t ~src_ip ~dst_ip ~base_seq ~ack_floor ~span ~pkts ~ctxs
+    ~lo =
+  (* the piggybacked floor acknowledges this receiver's own outbound
+     stream towards the sender *)
+  apply_cum_ack t ~at_ip:dst_ip ~peer_ip:src_ip ~floor:ack_floor;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
+      ~span
+      (Trace.Deliver { pk = Trace.Kbatch; same_node = false });
+  let dst = node_of_ip t dst_ip in
+  for i = lo to Array.length pkts - 1 do
+    if Node.admit dst ~src_ip ~seq:(base_seq + i - lo) then
+      deliver t ~at_ip:dst_ip ~ctx:ctxs.(i) pkts.(i)
+    else Stats.Counter.incr t.c_dupes_suppressed
+  done;
+  (* always (re)arm the delayed ack — even a frame of pure duplicates
+     must be re-acked, since the sender evidently missed the last ack *)
+  let st = ack_state_of t ~at_ip:dst_ip ~peer_ip:src_ip in
+  st.ak_need <- true;
+  if not st.ak_armed then begin
+    st.ak_armed <- true;
+    Simnet.schedule t.sim ~delay:t.cfg.ack_delay_ns (fun () ->
+        st.ak_armed <- false;
+        if st.ak_need then begin
+          st.ak_need <- false;
+          send_cum_ack t ~src_ip:dst_ip ~dst_ip:src_ip
+        end)
+  end
+
+and send_cum_ack t ~src_ip ~dst_ip =
+  let ack_floor = Node.rx_floor (node_of_ip t src_ip) ~src_ip:dst_ip in
+  Stats.Counter.incr t.c_acks;
+  Stats.Counter.incr t.c_frames;
+  let bytes =
+    Packet.frame_byte_size (Packet.Fcum_ack { src_ip; ack_floor })
+  in
+  t.bytes <- t.bytes + bytes;
+  transmit t ~src_ip ~dst_ip ~bytes (fun () ->
+      apply_cum_ack t ~at_ip:dst_ip ~peer_ip:src_ip ~floor:ack_floor)
+
+and apply_cum_ack t ~at_ip ~peer_ip ~floor =
+  if floor > 0 then
+    match Hashtbl.find_opt t.pending_batches (at_ip, peer_ip) with
+    | None -> ()
+    | Some pending ->
+        pending :=
+          List.filter
+            (fun bx ->
+              if bx.bx_done then false
+              else begin
+                let count = Array.length bx.bx_pkts - bx.bx_lo in
+                if floor >= bx.bx_base_seq + count then begin
+                  bx.bx_done <- true;
+                  if Trace.enabled t.tracer then
+                    Trace.emit t.tracer ~ts:(Simnet.now t.sim)
+                      ~track:Trace.fabric_track ~span:bx.bx_span Trace.Ack;
+                  false
+                end
+                else begin
+                  if floor > bx.bx_base_seq then begin
+                    (* cumulative partial ack: advance past the acked
+                       prefix so retransmissions shrink as the floor
+                       advances *)
+                    for _ = 1 to floor - bx.bx_base_seq do
+                      bx.bx_payload_bytes <-
+                        bx.bx_payload_bytes - bx.bx_sizes.(bx.bx_lo);
+                      bx.bx_lo <- bx.bx_lo + 1
+                    done;
+                    bx.bx_base_seq <- floor
+                  end;
+                  true
+                end
+              end)
+            !pending
+
+(* ------------------------------------------------------------------ *)
+(* Unbatched reliable path (config.batching = false): one Fdata frame
+   and one Fack per packet.                                            *)
 
 and send_reliable t ~src_ip ~dst_ip ~ctx (p : Packet.t) =
   let seq = Node.fresh_seq (node_of_ip t src_ip) ~dst_ip in
   let bytes =
     Packet.frame_byte_size (Packet.Fdata { src_ip; seq; payload = p })
   in
+  (* the logical packet is counted once; each physical attempt below
+     adds only frame bytes and a frame count *)
+  t.packets <- t.packets + 1;
+  log_packet t p;
   attempt_xmit t
     { x_src_ip = src_ip; x_dst_ip = dst_ip; x_seq = seq; x_packet = p;
       x_span = ctx; x_bytes = bytes; x_attempts = 0; x_acked = false }
@@ -321,9 +727,8 @@ and attempt_xmit t (x : xmit) =
         ~span:x.x_span
         (Trace.Retransmit { attempt = x.x_attempts })
   end;
-  t.packets <- t.packets + 1;
   t.bytes <- t.bytes + x.x_bytes;
-  log_packet t x.x_packet;
+  Stats.Counter.incr t.c_frames;
   transmit t ~src_ip:x.x_src_ip ~dst_ip:x.x_dst_ip ~bytes:x.x_bytes (fun () ->
       receive_frame t x);
   let r = t.cfg.retry in
@@ -371,6 +776,7 @@ and receive_frame t (x : xmit) =
 
 and send_ack t (x : xmit) =
   Stats.Counter.incr t.c_acks;
+  Stats.Counter.incr t.c_frames;
   t.bytes <- t.bytes + Latency.ack_bytes;
   transmit t ~src_ip:x.x_dst_ip ~dst_ip:x.x_src_ip ~bytes:Latency.ack_bytes
     (fun () ->
@@ -394,9 +800,15 @@ and deliver t ~at_ip ?(ctx = Trace.null_span) ?(same_node = false) (p : Packet.t
         Array.iteri
           (fun other _ ->
             if other <> home then begin
-              (* replica [other] is hosted by node ip [other] *)
+              (* replica [other] is hosted by node ip [other]; each copy
+                 is a packet in its own right — logged and counted like
+                 any other, so the packet accounting invariant
+                 (packets + same_node = log entries) holds in
+                 replicated mode too *)
               t.packets <- t.packets + 1;
               t.bytes <- t.bytes + bytes;
+              Stats.Counter.incr t.c_frames;
+              log_packet t p;
               transmit t ~src_ip:at_ip ~dst_ip:other ~bytes (fun () ->
                   register_at t ~replica_ip:other ~site_name ~id_name ~rtti
                     ~ctx nref)

@@ -65,6 +65,27 @@ type config = {
       (** Bound on the {!packet_trace} ring (default 4096); the oldest
           entries are dropped beyond it — see
           {!packet_trace_dropped}. *)
+  batching : bool;
+      (** Coalesce cross-node packets per destination into [Fbatch]
+          frames (default [true]): a burst to one node costs one frame,
+          one latency sample and — in reliable mode — one cumulative
+          ack instead of N of each.  [false] restores the exact
+          per-packet Fdata/Fack transmit path. *)
+  flush_max_packets : int;
+      (** Flush an outbox once it holds this many packets (default
+          16). *)
+  flush_max_bytes : int;
+      (** ... or this many payload bytes (default 8192). *)
+  flush_deadline_ns : int;
+      (** ... or this many virtual ns after its first packet (default
+          0: the flush still runs as a separate event after the current
+          one, so all packets emitted at one virtual instant coalesce
+          while a lone packet is never delayed). *)
+  ack_delay_ns : int;
+      (** Reliable batching: how long a receiver may hold a cumulative
+          ack hoping to piggyback it on reverse traffic (default
+          30_000 — well under [retry.rto_ns], so delaying acks never
+          causes spurious retransmits). *)
 }
 
 val default_config : config
@@ -119,6 +140,20 @@ val same_node_fast : t -> int
     shared-memory latency.  These do not count in {!packets_sent} /
     {!bytes_sent} — nothing crossed the fabric. *)
 
+val frames_sent : t -> int
+(** Physical frames that crossed the fabric: batch flushes,
+    per-packet data frames, retransmissions and ack frames.  With
+    batching on, [frames_sent / packets_sent] is the framing overhead
+    the coalescing saves (E16's gated metric). *)
+
+val batch_fill_mean : t -> float
+(** Mean packets per flushed batch ([0.] before any flush). *)
+
+val acks_piggybacked : t -> int
+(** Cumulative acks that rode on a reverse-direction batch instead of
+    costing a standalone [Fcum_ack] frame (counted inside the total
+    ["acks"] counter as well). *)
+
 val in_flight : t -> int
 val name_service_pending : t -> int
 (** Unresolved imports (nonzero at quiescence indicates a program
@@ -138,7 +173,9 @@ val suspected_failures : t -> (int * string) list
 val stats : t -> Tyco_support.Stats.t
 (** Fault/reliability counters: ["drops"], ["dupes"], ["reorders"],
     ["retries"], ["dupes_suppressed"], ["timeouts"], ["acks"],
-    ["dead_letters"], ["same_node_fast"]. *)
+    ["dead_letters"], ["same_node_fast"], ["frames"],
+    ["acks_piggybacked"]; distributions ["lat_wire"],
+    ["lat_retransmit"], ["batch_fill"], ["lat_flush_wait"]. *)
 
 val dead_letters : t -> int
 (** Packets addressed to site ids this cluster never loaded. *)

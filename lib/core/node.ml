@@ -69,5 +69,10 @@ let admit t ~src_ip ~seq =
     true
   end
 
+let rx_floor t ~src_ip =
+  match Hashtbl.find_opt t.rx src_ip with
+  | Some w -> w.floor
+  | None -> 0
+
 let dedup_window_size t =
   Hashtbl.fold (fun _ w acc -> acc + Hashtbl.length w.seen) t.rx 0

@@ -32,6 +32,11 @@ val admit : t -> src_ip:int -> seq:int -> bool
 (** [true] exactly the first time a given [(src_ip, seq)] is offered;
     retransmitted or duplicated copies return [false]. *)
 
+val rx_floor : t -> src_ip:int -> int
+(** Cumulative-ack floor towards [src_ip]: every sequence number below
+    it has been delivered contiguously ([0] before any traffic).  This
+    is the value batched frames piggyback back to the peer. *)
+
 val dedup_window_size : t -> int
 (** Out-of-order entries currently buffered across all peers — bounded
     by in-flight reordering, not by traffic volume. *)

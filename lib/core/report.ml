@@ -19,6 +19,7 @@ type breakdown = {
   b_wire : Stats.Dist.summary option;
   b_retransmit : Stats.Dist.summary option;
   b_execute : Stats.Dist.summary option;
+  b_flush_wait : Stats.Dist.summary option;
 }
 
 type t = {
@@ -27,6 +28,9 @@ type t = {
   packets : int;
   bytes : int;
   same_node_fast : int;
+  frames_sent : int;
+  batch_fill_mean : float;
+  acks_piggybacked : int;
   outputs : (int * Output.event) list;
   sites : site_stats list;
   breakdown : breakdown;
@@ -73,6 +77,9 @@ let of_cluster cluster =
     packets = Cluster.packets_sent cluster;
     bytes = Cluster.bytes_sent cluster;
     same_node_fast = Cluster.same_node_fast cluster;
+    frames_sent = Cluster.frames_sent cluster;
+    batch_fill_mean = Cluster.batch_fill_mean cluster;
+    acks_piggybacked = Cluster.acks_piggybacked cluster;
     outputs = Cluster.outputs cluster;
     sites = List.map site_stats sites;
     breakdown =
@@ -80,7 +87,9 @@ let of_cluster cluster =
         b_wire = Stats.Dist.summary_opt (Stats.dist cstats "lat_wire");
         b_retransmit =
           Stats.Dist.summary_opt (Stats.dist cstats "lat_retransmit");
-        b_execute = pooled "execute_ns" sites };
+        b_execute = pooled "execute_ns" sites;
+        b_flush_wait =
+          Stats.Dist.summary_opt (Stats.dist cstats "lat_flush_wait") };
     suspected_failures = Cluster.suspected_failures cluster }
 
 let of_result (r : Api.result) = of_cluster r.Api.cluster
@@ -147,18 +156,22 @@ let summary_json = function
 
 let breakdown_json b =
   Printf.sprintf
-    "{\"queue_wait\":%s,\"wire\":%s,\"retransmit\":%s,\"execute\":%s}"
+    "{\"queue_wait\":%s,\"wire\":%s,\"retransmit\":%s,\"execute\":%s,\
+     \"flush_wait\":%s}"
     (summary_json b.b_queue_wait)
     (summary_json b.b_wire)
     (summary_json b.b_retransmit)
     (summary_json b.b_execute)
+    (summary_json b.b_flush_wait)
 
 let to_json t =
   Printf.sprintf
     "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\
-     \"same_node_fast\":%d,\"outputs\":%s,\"sites\":%s,\
+     \"same_node_fast\":%d,\"frames_sent\":%d,\"batch_fill_mean\":%s,\
+     \"acks_piggybacked\":%d,\"outputs\":%s,\"sites\":%s,\
      \"latency_breakdown\":%s,\"suspected_failures\":%s}"
     t.virtual_ns t.sim_events t.packets t.bytes t.same_node_fast
+    t.frames_sent (jfloat t.batch_fill_mean) t.acks_piggybacked
     (jlist output_json t.outputs)
     (jlist site_json t.sites)
     (breakdown_json t.breakdown)

@@ -28,12 +28,16 @@ type site_stats = {
     - [b_wire] — physical link delay per transmission;
     - [b_retransmit] — time spent waiting on unacknowledged frames
       (reliable mode only);
-    - [b_execute] — VM cost per pump quantum, pooled over sites. *)
+    - [b_execute] — VM cost per pump quantum, pooled over sites;
+    - [b_flush_wait] — time packets sat in their destination outbox
+      before the batch flush (all zero at the default 0 ns flush
+      deadline; nonzero deadlines trade this latency for fill). *)
 type breakdown = {
   b_queue_wait : Tyco_support.Stats.Dist.summary option;
   b_wire : Tyco_support.Stats.Dist.summary option;
   b_retransmit : Tyco_support.Stats.Dist.summary option;
   b_execute : Tyco_support.Stats.Dist.summary option;
+  b_flush_wait : Tyco_support.Stats.Dist.summary option;
 }
 
 type t = {
@@ -44,6 +48,16 @@ type t = {
   same_node_fast : int;
       (** deliveries that used the same-node shared-memory fast path
           (no serialization; excluded from [packets]/[bytes]) *)
+  frames_sent : int;
+      (** physical frames across the fabric (batches, data frames,
+          retransmissions, acks); [frames_sent /. packets] is the
+          framing overhead batching amortizes *)
+  batch_fill_mean : float;
+      (** mean packets per flushed batch ([0.] when batching is off or
+          nothing crossed nodes) *)
+  acks_piggybacked : int;
+      (** cumulative acks carried by reverse-direction batches instead
+          of standalone ack frames *)
   outputs : (int * Output.event) list;
   sites : site_stats list;
   breakdown : breakdown;

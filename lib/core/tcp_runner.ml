@@ -2,6 +2,7 @@ module Packet = Tyco_net.Packet
 module Nameservice = Tyco_net.Nameservice
 module Netref = Tyco_support.Netref
 module Trace = Tyco_support.Trace
+module Wire = Tyco_support.Wire
 
 type result = {
   outputs : Output.event list;
@@ -11,29 +12,25 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Framing: 4-byte big-endian length prefix.                           *)
+(* Framing: 4-byte big-endian length prefix per packet.  A peer's
+   outgoing frames accumulate in one buffer and leave in a single
+   write per loop iteration (a writev of the queued frames, without
+   the iovec), so a burst of packets to one peer costs one syscall. *)
 
-let frame payload =
-  let n = String.length payload in
-  let b = Bytes.create (4 + n) in
-  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
-  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
-  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
-  Bytes.set_uint8 b 3 (n land 0xff);
-  Bytes.blit_string payload 0 b 4 n;
-  b
-
-(* A per-connection reassembly buffer. *)
+(* A per-connection byte buffer (rx reassembly and tx coalescing). *)
 type conn_buf = { mutable data : Bytes.t; mutable len : int }
 
 let buf_create () = { data = Bytes.create 4096; len = 0 }
 
-let buf_append cb src n =
+let buf_reserve cb n =
   if cb.len + n > Bytes.length cb.data then begin
     let bigger = Bytes.create (max (2 * Bytes.length cb.data) (cb.len + n)) in
     Bytes.blit cb.data 0 bigger 0 cb.len;
     cb.data <- bigger
-  end;
+  end
+
+let buf_append cb src n =
+  buf_reserve cb n;
   Bytes.blit src 0 cb.data cb.len n;
   cb.len <- cb.len + n
 
@@ -73,6 +70,10 @@ type node = {
   listen : Unix.file_descr;
   (* outgoing connections, by peer node id *)
   peers : (int, Unix.file_descr) Hashtbl.t;
+  (* coalesced outgoing frames, by peer node id; flushed once per loop *)
+  tx : (int, conn_buf) Hashtbl.t;
+  (* node-local encoder, reused across every outgoing packet *)
+  enc : Wire.enc;
   (* accepted incoming connections with reassembly buffers *)
   mutable accepted : (Unix.file_descr * conn_buf) list;
   mutable sites : Site.t list;
@@ -119,25 +120,54 @@ let peer_fd shared node peer =
       Hashtbl.add node.peers peer fd;
       fd
 
+let tx_buf_of node peer =
+  match Hashtbl.find_opt node.tx peer with
+  | Some tx -> tx
+  | None ->
+      let tx = buf_create () in
+      Hashtbl.add node.tx peer tx;
+      tx
+
+(* Queue one packet for [peer]: encode (into the node's reused
+   encoder — no per-packet buffer churn) straight into the peer's tx
+   buffer behind its length prefix.  The bytes leave in [flush_tx]. *)
 let send_to shared node peer ~ctx (p : Packet.t) =
   Atomic.incr shared.in_flight;
   Atomic.incr shared.total_packets;
-  let fd = peer_fd shared node peer in
+  let tx = tx_buf_of node peer in
   (* the trace span rides the versioned trailer — an untraced run
      produces bytes identical to [Packet.to_string] *)
-  let b = frame (Packet.to_string_traced ~ctx p) in
-  (* loopback writes of small frames complete immediately; loop for
-     completeness *)
-  let rec write_all off =
-    if off < Bytes.length b then begin
-      match Unix.write fd b off (Bytes.length b - off) with
-      | n -> write_all (off + n)
-      | exception Unix.Unix_error (Unix.EAGAIN, _, _) ->
-          Thread.yield ();
-          write_all off
-    end
-  in
-  write_all 0
+  Wire.reset node.enc;
+  Packet.encode_traced ~ctx node.enc p;
+  let n = Wire.size node.enc in
+  buf_reserve tx (4 + n);
+  Bytes.set_uint8 tx.data tx.len ((n lsr 24) land 0xff);
+  Bytes.set_uint8 tx.data (tx.len + 1) ((n lsr 16) land 0xff);
+  Bytes.set_uint8 tx.data (tx.len + 2) ((n lsr 8) land 0xff);
+  Bytes.set_uint8 tx.data (tx.len + 3) (n land 0xff);
+  Wire.blit_to_bytes node.enc tx.data (tx.len + 4);
+  tx.len <- tx.len + 4 + n
+
+let flush_tx shared node =
+  Hashtbl.iter
+    (fun peer tx ->
+      if tx.len > 0 then begin
+        let fd = peer_fd shared node peer in
+        (* loopback writes of small buffers complete immediately; loop
+           for completeness *)
+        let rec write_all off =
+          if off < tx.len then begin
+            match Unix.write fd tx.data off (tx.len - off) with
+            | n -> write_all (off + n)
+            | exception Unix.Unix_error (Unix.EAGAIN, _, _) ->
+                Thread.yield ();
+                write_all off
+          end
+        in
+        write_all 0;
+        tx.len <- 0
+      end)
+    node.tx
 
 (* ------------------------------------------------------------------ *)
 (* Per-node event loop.                                                *)
@@ -248,9 +278,13 @@ let node_loop shared node () =
           ignore (Site.pump s ~quantum:2048)
         end)
       node.sites;
+    (* everything the sites and the NS queued this iteration leaves
+       now, one write per peer *)
+    flush_tx shared node;
     let busy =
       List.exists (fun s -> Site.busy s || Site.outstanding s > 0) node.sites
       || not (Queue.is_empty node.inbox)
+      || Hashtbl.fold (fun _ tx acc -> acc || tx.len > 0) node.tx false
     in
     Atomic.set node.idle (not busy);
     if not !worked then Thread.delay 0.0005
@@ -292,6 +326,8 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
       port = base_port + node_id;
       listen;
       peers = Hashtbl.create 8;
+      tx = Hashtbl.create 8;
+      enc = Wire.encoder ~size:256 ();
       accepted = [];
       sites = [];
       inbox = Queue.create ();

@@ -36,6 +36,13 @@ let transfer_ns t ~bytes =
   t.latency_ns + t.per_packet_ns
   + int_of_float (ceil (float_of_int bytes /. t.bytes_per_ns))
 
+(* [per_packet_ns] is charged once per *frame*: coalescing n packets
+   into one batch frame saves the fixed software overhead of the n-1
+   frames that were never sent.  (The bandwidth term is unchanged — the
+   payload bytes still cross the link.) *)
+let coalesce_saved_ns t ~packets =
+  if packets <= 1 then 0 else (packets - 1) * (t.per_packet_ns + t.latency_ns)
+
 let pp ppf t =
   Format.fprintf ppf "%s(lat=%dns bw=%.3fB/ns)" t.name t.latency_ns
     t.bytes_per_ns

@@ -35,4 +35,9 @@ val custom : name:string -> latency_ns:int -> bytes_per_ns:float ->
 val transfer_ns : t -> bytes:int -> int
 (** Total one-way transfer time of a packet of the given size. *)
 
+val coalesce_saved_ns : t -> packets:int -> int
+(** Fixed overhead (per-frame software cost + link latency) a batch of
+    [packets] saves over sending them as separate frames: the modeled
+    upside of transmit coalescing, reported by bench E16. *)
+
 val pp : Format.formatter -> t -> unit

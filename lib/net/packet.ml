@@ -209,10 +209,7 @@ let decode dec =
       Pns_reply { req_id; dst_site; dst_ip; result; rtti }
   | n -> raise (Wire.Malformed (Printf.sprintf "packet tag %d" n))
 
-let to_string p =
-  let enc = Wire.encoder () in
-  encode enc p;
-  Wire.to_string enc
+let to_string p = Wire.with_encoder (fun enc -> encode enc p)
 
 let of_string s = decode (Wire.decoder s)
 
@@ -246,13 +243,13 @@ let decode_ctx dec =
         Some { Trace.trace_id; span_id; parent_id }
     | _ -> None (* later trailer version: skip what we can't parse *)
 
-let to_string_traced ?ctx p =
-  let enc = Wire.encoder () in
+let encode_traced ?ctx enc p =
   encode enc p;
-  (match ctx with
+  match ctx with
   | Some sp when not (Trace.is_null sp) -> encode_ctx enc sp
-  | _ -> ());
-  Wire.to_string enc
+  | _ -> ()
+
+let to_string_traced ?ctx p = Wire.with_encoder (fun enc -> encode_traced ?ctx enc p)
 
 let of_string_traced s =
   let dec = Wire.decoder s in
@@ -321,6 +318,19 @@ let byte_size = function
 type frame =
   | Fdata of { src_ip : int; seq : int; payload : t }
   | Fack of { src_ip : int; seq : int }
+  | Fbatch of {
+      src_ip : int;
+      base_seq : int;
+      ack_floor : int;
+      payloads : t list;
+    }
+  | Fcum_ack of { src_ip : int; ack_floor : int }
+
+(* [Fbatch] carries its own version byte: the frame tag alone tells an
+   old decoder only that the frame is unknown (it raises [Malformed
+   "frame tag 2"] and drops it cleanly), while a decoder that knows the
+   tag can still reject a future layout change explicitly. *)
+let batch_version = 1
 
 let encode_frame enc = function
   | Fdata { src_ip; seq; payload } ->
@@ -332,6 +342,17 @@ let encode_frame enc = function
       Wire.u8 enc 1;
       Wire.varint enc src_ip;
       Wire.varint enc seq
+  | Fbatch { src_ip; base_seq; ack_floor; payloads } ->
+      Wire.u8 enc 2;
+      Wire.u8 enc batch_version;
+      Wire.varint enc src_ip;
+      Wire.varint enc base_seq;
+      Wire.varint enc ack_floor;
+      Wire.list enc encode payloads
+  | Fcum_ack { src_ip; ack_floor } ->
+      Wire.u8 enc 3;
+      Wire.varint enc src_ip;
+      Wire.varint enc ack_floor
 
 let decode_frame dec =
   match Wire.read_u8 dec with
@@ -344,22 +365,31 @@ let decode_frame dec =
       let src_ip = Wire.read_varint dec in
       let seq = Wire.read_varint dec in
       Fack { src_ip; seq }
+  | 2 ->
+      (match Wire.read_u8 dec with
+      | v when v = batch_version ->
+          let src_ip = Wire.read_varint dec in
+          let base_seq = Wire.read_varint dec in
+          let ack_floor = Wire.read_varint dec in
+          let payloads = Wire.read_list dec decode in
+          Fbatch { src_ip; base_seq; ack_floor; payloads }
+      | v -> raise (Wire.Malformed (Printf.sprintf "batch version %d" v)))
+  | 3 ->
+      let src_ip = Wire.read_varint dec in
+      let ack_floor = Wire.read_varint dec in
+      Fcum_ack { src_ip; ack_floor }
   | n -> raise (Wire.Malformed (Printf.sprintf "frame tag %d" n))
 
-let frame_to_string f =
-  let enc = Wire.encoder () in
-  encode_frame enc f;
-  Wire.to_string enc
+let frame_to_string f = Wire.with_encoder (fun enc -> encode_frame enc f)
 
 let frame_of_string s = decode_frame (Wire.decoder s)
 
 let frame_to_string_traced ?ctx f =
-  let enc = Wire.encoder () in
-  encode_frame enc f;
-  (match ctx with
-  | Some sp when not (Trace.is_null sp) -> encode_ctx enc sp
-  | _ -> ());
-  Wire.to_string enc
+  Wire.with_encoder (fun enc ->
+      encode_frame enc f;
+      match ctx with
+      | Some sp when not (Trace.is_null sp) -> encode_ctx enc sp
+      | _ -> ())
 
 let frame_of_string_traced s =
   let dec = Wire.decoder s in
@@ -371,6 +401,18 @@ let frame_byte_size = function
       1 + Wire.varint_size src_ip + Wire.varint_size seq + byte_size payload
   | Fack { src_ip; seq } ->
       1 + Wire.varint_size src_ip + Wire.varint_size seq
+  | Fbatch { src_ip; base_seq; ack_floor; payloads } ->
+      2 (* tag + version *)
+      + Wire.varint_size src_ip + Wire.varint_size base_seq
+      + Wire.varint_size ack_floor
+      + Wire.varint_size (List.length payloads)
+      + List.fold_left (fun acc p -> acc + byte_size p) 0 payloads
+  | Fcum_ack { src_ip; ack_floor } ->
+      1 + Wire.varint_size src_ip + Wire.varint_size ack_floor
+
+let batch_byte_size ~src_ip ~base_seq ~ack_floor ~count ~payload_bytes =
+  2 + Wire.varint_size src_ip + Wire.varint_size base_seq
+  + Wire.varint_size ack_floor + Wire.varint_size count + payload_bytes
 
 let pp_wvalue ppf = function
   | Wint n -> Format.fprintf ppf "%d" n
@@ -381,6 +423,11 @@ let pp_wvalue ppf = function
 let pp_frame ppf = function
   | Fdata { src_ip; seq; _ } -> Format.fprintf ppf "data %d#%d" src_ip seq
   | Fack { src_ip; seq } -> Format.fprintf ppf "ack %d#%d" src_ip seq
+  | Fbatch { src_ip; base_seq; ack_floor; payloads } ->
+      Format.fprintf ppf "batch %d#%d+%d ack<%d" src_ip base_seq
+        (List.length payloads) ack_floor
+  | Fcum_ack { src_ip; ack_floor } ->
+      Format.fprintf ppf "cum-ack %d<%d" src_ip ack_floor
 
 let pp ppf = function
   | Pmsg { dst; label; args } ->

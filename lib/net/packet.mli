@@ -97,6 +97,11 @@ val to_string_traced : ?ctx:Tyco_support.Trace.span -> t -> string
 (** [to_string] plus a trailer when [ctx] is a real (non-null) span;
     without one the output is byte-identical to {!to_string}. *)
 
+val encode_traced : ?ctx:Tyco_support.Trace.span -> Tyco_support.Wire.enc -> t -> unit
+(** The encode-into form of {!to_string_traced}: body plus optional
+    trailer appended to an existing encoder, for callers that reuse a
+    buffer across packets (the TCP runner's transmit path). *)
+
 val of_string_traced : string -> t * Tyco_support.Trace.span option
 
 (** {1 Transport frames}
@@ -115,6 +120,27 @@ type frame =
   | Fack of { src_ip : int; seq : int }
       (** acknowledges the [Fdata] with the same [(src_ip, seq)];
           routed back to [src_ip] *)
+  | Fbatch of {
+      src_ip : int;
+      base_seq : int;
+          (** sequence number of [payloads]' head; the rest follow
+              contiguously, so packet [i] has seq [base_seq + i] *)
+      ack_floor : int;
+          (** piggybacked cumulative ack: the sender has contiguously
+              received every seq below this from the frame's
+              destination ([0] = nothing yet) *)
+      payloads : t list;
+    }
+      (** N packets to one destination in one frame.  Versioned: the
+          tag is followed by a format-version byte, so decoders predating
+          the frame reject it cleanly ([Malformed "frame tag 2"]) and
+          aware decoders reject future layout changes explicitly. *)
+  | Fcum_ack of { src_ip : int; ack_floor : int }
+      (** standalone cumulative ack (delayed-ack timer fired with no
+          reverse traffic to piggyback on): acknowledges every seq
+          below [ack_floor] of [src_ip]'s inbound stream *)
+
+val batch_version : int
 
 val encode_frame : Tyco_support.Wire.enc -> frame -> unit
 val decode_frame : Tyco_support.Wire.dec -> frame
@@ -126,6 +152,14 @@ val frame_of_string_traced : string -> frame * Tyco_support.Trace.span option
 (** Same trailer scheme as {!to_string_traced}, at the frame layer. *)
 
 val frame_byte_size : frame -> int
+
+val batch_byte_size :
+  src_ip:int -> base_seq:int -> ack_floor:int -> count:int ->
+  payload_bytes:int -> int
+(** {!frame_byte_size} of an [Fbatch] without materializing it:
+    [payload_bytes] is the pre-summed {!byte_size} of the payloads.
+    The simulated transport charges batch frames with this. *)
+
 val pp_frame : Format.formatter -> frame -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -73,6 +73,14 @@ type verdict = {
   v_reordered : int;
 }
 
+(* Whether a transmission on this link can be faulted at all.  The
+   transport hot path uses this to skip the verdict record (and its
+   delay list) entirely on clean links — the common case — without
+   changing PRNG consumption: [fault_verdict] never consults the PRNG
+   in exactly these situations. *)
+let faulted_link t ~src_ip ~dst_ip =
+  src_ip <> dst_ip && t.faults != no_faults
+
 (* Intra-node traffic (shared memory) is exempt: the fault model
    describes the switch fabric, not a node's own backplane.  With
    [no_faults] the PRNG is never consulted, so fault-free runs keep

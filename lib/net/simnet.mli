@@ -61,6 +61,12 @@ type verdict = {
   v_reordered : int;
 }
 
+val faulted_link : t -> src_ip:int -> dst_ip:int -> bool
+(** [false] when transmissions on this link can never be faulted (the
+    fault model is {!no_faults}, or the link is intra-node): callers
+    may then schedule the base delay directly and skip
+    {!fault_verdict}'s allocation without changing PRNG consumption. *)
+
 val fault_verdict : t -> src_ip:int -> dst_ip:int -> base_delay:int -> verdict
 (** Roll the fault dice for one transmission.  With [no_faults] (or on
     an intra-node link) this returns [base_delay] unchanged and never

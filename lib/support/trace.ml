@@ -11,6 +11,7 @@ type pk =
   | Kns_register
   | Kns_lookup
   | Kns_reply
+  | Kbatch  (* a coalesced Fbatch frame on the fabric track *)
 
 type kind =
   | Thread_spawn
@@ -27,6 +28,7 @@ type kind =
   | Ack
   | Timeout
   | Ns_serve
+  | Flush_wait of { ns : int }
 
 type event = {
   ev_ts : int;
@@ -46,6 +48,7 @@ let pk_name = function
   | Kns_register -> "ns-register"
   | Kns_lookup -> "ns-lookup"
   | Kns_reply -> "ns-reply"
+  | Kbatch -> "batch"
 
 let kind_name = function
   | Thread_spawn -> "thread-spawn"
@@ -62,6 +65,7 @@ let kind_name = function
   | Ack -> "ack"
   | Timeout -> "timeout"
   | Ns_serve -> "ns-serve"
+  | Flush_wait _ -> "flush-wait"
 
 (* One bounded ring per track: the oldest entries are overwritten when
    the ring is full, so a long run keeps its recent history instead of
@@ -189,6 +193,7 @@ let args_of_kind = function
       [ ("same_node", if same_node then "true" else "false") ]
   | Link_code { bytes } -> [ ("code_bytes", string_of_int bytes) ]
   | Retransmit { attempt } -> [ ("attempt", string_of_int attempt) ]
+  | Flush_wait { ns } -> [ ("wait_ns", string_of_int ns) ]
   | _ -> []
 
 let chrome_record b ~name ~ph ~ts ?dur ~pid ~span ?(extra = []) () =
@@ -270,15 +275,18 @@ let to_chrome_json t =
 (* Binary archive (tyco-trace's input).                                 *)
 
 let magic = "TYCT"
-let version = 1
+
+(* v2 added the [Kbatch] packet kind and the [Flush_wait] event; older
+   readers reject v2 archives cleanly rather than misparse them. *)
+let version = 2
 
 let pk_tag = function
   | Kmsg -> 0 | Kobj -> 1 | Kfetch_req -> 2 | Kfetch_rep -> 3
-  | Kns_register -> 4 | Kns_lookup -> 5 | Kns_reply -> 6
+  | Kns_register -> 4 | Kns_lookup -> 5 | Kns_reply -> 6 | Kbatch -> 7
 
 let pk_of_tag = function
   | 0 -> Kmsg | 1 -> Kobj | 2 -> Kfetch_req | 3 -> Kfetch_rep
-  | 4 -> Kns_register | 5 -> Kns_lookup | 6 -> Kns_reply
+  | 4 -> Kns_register | 5 -> Kns_lookup | 6 -> Kns_reply | 7 -> Kbatch
   | n -> raise (Wire.Malformed (Printf.sprintf "trace pk tag %d" n))
 
 let encode_kind enc = function
@@ -309,6 +317,9 @@ let encode_kind enc = function
   | Ack -> Wire.u8 enc 11
   | Timeout -> Wire.u8 enc 12
   | Ns_serve -> Wire.u8 enc 13
+  | Flush_wait { ns } ->
+      Wire.u8 enc 14;
+      Wire.varint enc ns
 
 let decode_kind dec =
   match Wire.read_u8 dec with
@@ -335,6 +346,7 @@ let decode_kind dec =
   | 11 -> Ack
   | 12 -> Timeout
   | 13 -> Ns_serve
+  | 14 -> Flush_wait { ns = Wire.read_varint dec }
   | n -> raise (Wire.Malformed (Printf.sprintf "trace kind tag %d" n))
 
 type archive = {

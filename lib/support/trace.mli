@@ -42,6 +42,9 @@ type pk =
   | Kns_register
   | Kns_lookup
   | Kns_reply
+  | Kbatch
+      (** a coalesced [Fbatch] frame (N packets to one node) moving on
+          the fabric track; the member packets keep their own spans *)
 
 type kind =
   | Thread_spawn                          (** VM thread queued *)
@@ -65,6 +68,10 @@ type kind =
   | Timeout                               (** retransmissions exhausted *)
   | Ns_serve                              (** name service processed a
                                               registration or lookup *)
+  | Flush_wait of { ns : int }            (** batching: the packet sat
+                                              [ns] virtual ns in its
+                                              destination outbox before
+                                              the flush *)
 
 type event = {
   ev_ts : int;        (** virtual ns *)

@@ -1,20 +1,77 @@
-type enc = Buffer.t
+(* A growable bytes encoder rather than a [Buffer.t]: the buffer is
+   reusable via [reset], so hot paths can keep one encoder alive (or
+   borrow one from the small pool behind [with_encoder]) and pay no
+   per-encode allocation beyond the final string. *)
+type enc = { mutable buf : Bytes.t; mutable len : int }
 
-let encoder () = Buffer.create 64
-let to_string = Buffer.contents
-let size = Buffer.length
+let encoder ?(size = 64) () = { buf = Bytes.create (max 16 size); len = 0 }
+let to_string e = Bytes.sub_string e.buf 0 e.len
+let size e = e.len
+let reset e = e.len <- 0
+let blit_to_bytes e dst pos = Bytes.blit e.buf 0 dst pos e.len
+
+let ensure e n =
+  let need = e.len + n in
+  let cap = Bytes.length e.buf in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while need > !cap' do
+      cap' := !cap' * 2
+    done;
+    let b = Bytes.create !cap' in
+    Bytes.blit e.buf 0 b 0 e.len;
+    e.buf <- b
+  end
+
+let add_char e c =
+  ensure e 1;
+  Bytes.unsafe_set e.buf e.len c;
+  e.len <- e.len + 1
+
+(* Bounded free-list of encoders.  Buffers keep their grown capacity
+   across uses, so steady-state encoding of similar-sized packets does
+   not touch the allocator at all. *)
+let pool : enc list ref = ref []
+let pool_len = ref 0
+let pool_max = 8
+
+let with_encoder ?size f =
+  let e =
+    match !pool with
+    | e :: rest ->
+        pool := rest;
+        decr pool_len;
+        reset e;
+        (match size with Some n -> ensure e n | None -> ());
+        e
+    | [] -> encoder ?size ()
+  in
+  let release () =
+    if !pool_len < pool_max then begin
+      pool := e :: !pool;
+      incr pool_len
+    end
+  in
+  match f e with
+  | () ->
+      let s = to_string e in
+      release ();
+      s
+  | exception exn ->
+      release ();
+      raise exn
 
 let u8 enc v =
   if v < 0 || v > 0xff then invalid_arg "Wire.u8";
-  Buffer.add_char enc (Char.chr v)
+  add_char enc (Char.chr v)
 
 (* LEB128 over the raw bit pattern: logical shifts terminate even when
    the int's top bit is set, so the full range round-trips. *)
 let raw_varint enc v =
   let rec go v =
-    if v >= 0 && v < 0x80 then Buffer.add_char enc (Char.chr v)
+    if v >= 0 && v < 0x80 then add_char enc (Char.chr v)
     else begin
-      Buffer.add_char enc (Char.chr (0x80 lor (v land 0x7f)));
+      add_char enc (Char.chr (0x80 lor (v land 0x7f)));
       go (v lsr 7)
     end
   in
@@ -47,13 +104,15 @@ let string_size s = varint_size (String.length s) + String.length s
 let float enc f =
   let bits = Int64.bits_of_float f in
   for i = 0 to 7 do
-    Buffer.add_char enc
+    add_char enc
       (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
   done
 
 let string enc s =
   varint enc (String.length s);
-  Buffer.add_string enc s
+  ensure enc (String.length s);
+  Bytes.blit_string s 0 enc.buf enc.len (String.length s);
+  enc.len <- enc.len + String.length s
 
 let list enc f xs =
   varint enc (List.length xs);

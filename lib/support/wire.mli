@@ -11,9 +11,24 @@
 
 type enc
 
-val encoder : unit -> enc
+val encoder : ?size:int -> unit -> enc
+(** A fresh encoder; [size] preallocates the backing buffer (the buffer
+    still grows on demand, so [size] is a hint, not a cap). *)
+
 val to_string : enc -> string
 val size : enc -> int
+
+val reset : enc -> unit
+(** Rewind to empty, keeping the grown backing buffer for reuse. *)
+
+val blit_to_bytes : enc -> Bytes.t -> int -> unit
+(** Copy the encoded bytes into [dst] at [pos]; [dst] must have room
+    for {!size} bytes. *)
+
+val with_encoder : ?size:int -> (enc -> unit) -> string
+(** Borrow an encoder from a small process-wide pool, run the writer,
+    and return the encoded string.  Steady-state encodes reuse grown
+    buffers, so the only allocation is the result string itself. *)
 
 val u8 : enc -> int -> unit
 (** Raw byte; [0 <= v < 256]. *)

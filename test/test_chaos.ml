@@ -163,6 +163,142 @@ let dedup_window () =
   (* streams are per-peer: another source starts at its own floor *)
   check Alcotest.bool "independent peer" true (Node.admit n ~src_ip:2 ~seq:0)
 
+(* ------------------------------------------------------------------ *)
+(* Batched transport under chaos                                       *)
+
+(* The chaos suite above already runs the batched path — batching is
+   on in [default_config] — so these pin down the batching-specific
+   semantics explicitly. *)
+
+(* Cumulative-ack retransmission recovers batches under drop, dup and
+   reorder, with batching on and off producing the same outputs. *)
+let batched_chaos_recovers () =
+  let src = List.assoc "rpc" chaos_programs in
+  let clean = events (run src) in
+  List.iter
+    (fun seed ->
+      let on = run ~config:(chaos_config seed) src in
+      let off =
+        run
+          ~config:{ (chaos_config seed) with Cluster.batching = false }
+          src
+      in
+      check Alcotest.bool
+        (Printf.sprintf "batched outputs intact (seed %d)" seed)
+        true
+        (Output.same_multiset clean (events on));
+      check Alcotest.bool
+        (Printf.sprintf "unbatched outputs intact (seed %d)" seed)
+        true
+        (Output.same_multiset clean (events off)))
+    seeds;
+  (* and the cumulative-ack machinery actually bit: losses recovered
+     by batch retransmission, replays suppressed by the dedup window *)
+  let total name =
+    List.fold_left
+      (fun acc seed ->
+        let r = run ~config:(chaos_config seed) src in
+        acc + Stats.counter_value (Cluster.stats r.Api.cluster) name)
+      0 seeds
+  in
+  check Alcotest.bool "retries > 0" true (total "retries" > 0);
+  check Alcotest.bool "dupes suppressed > 0" true
+    (total "dupes_suppressed" > 0);
+  check Alcotest.bool "acks > 0" true (total "acks" > 0)
+
+(* A nonzero flush deadline delays flushes by virtual time; the run
+   must stay bit-for-bit deterministic per seed, and the deadline must
+   not change what the program computes. *)
+let flush_deadline_deterministic () =
+  let src = List.assoc "rpc" chaos_programs in
+  let clean = events (run src) in
+  List.iter
+    (fun deadline ->
+      let config seed =
+        { (chaos_config seed) with Cluster.flush_deadline_ns = deadline }
+      in
+      let a = run ~config:(config 7) src in
+      let b = run ~config:(config 7) src in
+      check (Alcotest.list ev_testable)
+        (Printf.sprintf "deadline %d: same outputs" deadline)
+        (events a) (events b);
+      check Alcotest.int
+        (Printf.sprintf "deadline %d: same virtual time" deadline)
+        a.Api.virtual_ns b.Api.virtual_ns;
+      check Alcotest.int
+        (Printf.sprintf "deadline %d: same packets" deadline)
+        a.Api.packets b.Api.packets;
+      check Alcotest.bool
+        (Printf.sprintf "deadline %d: outputs intact" deadline)
+        true
+        (Output.same_multiset clean (events a)))
+    [ 0; 5_000; 50_000 ]
+
+(* Counting regression: with sites mixed across same-node and
+   cross-node placement, every logical packet is counted exactly once —
+   as a fabric packet or as a same-node delivery, never both, never
+   twice — in every transport mode.  (The packet log records both
+   kinds, so packets + same_node = log kept + log dropped.) *)
+let mixed_placement_counting () =
+  let src =
+    {| site a { export new p
+         def L(x) = p?(v) = (io!printi[v] | L[x]) in L[0] }
+       site b { import p from a in p![1] }
+       site c { import p from a in p![2] }
+       site d { import p from a in p![3] } |}
+  in
+  (* a and b share node 0; c and d sit on nodes 1 and 2 *)
+  let placement = function
+    | "a" | "b" -> 0
+    | "c" -> 1
+    | _ -> 2
+  in
+  let clean =
+    events (Api.run_program ~placement:(fun n -> placement n) (Api.parse src))
+  in
+  let packet_counts = ref [] in
+  List.iter
+    (fun (name, config) ->
+      let r =
+        Api.run_program ~config ~placement:(fun n -> placement n)
+          (Api.parse src)
+      in
+      let cl = r.Api.cluster in
+      let logged =
+        List.length (Cluster.packet_trace cl)
+        + Cluster.packet_trace_dropped cl
+      in
+      check Alcotest.int
+        (Printf.sprintf "%s: packets + same_node = logged" name)
+        logged
+        (Cluster.packets_sent cl + Cluster.same_node_fast cl);
+      check Alcotest.bool (Printf.sprintf "%s: same_node > 0" name) true
+        (Cluster.same_node_fast cl > 0);
+      check Alcotest.bool (Printf.sprintf "%s: packets > 0" name) true
+        (Cluster.packets_sent cl > 0);
+      check Alcotest.bool (Printf.sprintf "%s: outputs intact" name) true
+        (Output.same_multiset clean (events r));
+      packet_counts := (name, Cluster.packets_sent cl) :: !packet_counts)
+    [ ("batched", Cluster.default_config);
+      ("unbatched", { Cluster.default_config with Cluster.batching = false });
+      ( "batched reliable",
+        { Cluster.default_config with Cluster.reliable = true } );
+      ( "unbatched reliable",
+        { Cluster.default_config with
+          Cluster.batching = false;
+          reliable = true } ) ];
+  (* the logical packet count is a property of the program, not of the
+     transport mode: any disagreement means a mode double-counts *)
+  match !packet_counts with
+  | (_, n) :: rest ->
+      List.iter
+        (fun (name, m) ->
+          check Alcotest.int
+            (Printf.sprintf "%s: same logical packet count" name)
+            n m)
+        rest
+  | [] -> ()
+
 let tests =
   [ ("chaos: outputs preserved (3 seeds)", `Quick, chaos_preserves_outputs);
     ("chaos: deterministic", `Quick, chaos_is_deterministic);
@@ -171,4 +307,10 @@ let tests =
     ("dead site: fetch fails fast", `Quick, fetch_from_dead_site_fails_fast);
     ("unreliable: drops lose packets", `Quick, unreliable_transport_loses);
     ("dead letters counted", `Quick, dead_letters_counted);
-    ("dedup window", `Quick, dedup_window) ]
+    ("dedup window", `Quick, dedup_window);
+    ("batched chaos: cum-ack retransmit recovers", `Quick,
+     batched_chaos_recovers);
+    ("flush deadline: deterministic per seed", `Quick,
+     flush_deadline_deterministic);
+    ("mixed placement: packets counted once", `Quick,
+     mixed_placement_counting) ]

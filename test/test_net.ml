@@ -153,7 +153,54 @@ let packet_size_every_constructor () =
         (String.length (Packet.frame_to_string f))
         (Packet.frame_byte_size f))
     [ Packet.Fdata { src_ip = 129; seq = 1000; payload = List.hd samples };
-      Packet.Fack { src_ip = 0; seq = 130 } ]
+      Packet.Fack { src_ip = 0; seq = 130 };
+      Packet.Fbatch
+        { src_ip = 2; base_seq = 129; ack_floor = 1000; payloads = samples };
+      Packet.Fbatch
+        { src_ip = 0; base_seq = 0; ack_floor = 0;
+          payloads = [ List.hd samples ] };
+      Packet.Fcum_ack { src_ip = 3; ack_floor = 12345 } ]
+
+(* [batch_byte_size] is the no-materialize form the simulated fabric
+   charges with; it must agree with building the frame and measuring. *)
+let batch_size_no_materialize () =
+  let r = Netref.make ~kind:Netref.Channel ~heap_id:1 ~site_id:0 ~ip:2 in
+  let payloads =
+    List.init 5 (fun i ->
+        Packet.Pmsg
+          { dst = r; label = "m"; args = [ Packet.Wint (i * 1000) ] })
+  in
+  let payload_bytes =
+    List.fold_left (fun a p -> a + Packet.byte_size p) 0 payloads
+  in
+  let f =
+    Packet.Fbatch { src_ip = 7; base_seq = 200; ack_floor = 130; payloads }
+  in
+  check Alcotest.int "batch_byte_size = frame_byte_size"
+    (Packet.frame_byte_size f)
+    (Packet.batch_byte_size ~src_ip:7 ~base_seq:200 ~ack_floor:130
+       ~count:(List.length payloads) ~payload_bytes);
+  check Alcotest.int "and = encoder length"
+    (String.length (Packet.frame_to_string f))
+    (Packet.batch_byte_size ~src_ip:7 ~base_seq:200 ~ack_floor:130
+       ~count:(List.length payloads) ~payload_bytes)
+
+(* The version byte after the batch tag: a decoder must reject a layout
+   revision it does not know rather than misparse it. *)
+let batch_version_rejected () =
+  let f =
+    Packet.Fbatch { src_ip = 1; base_seq = 0; ack_floor = 0; payloads = [] }
+  in
+  let s = Packet.frame_to_string f in
+  (* byte 0 is the tag, byte 1 the version *)
+  check Alcotest.int "version byte" Packet.batch_version
+    (Char.code s.[1]);
+  let bumped = Bytes.of_string s in
+  Bytes.set bumped 1 (Char.chr (Packet.batch_version + 1));
+  check Alcotest.bool "future version rejected" true
+    (match Packet.frame_of_string (Bytes.to_string bumped) with
+    | exception Tyco_support.Wire.Malformed _ -> true
+    | _ -> false)
 
 let packet_dst_routing () =
   let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:3 ~ip:7 in
@@ -380,7 +427,16 @@ let gen_frame =
             Packet.Fdata { src_ip; seq; payload })
           small_nat small_nat gen_packet;
         map2 (fun src_ip seq -> Packet.Fack { src_ip; seq }) small_nat
-          small_nat ])
+          small_nat;
+        map3
+          (fun src_ip (base_seq, ack_floor) payloads ->
+            Packet.Fbatch { src_ip; base_seq; ack_floor; payloads })
+          small_nat
+          (pair small_nat small_nat)
+          (list_size (int_range 0 6) gen_packet);
+        map2
+          (fun src_ip ack_floor -> Packet.Fcum_ack { src_ip; ack_floor })
+          small_nat small_nat ])
 
 let frame_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -422,6 +478,8 @@ let tests =
     packet_roundtrip;
     packet_size_is_wire_size;
     ("byte_size per constructor", `Quick, packet_size_every_constructor);
+    ("batch size without materializing", `Quick, batch_size_no_materialize);
+    ("batch version byte rejected", `Quick, batch_version_rejected);
     ("packet routing", `Quick, packet_dst_routing);
     ("packet malformed", `Quick, packet_malformed);
     ("export table", `Quick, export_table_stable);

@@ -417,12 +417,91 @@ let event_ring_bounded () =
     (List.length (Trace.events tr) <= 16 * max tracks 1);
   check Alcotest.bool "drops counted" true (Trace.dropped tr > 0)
 
+(* Batched transport: the batch frame gets its own root span on the
+   fabric track — a [Kbatch] Send/Deliver pair Perfetto draws as a flow
+   arrow — while the per-packet site-level spans stay intact, so the
+   SHIP/FETCH causal trees look exactly as they do unbatched. *)
+let causal_tree_batched () =
+  List.iter
+    (fun (name, src) ->
+      let r = run src in
+      let events = Trace.events (tracer r) in
+      tree_well_formed events;
+      check Alcotest.bool
+        (Printf.sprintf "%s: per-packet cross-site edge survives" name)
+        true (crosses_sites events);
+      let batch_sends =
+        List.filter
+          (fun (e : Trace.event) ->
+            match e.Trace.ev_kind with
+            | Trace.Send { pk = Trace.Kbatch; _ } -> true
+            | _ -> false)
+          events
+      in
+      check Alcotest.bool (Printf.sprintf "%s: batch send present" name)
+        true (batch_sends <> []);
+      List.iter
+        (fun (e : Trace.event) ->
+          check Alcotest.int
+            (Printf.sprintf "%s: batch send on fabric track" name)
+            Trace.fabric_track e.Trace.ev_track;
+          check Alcotest.int
+            (Printf.sprintf "%s: batch span is a root" name) 0
+            (span_of e).Trace.parent_id;
+          (* the matching Deliver carries the same span: the flow edge *)
+          check Alcotest.bool
+            (Printf.sprintf "%s: batch deliver matches" name) true
+            (List.exists
+               (fun (d : Trace.event) ->
+                 match d.Trace.ev_kind with
+                 | Trace.Deliver { pk = Trace.Kbatch; _ } ->
+                     (span_of d).Trace.span_id = (span_of e).Trace.span_id
+                 | _ -> false)
+               events))
+        batch_sends)
+    [ ("ship", ship_src); ("fetch", fetch_src) ]
+
+(* A nonzero flush deadline makes packets sit in the outbox; the wait
+   surfaces as [Flush_wait] events on the packet's own span. *)
+let flush_wait_traced () =
+  let config =
+    { traced_config with Cluster.flush_deadline_ns = 50_000 }
+  in
+  let r = run ~config ship_src in
+  let events = Trace.events (tracer r) in
+  let waits =
+    List.filter
+      (fun (e : Trace.event) ->
+        match e.Trace.ev_kind with
+        | Trace.Flush_wait { ns } -> ns > 0
+        | _ -> false)
+      events
+  in
+  check Alcotest.bool "flush waits recorded" true (waits <> []);
+  List.iter
+    (fun (e : Trace.event) ->
+      check Alcotest.int "flush wait on fabric track" Trace.fabric_track
+        e.Trace.ev_track)
+    waits;
+  (* with the default zero deadline nothing waits, so no events *)
+  let r0 = run ship_src in
+  check Alcotest.bool "no flush waits at deadline 0" true
+    (not
+       (List.exists
+          (fun (e : Trace.event) ->
+            match e.Trace.ev_kind with
+            | Trace.Flush_wait _ -> true
+            | _ -> false)
+          (Trace.events (tracer r0))))
+
 let tests =
   [ ("tracing off by default", `Quick, tracing_off_by_default);
     ("trace deterministic", `Quick, trace_deterministic);
     ("causal tree: ship", `Quick, causal_tree_ship);
     ("causal tree: fetch", `Quick, causal_tree_fetch);
     ("causal tree: retransmit under loss", `Quick, causal_tree_retransmit);
+    ("causal tree: batched ship/fetch", `Quick, causal_tree_batched);
+    ("flush wait traced", `Quick, flush_wait_traced);
     ("perfetto export shape", `Quick, perfetto_shape);
     ("archive round-trip", `Quick, archive_roundtrip);
     ("archive malformed", `Quick, archive_malformed);
