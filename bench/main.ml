@@ -11,6 +11,7 @@ module Api = Dityco.Api
 module Cluster = Dityco.Cluster
 module Site = Dityco.Site
 module Output = Dityco.Output
+module Report = Dityco.Report
 module Stats = Tyco_support.Stats
 module Latency = Tyco_net.Latency
 module Simnet = Tyco_net.Simnet
@@ -32,7 +33,7 @@ let row fmt = Format.printf fmt
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR4.json"
+let json_path = ref "BENCH_PR5.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -852,6 +853,86 @@ let e16 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E17 — resource lifecycle soak: live state tracks the working set.   *)
+
+(* The churn workload: every synchronous RPC allocates a fresh reply
+   channel which the caller exports to the server — the canonical
+   unbounded-growth shape.  [clients] sites each make [rounds] calls;
+   with leases off every reply channel stays resident forever, with
+   leases on the steady-state export tables track the in-flight
+   window only. *)
+let churn_src ~clients ~rounds =
+  let client i =
+    Printf.sprintf
+      {| site c%d { import svc from server in
+                    def Ping(n) = if n == 0 then io!printi[%d]
+                                  else let v = svc!ping[n] in Ping[n - 1]
+                    in Ping[%d] } |}
+      i i rounds
+  in
+  Printf.sprintf
+    {| site server {
+         def Serve(svc) = svc?{ ping(v, k) = (k![v] | Serve[svc]) }
+         in export new svc Serve[svc] }
+       %s |}
+    (String.concat "" (List.init clients client))
+
+let e17 () =
+  section "E17"
+    "resource lifecycle soak: export tables bounded by the live working \
+     set (leases) vs linear growth (baseline)";
+  let clients = 4 in
+  let rounds = if !smoke then 2_000 else 125_000 in
+  let messages = 2 * clients * rounds in
+  let leased_cfg =
+    { Cluster.default_config with
+      Cluster.lease_ns = 200_000; lease_refresh_ns = 50_000 }
+  in
+  let trial config ~rounds =
+    let r = run ~config (churn_src ~clients ~rounds) in
+    (r, (Report.of_result r).Report.memory)
+  in
+  row "  %d clients x %d RPCs = %d messages; each call exports a fresh \
+       reply channel@." clients rounds messages;
+  row "  %-10s %10s %10s %10s %10s %8s@." "config" "live" "allocated"
+    "reclaimed" "refreshes" "held";
+  let show name (_, m) =
+    row "  %-10s %10d %10d %10d %10d %8d@." name m.Report.mem_chan_live
+      m.Report.mem_chan_allocated m.Report.mem_ids_reclaimed
+      m.Report.mem_lease_refreshes m.Report.mem_held_imports
+  in
+  let ((_, bm) as baseline) = trial Cluster.default_config ~rounds in
+  let ((lr, lm) as leased) = trial leased_cfg ~rounds in
+  show "baseline" baseline;
+  show "leased" leased;
+  (* the flatness evidence: half the churn, same steady-state live
+     count under leases — while the baseline live count halves with the
+     workload because it *is* the workload size *)
+  let _, bh = trial Cluster.default_config ~rounds:(rounds / 2) in
+  let _, lh = trial leased_cfg ~rounds:(rounds / 2) in
+  row "  half-scale: baseline live %d -> %d (linear); leased live %d -> %d \
+       (flat)@."
+    bh.Report.mem_chan_live bm.Report.mem_chan_live lh.Report.mem_chan_live
+    lm.Report.mem_chan_live;
+  row "  leased end state: done_reqs=%d code_cache=%d fetch_cache=%d \
+       stale_refs=%d@."
+    lm.Report.mem_done_reqs lm.Report.mem_code_cache lm.Report.mem_fetch_cache
+    lm.Report.mem_stale_refs;
+  record_i "e17_messages" messages;
+  record_i "e17_baseline_live_exports_end" bm.Report.mem_chan_live;
+  record_i "e17_baseline_live_exports_half" bh.Report.mem_chan_live;
+  record_i "e17_baseline_allocated" bm.Report.mem_chan_allocated;
+  record_i "e17_live_exports_end" lm.Report.mem_chan_live;
+  record_i "e17_live_exports_half" lh.Report.mem_chan_live;
+  record_i "e17_leased_allocated" lm.Report.mem_chan_allocated;
+  record_i "e17_leased_reclaimed" lm.Report.mem_ids_reclaimed;
+  record_i "e17_lease_refreshes" lm.Report.mem_lease_refreshes;
+  record_i "e17_held_imports_end" lm.Report.mem_held_imports;
+  record_i "e17_done_reqs_end" lm.Report.mem_done_reqs;
+  record_i "e17_stale_refs" lm.Report.mem_stale_refs;
+  record_i "e17_leased_virtual_ns" lr.Api.virtual_ns
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -908,7 +989,8 @@ let () =
     e1 ();
     e2 ();
     e14 ();
-    e16 ()
+    e16 ();
+    e17 ()
   end
   else begin
     e1 ();
@@ -926,7 +1008,8 @@ let () =
     e13 ();
     e14 ();
     e15 ();
-    e16 ()
+    e16 ();
+    e17 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

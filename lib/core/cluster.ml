@@ -48,6 +48,10 @@ type config = {
   flush_max_bytes : int;
   flush_deadline_ns : int;
   ack_delay_ns : int;
+  lease_ns : int;
+  lease_refresh_ns : int;
+  lease_hold_ns : int;
+  code_cache_capacity : int;
 }
 
 (* Flush defaults tuned by bench E16: a deadline of 0 virtual ns still
@@ -75,7 +79,11 @@ let default_config =
     flush_max_packets = 16;
     flush_max_bytes = 8192;
     flush_deadline_ns = 0;
-    ack_delay_ns = 30_000 }
+    ack_delay_ns = 30_000;
+    lease_ns = 0;
+    lease_refresh_ns = 0;
+    lease_hold_ns = 0;
+    code_cache_capacity = Site.default_lifecycle.Site.lc_code_cache }
 
 type wrapper = {
   site : Site.t;
@@ -837,6 +845,8 @@ and deliver t ~at_ip ?(ctx = Trace.null_span) ?(same_node = false) (p : Packet.t
       deliver_to_site t cls.Netref.site_id ~ctx ~same_node p
   | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
       deliver_to_site t dst_site ~ctx ~same_node p
+  | Packet.Prelease { origin_site; _ } ->
+      deliver_to_site t origin_site ~ctx ~same_node p
 
 and register_at t ~replica_ip ~site_name ~id_name ~rtti ~ctx nref =
   let ns = replica_of t replica_ip in
@@ -923,12 +933,20 @@ let load ?placement ?(annotations = fun _ -> None) ?(inputs = fun _ -> [])
           Some (fun ~delay f -> Simnet.schedule t.sim ~delay f)
         else None
       in
+      let lifecycle =
+        { Site.lc_lease_ns = t.cfg.lease_ns;
+          lc_refresh_ns = t.cfg.lease_refresh_ns;
+          lc_hold_ns = t.cfg.lease_hold_ns;
+          lc_code_cache = t.cfg.code_cache_capacity;
+          lc_done_horizon_ns = Site.default_lifecycle.Site.lc_done_horizon_ns }
+      in
       let w =
         { site =
             Site.create
               ?annotations:(annotations name)
               ~inputs:(inputs name)
               ~retry:t.cfg.site_retry
+              ~lifecycle
               ?schedule
               ~on_suspect:(fun who ->
                 t.suspected <- (Simnet.now t.sim, who) :: t.suspected)
@@ -943,9 +961,6 @@ let load ?placement ?(annotations = fun _ -> None) ?(inputs = fun _ -> [])
       Hashtbl.replace t.by_name name w;
       Hashtbl.replace t.by_id site_id w;
       t.wrappers <- w :: t.wrappers;
-      Array.iter
-        (fun ns -> Nameservice.register_site ns name ~site_id ~ip:(Node.ip node))
-        t.replicas;
       Site.start w.site;
       request_pump t w ~delay:0)
     units

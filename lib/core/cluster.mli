@@ -86,6 +86,22 @@ type config = {
           ack hoping to piggyback it on reverse traffic (default
           30_000 — well under [retry.rto_ns], so delaying acks never
           causes spurious retransmits). *)
+  lease_ns : int;
+      (** Resource lifecycle: exported channels/classes are reclaimed
+          this many virtual ns after their last use, with importers
+          refreshing the references they still hold via [Prelease]
+          packets.  Default [0]: leases off, exports live forever (the
+          seed behaviour).  See {!Site.lifecycle}. *)
+  lease_refresh_ns : int;
+      (** Refresh/sweep cadence; [0] (default) derives a quarter of
+          [lease_ns]. *)
+  lease_hold_ns : int;
+      (** How long an importer keeps refreshing an unused foreign
+          reference; [0] (default) derives [lease_ns]. *)
+  code_cache_capacity : int;
+      (** Per-site bound on each receiver-side linking cache (LRU,
+          default 256); evicted entries re-link from the shipped code
+          on the next miss. *)
 }
 
 val default_config : config
@@ -102,8 +118,8 @@ val load :
 (** Install compiled sites.  [placement] maps a site name to a node
     index (default: round-robin); [annotations] supplies each site's
     type descriptors for the dynamic checking of remote interactions
-    (paper §7).  Sites are registered with the name service and their
-    entry threads scheduled at the current virtual time. *)
+    (paper §7).  Each site's entry thread is scheduled at the current
+    virtual time. *)
 
 val site : t -> string -> Site.t
 (** Raises [Not_found]. *)

@@ -11,6 +11,7 @@ type report = {
   probe_rounds : int;
   probe_overhead_ns : int;
   false_suspicions : int;
+  recoveries : (string * int) list;
 }
 
 (* One probe round-trip per site per round, over the cluster link. *)
@@ -31,27 +32,42 @@ let run_with_heartbeats ?(period = 100_000) ?timeout ?max_events ~kills
   let suspected = Hashtbl.create 8 in
   let rounds = ref 0 in
   let false_susp = ref 0 in
+  let recoveries = ref [] in
   let idle_streak = ref 0 in
   let rec probe () =
     incr rounds;
     List.iter
       (fun site ->
         let name = Site.name site in
-        if not (Hashtbl.mem suspected name) then
-          if not (Site.alive site) then begin
-            (* the probe goes unanswered: suspicion fires after the
-               timeout elapses *)
-            Hashtbl.add suspected name ();
-            Simnet.schedule sim ~delay:timeout (fun () ->
-                let killed_at =
-                  List.assoc_opt name kills
-                in
-                if Site.alive site then incr false_susp;
+        if Hashtbl.mem suspected name then begin
+          (* an answered probe refutes the standing suspicion: clear it
+             so the monitor keeps watching the site instead of carrying
+             the verdict forever *)
+          if Site.alive site then begin
+            Hashtbl.remove suspected name;
+            recoveries := (name, Simnet.now sim) :: !recoveries
+          end
+        end
+        else if not (Site.alive site) then begin
+          (* the probe goes unanswered: suspicion fires after the
+             timeout elapses *)
+          Hashtbl.add suspected name ();
+          Simnet.schedule sim ~delay:timeout (fun () ->
+              let killed_at = List.assoc_opt name kills in
+              if Site.alive site then begin
+                (* the site answered within the timeout after all: a
+                   refuted suspicion is counted, cleared and recorded
+                   as a recovery — not added to [suspicions] *)
+                incr false_susp;
+                Hashtbl.remove suspected name;
+                recoveries := (name, Simnet.now sim) :: !recoveries
+              end
+              else
                 suspicions :=
                   { s_site = name; s_at = Simnet.now sim;
                     s_killed_at = killed_at }
                   :: !suspicions)
-          end)
+        end)
       (Cluster.sites cluster);
     (* keep probing while the application still runs; two idle rounds
        end the monitor so the simulation can quiesce *)
@@ -64,4 +80,5 @@ let run_with_heartbeats ?(period = 100_000) ?timeout ?max_events ~kills
   { suspicions = List.rev !suspicions;
     probe_rounds = !rounds;
     probe_overhead_ns = !rounds * probe_cost_per_site * nsites;
-    false_suspicions = !false_susp }
+    false_suspicions = !false_susp;
+    recoveries = List.rev !recoveries }

@@ -26,7 +26,14 @@ type report = {
   suspicions : suspicion list;
   probe_rounds : int;
   probe_overhead_ns : int;
-  false_suspicions : int;  (** suspected sites that were in fact alive *)
+  false_suspicions : int;
+      (** suspicions refuted at verdict time: the site was alive after
+          all.  Refuted suspicions are cleared — not recorded in
+          [suspicions] — and show up in [recoveries], so a transient
+          hiccup never reads as a permanent failure. *)
+  recoveries : (string * int) list;
+      (** [(site, virtual time)] — each time a suspected site turned
+          out to be alive (at verdict, or at a later probe round). *)
 }
 
 val run_with_heartbeats :

@@ -22,6 +22,32 @@ type breakdown = {
   b_flush_wait : Stats.Dist.summary option;
 }
 
+(* Resident protocol state summed over sites, plus lifetime
+   reclamation counters — the evidence that a run's memory tracked its
+   working set (flat live counts, growing reclaimed counts).  The GC
+   numbers are the host process's ([Gc.quick_stat]), meaningful for
+   wall-clock runs. *)
+type memory = {
+  mem_chan_live : int;
+  mem_chan_allocated : int;
+  mem_class_live : int;
+  mem_class_allocated : int;
+  mem_done_reqs : int;
+  mem_code_cache : int;
+  mem_fetch_cache : int;
+  mem_held_imports : int;
+  mem_ids_reclaimed : int;
+  mem_leases_expired : int;
+  mem_lease_refreshes : int;
+  mem_stale_refs : int;
+  mem_done_pruned : int;
+  mem_cache_evictions : int;
+  mem_held_dropped : int;
+  mem_gc_minor_words : float;
+  mem_gc_major_words : float;
+  mem_gc_heap_words : int;
+}
+
 type t = {
   virtual_ns : int;
   sim_events : int;
@@ -35,6 +61,7 @@ type t = {
   sites : site_stats list;
   breakdown : breakdown;
   suspected_failures : (int * string) list;
+  memory : memory;
 }
 
 let site_stats site =
@@ -69,6 +96,32 @@ let pooled name sites =
     sites;
   Stats.Dist.summary_opt pool
 
+let memory_of_sites sites =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 sites in
+  let sumc name =
+    sum (fun s -> Stats.Counter.value (Stats.counter (Site.stats s) name))
+  in
+  let m f = sum (fun s -> f (Site.memory s)) in
+  let gc = Gc.quick_stat () in
+  { mem_chan_live = m (fun x -> x.Site.m_chan_live);
+    mem_chan_allocated = m (fun x -> x.Site.m_chan_allocated);
+    mem_class_live = m (fun x -> x.Site.m_class_live);
+    mem_class_allocated = m (fun x -> x.Site.m_class_allocated);
+    mem_done_reqs = m (fun x -> x.Site.m_done_reqs);
+    mem_code_cache = m (fun x -> x.Site.m_obj_cache + x.Site.m_grp_cache);
+    mem_fetch_cache = m (fun x -> x.Site.m_fetch_cache);
+    mem_held_imports = m (fun x -> x.Site.m_held);
+    mem_ids_reclaimed = sumc "ids_reclaimed";
+    mem_leases_expired = sumc "leases_expired";
+    mem_lease_refreshes = sumc "lease_refreshes";
+    mem_stale_refs = sumc "stale_refs";
+    mem_done_pruned = sumc "done_reqs_pruned";
+    mem_cache_evictions = sumc "code_cache_evictions";
+    mem_held_dropped = sumc "held_imports_dropped";
+    mem_gc_minor_words = gc.Gc.minor_words;
+    mem_gc_major_words = gc.Gc.major_words;
+    mem_gc_heap_words = gc.Gc.heap_words }
+
 let of_cluster cluster =
   let sites = Cluster.sites cluster in
   let cstats = Cluster.stats cluster in
@@ -90,7 +143,8 @@ let of_cluster cluster =
         b_execute = pooled "execute_ns" sites;
         b_flush_wait =
           Stats.Dist.summary_opt (Stats.dist cstats "lat_flush_wait") };
-    suspected_failures = Cluster.suspected_failures cluster }
+    suspected_failures = Cluster.suspected_failures cluster;
+    memory = memory_of_sites sites }
 
 let of_result (r : Api.result) = of_cluster r.Api.cluster
 
@@ -164,12 +218,30 @@ let breakdown_json b =
     (summary_json b.b_execute)
     (summary_json b.b_flush_wait)
 
+let memory_json m =
+  Printf.sprintf
+    "{\"chan_live\":%d,\"chan_allocated\":%d,\"class_live\":%d,\
+     \"class_allocated\":%d,\"done_reqs\":%d,\"code_cache\":%d,\
+     \"fetch_cache\":%d,\"held_imports\":%d,\"ids_reclaimed\":%d,\
+     \"leases_expired\":%d,\"lease_refreshes\":%d,\"stale_refs\":%d,\
+     \"done_reqs_pruned\":%d,\"code_cache_evictions\":%d,\
+     \"held_imports_dropped\":%d,\"gc_minor_words\":%s,\
+     \"gc_major_words\":%s,\"gc_heap_words\":%d}"
+    m.mem_chan_live m.mem_chan_allocated m.mem_class_live
+    m.mem_class_allocated m.mem_done_reqs m.mem_code_cache m.mem_fetch_cache
+    m.mem_held_imports m.mem_ids_reclaimed m.mem_leases_expired
+    m.mem_lease_refreshes m.mem_stale_refs m.mem_done_pruned
+    m.mem_cache_evictions m.mem_held_dropped
+    (jfloat m.mem_gc_minor_words)
+    (jfloat m.mem_gc_major_words)
+    m.mem_gc_heap_words
+
 let to_json t =
   Printf.sprintf
     "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\
      \"same_node_fast\":%d,\"frames_sent\":%d,\"batch_fill_mean\":%s,\
      \"acks_piggybacked\":%d,\"outputs\":%s,\"sites\":%s,\
-     \"latency_breakdown\":%s,\"suspected_failures\":%s}"
+     \"latency_breakdown\":%s,\"suspected_failures\":%s,\"memory\":%s}"
     t.virtual_ns t.sim_events t.packets t.bytes t.same_node_fast
     t.frames_sent (jfloat t.batch_fill_mean) t.acks_piggybacked
     (jlist output_json t.outputs)
@@ -178,3 +250,4 @@ let to_json t =
     (jlist
        (fun (ts, name) -> Printf.sprintf "{\"t\":%d,\"site\":%s}" ts (jstr name))
        t.suspected_failures)
+    (memory_json t.memory)

@@ -40,6 +40,33 @@ type breakdown = {
   b_flush_wait : Tyco_support.Stats.Dist.summary option;
 }
 
+(** Resident protocol state summed over sites (live export-table and
+    cache occupancy, duplicate-suppression entries, tracked foreign
+    references) plus lifetime reclamation counters.  A bounded run
+    shows flat [*_live] numbers against growing [*_allocated] /
+    [mem_ids_reclaimed] ones.  The [mem_gc_*] fields are the host
+    process's {!Gc.quick_stat}, meaningful for wall-clock runs. *)
+type memory = {
+  mem_chan_live : int;
+  mem_chan_allocated : int;
+  mem_class_live : int;
+  mem_class_allocated : int;
+  mem_done_reqs : int;
+  mem_code_cache : int;
+  mem_fetch_cache : int;
+  mem_held_imports : int;
+  mem_ids_reclaimed : int;
+  mem_leases_expired : int;
+  mem_lease_refreshes : int;
+  mem_stale_refs : int;
+  mem_done_pruned : int;
+  mem_cache_evictions : int;
+  mem_held_dropped : int;
+  mem_gc_minor_words : float;
+  mem_gc_major_words : float;
+  mem_gc_heap_words : int;
+}
+
 type t = {
   virtual_ns : int;
   sim_events : int;
@@ -62,6 +89,7 @@ type t = {
   sites : site_stats list;
   breakdown : breakdown;
   suspected_failures : (int * string) list;
+  memory : memory;
 }
 
 val of_result : Api.result -> t

@@ -2,6 +2,7 @@ module Dq = Tyco_support.Dq
 module Stats = Tyco_support.Stats
 module Netref = Tyco_support.Netref
 module Trace = Tyco_support.Trace
+module Lru = Tyco_support.Lru
 module Block = Tyco_compiler.Block
 module Bytecode = Tyco_compiler.Bytecode
 module Link = Tyco_compiler.Link
@@ -15,6 +16,15 @@ module Rtti = Tyco_types.Rtti
 exception Protocol_error of string
 
 let perr fmt = Format.kasprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* A packet named an identifier this site once issued and has since
+   reclaimed.  Unlike [Protocol_error] (a violation typed programs
+   never trigger), stale references are an expected consequence of
+   lease reclamation racing in-flight traffic: the packet is dropped
+   and the failure surfaced as a ["stale-ref"] output event. *)
+exception Stale of string
+
+let stale fmt = Format.kasprintf (fun m -> raise (Stale m)) fmt
 
 (* Type descriptors for the dynamic half of the combined checking
    scheme (paper §7): what this site's exports promise, and what its
@@ -38,6 +48,21 @@ type retry = {
 
 let default_retry = { r_timeout_ns = 4_000_000; r_backoff = 2.0; r_max_tries = 6 }
 
+(* Resource lifecycle: bounds on the state a site keeps on behalf of
+   its peers.  All zeros (the default) reproduces the seed behaviour —
+   exports and request records live forever. *)
+type lifecycle = {
+  lc_lease_ns : int;
+  lc_refresh_ns : int;
+  lc_hold_ns : int;
+  lc_code_cache : int;
+  lc_done_horizon_ns : int;
+}
+
+let default_lifecycle =
+  { lc_lease_ns = 0; lc_refresh_ns = 0; lc_hold_ns = 0; lc_code_cache = 256;
+    lc_done_horizon_ns = 0 }
+
 type fetch_req = {
   fr_ref : Netref.t;
   fr_span : Trace.span; (* request's causal span, reused by retries *)
@@ -50,6 +75,15 @@ type import_req = {
   ir_key : string * string;
   ir_span : Trace.span;
   mutable ir_tries : int;
+}
+
+(* Foreign references this site currently holds, grouped by their
+   exporter; values are the last virtual time the reference was used.
+   The lifecycle tick refreshes recently-used entries with the exporter
+   and forgets the rest. *)
+type held = {
+  hd_chans : (int, int) Hashtbl.t;   (* heap id -> last touch *)
+  hd_classes : (int, int) Hashtbl.t;
 }
 
 type t = {
@@ -73,7 +107,17 @@ type t = {
      entry per distinct captured environment (compared physically) *)
   class_exports : (int * int, (Value.cls * int) list) Hashtbl.t;
   class_by_heap : (int, Value.cls) Hashtbl.t;
+  class_keys : (int, int * int) Hashtbl.t; (* heap id -> bucket key *)
   mutable next_class_heap : int;
+  (* lease state: expiry per exported heap id; pinned ids (registered
+     with the name service, which remembers them forever) never expire *)
+  lifecycle : lifecycle;
+  chan_leases : (int, int) Hashtbl.t;
+  class_leases : (int, int) Hashtbl.t;
+  pinned_chans : (int, unit) Hashtbl.t;
+  pinned_classes : (int, unit) Hashtbl.t;
+  held : (int * int, held) Hashtbl.t; (* (site, ip) -> refs we hold *)
+  mutable next_lifecycle : int; (* virtual time of the next tick *)
   (* FETCH protocol state *)
   fetch_cache : Value.cls Netref.Tbl.t;
   fetch_pending : Value.t array list Netref.Tbl.t;
@@ -81,17 +125,22 @@ type t = {
   (* import (name service) state *)
   import_reqs : (int, import_req) Hashtbl.t;
   (* requests already answered or abandoned: late duplicate replies
-     (a retransmission artifact) are dropped instead of raising *)
+     (a retransmission artifact) are dropped instead of raising.
+     [done_order] remembers completion times so entries older than the
+     sender's retry horizon can be pruned. *)
   done_reqs : (int, unit) Hashtbl.t;
+  done_order : (int * int) Dq.t; (* (req id, completion time), oldest first *)
   mutable next_req : int;
   (* request recovery; deadlines are armed only when the runtime
      provides a timer facility *)
   retry : retry;
   schedule : (delay:int -> (unit -> unit) -> unit) option;
   on_suspect : string -> unit;
-  (* receiver-side linking caches: origin code key -> linked index *)
-  obj_code_cache : (int * int * int, int) Hashtbl.t;
-  grp_code_cache : (int * int * int, int) Hashtbl.t;
+  (* receiver-side linking caches: origin code key -> linked index;
+     capacity-bounded, a miss re-fetches (the origin still has the
+     code — only the mapping is evicted, not the linked program area) *)
+  obj_code_cache : (int * int * int, int) Lru.t;
+  grp_code_cache : (int * int * int, int) Lru.t;
   mutable outputs : Output.event list; (* newest first *)
   mutable inputs : int list; (* pending io!readi data, in order *)
   mutable alive : bool;
@@ -103,6 +152,13 @@ type t = {
   c_links : Stats.Counter.t;
   c_retries : Stats.Counter.t;
   c_timeouts : Stats.Counter.t;
+  c_stale_refs : Stats.Counter.t;
+  c_leases_expired : Stats.Counter.t;
+  c_ids_reclaimed : Stats.Counter.t;
+  c_lease_refreshes : Stats.Counter.t;
+  c_cache_evictions : Stats.Counter.t;
+  c_done_pruned : Stats.Counter.t;
+  c_held_dropped : Stats.Counter.t;
   d_queue_wait : Stats.Dist.t;
   d_execute : Stats.Dist.t;
 }
@@ -116,12 +172,14 @@ let outputs t = List.rev t.outputs
 let stats t = t.stats
 
 let create ?(annotations = no_annotations) ?(inputs = [])
-    ?(retry = default_retry) ?schedule ?(on_suspect = fun _ -> ())
-    ?(trace = Trace.disabled) ~name ~site_id ~ip ~send ~on_output ~unit_ () =
+    ?(retry = default_retry) ?(lifecycle = default_lifecycle) ?schedule
+    ?(on_suspect = fun _ -> ()) ?(trace = Trace.disabled) ~name ~site_id ~ip
+    ~send ~on_output ~unit_ () =
   let area, entry = Link.of_unit unit_ in
   let vm = Machine.create ~name ~trace ~track:site_id area in
   Trace.register_track trace ~id:site_id ~name;
   let stats = Machine.stats vm in
+  let cache_cap = max 1 lifecycle.lc_code_cache in
   { name;
     site_id;
     ip;
@@ -135,18 +193,27 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     chan_exports = Export_table.create ();
     class_exports = Hashtbl.create 8;
     class_by_heap = Hashtbl.create 8;
+    class_keys = Hashtbl.create 8;
     next_class_heap = 0;
+    lifecycle;
+    chan_leases = Hashtbl.create 8;
+    class_leases = Hashtbl.create 8;
+    pinned_chans = Hashtbl.create 4;
+    pinned_classes = Hashtbl.create 4;
+    held = Hashtbl.create 4;
+    next_lifecycle = 0;
     fetch_cache = Netref.Tbl.create 8;
     fetch_pending = Netref.Tbl.create 8;
     fetch_reqs = Hashtbl.create 8;
     import_reqs = Hashtbl.create 8;
     done_reqs = Hashtbl.create 8;
+    done_order = Dq.create ();
     next_req = 0;
     retry;
     schedule;
     on_suspect;
-    obj_code_cache = Hashtbl.create 8;
-    grp_code_cache = Hashtbl.create 8;
+    obj_code_cache = Lru.create ~capacity:cache_cap;
+    grp_code_cache = Lru.create ~capacity:cache_cap;
     outputs = [];
     inputs;
     alive = true;
@@ -158,6 +225,13 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     c_links = Stats.counter stats "links";
     c_retries = Stats.counter stats "retries";
     c_timeouts = Stats.counter stats "timeouts";
+    c_stale_refs = Stats.counter stats "stale_refs";
+    c_leases_expired = Stats.counter stats "leases_expired";
+    c_ids_reclaimed = Stats.counter stats "ids_reclaimed";
+    c_lease_refreshes = Stats.counter stats "lease_refreshes";
+    c_cache_evictions = Stats.counter stats "code_cache_evictions";
+    c_done_pruned = Stats.counter stats "done_reqs_pruned";
+    c_held_dropped = Stats.counter stats "held_imports_dropped";
     d_queue_wait = Stats.dist stats "queue_wait_ns";
     d_execute = Stats.dist stats "execute_ns" }
 
@@ -184,10 +258,95 @@ let packet_span t ~parent =
   else Trace.null_span
 
 (* ------------------------------------------------------------------ *)
+(* Lease bookkeeping.                                                  *)
+
+let leases_on t = t.lifecycle.lc_lease_ns > 0
+
+(* How often the lifecycle tick runs while leases are on; also the
+   cadence of outgoing refreshes, so it must stay well under the
+   exporters' lease period. *)
+let refresh_period t =
+  if t.lifecycle.lc_refresh_ns > 0 then t.lifecycle.lc_refresh_ns
+  else max 1 (t.lifecycle.lc_lease_ns / 4)
+
+(* How long an unused foreign reference keeps being refreshed. *)
+let hold_ns t =
+  if t.lifecycle.lc_hold_ns > 0 then t.lifecycle.lc_hold_ns
+  else t.lifecycle.lc_lease_ns
+
+(* How long an answered request's id stays in the dedup set: past every
+   deadline the sender's retry schedule can produce (backoff deadlines
+   plus the jitter bound, doubled for slack), a duplicate can no longer
+   arrive as a first delivery. *)
+let done_horizon t =
+  if t.lifecycle.lc_done_horizon_ns > 0 then t.lifecycle.lc_done_horizon_ns
+  else begin
+    let r = t.retry in
+    let jitter_max = (r.r_timeout_ns / 4) + 1 in
+    let total = ref 0 in
+    for tries = 1 to r.r_max_tries do
+      total :=
+        !total
+        + int_of_float
+            (float_of_int r.r_timeout_ns
+            *. (r.r_backoff ** float_of_int (tries - 1)))
+        + jitter_max
+    done;
+    2 * !total
+  end
+
+let now_of t = Machine.clock t.vm
+
+let renew_chan_lease t heap_id =
+  if leases_on t && not (Hashtbl.mem t.pinned_chans heap_id) then
+    Hashtbl.replace t.chan_leases heap_id (now_of t + t.lifecycle.lc_lease_ns)
+
+let renew_class_lease t heap_id =
+  if leases_on t && not (Hashtbl.mem t.pinned_classes heap_id) then
+    Hashtbl.replace t.class_leases heap_id (now_of t + t.lifecycle.lc_lease_ns)
+
+(* Name-service registrations are pinned: the service hands the
+   reference out indefinitely, so its exporter must keep honouring it. *)
+let pin_chan t heap_id =
+  Hashtbl.replace t.pinned_chans heap_id ();
+  Hashtbl.remove t.chan_leases heap_id
+
+let pin_class t heap_id =
+  Hashtbl.replace t.pinned_classes heap_id ();
+  Hashtbl.remove t.class_leases heap_id
+
+(* Record a use of a foreign reference, so the next lifecycle tick
+   refreshes its lease with the exporter. *)
+let touch_held t (r : Netref.t) =
+  if leases_on t && (r.Netref.site_id <> t.site_id || r.Netref.ip <> t.ip)
+  then begin
+    let key = (r.Netref.site_id, r.Netref.ip) in
+    let h =
+      match Hashtbl.find_opt t.held key with
+      | Some h -> h
+      | None ->
+          let h = { hd_chans = Hashtbl.create 8; hd_classes = Hashtbl.create 8 } in
+          Hashtbl.add t.held key h;
+          h
+    in
+    let tbl =
+      match r.Netref.kind with
+      | Netref.Channel -> h.hd_chans
+      | Netref.Class -> h.hd_classes
+    in
+    Hashtbl.replace tbl r.Netref.heap_id (now_of t)
+  end
+
+let mark_done t req_id =
+  Hashtbl.replace t.done_reqs req_id ();
+  Dq.push_back t.done_order (req_id, now_of t)
+
+(* ------------------------------------------------------------------ *)
 (* The two-step reference translation.                                 *)
 
 let export_chan t (c : Value.chan) : Netref.t =
   let heap_id = Export_table.export t.chan_exports ~uid:c.Value.ch_uid c in
+  renew_chan_lease t heap_id;
   Netref.make ~kind:Netref.Channel ~heap_id ~site_id:t.site_id ~ip:t.ip
 
 let export_class t (c : Value.cls) : Netref.t =
@@ -207,8 +366,10 @@ let export_class t (c : Value.cls) : Netref.t =
         t.next_class_heap <- heap_id + 1;
         Hashtbl.replace t.class_exports key ((c, heap_id) :: bucket);
         Hashtbl.add t.class_by_heap heap_id c;
+        Hashtbl.add t.class_keys heap_id key;
         heap_id
   in
+  renew_class_lease t heap_id;
   Netref.make ~kind:Netref.Class ~heap_id ~site_id:t.site_id ~ip:t.ip
 
 (* Outgoing: local heap values become network references (step one of
@@ -219,12 +380,19 @@ let to_wire t (v : Value.t) : Packet.wvalue =
   | Value.Vbool b -> Packet.Wbool b
   | Value.Vstr s -> Packet.Wstr s
   | Value.Vchan c -> Packet.Wref (export_chan t c)
-  | Value.Vnetref r -> Packet.Wref r
+  | Value.Vnetref r ->
+      touch_held t r;
+      Packet.Wref r
   | Value.Vclass c -> Packet.Wref (export_class t c)
-  | Value.Vclassref r -> Packet.Wref r
+  | Value.Vclassref r ->
+      touch_held t r;
+      Packet.Wref r
 
 (* Incoming: references bound to this site are resolved to heap
-   pointers (step two, performed by the receiver). *)
+   pointers (step two, performed by the receiver).  A reference to an
+   identifier this site reclaimed fails as {!Stale}, never as a silent
+   resolution to the slot's new occupant (generation-packed ids make
+   aliasing impossible). *)
 let of_wire t (w : Packet.wvalue) : Value.t =
   match w with
   | Packet.Wint n -> Value.Vint n
@@ -234,14 +402,25 @@ let of_wire t (w : Packet.wvalue) : Value.t =
       match r.Netref.kind with
       | Netref.Channel -> (
           match Export_table.resolve t.chan_exports r.Netref.heap_id with
-          | Some c -> Value.Vchan c
-          | None -> perr "unknown local channel heap id %d" r.Netref.heap_id)
+          | Some c ->
+              renew_chan_lease t r.Netref.heap_id;
+              Value.Vchan c
+          | None ->
+              if Export_table.was_allocated t.chan_exports r.Netref.heap_id
+              then stale "reclaimed channel heap id %d" r.Netref.heap_id
+              else perr "unknown local channel heap id %d" r.Netref.heap_id)
       | Netref.Class -> (
           match Hashtbl.find_opt t.class_by_heap r.Netref.heap_id with
-          | Some c -> Value.Vclass c
-          | None -> perr "unknown local class heap id %d" r.Netref.heap_id))
-  | Packet.Wref r -> (
-      match r.Netref.kind with
+          | Some c ->
+              renew_class_lease t r.Netref.heap_id;
+              Value.Vclass c
+          | None ->
+              if r.Netref.heap_id < t.next_class_heap then
+                stale "reclaimed class heap id %d" r.Netref.heap_id
+              else perr "unknown local class heap id %d" r.Netref.heap_id))
+  | Packet.Wref r ->
+      touch_held t r;
+      (match r.Netref.kind with
       | Netref.Channel -> Value.Vnetref r
       | Netref.Class -> Value.Vclassref r)
 
@@ -296,7 +475,7 @@ and fetch_deadline t req_id =
     | Some fr ->
         if fr.fr_tries >= t.retry.r_max_tries then begin
           Hashtbl.remove t.fetch_reqs req_id;
-          Hashtbl.replace t.done_reqs req_id ();
+          mark_done t req_id;
           Netref.Tbl.remove t.fetch_pending fr.fr_ref;
           Stats.Counter.incr t.c_timeouts;
           emit_failure t "fetch-failed" (Format.asprintf "%a" Netref.pp fr.fr_ref);
@@ -333,7 +512,7 @@ and import_deadline t req_id ~is_class =
         let site, name = ir.ir_key in
         if ir.ir_tries >= t.retry.r_max_tries then begin
           Hashtbl.remove t.import_reqs req_id;
-          Hashtbl.replace t.done_reqs req_id ();
+          mark_done t req_id;
           Stats.Counter.incr t.c_timeouts;
           emit_failure t "import-failed" (Printf.sprintf "%s.%s" site name);
           t.on_suspect site
@@ -350,6 +529,7 @@ and import_deadline t req_id ~is_class =
 
 (* [sp] is the span of the thread that requested the instantiation. *)
 let start_fetch t ~sp (r : Netref.t) (args : Value.t array) =
+  touch_held t r;
   match Netref.Tbl.find_opt t.fetch_cache r with
   | Some cls ->
       Machine.set_current_span t.vm sp;
@@ -374,10 +554,12 @@ let start_fetch t ~sp (r : Netref.t) (args : Value.t array) =
 let handle_remote_op t (op : Machine.remote_op) (sp : Trace.span) =
   match op with
   | Machine.Rmsg (dst, label, args) ->
+      touch_held t dst;
       send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pmsg
            { dst; label; args = List.map (to_wire t) (Array.to_list args) })
   | Machine.Robj (dst, obj) ->
+      touch_held t dst;
       let unit_ = Link.snapshot (Machine.area t.vm) in
       let code_unit, mtable = Bytecode.extract_mtable unit_ obj.Value.obj_mtable in
       send t ~ctx:(packet_span t ~parent:sp)
@@ -390,12 +572,14 @@ let handle_remote_op t (op : Machine.remote_op) (sp : Trace.span) =
   | Machine.Rfetch (r, args) -> start_fetch t ~sp r args
   | Machine.Rexport_name (x, chan) ->
       let nref = export_chan t chan in
+      pin_chan t nref.Netref.heap_id;
       send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pns_register
            { site_name = t.name; id_name = x; nref;
              rtti = rtti_of_export t x })
   | Machine.Rexport_class (x, cls) ->
       let nref = export_class t cls in
+      pin_class t nref.Netref.heap_id;
       send t ~ctx:(packet_span t ~parent:sp)
         (Packet.Pns_register
            { site_name = t.name; id_name = x; nref;
@@ -416,11 +600,16 @@ let resolve_local_chan t (r : Netref.t) : Value.chan =
   if r.Netref.site_id <> t.site_id || r.Netref.ip <> t.ip then
     perr "packet for site %d delivered to site %d" r.Netref.site_id t.site_id;
   match Export_table.resolve t.chan_exports r.Netref.heap_id with
-  | Some c -> c
-  | None -> perr "unknown channel heap id %d" r.Netref.heap_id
+  | Some c ->
+      renew_chan_lease t r.Netref.heap_id;
+      c
+  | None ->
+      if Export_table.was_allocated t.chan_exports r.Netref.heap_id then
+        stale "reclaimed channel heap id %d" r.Netref.heap_id
+      else perr "unknown channel heap id %d" r.Netref.heap_id
 
-let link_once t ~ctx cache key code root_of =
-  match Hashtbl.find_opt cache key with
+let link_once t ~ctx cache counter key code root_of =
+  match Lru.find cache key with
   | Some linked -> linked
   | None ->
       let sub =
@@ -433,14 +622,19 @@ let link_once t ~ctx cache key code root_of =
           (Trace.Link_code { bytes = String.length code });
       let offsets = Link.link (Machine.area t.vm) sub in
       let linked = root_of offsets in
-      Hashtbl.replace cache key linked;
+      (match Lru.add cache key linked with
+      | None -> ()
+      | Some _ ->
+          Stats.Counter.incr counter;
+          if Trace.enabled t.tr then
+            Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
+              (Trace.Reclaim { rc = Trace.Rc_code_cache; n = 1 }));
       linked
 
 (* [ctx] is the packet's span: everything its processing causes — the
    threads injections spawn, the reply a FETCH request triggers — is
    recorded as its descendant. *)
-let handle_packet t ~ctx (p : Packet.t) =
-  Stats.Counter.incr t.c_pk_in;
+let handle_packet_inner t ~ctx (p : Packet.t) =
   Machine.set_current_span t.vm ctx;
   match p with
   | Packet.Pmsg { dst; label; args } ->
@@ -451,7 +645,7 @@ let handle_packet t ~ctx (p : Packet.t) =
       Stats.Counter.incr t.c_ships_in;
       let chan = resolve_local_chan t dst in
       let area_mt =
-        link_once t ~ctx t.obj_code_cache code_key code
+        link_once t ~ctx t.obj_code_cache t.c_cache_evictions code_key code
           (fun (o : Link.offsets) -> mtable + o.Link.mt_off)
       in
       let obj =
@@ -466,8 +660,13 @@ let handle_packet t ~ctx (p : Packet.t) =
       if cls.Netref.kind <> Netref.Class then perr "fetch of a channel reference";
       let c =
         match Hashtbl.find_opt t.class_by_heap cls.Netref.heap_id with
-        | Some c -> c
-        | None -> perr "unknown class heap id %d" cls.Netref.heap_id
+        | Some c ->
+            renew_class_lease t cls.Netref.heap_id;
+            c
+        | None ->
+            if cls.Netref.heap_id < t.next_class_heap then
+              stale "reclaimed class heap id %d" cls.Netref.heap_id
+            else perr "unknown class heap id %d" cls.Netref.heap_id
       in
       let unit_ = Link.snapshot (Machine.area t.vm) in
       let code_unit, group = Bytecode.extract_group unit_ c.Value.cls_group in
@@ -486,20 +685,24 @@ let handle_packet t ~ctx (p : Packet.t) =
              group;
              index = c.Value.cls_index;
              env_captures })
-  | Packet.Pfetch_rep { req_id; _ } when Hashtbl.mem t.done_reqs req_id ->
+  | Packet.Pfetch_rep { req_id; _ } when not (Hashtbl.mem t.fetch_reqs req_id) ->
       (* a late duplicate of an already-answered (or abandoned) FETCH:
-         retransmission makes these normal, not a protocol violation *)
-      ()
+         retransmission makes these normal, not a protocol violation.
+         With the dedup record pruned past the retry horizon, any id
+         below the allocation watermark gets the same benefit of the
+         doubt; only an id this site never issued raises. *)
+      if not (Hashtbl.mem t.done_reqs req_id) && req_id >= t.next_req then
+        perr "fetch reply for unknown request %d" req_id
   | Packet.Pfetch_rep { req_id; code; code_key; group; index; env_captures; _ } ->
       let nref =
         match Hashtbl.find_opt t.fetch_reqs req_id with
         | Some fr -> fr.fr_ref
-        | None -> perr "fetch reply for unknown request %d" req_id
+        | None -> assert false (* previous arm catches this *)
       in
       Hashtbl.remove t.fetch_reqs req_id;
-      Hashtbl.replace t.done_reqs req_id ();
+      mark_done t req_id;
       let area_grp =
-        link_once t ~ctx t.grp_code_cache code_key code
+        link_once t ~ctx t.grp_code_cache t.c_cache_evictions code_key code
           (fun (o : Link.offsets) -> group + o.Link.grp_off)
       in
       let g = Link.group (Machine.area t.vm) area_grp in
@@ -530,11 +733,11 @@ let handle_packet t ~ctx (p : Packet.t) =
   | Packet.Pns_reply { req_id; result; rtti; _ } -> (
       match Hashtbl.find_opt t.import_reqs req_id with
       | None ->
-          if not (Hashtbl.mem t.done_reqs req_id) then
+          if not (Hashtbl.mem t.done_reqs req_id) && req_id >= t.next_req then
             perr "name service reply for unknown request %d" req_id
       | Some { ir_cont = cont; ir_captured = captured; ir_key = key; _ } -> (
           Hashtbl.remove t.import_reqs req_id;
-          Hashtbl.replace t.done_reqs req_id ();
+          mark_done t req_id;
           match result with
           | None -> perr "name service reported unresolvable import"
           | Some r ->
@@ -558,8 +761,148 @@ let handle_packet t ~ctx (p : Packet.t) =
                    t.annotations.a_import_expect);
               let v = of_wire t (Packet.Wref r) in
               Machine.spawn t.vm ~block:cont ~env:(v :: captured)))
+  | Packet.Prelease { chans; classes; _ } ->
+      (* an importer still holds these: renew whatever is still live
+         (a refresh racing the reclamation sweep loses — the importer
+         sees a stale-ref on next use, the documented failure mode) *)
+      List.iter
+        (fun id ->
+          match Export_table.resolve t.chan_exports id with
+          | Some _ -> renew_chan_lease t id
+          | None -> ())
+        chans;
+      List.iter
+        (fun id -> if Hashtbl.mem t.class_by_heap id then renew_class_lease t id)
+        classes
   | Packet.Pns_register _ | Packet.Pns_lookup _ ->
       perr "name-service packet delivered to an ordinary site"
+
+let handle_packet t ~ctx (p : Packet.t) =
+  Stats.Counter.incr t.c_pk_in;
+  try handle_packet_inner t ~ctx p
+  with Stale detail ->
+    Stats.Counter.incr t.c_stale_refs;
+    if Trace.enabled t.tr then
+      Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
+        (Trace.Stale_ref { pk = Packet.trace_pk p });
+    emit_failure t "stale-ref" detail
+
+(* ------------------------------------------------------------------ *)
+(* The lifecycle tick: reclamation and lease refresh.                  *)
+
+let trace_reclaim t ~now rc n =
+  if n > 0 && Trace.enabled t.tr then
+    Trace.emit t.tr ~ts:now ~track:t.site_id ~span:Trace.null_span
+      (Trace.Reclaim { rc; n })
+
+(* Expired ids are removed in sorted order so the free list — and with
+   it every later id allocation — is deterministic regardless of
+   hash-table iteration order. *)
+let expired_ids leases ~now =
+  List.sort compare
+    (Hashtbl.fold (fun id exp acc -> if exp <= now then id :: acc else acc)
+       leases [])
+
+let lifecycle_tick t ~now =
+  (* dedup records past the sender's retry horizon *)
+  let horizon = done_horizon t in
+  let pruned = ref 0 in
+  let rec prune () =
+    match Dq.peek_front t.done_order with
+    | Some (req_id, done_at) when done_at + horizon <= now ->
+        ignore (Dq.pop_front t.done_order);
+        Hashtbl.remove t.done_reqs req_id;
+        incr pruned;
+        prune ()
+    | _ -> ()
+  in
+  prune ();
+  if !pruned > 0 then begin
+    Stats.Counter.add t.c_done_pruned !pruned;
+    trace_reclaim t ~now Trace.Rc_done_req !pruned
+  end;
+  if leases_on t then begin
+    (* exporter side: drop exports whose leases expired *)
+    let dead_chans = expired_ids t.chan_leases ~now in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.chan_leases id;
+        ignore (Export_table.remove t.chan_exports id))
+      dead_chans;
+    let n_chans = List.length dead_chans in
+    if n_chans > 0 then begin
+      Stats.Counter.add t.c_leases_expired n_chans;
+      Stats.Counter.add t.c_ids_reclaimed n_chans;
+      trace_reclaim t ~now Trace.Rc_chan_export n_chans
+    end;
+    let dead_classes = expired_ids t.class_leases ~now in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.class_leases id;
+        Hashtbl.remove t.class_by_heap id;
+        match Hashtbl.find_opt t.class_keys id with
+        | None -> ()
+        | Some key ->
+            Hashtbl.remove t.class_keys id;
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt t.class_exports key)
+            in
+            (match List.filter (fun (_, hid) -> hid <> id) bucket with
+            | [] -> Hashtbl.remove t.class_exports key
+            | rest -> Hashtbl.replace t.class_exports key rest))
+      dead_classes;
+    let n_classes = List.length dead_classes in
+    if n_classes > 0 then begin
+      Stats.Counter.add t.c_leases_expired n_classes;
+      Stats.Counter.add t.c_ids_reclaimed n_classes;
+      trace_reclaim t ~now Trace.Rc_class_export n_classes
+    end;
+    (* importer side: refresh refs used within the hold period, forget
+       the rest (for classes, together with their fetch-cache entry) *)
+    let hold = hold_ns t in
+    let dropped = ref 0 in
+    let origins =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.held [])
+    in
+    List.iter
+      (fun ((origin_site, origin_ip) as key) ->
+        let h = Hashtbl.find t.held key in
+        let split tbl =
+          Hashtbl.fold
+            (fun id last (keep, drop) ->
+              if last + hold <= now then (keep, id :: drop)
+              else (id :: keep, drop))
+            tbl ([], [])
+        in
+        let keep_chans, drop_chans = split h.hd_chans in
+        let keep_classes, drop_classes = split h.hd_classes in
+        List.iter (Hashtbl.remove h.hd_chans) drop_chans;
+        List.iter
+          (fun id ->
+            Hashtbl.remove h.hd_classes id;
+            Netref.Tbl.remove t.fetch_cache
+              (Netref.make ~kind:Netref.Class ~heap_id:id ~site_id:origin_site
+                 ~ip:origin_ip))
+          drop_classes;
+        dropped := !dropped + List.length drop_chans + List.length drop_classes;
+        if keep_chans = [] && keep_classes = [] then Hashtbl.remove t.held key
+        else begin
+          let chans = List.sort compare keep_chans in
+          let classes = List.sort compare keep_classes in
+          Stats.Counter.incr t.c_lease_refreshes;
+          if Trace.enabled t.tr then
+            Trace.emit t.tr ~ts:now ~track:t.site_id ~span:Trace.null_span
+              (Trace.Lease_refresh
+                 { chans = List.length chans; classes = List.length classes });
+          send t ~ctx:(packet_span t ~parent:Trace.null_span)
+            (Packet.Prelease { origin_site; origin_ip; chans; classes })
+        end)
+      origins;
+    if !dropped > 0 then begin
+      Stats.Counter.add t.c_held_dropped !dropped;
+      trace_reclaim t ~now Trace.Rc_import_hold !dropped
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle.                                                          *)
@@ -600,6 +943,7 @@ let outstanding t =
 (* Costs (virtual ns) of the non-VM work a site does in a quantum. *)
 let packet_handling_cost = 800
 let remote_op_cost = 600
+let lifecycle_tick_cost = 300
 
 let pump ?(now = 0) t ~quantum =
   if not t.alive then 0
@@ -629,9 +973,58 @@ let pump ?(now = 0) t ~quantum =
           drain_ops ()
     in
     drain_ops ();
+    (* lifecycle work piggybacks on quanta the site runs anyway — no
+       self-rearming timers, so quiescence detection is untouched *)
+    (let lnow = now + !cost in
+     if lnow >= t.next_lifecycle then begin
+       Machine.set_clock t.vm lnow;
+       lifecycle_tick t ~now:lnow;
+       cost := !cost + lifecycle_tick_cost;
+       let period =
+         if leases_on t then refresh_period t else max 1 (done_horizon t / 4)
+       in
+       t.next_lifecycle <- lnow + period
+     end);
     !cost
   end
 
 let kill t =
   t.alive <- false;
   Dq.clear t.inbox
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting (for reports and the soak benchmarks).            *)
+
+type mem_stats = {
+  m_chan_live : int;
+  m_chan_allocated : int;
+  m_chan_reclaimed : int;
+  m_class_live : int;
+  m_class_allocated : int;
+  m_class_reclaimed : int;
+  m_done_reqs : int;
+  m_obj_cache : int;
+  m_grp_cache : int;
+  m_fetch_cache : int;
+  m_held : int;
+}
+
+let memory t =
+  let class_live = Hashtbl.length t.class_by_heap in
+  let held =
+    Hashtbl.fold
+      (fun _ h acc ->
+        acc + Hashtbl.length h.hd_chans + Hashtbl.length h.hd_classes)
+      t.held 0
+  in
+  { m_chan_live = Export_table.live t.chan_exports;
+    m_chan_allocated = Export_table.allocated t.chan_exports;
+    m_chan_reclaimed = Export_table.reclaimed t.chan_exports;
+    m_class_live = class_live;
+    m_class_allocated = t.next_class_heap;
+    m_class_reclaimed = t.next_class_heap - class_live;
+    m_done_reqs = Hashtbl.length t.done_reqs;
+    m_obj_cache = Lru.length t.obj_code_cache;
+    m_grp_cache = Lru.length t.grp_code_cache;
+    m_fetch_cache = Netref.Tbl.length t.fetch_cache;
+    m_held = held }

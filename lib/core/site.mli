@@ -47,10 +47,43 @@ type retry = {
 val default_retry : retry
 (** 4 ms initial deadline, doubling, 6 tries (~4 s virtual horizon). *)
 
+(** Resource lifecycle: bounds on the state a site keeps on behalf of
+    its peers, so the resident set tracks the live working set instead
+    of growing with traffic.
+
+    - [lc_lease_ns]: exported channels/classes live this long past
+      their last use (export, resolve, or lease refresh) and are then
+      reclaimed — their heap identifiers retired, the slots reused
+      under a fresh generation.  [0] (default) disables leases
+      entirely: exports, held-import tracking and refresh traffic all
+      behave as in the seed.  Name-service registrations are pinned
+      and never expire.
+    - [lc_refresh_ns]: cadence of the lifecycle tick and of the
+      [Prelease] refreshes an importer sends for foreign references it
+      still holds; defaults to a quarter of the lease period.
+    - [lc_hold_ns]: how long an importer keeps refreshing a foreign
+      reference it has not used; defaults to the lease period.
+    - [lc_code_cache]: capacity of each receiver-side linking cache
+      (LRU; a miss re-links from the shipped code).
+    - [lc_done_horizon_ns]: how long answered-request ids stay in the
+      duplicate-suppression set; defaults to twice the sender's
+      worst-case retry schedule. *)
+type lifecycle = {
+  lc_lease_ns : int;
+  lc_refresh_ns : int;
+  lc_hold_ns : int;
+  lc_code_cache : int;
+  lc_done_horizon_ns : int;
+}
+
+val default_lifecycle : lifecycle
+(** Leases off, 256-entry code caches, derived done-horizon. *)
+
 val create :
   ?annotations:annotations ->
   ?inputs:int list ->
   ?retry:retry ->
+  ?lifecycle:lifecycle ->
   ?schedule:(delay:int -> (unit -> unit) -> unit) ->
   ?on_suspect:(string -> unit) ->
   ?trace:Tyco_support.Trace.t ->
@@ -118,7 +151,29 @@ val stats : t -> Tyco_support.Stats.t
 
 val vm : t -> Tyco_vm.Machine.t
 
+(** Snapshot of the site's resident protocol state, for reports and
+    the soak benchmarks.  [allocated = live + reclaimed] per table. *)
+type mem_stats = {
+  m_chan_live : int;
+  m_chan_allocated : int;
+  m_chan_reclaimed : int;
+  m_class_live : int;
+  m_class_allocated : int;
+  m_class_reclaimed : int;
+  m_done_reqs : int;       (** duplicate-suppression entries resident *)
+  m_obj_cache : int;       (** object-shipment linking cache occupancy *)
+  m_grp_cache : int;       (** class-fetch linking cache occupancy *)
+  m_fetch_cache : int;     (** fetched classes resident *)
+  m_held : int;            (** foreign references tracked for refresh *)
+}
+
+val memory : t -> mem_stats
+
 exception Protocol_error of string
 (** Dynamic-check failures on incoming packets (unknown heap id, kind
     mismatch, malformed code).  The paper's combined static/dynamic
-    scheme guarantees typed programs never trigger these. *)
+    scheme guarantees typed programs never trigger these.  A reference
+    to an identifier the site {e reclaimed} is different: it drops the
+    packet with a ["stale-ref"] output event instead of raising —
+    expected behaviour when lease reclamation races in-flight
+    traffic. *)

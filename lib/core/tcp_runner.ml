@@ -180,6 +180,7 @@ let route shared node ~ctx (p : Packet.t) =
     | Packet.Pfetch_req { cls; _ } -> cls.Netref.ip
     | Packet.Pfetch_rep { dst_ip; _ } | Packet.Pns_reply { dst_ip; _ } ->
         dst_ip
+    | Packet.Prelease { origin_ip; _ } -> origin_ip
   in
   if dst_node = node.node_id then Queue.push (p, ctx) node.inbox
   else send_to shared node dst_node ~ctx p
@@ -232,6 +233,10 @@ let deliver shared node ~ctx (p : Packet.t) =
   | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
       List.iter
         (fun s -> if Site.site_id s = dst_site then Site.deliver ~ctx s p)
+        node.sites
+  | Packet.Prelease { origin_site; _ } ->
+      List.iter
+        (fun s -> if Site.site_id s = origin_site then Site.deliver ~ctx s p)
         node.sites
 
 let node_loop shared node () =
@@ -352,8 +357,6 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
           ~unit_ ();
       in
       node.sites <- site :: node.sites;
-      Nameservice.register_site node_arr.(0).ns name ~site_id
-        ~ip:node.node_id;
       Site.start site;
       Atomic.set node.idle false)
     units;

@@ -1,20 +1,63 @@
+(* Heap identifiers pack a slot number (low [slot_bits]) with a reuse
+   generation (high bits): removing an entry retires its identifier and
+   free-lists the slot under the next generation, so a reused slot
+   yields a fresh identifier and a reference to the removed entry can
+   never alias the new occupant.  With 63-bit ints this leaves 43
+   generation bits per slot — unreachable in practice. *)
+let slot_bits = 20
+let slot_mask = (1 lsl slot_bits) - 1
+let slot_of id = id land slot_mask
+let gen_of id = id lsr slot_bits
+let make_id ~gen ~slot = (gen lsl slot_bits) lor slot
+
 type 'a t = {
-  by_uid : (int, int) Hashtbl.t;    (* entity uid -> heap id *)
-  by_heap : (int, 'a) Hashtbl.t;    (* heap id -> entity *)
-  mutable next : int;
+  by_uid : (int, int) Hashtbl.t;       (* entity uid -> heap id *)
+  by_heap : (int, int * 'a) Hashtbl.t; (* heap id -> (uid, entity) *)
+  mutable free : (int * int) list;     (* (slot, next generation) *)
+  mutable next_slot : int;
+  mutable allocs : int;                (* lifetime allocations *)
+  mutable removed : int;               (* lifetime removals *)
 }
 
-let create () = { by_uid = Hashtbl.create 32; by_heap = Hashtbl.create 32; next = 0 }
+let create () =
+  { by_uid = Hashtbl.create 32; by_heap = Hashtbl.create 32; free = [];
+    next_slot = 0; allocs = 0; removed = 0 }
 
 let export t ~uid v =
   match Hashtbl.find_opt t.by_uid uid with
   | Some heap_id -> heap_id
   | None ->
-      let heap_id = t.next in
-      t.next <- heap_id + 1;
+      let heap_id =
+        match t.free with
+        | (slot, gen) :: rest ->
+            t.free <- rest;
+            make_id ~gen ~slot
+        | [] ->
+            let slot = t.next_slot in
+            t.next_slot <- slot + 1;
+            make_id ~gen:0 ~slot
+      in
+      t.allocs <- t.allocs + 1;
       Hashtbl.add t.by_uid uid heap_id;
-      Hashtbl.add t.by_heap heap_id v;
+      Hashtbl.add t.by_heap heap_id (uid, v);
       heap_id
 
-let resolve t heap_id = Hashtbl.find_opt t.by_heap heap_id
-let size t = t.next
+let resolve t heap_id =
+  match Hashtbl.find_opt t.by_heap heap_id with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let remove t heap_id =
+  match Hashtbl.find_opt t.by_heap heap_id with
+  | None -> false
+  | Some (uid, _) ->
+      Hashtbl.remove t.by_heap heap_id;
+      Hashtbl.remove t.by_uid uid;
+      t.free <- (slot_of heap_id, gen_of heap_id + 1) :: t.free;
+      t.removed <- t.removed + 1;
+      true
+
+let live t = Hashtbl.length t.by_heap
+let allocated t = t.allocs
+let reclaimed t = t.removed
+let was_allocated t heap_id = slot_of heap_id < t.next_slot

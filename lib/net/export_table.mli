@@ -6,7 +6,17 @@
     The table assigns stable heap identifiers to local entities (keyed
     by their heap uid, so re-exporting the same channel reuses its
     identifier) and resolves identifiers of incoming references — the
-    second step of the two-step translation. *)
+    second step of the two-step translation.
+
+    Entries can be {!remove}d (lease reclamation): the identifier is
+    retired for good and its slot free-listed under a fresh reuse
+    generation, so a later export reusing the slot yields a {e new}
+    identifier — a stale reference to the removed entry resolves to
+    [None] instead of silently aliasing the new occupant.
+    {!was_allocated} tells a stale identifier (allocated once, since
+    reclaimed) from one that was never issued, so the protocol layer
+    can fail the former visibly as a ["stale-ref"] and treat only the
+    latter as a protocol error. *)
 
 type 'a t
 
@@ -17,6 +27,24 @@ val export : 'a t -> uid:int -> 'a -> int
     export. *)
 
 val resolve : 'a t -> int -> 'a option
-(** Heap identifier to local entity. *)
+(** Heap identifier to local entity; [None] for reclaimed or unknown
+    identifiers. *)
 
-val size : 'a t -> int
+val remove : 'a t -> int -> bool
+(** Drop a live entry, retiring its identifier.  [false] if the
+    identifier was not live. *)
+
+val live : 'a t -> int
+(** Entries currently resolvable — the table's occupancy. *)
+
+val allocated : 'a t -> int
+(** Lifetime identifier allocations (monotone); [allocated = live +
+    reclaimed] always holds. *)
+
+val reclaimed : 'a t -> int
+(** Lifetime {!remove}s (monotone). *)
+
+val was_allocated : 'a t -> int -> bool
+(** Whether the identifier's slot was ever issued: [true] for every
+    live or reclaimed identifier, [false] for identifiers this table
+    never produced. *)

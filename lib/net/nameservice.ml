@@ -3,19 +3,12 @@ module Netref = Tyco_support.Netref
 type waiter = { w_req_id : int; w_site : int; w_ip : int }
 
 type t = {
-  sites : (string, int * int) Hashtbl.t;
   ids : (string * string, Netref.t * string) Hashtbl.t;
   parked : (string * string, waiter list) Hashtbl.t;
 }
 
 let create () =
-  { sites = Hashtbl.create 16; ids = Hashtbl.create 64;
-    parked = Hashtbl.create 16 }
-
-let register_site t name ~site_id ~ip =
-  Hashtbl.replace t.sites name (site_id, ip)
-
-let lookup_site t name = Hashtbl.find_opt t.sites name
+  { ids = Hashtbl.create 64; parked = Hashtbl.create 16 }
 
 let register_id t ~site ~name ?(rtti = "") nref =
   Hashtbl.replace t.ids (site, name) (nref, rtti);

@@ -7,6 +7,13 @@
       IdTable   : SiteName × IdName -> HeapId
     v}
 
+    This module keeps the identifier table.  The site table is realized
+    by {!Tyco_core.Cluster}'s routing instead: no wire request ever
+    consulted the one that used to live here — [Pns_lookup] resolves
+    identifiers only, with the owning site baked into the returned
+    reference — so a name-keyed site table at the service was dead
+    state that could silently disagree with the fabric's routing.
+
     A lookup that arrives before the corresponding registration parks
     until it can be answered (start-up races between importing and
     exporting sites are expected — registrations travel through the
@@ -21,9 +28,6 @@ type waiter = {
 }
 
 val create : unit -> t
-
-val register_site : t -> string -> site_id:int -> ip:int -> unit
-val lookup_site : t -> string -> (int * int) option
 
 val register_id : t -> site:string -> name:string -> ?rtti:string ->
   Tyco_support.Netref.t -> waiter list

@@ -54,6 +54,12 @@ type t =
       result : Netref.t option;
       rtti : string;
     }
+  | Prelease of {
+      origin_site : int;  (* the exporter whose leases are refreshed *)
+      origin_ip : int;
+      chans : int list;   (* channel heap ids the sender still holds *)
+      classes : int list; (* class heap ids the sender still holds *)
+    }
 
 (* The packet-kind tag carried by trace events. *)
 let trace_pk = function
@@ -64,12 +70,14 @@ let trace_pk = function
   | Pns_register _ -> Trace.Kns_register
   | Pns_lookup _ -> Trace.Kns_lookup
   | Pns_reply _ -> Trace.Kns_reply
+  | Prelease _ -> Trace.Kprelease
 
 let dst_ip t ~ns_ip =
   match t with
   | Pmsg { dst; _ } | Pobj { dst; _ } -> dst.Netref.ip
   | Pfetch_req { cls; _ } -> cls.Netref.ip
   | Pfetch_rep { dst_ip; _ } | Pns_reply { dst_ip; _ } -> dst_ip
+  | Prelease { origin_ip; _ } -> origin_ip
   | Pns_register _ | Pns_lookup _ -> ns_ip
 
 let encode_wvalue enc = function
@@ -104,6 +112,12 @@ let decode_key dec =
   let b = Wire.read_varint dec in
   let c = Wire.read_varint dec in
   (a, b, c)
+
+(* [Prelease] carries its own version byte, like [Fbatch]: the packet
+   tag alone tells an old decoder only that the packet is unknown
+   ([Malformed "packet tag 7"], dropped cleanly), while a decoder that
+   knows the tag can still reject a future layout change explicitly. *)
+let prelease_version = 1
 
 let encode enc = function
   | Pmsg { dst; label; args } ->
@@ -155,6 +169,13 @@ let encode enc = function
       Wire.varint enc dst_ip;
       Wire.option enc Netref.encode result;
       Wire.string enc rtti
+  | Prelease { origin_site; origin_ip; chans; classes } ->
+      Wire.u8 enc 7;
+      Wire.u8 enc prelease_version;
+      Wire.varint enc origin_site;
+      Wire.varint enc origin_ip;
+      Wire.list enc Wire.varint chans;
+      Wire.list enc Wire.varint classes
 
 let decode dec =
   match Wire.read_u8 dec with
@@ -207,6 +228,15 @@ let decode dec =
       let result = Wire.read_option dec Netref.decode in
       let rtti = Wire.read_string dec in
       Pns_reply { req_id; dst_site; dst_ip; result; rtti }
+  | 7 -> (
+      match Wire.read_u8 dec with
+      | v when v = prelease_version ->
+          let origin_site = Wire.read_varint dec in
+          let origin_ip = Wire.read_varint dec in
+          let chans = Wire.read_list dec Wire.read_varint in
+          let classes = Wire.read_list dec Wire.read_varint in
+          Prelease { origin_site; origin_ip; chans; classes }
+      | v -> raise (Wire.Malformed (Printf.sprintf "prelease version %d" v)))
   | n -> raise (Wire.Malformed (Printf.sprintf "packet tag %d" n))
 
 let to_string p = Wire.with_encoder (fun enc -> encode enc p)
@@ -311,6 +341,16 @@ let byte_size = function
       + Wire.varint_size dst_ip
       + (match result with None -> 1 | Some r -> 1 + Netref.byte_size r)
       + Wire.string_size rtti
+  | Prelease { origin_site; origin_ip; chans; classes } ->
+      let ids_size ids =
+        List.fold_left
+          (fun acc id -> acc + Wire.varint_size id)
+          (Wire.varint_size (List.length ids))
+          ids
+      in
+      2 (* tag + version *)
+      + Wire.varint_size origin_site + Wire.varint_size origin_ip
+      + ids_size chans + ids_size classes
 
 (* ------------------------------------------------------------------ *)
 (* Transport frames: the at-least-once layer under the protocols.      *)
@@ -445,3 +485,6 @@ let pp ppf = function
   | Pns_reply { req_id; result; _ } ->
       Format.fprintf ppf "ns-reply#%d %s" req_id
         (match result with Some _ -> "found" | None -> "pending")
+  | Prelease { origin_site; chans; classes; _ } ->
+      Format.fprintf ppf "lease-refresh site#%d chans=%d classes=%d"
+        origin_site (List.length chans) (List.length classes)

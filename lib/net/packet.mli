@@ -67,6 +67,21 @@ type t =
       result : Tyco_support.Netref.t option;
       rtti : string;
     }
+  | Prelease of {
+      origin_site : int;  (** the exporter whose leases are refreshed *)
+      origin_ip : int;
+      chans : int list;   (** channel heap ids the sender still holds *)
+      classes : int list; (** class heap ids the sender still holds *)
+    }
+      (** Lease refresh: an importer tells an exporter which of its
+          references it still holds, renewing their leases so the
+          exporter's reclamation sweep keeps them resident.  Versioned
+          like [Fbatch]: the tag is followed by a format-version byte,
+          so decoders predating the packet drop it cleanly
+          ([Malformed "packet tag 7"]) and aware decoders reject future
+          layout changes explicitly. *)
+
+val prelease_version : int
 
 val dst_ip : t -> ns_ip:int -> int
 (** Destination node of a packet ([ns_ip] for name-service traffic). *)

@@ -1,0 +1,77 @@
+type ('k, 'v) node = {
+  nd_key : 'k;
+  mutable nd_val : 'v;
+  mutable nd_prev : ('k, 'v) node option; (* towards the MRU end *)
+  mutable nd_next : ('k, 'v) node option; (* towards the LRU end *)
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  mutable first : ('k, 'v) node option; (* most recently used *)
+  mutable last : ('k, 'v) node option;  (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { tbl = Hashtbl.create (min capacity 64); cap = capacity;
+    first = None; last = None }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let mem t k = Hashtbl.mem t.tbl k
+
+let unlink t nd =
+  (match nd.nd_prev with
+  | None -> t.first <- nd.nd_next
+  | Some p -> p.nd_next <- nd.nd_next);
+  (match nd.nd_next with
+  | None -> t.last <- nd.nd_prev
+  | Some n -> n.nd_prev <- nd.nd_prev);
+  nd.nd_prev <- None;
+  nd.nd_next <- None
+
+let push_front t nd =
+  nd.nd_next <- t.first;
+  (match t.first with
+  | Some f -> f.nd_prev <- Some nd
+  | None -> t.last <- Some nd);
+  t.first <- Some nd
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some nd ->
+      if t.first != Some nd then begin
+        unlink t nd;
+        push_front t nd
+      end;
+      Some nd.nd_val
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some nd ->
+      nd.nd_val <- v;
+      unlink t nd;
+      push_front t nd;
+      None
+  | None ->
+      let nd = { nd_key = k; nd_val = v; nd_prev = None; nd_next = None } in
+      Hashtbl.add t.tbl k nd;
+      push_front t nd;
+      if Hashtbl.length t.tbl > t.cap then
+        match t.last with
+        | None -> None (* impossible: cap >= 1 and we just inserted *)
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.tbl victim.nd_key;
+            Some (victim.nd_key, victim.nd_val)
+      else None
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> false
+  | Some nd ->
+      unlink t nd;
+      Hashtbl.remove t.tbl k;
+      true

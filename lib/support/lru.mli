@@ -1,0 +1,29 @@
+(** Capacity-bounded LRU maps.
+
+    The receiver-side code caches must not grow with the number of
+    {e distinct} origins a long-running site ever hears from — only
+    with its current working set.  This is the classic O(1) bounded
+    cache: a hash table over an intrusive doubly-linked recency list;
+    [find] touches, [add] evicts the least-recently-used binding past
+    [capacity] and hands it back to the caller (who may count or trace
+    the eviction). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val mem : ('k, 'v) t -> 'k -> bool
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit becomes the most recently used binding. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert (or update) a binding, making it most recently used.
+    Returns the evicted least-recently-used binding when the insert
+    pushed the cache past capacity, [None] otherwise. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** [true] if the key was present. *)

@@ -12,6 +12,15 @@ type pk =
   | Kns_lookup
   | Kns_reply
   | Kbatch  (* a coalesced Fbatch frame on the fabric track *)
+  | Kprelease  (* importer-side lease refresh *)
+
+(* What a [Reclaim] event freed. *)
+type rc =
+  | Rc_chan_export
+  | Rc_class_export
+  | Rc_done_req
+  | Rc_code_cache
+  | Rc_import_hold
 
 type kind =
   | Thread_spawn
@@ -29,6 +38,9 @@ type kind =
   | Timeout
   | Ns_serve
   | Flush_wait of { ns : int }
+  | Reclaim of { rc : rc; n : int }
+  | Lease_refresh of { chans : int; classes : int }
+  | Stale_ref of { pk : pk }
 
 type event = {
   ev_ts : int;
@@ -49,6 +61,14 @@ let pk_name = function
   | Kns_lookup -> "ns-lookup"
   | Kns_reply -> "ns-reply"
   | Kbatch -> "batch"
+  | Kprelease -> "lease-refresh"
+
+let rc_name = function
+  | Rc_chan_export -> "chan-export"
+  | Rc_class_export -> "class-export"
+  | Rc_done_req -> "done-req"
+  | Rc_code_cache -> "code-cache"
+  | Rc_import_hold -> "import-hold"
 
 let kind_name = function
   | Thread_spawn -> "thread-spawn"
@@ -66,6 +86,9 @@ let kind_name = function
   | Timeout -> "timeout"
   | Ns_serve -> "ns-serve"
   | Flush_wait _ -> "flush-wait"
+  | Reclaim { rc; _ } -> "reclaim-" ^ rc_name rc
+  | Lease_refresh _ -> "lease-refresh"
+  | Stale_ref { pk } -> "stale-ref-" ^ pk_name pk
 
 (* One bounded ring per track: the oldest entries are overwritten when
    the ring is full, so a long run keeps its recent history instead of
@@ -194,6 +217,9 @@ let args_of_kind = function
   | Link_code { bytes } -> [ ("code_bytes", string_of_int bytes) ]
   | Retransmit { attempt } -> [ ("attempt", string_of_int attempt) ]
   | Flush_wait { ns } -> [ ("wait_ns", string_of_int ns) ]
+  | Reclaim { n; _ } -> [ ("n", string_of_int n) ]
+  | Lease_refresh { chans; classes } ->
+      [ ("chans", string_of_int chans); ("classes", string_of_int classes) ]
   | _ -> []
 
 let chrome_record b ~name ~ph ~ts ?dur ~pid ~span ?(extra = []) () =
@@ -276,18 +302,31 @@ let to_chrome_json t =
 
 let magic = "TYCT"
 
-(* v2 added the [Kbatch] packet kind and the [Flush_wait] event; older
-   readers reject v2 archives cleanly rather than misparse them. *)
-let version = 2
+(* v2 added the [Kbatch] packet kind and the [Flush_wait] event; v3 the
+   [Kprelease] kind and the resource-lifecycle events ([Reclaim],
+   [Lease_refresh], [Stale_ref]).  Older readers reject newer archives
+   cleanly rather than misparse them. *)
+let version = 3
 
 let pk_tag = function
   | Kmsg -> 0 | Kobj -> 1 | Kfetch_req -> 2 | Kfetch_rep -> 3
   | Kns_register -> 4 | Kns_lookup -> 5 | Kns_reply -> 6 | Kbatch -> 7
+  | Kprelease -> 8
 
 let pk_of_tag = function
   | 0 -> Kmsg | 1 -> Kobj | 2 -> Kfetch_req | 3 -> Kfetch_rep
   | 4 -> Kns_register | 5 -> Kns_lookup | 6 -> Kns_reply | 7 -> Kbatch
+  | 8 -> Kprelease
   | n -> raise (Wire.Malformed (Printf.sprintf "trace pk tag %d" n))
+
+let rc_tag = function
+  | Rc_chan_export -> 0 | Rc_class_export -> 1 | Rc_done_req -> 2
+  | Rc_code_cache -> 3 | Rc_import_hold -> 4
+
+let rc_of_tag = function
+  | 0 -> Rc_chan_export | 1 -> Rc_class_export | 2 -> Rc_done_req
+  | 3 -> Rc_code_cache | 4 -> Rc_import_hold
+  | n -> raise (Wire.Malformed (Printf.sprintf "trace rc tag %d" n))
 
 let encode_kind enc = function
   | Thread_spawn -> Wire.u8 enc 0
@@ -320,6 +359,17 @@ let encode_kind enc = function
   | Flush_wait { ns } ->
       Wire.u8 enc 14;
       Wire.varint enc ns
+  | Reclaim { rc; n } ->
+      Wire.u8 enc 15;
+      Wire.u8 enc (rc_tag rc);
+      Wire.varint enc n
+  | Lease_refresh { chans; classes } ->
+      Wire.u8 enc 16;
+      Wire.varint enc chans;
+      Wire.varint enc classes
+  | Stale_ref { pk } ->
+      Wire.u8 enc 17;
+      Wire.u8 enc (pk_tag pk)
 
 let decode_kind dec =
   match Wire.read_u8 dec with
@@ -347,6 +397,15 @@ let decode_kind dec =
   | 12 -> Timeout
   | 13 -> Ns_serve
   | 14 -> Flush_wait { ns = Wire.read_varint dec }
+  | 15 ->
+      let rc = rc_of_tag (Wire.read_u8 dec) in
+      let n = Wire.read_varint dec in
+      Reclaim { rc; n }
+  | 16 ->
+      let chans = Wire.read_varint dec in
+      let classes = Wire.read_varint dec in
+      Lease_refresh { chans; classes }
+  | 17 -> Stale_ref { pk = pk_of_tag (Wire.read_u8 dec) }
   | n -> raise (Wire.Malformed (Printf.sprintf "trace kind tag %d" n))
 
 type archive = {

@@ -45,6 +45,21 @@ type pk =
   | Kbatch
       (** a coalesced [Fbatch] frame (N packets to one node) moving on
           the fabric track; the member packets keep their own spans *)
+  | Kprelease
+      (** a [Prelease] lease-refresh packet: the refs an importer still
+          holds, sent back to their exporter *)
+
+(** What a {!kind.Reclaim} event freed. *)
+type rc =
+  | Rc_chan_export   (** channel export whose lease expired *)
+  | Rc_class_export  (** class export whose lease expired *)
+  | Rc_done_req      (** answered-request dedup entries past the retry
+                         horizon *)
+  | Rc_code_cache    (** code-cache binding evicted by the LRU bound *)
+  | Rc_import_hold   (** held foreign refs untouched past the hold
+                         period (no longer refreshed) *)
+
+val rc_name : rc -> string
 
 type kind =
   | Thread_spawn                          (** VM thread queued *)
@@ -72,6 +87,15 @@ type kind =
                                               [ns] virtual ns in its
                                               destination outbox before
                                               the flush *)
+  | Reclaim of { rc : rc; n : int }       (** lifecycle sweep freed [n]
+                                              entries of kind [rc] *)
+  | Lease_refresh of { chans : int; classes : int }
+      (** importer sent a [Prelease] refreshing this many held refs *)
+  | Stale_ref of { pk : pk }              (** a packet resolved a
+                                              reclaimed identifier and
+                                              was dropped (also surfaces
+                                              as a ["stale-ref"] output
+                                              event) *)
 
 type event = {
   ev_ts : int;        (** virtual ns *)

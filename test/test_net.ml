@@ -88,7 +88,12 @@ let gen_packet =
           (fun r ->
             Packet.Pns_reply
               { req_id = 9; dst_site = 2; dst_ip = 1; result = r; rtti = "d" })
-          (option gen_netref) ])
+          (option gen_netref);
+        map2
+          (fun chans classes ->
+            Packet.Prelease { origin_site = 3; origin_ip = 1; chans; classes })
+          (list_size (int_range 0 6) (int_range 0 10000))
+          (list_size (int_range 0 4) (int_range 0 10000)) ])
 
 let packet_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -137,7 +142,12 @@ let packet_size_every_constructor () =
       Packet.Pns_reply
         { req_id = 9; dst_site = 2; dst_ip = 1; result = Some cr; rtti = "d" };
       Packet.Pns_reply
-        { req_id = 129; dst_site = 0; dst_ip = 0; result = None; rtti = "" } ]
+        { req_id = 129; dst_site = 0; dst_ip = 0; result = None; rtti = "" };
+      Packet.Prelease
+        { origin_site = 2; origin_ip = 1; chans = [ 0; 129; 1_048_577 ];
+          classes = [ 3 ] };
+      Packet.Prelease
+        { origin_site = 0; origin_ip = 0; chans = []; classes = [] } ]
   in
   List.iter
     (fun p ->
@@ -202,6 +212,26 @@ let batch_version_rejected () =
     | exception Tyco_support.Wire.Malformed _ -> true
     | _ -> false)
 
+(* Same scheme at the packet layer: [Prelease] carries a version byte
+   after its tag. *)
+let prelease_version_rejected () =
+  let p =
+    Packet.Prelease { origin_site = 1; origin_ip = 0; chans = [ 2 ]; classes = [] }
+  in
+  let s = Packet.to_string p in
+  check Alcotest.int "version byte" Packet.prelease_version (Char.code s.[1]);
+  check Alcotest.bool "roundtrip" true (Packet.of_string s = p);
+  let bumped = Bytes.of_string s in
+  Bytes.set bumped 1 (Char.chr (Packet.prelease_version + 1));
+  check Alcotest.bool "future version rejected" true
+    (match Packet.of_string (Bytes.to_string bumped) with
+    | exception Tyco_support.Wire.Malformed _ -> true
+    | _ -> false);
+  check Alcotest.int "routes to exporter" 6
+    (Packet.dst_ip
+       (Packet.Prelease { origin_site = 4; origin_ip = 6; chans = []; classes = [] })
+       ~ns_ip:0)
+
 let packet_dst_routing () =
   let r = Netref.make ~kind:Netref.Channel ~heap_id:0 ~site_id:3 ~ip:7 in
   check Alcotest.int "msg routes to owner ip" 7
@@ -230,18 +260,45 @@ let export_table_stable () =
     (Export_table.resolve t b);
   check (Alcotest.option Alcotest.string) "unknown" None
     (Export_table.resolve t 99);
-  check Alcotest.int "size" 2 (Export_table.size t)
+  check Alcotest.int "live" 2 (Export_table.live t);
+  check Alcotest.int "allocated" 2 (Export_table.allocated t)
+
+(* Removal retires the identifier; a reused slot carries a fresh
+   generation so a stale reference can never alias the new entry. *)
+let export_table_reclaim () =
+  let t = Export_table.create () in
+  let a = Export_table.export t ~uid:10 "chan-a" in
+  let b = Export_table.export t ~uid:11 "chan-b" in
+  check Alcotest.bool "remove live" true (Export_table.remove t a);
+  check Alcotest.bool "remove again" false (Export_table.remove t a);
+  check (Alcotest.option Alcotest.string) "stale resolves to None" None
+    (Export_table.resolve t a);
+  check Alcotest.bool "stale was allocated" true (Export_table.was_allocated t a);
+  check Alcotest.bool "never-issued was not" false
+    (Export_table.was_allocated t 99);
+  check Alcotest.int "live after remove" 1 (Export_table.live t);
+  check Alcotest.int "reclaimed" 1 (Export_table.reclaimed t);
+  (* slot reuse: the freed slot comes back under a new generation *)
+  let c = Export_table.export t ~uid:12 "chan-c" in
+  check Alcotest.bool "id differs from the stale one" true (c <> a);
+  check Alcotest.bool "slot reused" true
+    (c land 0xFFFFF = a land 0xFFFFF);
+  check (Alcotest.option Alcotest.string) "new entry resolves" (Some "chan-c")
+    (Export_table.resolve t c);
+  check (Alcotest.option Alcotest.string) "stale still None" None
+    (Export_table.resolve t a);
+  check Alcotest.int "allocated = live + reclaimed"
+    (Export_table.live t + Export_table.reclaimed t)
+    (Export_table.allocated t);
+  check Alcotest.bool "uid freed too" true
+    (Export_table.export t ~uid:10 "chan-a2" <> a);
+  ignore b
 
 (* ------------------------------------------------------------------ *)
 (* Name service                                                        *)
 
 let ns_register_lookup () =
   let ns = Nameservice.create () in
-  Nameservice.register_site ns "a" ~site_id:0 ~ip:1;
-  check
-    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
-    "site" (Some (0, 1))
-    (Nameservice.lookup_site ns "a");
   let r = Netref.make ~kind:Netref.Channel ~heap_id:4 ~site_id:0 ~ip:1 in
   let released = Nameservice.register_id ns ~site:"a" ~name:"p" r in
   check Alcotest.int "no waiters yet" 0 (List.length released);
@@ -480,9 +537,11 @@ let tests =
     ("byte_size per constructor", `Quick, packet_size_every_constructor);
     ("batch size without materializing", `Quick, batch_size_no_materialize);
     ("batch version byte rejected", `Quick, batch_version_rejected);
+    ("prelease version byte rejected", `Quick, prelease_version_rejected);
     ("packet routing", `Quick, packet_dst_routing);
     ("packet malformed", `Quick, packet_malformed);
     ("export table", `Quick, export_table_stable);
+    ("export table reclamation", `Quick, export_table_reclaim);
     ("nameservice register/lookup", `Quick, ns_register_lookup);
     ("nameservice parks waiters", `Quick, ns_parks_and_releases);
     ("simnet event order", `Quick, simnet_event_order);
