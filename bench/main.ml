@@ -33,7 +33,7 @@ let row fmt = Format.printf fmt
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR5.json"
+let json_path = ref "BENCH_PR6.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -933,6 +933,62 @@ let e17 () =
   record_i "e17_leased_virtual_ns" lr.Api.virtual_ns
 
 (* ------------------------------------------------------------------ *)
+(* E18 — per-subsystem overhead: what each optional feature costs.     *)
+(* The PR-6 regression (2.2x -> 1.2x E1 speedup) was bookkeeping from  *)
+(* tracing/lease/batching accumulating on always-on paths; this        *)
+(* microbench prices each subsystem separately — host ns/run and       *)
+(* minor-words/run deltas against the same workload with the feature   *)
+(* toggled — so a future PR sees what its hooks cost before it lands.  *)
+(* Two workloads: the local E1 counter (pure reduction path, no        *)
+(* packets) and a cross-node ping-pong (send path, exports, frames).   *)
+
+let e18 () =
+  section "E18"
+    "per-subsystem overhead: trace/lease/batching on-off deltas";
+  let local = Api.parse (counter_src 200) in
+  let xnode = Api.parse (pingpong_src 50) in
+  let measure prog config =
+    let f () = ignore (Api.run_program ~typecheck:false ~config prog) in
+    (bench_ns "cfg" f, minor_words_per_run f)
+  in
+  let base = Cluster.default_config in
+  let traced =
+    { base with Cluster.tracing = true }
+  in
+  let leased =
+    { base with
+      Cluster.lease_ns = 200_000; lease_refresh_ns = 50_000 }
+  in
+  let unbatched = { base with Cluster.batching = false } in
+  let pct over baseline =
+    if baseline > 0. then (over -. baseline) /. baseline *. 100. else nan
+  in
+  let report tag prog configs =
+    let base_ns, base_mw = measure prog base in
+    row "  %-10s %-10s %12.0f ns/run  %10.0f minor-words/run@." tag "base"
+      base_ns base_mw;
+    record_f (Printf.sprintf "e18_%s_base_ns_per_run" tag) base_ns;
+    record_f (Printf.sprintf "e18_%s_base_minor_words_per_run" tag) base_mw;
+    List.iter
+      (fun (name, config) ->
+        let ns, mw = measure prog config in
+        row "  %-10s %-10s %12.0f ns/run  %10.0f minor-words/run  (%+.1f%% ns)@."
+          tag name ns mw (pct ns base_ns);
+        record_f (Printf.sprintf "e18_%s_%s_ns_per_run" tag name) ns;
+        record_f (Printf.sprintf "e18_%s_%s_minor_words_per_run" tag name) mw;
+        record_f (Printf.sprintf "e18_%s_%s_overhead_pct" tag name)
+          (pct ns base_ns))
+      configs
+  in
+  (* local: disabled features must cost ~zero here — the trace/lease
+     deltas on this workload are the number the E1 gate protects *)
+  report "local" local [ ("trace", traced); ("lease", leased) ];
+  (* cross-node: what the same subsystems cost when actually exercised,
+     plus the batching delta (frames vs per-packet transmission) *)
+  report "xnode" xnode
+    [ ("trace", traced); ("lease", leased); ("nobatch", unbatched) ]
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -990,7 +1046,8 @@ let () =
     e2 ();
     e14 ();
     e16 ();
-    e17 ()
+    e17 ();
+    e18 ()
   end
   else begin
     e1 ();
@@ -1009,7 +1066,8 @@ let () =
     e14 ();
     e15 ();
     e16 ();
-    e17 ()
+    e17 ();
+    e18 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

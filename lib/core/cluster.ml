@@ -156,6 +156,11 @@ type t = {
   plog : (int * Packet.t) Dq.t;
   mutable plog_dropped : int;
   tracer : Trace.t;
+  tr_on : bool; (* cached [Trace.enabled tracer]; fixed at creation *)
+  (* Same-node delivery latency (shared memory, zero payload bytes):
+     constant for the whole run, precomputed so the same-node fast path
+     never consults the link model per packet. *)
+  loopback_delay : int;
   (* batching state *)
   outboxes : (int * int, outbox) Hashtbl.t;
   pending_batches : (int * int, bxmit list ref) Hashtbl.t;
@@ -227,6 +232,8 @@ let create ?(config = default_config) () =
     plog = Dq.create ();
     plog_dropped = 0;
     tracer;
+    tr_on = Trace.enabled tracer;
+    loopback_delay = Simnet.packet_delay sim ~src_ip:0 ~dst_ip:0 ~bytes:0;
     outboxes = Hashtbl.create 16;
     pending_batches = Hashtbl.create 16;
     ack_states = Hashtbl.create 16;
@@ -270,10 +277,17 @@ let replica_of t ip =
 let suspected_failures t = List.rev t.suspected
 
 let log_packet t p =
-  Dq.push_back t.plog (Simnet.now t.sim, p);
-  if Dq.length t.plog > t.cfg.packet_log_capacity then begin
-    ignore (Dq.pop_front t.plog);
+  (* capacity 0 disables the log: no ring churn and no virtual-clock
+     read per packet — only the dropped count is maintained, as the
+     push-then-evict sequence it replaces did *)
+  if t.cfg.packet_log_capacity = 0 then
     t.plog_dropped <- t.plog_dropped + 1
+  else begin
+    Dq.push_back t.plog (Simnet.now t.sim, p);
+    if Dq.length t.plog > t.cfg.packet_log_capacity then begin
+      ignore (Dq.pop_front t.plog);
+      t.plog_dropped <- t.plog_dropped + 1
+    end
   end
 
 let packet_trace t = Dq.to_list t.plog
@@ -366,7 +380,7 @@ and pump_event t w =
    schedules [action] once per surviving copy. *)
 and transmit t ~src_ip ~dst_ip ~bytes action =
   let base = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
-  Stats.Dist.add t.d_lat_wire (float_of_int base);
+  Stats.Dist.add_int t.d_lat_wire base;
   if not (Simnet.faulted_link t.sim ~src_ip ~dst_ip) then begin
     (* clean link: exactly one copy at the base delay — no verdict
        record, no delay list, no PRNG consumption *)
@@ -414,9 +428,8 @@ and send_packet t ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
        causal span still travels — by reference, like the packet. *)
     Stats.Counter.incr t.c_same_node;
     log_packet t p;
-    let delay = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes:0 in
     t.in_flight <- t.in_flight + 1;
-    Simnet.schedule t.sim ~delay (fun () ->
+    Simnet.schedule t.sim ~delay:t.loopback_delay (fun () ->
         t.in_flight <- t.in_flight - 1;
         deliver t ~at_ip:dst_ip ~ctx ~same_node:true p)
   end
@@ -489,16 +502,16 @@ and flush_outbox t ob =
     ob.ob_bytes <- 0;
     t.in_flight <- t.in_flight - count;
     let now = Simnet.now t.sim in
-    let traced = Trace.enabled t.tracer in
+    let traced = t.tr_on in
     for i = 0 to count - 1 do
       let wait = now - ob.ob_enq_ts.(i) in
-      Stats.Dist.add t.d_flush_wait (float_of_int wait);
+      Stats.Dist.add_int t.d_flush_wait wait;
       if traced && wait > 0 then
         Trace.emit t.tracer ~ts:now ~track:Trace.fabric_track
           ~span:ctxs.(i)
           (Trace.Flush_wait { ns = wait })
     done;
-    Stats.Dist.add t.d_batch_fill (float_of_int count);
+    Stats.Dist.add_int t.d_batch_fill count;
     (* the batch consumes one sequence number per packet; they come out
        contiguous because this is the only consumer of the stream *)
     let src = node_of_ip t ob.ob_src_ip in
@@ -540,7 +553,7 @@ and flush_outbox t ob =
       in
       let dst_ip = ob.ob_dst_ip in
       transmit t ~src_ip:ob.ob_src_ip ~dst_ip ~bytes:fbytes (fun () ->
-          if Trace.enabled t.tracer then
+          if t.tr_on then
             Trace.emit t.tracer ~ts:(Simnet.now t.sim)
               ~track:Trace.fabric_track ~span
               (Trace.Deliver { pk = Trace.Kbatch; same_node = false });
@@ -567,7 +580,7 @@ and attempt_batch t (bx : bxmit) =
   bx.bx_attempts <- bx.bx_attempts + 1;
   if bx.bx_attempts > 1 then begin
     Stats.Counter.incr t.c_retries;
-    if Trace.enabled t.tracer then
+    if t.tr_on then
       Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
         ~span:bx.bx_span
         (Trace.Retransmit { attempt = bx.bx_attempts })
@@ -587,7 +600,7 @@ and attempt_batch t (bx : bxmit) =
   in
   t.bytes <- t.bytes + fbytes;
   Stats.Counter.incr t.c_frames;
-  if Trace.enabled t.tracer && bx.bx_attempts = 1 then
+  if t.tr_on && bx.bx_attempts = 1 then
     Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
       ~span:bx.bx_span
       (Trace.Send { pk = Trace.Kbatch; bytes = fbytes });
@@ -611,7 +624,7 @@ and attempt_batch t (bx : bxmit) =
           in
           pending := List.filter (fun b -> b != bx) !pending;
           Stats.Counter.incr t.c_timeouts;
-          if Trace.enabled t.tracer then
+          if t.tr_on then
             Trace.emit t.tracer ~ts:(Simnet.now t.sim)
               ~track:Trace.fabric_track ~span:bx.bx_span Trace.Timeout;
           t.suspected <-
@@ -630,7 +643,7 @@ and attempt_batch t (bx : bxmit) =
           done
         end
         else begin
-          Stats.Dist.add t.d_lat_retransmit (float_of_int (backoff + jitter));
+          Stats.Dist.add_int t.d_lat_retransmit (backoff + jitter);
           attempt_batch t bx
         end)
 
@@ -639,7 +652,7 @@ and receive_batch t ~src_ip ~dst_ip ~base_seq ~ack_floor ~span ~pkts ~ctxs
   (* the piggybacked floor acknowledges this receiver's own outbound
      stream towards the sender *)
   apply_cum_ack t ~at_ip:dst_ip ~peer_ip:src_ip ~floor:ack_floor;
-  if Trace.enabled t.tracer then
+  if t.tr_on then
     Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
       ~span
       (Trace.Deliver { pk = Trace.Kbatch; same_node = false });
@@ -687,7 +700,7 @@ and apply_cum_ack t ~at_ip ~peer_ip ~floor =
                 let count = Array.length bx.bx_pkts - bx.bx_lo in
                 if floor >= bx.bx_base_seq + count then begin
                   bx.bx_done <- true;
-                  if Trace.enabled t.tracer then
+                  if t.tr_on then
                     Trace.emit t.tracer ~ts:(Simnet.now t.sim)
                       ~track:Trace.fabric_track ~span:bx.bx_span Trace.Ack;
                   false
@@ -730,7 +743,7 @@ and attempt_xmit t (x : xmit) =
   x.x_attempts <- x.x_attempts + 1;
   if x.x_attempts > 1 then begin
     Stats.Counter.incr t.c_retries;
-    if Trace.enabled t.tracer then
+    if t.tr_on then
       Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
         ~span:x.x_span
         (Trace.Retransmit { attempt = x.x_attempts })
@@ -750,7 +763,7 @@ and attempt_xmit t (x : xmit) =
       if not x.x_acked then
         if x.x_attempts >= r.max_attempts then begin
           Stats.Counter.incr t.c_timeouts;
-          if Trace.enabled t.tracer then
+          if t.tr_on then
             Trace.emit t.tracer ~ts:(Simnet.now t.sim)
               ~track:Trace.fabric_track ~span:x.x_span Trace.Timeout;
           t.suspected <-
@@ -788,7 +801,7 @@ and send_ack t (x : xmit) =
   t.bytes <- t.bytes + Latency.ack_bytes;
   transmit t ~src_ip:x.x_dst_ip ~dst_ip:x.x_src_ip ~bytes:Latency.ack_bytes
     (fun () ->
-      if Trace.enabled t.tracer then
+      if t.tr_on then
         Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
           ~span:x.x_span Trace.Ack;
       x.x_acked <- true)
@@ -796,7 +809,7 @@ and send_ack t (x : xmit) =
 and deliver t ~at_ip ?(ctx = Trace.null_span) ?(same_node = false) (p : Packet.t) =
   match p with
   | Packet.Pns_register { site_name; id_name; nref; rtti } ->
-      if Trace.enabled t.tracer then
+      if t.tr_on then
         Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
           ~span:ctx Trace.Ns_serve;
       register_at t ~replica_ip:at_ip ~site_name ~id_name ~rtti ~ctx nref;
@@ -824,7 +837,7 @@ and deliver t ~at_ip ?(ctx = Trace.null_span) ?(same_node = false) (p : Packet.t
           t.replicas
       end
   | Packet.Pns_lookup { site_name; id_name; req_id; requester_site; requester_ip; _ } -> (
-      if Trace.enabled t.tracer then
+      if t.tr_on then
         Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
           ~span:ctx Trace.Ns_serve;
       let waiter =
@@ -869,14 +882,14 @@ and reply_ns t ~from_ip ~ctx p =
      under a span of its own, a child of the request (or registration)
      that triggered it *)
   let ctx' =
-    if Trace.enabled t.tracer then Trace.fresh_span t.tracer ~parent:ctx
+    if t.tr_on then Trace.fresh_span t.tracer ~parent:ctx
     else Trace.null_span
   in
   Simnet.schedule t.sim ~delay:ns_processing_cost (fun () ->
       (* the name service is not a site, so the reply's [Send] lands on
          the fabric track — every packet span must have one for the
          causal tree (and the Perfetto flow arrow) to be complete *)
-      if Trace.enabled t.tracer then
+      if t.tr_on then
         Trace.emit t.tracer ~ts:(Simnet.now t.sim) ~track:Trace.fabric_track
           ~span:ctx'
           (Trace.Send { pk = Packet.trace_pk p; bytes = Packet.byte_size p });
@@ -894,7 +907,7 @@ and deliver_to_site t site_id ~ctx ~same_node p =
   | Some w ->
       if Site.alive w.site then begin
         let now = Simnet.now t.sim in
-        if Trace.enabled t.tracer then
+        if t.tr_on then
           Trace.emit t.tracer ~ts:now ~track:site_id ~span:ctx
             (Trace.Deliver { pk = Packet.trace_pk p; same_node });
         Site.deliver ~ctx ~now w.site p;

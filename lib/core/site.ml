@@ -94,6 +94,7 @@ type t = {
   on_output : Output.event -> unit;
   annotations : annotations;
   tr : Trace.t;
+  tr_on : bool; (* cached [Trace.enabled tr]; fixed at creation *)
   vm : Machine.t;
   entry : int;
   (* (packet, causal span, enqueue virtual time) — the span came over
@@ -112,6 +113,10 @@ type t = {
   (* lease state: expiry per exported heap id; pinned ids (registered
      with the name service, which remembers them forever) never expire *)
   lifecycle : lifecycle;
+  (* cached [lc_lease_ns > 0] (the lifecycle is fixed at creation):
+     every resolve/send-path lease hook branches on this one load and
+     falls straight through when leases are disabled *)
+  leases : bool;
   chan_leases : (int, int) Hashtbl.t;
   class_leases : (int, int) Hashtbl.t;
   pinned_chans : (int, unit) Hashtbl.t;
@@ -187,6 +192,7 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     on_output;
     annotations;
     tr = trace;
+    tr_on = Trace.enabled trace;
     vm;
     entry;
     inbox = Dq.create ();
@@ -196,6 +202,7 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     class_keys = Hashtbl.create 8;
     next_class_heap = 0;
     lifecycle;
+    leases = lifecycle.lc_lease_ns > 0;
     chan_leases = Hashtbl.create 8;
     class_leases = Hashtbl.create 8;
     pinned_chans = Hashtbl.create 4;
@@ -246,7 +253,7 @@ let fresh_req t =
    arrow to the matching [Deliver] starts where the cause lives. *)
 let send t ~ctx p =
   Stats.Counter.incr t.c_pk_out;
-  if Trace.enabled t.tr then
+  if t.tr_on then
     Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
       (Trace.Send { pk = Packet.trace_pk p; bytes = Packet.byte_size p });
   t.send ctx p
@@ -254,13 +261,13 @@ let send t ~ctx p =
 (* The span a freshly-made packet travels under: a child of the thread
    (or delivery) that caused it. *)
 let packet_span t ~parent =
-  if Trace.enabled t.tr then Trace.fresh_span t.tr ~parent
+  if t.tr_on then Trace.fresh_span t.tr ~parent
   else Trace.null_span
 
 (* ------------------------------------------------------------------ *)
 (* Lease bookkeeping.                                                  *)
 
-let leases_on t = t.lifecycle.lc_lease_ns > 0
+let leases_on t = t.leases
 
 (* How often the lifecycle tick runs while leases are on; also the
    cadence of outgoing refreshes, so it must stay well under the
@@ -617,7 +624,7 @@ let link_once t ~ctx cache counter key code root_of =
         with Tyco_support.Wire.Malformed m -> perr "malformed byte-code: %s" m
       in
       Stats.Counter.incr t.c_links;
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
           (Trace.Link_code { bytes = String.length code });
       let offsets = Link.link (Machine.area t.vm) sub in
@@ -626,7 +633,7 @@ let link_once t ~ctx cache counter key code root_of =
       | None -> ()
       | Some _ ->
           Stats.Counter.incr counter;
-          if Trace.enabled t.tr then
+          if t.tr_on then
             Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
               (Trace.Reclaim { rc = Trace.Rc_code_cache; n = 1 }));
       linked
@@ -652,7 +659,7 @@ let handle_packet_inner t ~ctx (p : Packet.t) =
         { Value.obj_mtable = area_mt;
           obj_env = Array.of_list (List.map (of_wire t) env) }
       in
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
           Trace.Obj_commit;
       Machine.inject_obj t.vm chan obj
@@ -782,7 +789,7 @@ let handle_packet t ~ctx (p : Packet.t) =
   try handle_packet_inner t ~ctx p
   with Stale detail ->
     Stats.Counter.incr t.c_stale_refs;
-    if Trace.enabled t.tr then
+    if t.tr_on then
       Trace.emit t.tr ~ts:(Machine.clock t.vm) ~track:t.site_id ~span:ctx
         (Trace.Stale_ref { pk = Packet.trace_pk p });
     emit_failure t "stale-ref" detail
@@ -791,7 +798,7 @@ let handle_packet t ~ctx (p : Packet.t) =
 (* The lifecycle tick: reclamation and lease refresh.                  *)
 
 let trace_reclaim t ~now rc n =
-  if n > 0 && Trace.enabled t.tr then
+  if n > 0 && t.tr_on then
     Trace.emit t.tr ~ts:now ~track:t.site_id ~span:Trace.null_span
       (Trace.Reclaim { rc; n })
 
@@ -890,7 +897,7 @@ let lifecycle_tick t ~now =
           let chans = List.sort compare keep_chans in
           let classes = List.sort compare keep_classes in
           Stats.Counter.incr t.c_lease_refreshes;
-          if Trace.enabled t.tr then
+          if t.tr_on then
             Trace.emit t.tr ~ts:now ~track:t.site_id ~span:Trace.null_span
               (Trace.Lease_refresh
                  { chans = List.length chans; classes = List.length classes });
@@ -954,7 +961,7 @@ let pump ?(now = 0) t ~quantum =
       | None -> ()
       | Some (p, ctx, enq) ->
           Machine.set_clock t.vm (now + !cost);
-          Stats.Dist.add t.d_queue_wait (float_of_int (now + !cost - enq));
+          Stats.Dist.add_int t.d_queue_wait (now + !cost - enq);
           cost := !cost + packet_handling_cost;
           handle_packet t ~ctx p;
           drain_inbox ()
@@ -962,7 +969,7 @@ let pump ?(now = 0) t ~quantum =
     drain_inbox ();
     Machine.set_clock t.vm (now + !cost);
     let _instrs, vm_cost = Machine.run t.vm ~budget:quantum in
-    Stats.Dist.add t.d_execute (float_of_int vm_cost);
+    Stats.Dist.add_int t.d_execute vm_cost;
     cost := !cost + vm_cost;
     let rec drain_ops () =
       match Machine.pop_remote_traced t.vm with

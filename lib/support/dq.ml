@@ -1,12 +1,22 @@
+(* Storage is a plain ['a array] with an untyped sentinel in the free
+   slots rather than an ['a option array]: the run-queue pushes and pops
+   a thread record per context switch, and the [Some] written on every
+   push (plus the one returned by every pop) was measurable allocation
+   on the E1 hot path.  The sentinel is an immediate, so [Array.make]
+   never specializes to a flat float array; popped slots are reset to it
+   so the deque does not retain popped elements. *)
+
 type 'a t = {
-  mutable buf : 'a option array;
+  mutable buf : 'a array;
   mutable head : int; (* index of front element *)
   mutable len : int;
 }
 
+let sentinel : 'a. unit -> 'a = fun () -> Obj.magic 0
+
 let create ?(capacity = 16) () =
   let capacity = max capacity 1 in
-  { buf = Array.make capacity None; head = 0; len = 0 }
+  { buf = Array.make capacity (sentinel ()); head = 0; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
@@ -14,7 +24,7 @@ let index t i = (t.head + i) mod Array.length t.buf
 
 let grow t =
   let cap = Array.length t.buf in
-  let buf = Array.make (cap * 2) None in
+  let buf = Array.make (cap * 2) (sentinel ()) in
   for i = 0 to t.len - 1 do
     buf.(i) <- t.buf.(index t i)
   done;
@@ -23,56 +33,51 @@ let grow t =
 
 let push_back t x =
   if t.len = Array.length t.buf then grow t;
-  t.buf.(index t t.len) <- Some x;
+  t.buf.(index t t.len) <- x;
   t.len <- t.len + 1
 
 let push_front t x =
   if t.len = Array.length t.buf then grow t;
   let cap = Array.length t.buf in
   t.head <- (t.head + cap - 1) mod cap;
-  t.buf.(t.head) <- Some x;
+  t.buf.(t.head) <- x;
   t.len <- t.len + 1
 
-let pop_front t =
-  if t.len = 0 then None
-  else begin
-    let x = t.buf.(t.head) in
-    t.buf.(t.head) <- None;
-    t.head <- index t 1;
-    t.len <- t.len - 1;
-    x
-  end
+let pop_front_exn t =
+  if t.len = 0 then invalid_arg "Dq.pop_front_exn: empty";
+  let x = t.buf.(t.head) in
+  t.buf.(t.head) <- sentinel ();
+  t.head <- index t 1;
+  t.len <- t.len - 1;
+  x
 
-let pop_back t =
-  if t.len = 0 then None
-  else begin
-    let i = index t (t.len - 1) in
-    let x = t.buf.(i) in
-    t.buf.(i) <- None;
-    t.len <- t.len - 1;
-    x
-  end
+let pop_front t = if t.len = 0 then None else Some (pop_front_exn t)
 
-let peek_front t = if t.len = 0 then None else t.buf.(t.head)
+let pop_back_exn t =
+  if t.len = 0 then invalid_arg "Dq.pop_back_exn: empty";
+  let i = index t (t.len - 1) in
+  let x = t.buf.(i) in
+  t.buf.(i) <- sentinel ();
+  t.len <- t.len - 1;
+  x
+
+let pop_back t = if t.len = 0 then None else Some (pop_back_exn t)
+let peek_front t = if t.len = 0 then None else Some t.buf.(t.head)
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) None;
+  Array.fill t.buf 0 (Array.length t.buf) (sentinel ());
   t.head <- 0;
   t.len <- 0
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    match t.buf.(index t i) with
-    | Some x -> f x
-    | None -> assert false
+    f t.buf.(index t i)
   done
 
 let to_list t =
   let acc = ref [] in
   for i = t.len - 1 downto 0 do
-    match t.buf.(index t i) with
-    | Some x -> acc := x :: !acc
-    | None -> assert false
+    acc := t.buf.(index t i) :: !acc
   done;
   !acc
 

@@ -16,6 +16,13 @@ val push_front : 'a t -> 'a -> unit
 
 val pop_front : 'a t -> 'a option
 val pop_back : 'a t -> 'a option
+
+val pop_front_exn : 'a t -> 'a
+(** Non-allocating pop for hot paths where the caller has already
+    checked {!is_empty} (the option-returning variants allocate a
+    [Some] per call).  Raises [Invalid_argument] when empty. *)
+
+val pop_back_exn : 'a t -> 'a
 val peek_front : 'a t -> 'a option
 
 val clear : 'a t -> unit

@@ -16,36 +16,48 @@ module Dist = struct
      stay exact streaming values; percentiles become estimates. *)
   let reservoir_cap = 8192
 
+  (* The reservoir grows geometrically on demand instead of being
+     preallocated at [reservoir_cap]: a cluster registers a dozen
+     distributions and most never see a sample, so eager 8192-float
+     arrays (64 KB zeroed each) dominated Cluster/Site creation — the
+     single largest source of the E1 hot-path regression.  The exact
+     streaming accumulators live in one unboxed float array because
+     mutable float fields of this mixed record would re-box on every
+     [add]: acc.(0) = sum, acc.(1) = lo, acc.(2) = hi. *)
   type t = {
     name : string;
-    reservoir : float array; (* first [filled] slots are live *)
+    mutable reservoir : float array; (* first [filled] slots are live *)
     mutable filled : int;
     rng : Prng.t; (* deterministic: seeded from the name *)
     mutable n : int;
-    mutable sum : float;
-    mutable lo : float;
-    mutable hi : float;
+    acc : float array;
     mutable sorted : float array option; (* cache invalidated by add *)
   }
 
   let create name =
     { name;
-      reservoir = Array.make reservoir_cap 0.;
+      reservoir = [||];
       filled = 0;
       rng = Prng.create (Hashtbl.hash name);
       n = 0;
-      sum = 0.;
-      lo = infinity;
-      hi = neg_infinity;
+      acc = [| 0.; infinity; neg_infinity |];
       sorted = None }
 
   let name t = t.name
 
   let add t x =
     if t.filled < reservoir_cap then begin
-      t.reservoir.(t.filled) <- x;
+      if t.filled = Array.length t.reservoir then begin
+        let cap =
+          Stdlib.min reservoir_cap (Stdlib.max 16 (2 * t.filled))
+        in
+        let bigger = Array.make cap 0. in
+        Array.blit t.reservoir 0 bigger 0 t.filled;
+        t.reservoir <- bigger
+      end;
+      Array.unsafe_set t.reservoir t.filled x;
       t.filled <- t.filled + 1;
-      t.sorted <- None
+      if t.sorted != None then t.sorted <- None
     end
     else begin
       (* algorithm R: keep the new sample with probability cap/(n+1) *)
@@ -56,14 +68,20 @@ module Dist = struct
       end
     end;
     t.n <- t.n + 1;
-    t.sum <- t.sum +. x;
-    if x < t.lo then t.lo <- x;
-    if x > t.hi then t.hi <- x
+    let acc = t.acc in
+    Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. x);
+    if x < Array.unsafe_get acc 1 then Array.unsafe_set acc 1 x;
+    if x > Array.unsafe_get acc 2 then Array.unsafe_set acc 2 x
+
+  (* Integer entry point: the conversion happens inside the call, so
+     hot loops recording counts/depths pass an unboxed int instead of
+     allocating a boxed float argument per sample. *)
+  let add_int t n = add t (float_of_int n)
 
   let count t = t.n
-  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
-  let min t = t.lo
-  let max t = t.hi
+  let mean t = if t.n = 0 then 0. else t.acc.(0) /. float_of_int t.n
+  let min t = t.acc.(1)
+  let max t = t.acc.(2)
   let samples t = Array.sub t.reservoir 0 t.filled
 
   let sorted t =
@@ -96,22 +114,23 @@ module Dist = struct
     if t.n = 0 then None
     else
       Some
-        { s_n = t.n; s_mean = mean t; s_min = t.lo; s_max = t.hi;
+        { s_n = t.n; s_mean = mean t; s_min = min t; s_max = max t;
           s_p50 = percentile t 0.5; s_p95 = percentile t 0.95 }
 
   let reset t =
     t.filled <- 0;
     t.n <- 0;
-    t.sum <- 0.;
-    t.lo <- infinity;
-    t.hi <- neg_infinity;
+    t.acc.(0) <- 0.;
+    t.acc.(1) <- infinity;
+    t.acc.(2) <- neg_infinity;
     t.sorted <- None
 
   let pp_summary ppf t =
     if t.n = 0 then Format.fprintf ppf "%s: (no samples)" t.name
     else
       Format.fprintf ppf "%s: n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
-        t.name t.n (mean t) t.lo (percentile t 0.5) (percentile t 0.95) t.hi
+        t.name t.n (mean t) (min t) (percentile t 0.5) (percentile t 0.95)
+        (max t)
 end
 
 type t = {

@@ -33,6 +33,11 @@ module Dist : sig
   val name : t -> string
   val add : t -> float -> unit
 
+  val add_int : t -> int -> unit
+  (** [add_int d n] = [add d (float_of_int n)], but the conversion is
+      inside the call: hot loops pass an unboxed immediate instead of
+      allocating a boxed float per sample. *)
+
   val count : t -> int
   (** Exact number of samples observed (not capped). *)
 

@@ -39,11 +39,20 @@ type t = {
   mutable ostack : Value.t array;
   mutable osp : int;
   (* Causal tracing (off by default: [tr] is [Trace.disabled], every
-     guard is one load-and-branch, and spans stay [null_span]). *)
+     guard is one load-and-branch, and spans stay [null_span]).
+     [tr_on] caches [Trace.enabled tr] — fixed at creation — so each
+     dispatch branches on one machine-record load instead of chasing
+     the trace-state pointer. *)
   tr : Trace.t;
+  tr_on : bool;
   track : int;
   mutable clock : int; (* virtual time, maintained by the embedder *)
   mutable cur_span : Trace.span; (* span causing current spawns *)
+  (* Result slots of the last [run_thread] (instructions executed and
+     summed virtual-time cost): scratch fields instead of a returned
+     tuple, which would be a fresh allocation per thread. *)
+  mutable last_executed : int;
+  mutable last_cost : int;
   stats : Stats.t;
   c_instr : Stats.Counter.t;
   c_threads : Stats.Counter.t;
@@ -67,9 +76,12 @@ let create ?(name = "site") ?(trace = Trace.disabled) ?(track = 0) area =
     ostack = Array.make 64 (Value.Vint 0);
     osp = 0;
     tr = trace;
+    tr_on = Trace.enabled trace;
     track;
     clock = 0;
     cur_span = Trace.null_span;
+    last_executed = 0;
+    last_cost = 0;
     stats;
     c_instr = Stats.counter stats "instructions";
     c_threads = Stats.counter stats "threads";
@@ -114,7 +126,7 @@ let frame_for t ~block ~init =
    site installed with [set_current_span]). *)
 let enqueue t ~parent ~block frame =
   let sp =
-    if Trace.enabled t.tr then begin
+    if t.tr_on then begin
       let sp = Trace.fresh_span t.tr ~parent in
       Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:sp Trace.Thread_spawn;
       sp
@@ -163,36 +175,57 @@ let fire_method t (obj : Value.obj) ~parent ~lid (args : Value.t array) =
   spawn_call t ~parent ~block:entry.Block.me_block ~args
     ~extra:obj.Value.obj_env
 
-(* Hot path: label already interned (Trmsg operand, parked message). *)
+(* Hot path: label already interned (Trmsg operand, parked message).
+   [Obj1]/[Msg1] are the steady-state cases — a reply channel or a
+   re-parked server object holds exactly one value — and they must not
+   touch a deque: a queue only materializes when a second value parks,
+   and [Objs]/[Msgs] collapse back to the single-value state as they
+   drain, so a channel that briefly queued returns to the no-queue
+   regime. *)
 let inject_msg_id t (chan : Value.chan) ~lid (args : Value.t array) =
   match chan.Value.ch_state with
-  | Value.Builtin handler ->
-      handler (Link.label_name t.area lid) (Array.to_list args)
-  | Value.Objs q ->
-      let obj =
-        match Dq.pop_front q with Some o -> o | None -> assert false
-      in
-      if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      if Trace.enabled t.tr then
+  | Value.Obj1 obj ->
+      chan.Value.ch_state <- Value.Empty;
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
           Trace.Obj_unpark;
       fire_method t obj ~parent:t.cur_span ~lid args
   | Value.Empty ->
-      let q = Dq.create () in
-      Dq.push_back q { Value.msg_lid = lid; msg_args = args;
-                       msg_span = t.cur_span };
       Stats.Counter.incr t.c_msgs_parked;
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
           Trace.Msg_park;
+      chan.Value.ch_state <-
+        Value.Msg1 { Value.msg_lid = lid; msg_args = args;
+                     msg_span = t.cur_span }
+  | Value.Objs q ->
+      let obj = Dq.pop_front_exn q in
+      if Dq.length q = 1 then
+        chan.Value.ch_state <- Value.Obj1 (Dq.pop_front_exn q)
+      else if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
+      if t.tr_on then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Obj_unpark;
+      fire_method t obj ~parent:t.cur_span ~lid args
+  | Value.Msg1 m1 ->
+      Stats.Counter.incr t.c_msgs_parked;
+      if t.tr_on then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Msg_park;
+      let q = Dq.create ~capacity:4 () in
+      Dq.push_back q m1;
+      Dq.push_back q { Value.msg_lid = lid; msg_args = args;
+                       msg_span = t.cur_span };
       chan.Value.ch_state <- Value.Msgs q
   | Value.Msgs q ->
       Stats.Counter.incr t.c_msgs_parked;
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
           Trace.Msg_park;
       Dq.push_back q { Value.msg_lid = lid; msg_args = args;
                        msg_span = t.cur_span }
+  | Value.Builtin handler ->
+      handler (Link.label_name t.area lid) (Array.to_list args)
 
 (* Cold entry point for the embedding site (packet delivery, builtin
    replies): labels arrive as strings and are interned here. *)
@@ -201,29 +234,45 @@ let inject_msg t chan label args =
 
 let inject_obj t (chan : Value.chan) (obj : Value.obj) =
   match chan.Value.ch_state with
-  | Value.Builtin _ -> err "object placed at builtin channel '%s'" chan.Value.ch_name
-  | Value.Msgs q ->
-      let m = match Dq.pop_front q with Some m -> m | None -> assert false in
-      if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
-      if Trace.enabled t.tr then
+  | Value.Msg1 m ->
+      chan.Value.ch_state <- Value.Empty;
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:m.Value.msg_span
           Trace.Msg_unpark;
       fire_method t obj ~parent:m.Value.msg_span ~lid:m.Value.msg_lid
         m.Value.msg_args
   | Value.Empty ->
-      let q = Dq.create () in
-      Dq.push_back q obj;
       Stats.Counter.incr t.c_objs_parked;
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
           Trace.Obj_park;
+      chan.Value.ch_state <- Value.Obj1 obj
+  | Value.Msgs q ->
+      let m = Dq.pop_front_exn q in
+      if Dq.length q = 1 then
+        chan.Value.ch_state <- Value.Msg1 (Dq.pop_front_exn q)
+      else if Dq.is_empty q then chan.Value.ch_state <- Value.Empty;
+      if t.tr_on then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:m.Value.msg_span
+          Trace.Msg_unpark;
+      fire_method t obj ~parent:m.Value.msg_span ~lid:m.Value.msg_lid
+        m.Value.msg_args
+  | Value.Obj1 o1 ->
+      Stats.Counter.incr t.c_objs_parked;
+      if t.tr_on then
+        Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
+          Trace.Obj_park;
+      let q = Dq.create ~capacity:4 () in
+      Dq.push_back q o1;
+      Dq.push_back q obj;
       chan.Value.ch_state <- Value.Objs q
   | Value.Objs q ->
       Stats.Counter.incr t.c_objs_parked;
-      if Trace.enabled t.tr then
+      if t.tr_on then
         Trace.emit t.tr ~ts:t.clock ~track:t.track ~span:t.cur_span
           Trace.Obj_park;
       Dq.push_back q obj
+  | Value.Builtin _ -> err "object placed at builtin channel '%s'" chan.Value.ch_name
 
 let instantiate_args t (cls : Value.cls) (args : Value.t array) =
   let g = Link.group t.area cls.Value.cls_group in
@@ -291,134 +340,152 @@ let[@inline] pop_op t =
 (* Pop [n] argument values pushed left-to-right: one [Array.sub] of the
    stack's top segment — the stack grows upward, so the segment is
    already in argument order. *)
+let no_args : Value.t array = [||]
+
 let pop_args t n =
-  if t.osp < n then err "operand stack underflow";
-  t.osp <- t.osp - n;
-  Array.sub t.ostack t.osp n
+  if n = 0 then no_args
+  else begin
+    if t.osp < n then err "operand stack underflow";
+    t.osp <- t.osp - n;
+    Array.sub t.ostack t.osp n
+  end
 
 let push_remote t op =
   Stats.Counter.incr t.c_remote;
   Dq.push_back t.remote (op, t.cur_span)
 
-(* Execute one thread to completion; returns instructions executed and
-   their summed virtual-time cost. *)
+(* Execute one thread to completion.  The step loop is a top-level
+   tail-recursive function threading [executed]/[cost] as parameters:
+   an inner [let rec] would allocate its closure (capturing
+   code/costs/env) plus two [ref] accumulators per thread — at a few
+   tens of instructions per thread (paper §1) that fixed setup cost is
+   comparable to the work itself.  Results land in the
+   [last_executed]/[last_cost] scratch fields (no per-thread tuple). *)
+let rec step t code costs env pc executed cost =
+  if pc >= Array.length code then begin
+    t.last_executed <- executed;
+    t.last_cost <- cost
+  end
+  else begin
+    let executed = executed + 1 in
+    let cost = cost + Array.unsafe_get costs pc in
+    match Array.unsafe_get code pc with
+    | Instr.Push_int n ->
+        push_op t (Value.Vint n);
+        step t code costs env (pc + 1) executed cost
+    | Instr.Push_bool b ->
+        push_op t (Value.Vbool b);
+        step t code costs env (pc + 1) executed cost
+    | Instr.Push_str s ->
+        push_op t (Value.Vstr s);
+        step t code costs env (pc + 1) executed cost
+    | Instr.Load i ->
+        push_op t env.(i);
+        step t code costs env (pc + 1) executed cost
+    | Instr.Store i ->
+        env.(i) <- pop_op t;
+        step t code costs env (pc + 1) executed cost
+    | Instr.Binop op ->
+        let b = pop_op t in
+        let a = pop_op t in
+        push_op t (exec_binop op a b);
+        step t code costs env (pc + 1) executed cost
+    | Instr.Unop Ast.Neg ->
+        push_op t (Value.Vint (-as_int (pop_op t)));
+        step t code costs env (pc + 1) executed cost
+    | Instr.Unop Ast.Not ->
+        push_op t (Value.Vbool (not (as_bool (pop_op t))));
+        step t code costs env (pc + 1) executed cost
+    | Instr.Jump target -> step t code costs env target executed cost
+    | Instr.Jump_if_false target ->
+        if as_bool (pop_op t) then step t code costs env (pc + 1) executed cost
+        else step t code costs env target executed cost
+    | Instr.New_chan slot ->
+        env.(slot) <- Value.Vchan (new_chan t "c");
+        step t code costs env (pc + 1) executed cost
+    | Instr.Trmsg { lid; argc; _ } ->
+        let target = pop_op t in
+        let args = pop_args t argc in
+        (match target with
+        | Value.Vchan c -> inject_msg_id t c ~lid args
+        | Value.Vnetref r ->
+            push_remote t (Rmsg (r, Link.label_name t.area lid, args))
+        | v -> err "trmsg target is %s, not a channel" (Value.type_name v));
+        step t code costs env (pc + 1) executed cost
+    | Instr.Trobj mt_id -> (
+        let mt = Link.mtable t.area mt_id in
+        let captured =
+          Array.map (fun slot -> env.(slot)) mt.Block.mt_captures
+        in
+        let obj = { Value.obj_mtable = mt_id; obj_env = captured } in
+        match pop_op t with
+        | Value.Vchan c ->
+            inject_obj t c obj;
+            step t code costs env (pc + 1) executed cost
+        | Value.Vnetref r ->
+            push_remote t (Robj (r, obj));
+            step t code costs env (pc + 1) executed cost
+        | v -> err "trobj target is %s, not a channel" (Value.type_name v))
+    | Instr.Defgroup gid ->
+        Stats.Counter.incr t.c_defgroups;
+        let g = Link.group t.area gid in
+        let ncap = Array.length g.Block.grp_captures in
+        let nclasses = Array.length g.Block.grp_classes in
+        let shared = Array.make (ncap + nclasses) (Value.Vint 0) in
+        Array.iteri
+          (fun i slot -> shared.(i) <- env.(slot))
+          g.Block.grp_captures;
+        Array.iteri
+          (fun i _ ->
+            let v =
+              Value.Vclass
+                { Value.cls_group = gid; cls_index = i; cls_env = shared }
+            in
+            shared.(ncap + i) <- v;
+            env.(g.Block.grp_slots.(i)) <- v)
+          g.Block.grp_classes;
+        step t code costs env (pc + 1) executed cost
+    | Instr.Instof argc ->
+        let target = pop_op t in
+        let args = pop_args t argc in
+        (match target with
+        | Value.Vclass c -> instantiate_args t c args
+        | Value.Vclassref r -> push_remote t (Rfetch (r, args))
+        | v -> err "instof target is %s, not a class" (Value.type_name v));
+        step t code costs env (pc + 1) executed cost
+    | Instr.Export_name x -> (
+        match pop_op t with
+        | Value.Vchan c ->
+            push_remote t (Rexport_name (x, c));
+            step t code costs env (pc + 1) executed cost
+        | v -> err "export of %s, not a local channel" (Value.type_name v))
+    | Instr.Export_class (x, slot) -> (
+        match env.(slot) with
+        | Value.Vclass c ->
+            push_remote t (Rexport_class (x, c));
+            step t code costs env (pc + 1) executed cost
+        | v -> err "export of %s, not a local class" (Value.type_name v))
+    | Instr.Import_name { site; name; cont; captures } ->
+        push_remote t
+          (Rimport
+             { site; name; is_class = false; cont;
+               captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
+        step t code costs env (pc + 1) executed cost
+    | Instr.Import_class { site; name; cont; captures } ->
+        push_remote t
+          (Rimport
+             { site; name; is_class = true; cont;
+               captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
+        step t code costs env (pc + 1) executed cost
+  end
+
 let run_thread t (th : thread) =
   let code = (Link.block t.area th.t_block).Block.blk_code in
   (* Per-pc costs precomputed at link time: the step loop adds an array
      element instead of re-dispatching on the instruction. *)
   let costs = Link.costs t.area th.t_block in
-  let env = th.t_env in
-  let executed = ref 0 in
-  let cost = ref 0 in
   t.osp <- 0;
-  let rec step pc =
-    if pc >= Array.length code then ()
-    else begin
-      incr executed;
-      cost := !cost + Array.unsafe_get costs pc;
-      match Array.unsafe_get code pc with
-      | Instr.Push_int n -> push_op t (Value.Vint n); step (pc + 1)
-      | Instr.Push_bool b -> push_op t (Value.Vbool b); step (pc + 1)
-      | Instr.Push_str s -> push_op t (Value.Vstr s); step (pc + 1)
-      | Instr.Load i -> push_op t env.(i); step (pc + 1)
-      | Instr.Store i ->
-          env.(i) <- pop_op t;
-          step (pc + 1)
-      | Instr.Binop op ->
-          let b = pop_op t in
-          let a = pop_op t in
-          push_op t (exec_binop op a b);
-          step (pc + 1)
-      | Instr.Unop Ast.Neg ->
-          push_op t (Value.Vint (-as_int (pop_op t)));
-          step (pc + 1)
-      | Instr.Unop Ast.Not ->
-          push_op t (Value.Vbool (not (as_bool (pop_op t))));
-          step (pc + 1)
-      | Instr.Jump target -> step target
-      | Instr.Jump_if_false target ->
-          if as_bool (pop_op t) then step (pc + 1) else step target
-      | Instr.New_chan slot ->
-          env.(slot) <- Value.Vchan (new_chan t "c");
-          step (pc + 1)
-      | Instr.Trmsg { lid; argc; _ } ->
-          let target = pop_op t in
-          let args = pop_args t argc in
-          (match target with
-          | Value.Vchan c -> inject_msg_id t c ~lid args
-          | Value.Vnetref r ->
-              push_remote t (Rmsg (r, Link.label_name t.area lid, args))
-          | v -> err "trmsg target is %s, not a channel" (Value.type_name v));
-          step (pc + 1)
-      | Instr.Trobj mt_id -> (
-          let mt = Link.mtable t.area mt_id in
-          let captured =
-            Array.map (fun slot -> env.(slot)) mt.Block.mt_captures
-          in
-          let obj = { Value.obj_mtable = mt_id; obj_env = captured } in
-          match pop_op t with
-          | Value.Vchan c ->
-              inject_obj t c obj;
-              step (pc + 1)
-          | Value.Vnetref r ->
-              push_remote t (Robj (r, obj));
-              step (pc + 1)
-          | v -> err "trobj target is %s, not a channel" (Value.type_name v))
-      | Instr.Defgroup gid ->
-          Stats.Counter.incr t.c_defgroups;
-          let g = Link.group t.area gid in
-          let ncap = Array.length g.Block.grp_captures in
-          let nclasses = Array.length g.Block.grp_classes in
-          let shared = Array.make (ncap + nclasses) (Value.Vint 0) in
-          Array.iteri
-            (fun i slot -> shared.(i) <- env.(slot))
-            g.Block.grp_captures;
-          Array.iteri
-            (fun i _ ->
-              let v =
-                Value.Vclass
-                  { Value.cls_group = gid; cls_index = i; cls_env = shared }
-              in
-              shared.(ncap + i) <- v;
-              env.(g.Block.grp_slots.(i)) <- v)
-            g.Block.grp_classes;
-          step (pc + 1)
-      | Instr.Instof argc ->
-          let target = pop_op t in
-          let args = pop_args t argc in
-          (match target with
-          | Value.Vclass c -> instantiate_args t c args
-          | Value.Vclassref r -> push_remote t (Rfetch (r, args))
-          | v -> err "instof target is %s, not a class" (Value.type_name v));
-          step (pc + 1)
-      | Instr.Export_name x -> (
-          match pop_op t with
-          | Value.Vchan c ->
-              push_remote t (Rexport_name (x, c));
-              step (pc + 1)
-          | v -> err "export of %s, not a local channel" (Value.type_name v))
-      | Instr.Export_class (x, slot) -> (
-          match env.(slot) with
-          | Value.Vclass c ->
-              push_remote t (Rexport_class (x, c));
-              step (pc + 1)
-          | v -> err "export of %s, not a local class" (Value.type_name v))
-      | Instr.Import_name { site; name; cont; captures } ->
-          push_remote t
-            (Rimport
-               { site; name; is_class = false; cont;
-                 captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
-          step (pc + 1)
-      | Instr.Import_class { site; name; cont; captures } ->
-          push_remote t
-            (Rimport
-               { site; name; is_class = true; cont;
-                 captured = Array.to_list (Array.map (fun s -> env.(s)) captures) });
-          step (pc + 1)
-    end
-  in
-  step 0;
-  (!executed, !cost)
+  step t code costs th.t_env 0 0 0
 
 let runnable t = not (Dq.is_empty t.runq)
 
@@ -428,23 +495,25 @@ let run t ~budget =
   let continue_ = ref true in
   (* run-queue depth at quantum start: the latency-hiding evidence —
      deep queues mean remote waits are being overlapped (paper §5) *)
-  Stats.Dist.add t.d_runq_depth (float_of_int (Dq.length t.runq));
+  Stats.Dist.add_int t.d_runq_depth (Dq.length t.runq);
   while !continue_ && !executed < budget do
-    match Dq.pop_front t.runq with
-    | None -> continue_ := false
-    | Some th ->
-        Stats.Counter.incr t.c_threads;
-        t.cur_span <- th.t_span;
-        let start = t.clock in
-        let n, c = run_thread t th in
-        t.clock <- start + c;
-        if Trace.enabled t.tr then
-          Trace.emit t.tr ~ts:start ~dur:c ~track:t.track ~span:th.t_span
-            (Trace.Run_slice { instrs = n; cost = c });
-        Stats.Counter.add t.c_instr n;
-        Stats.Dist.add t.d_thread_len (float_of_int n);
-        executed := !executed + n;
-        cost := !cost + c
+    if Dq.is_empty t.runq then continue_ := false
+    else begin
+      let th = Dq.pop_front_exn t.runq in
+      Stats.Counter.incr t.c_threads;
+      t.cur_span <- th.t_span;
+      let start = t.clock in
+      run_thread t th;
+      let n = t.last_executed and c = t.last_cost in
+      t.clock <- start + c;
+      if t.tr_on then
+        Trace.emit t.tr ~ts:start ~dur:c ~track:t.track ~span:th.t_span
+          (Trace.Run_slice { instrs = n; cost = c });
+      Stats.Counter.add t.c_instr n;
+      Stats.Dist.add_int t.d_thread_len n;
+      executed := !executed + n;
+      cost := !cost + c
+    end
   done;
   t.cur_span <- Trace.null_span;
   (!executed, !cost)

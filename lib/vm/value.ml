@@ -19,7 +19,9 @@ and chan = {
 
 and chan_state =
   | Empty
+  | Msg1 of msg
   | Msgs of msg Dq.t
+  | Obj1 of obj
   | Objs of obj Dq.t
   | Builtin of (string -> t list -> unit)
 

@@ -26,12 +26,18 @@ and chan = {
 }
 
 (** A channel holds pending messages {e or} pending objects, never
-    both (a matching pair reduces immediately).  [Builtin] channels
-    execute a host handler on message delivery — the I/O port of each
-    site is one. *)
+    both (a matching pair reduces immediately).  [Msg1]/[Obj1] carry a
+    single parked value directly: reply channels and re-parked server
+    objects park exactly one value at a time, and the fast path must
+    not allocate a queue for them — a deque appears ([Msgs]/[Objs])
+    only once a second value parks, and collapses back through
+    [Msg1]/[Obj1] as it drains.  [Builtin] channels execute a host
+    handler on message delivery — the I/O port of each site is one. *)
 and chan_state =
   | Empty
+  | Msg1 of msg
   | Msgs of msg Tyco_support.Dq.t
+  | Obj1 of obj
   | Objs of obj Tyco_support.Dq.t
   | Builtin of (string -> t list -> unit)
 

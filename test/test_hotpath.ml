@@ -1,0 +1,131 @@
+(* Zero-cost-when-disabled: the E1 hot-path guarantees PR 6 restored.
+
+   PRs 3–5 eroded the VM's edge over the reference interpreter (2.2x ->
+   1.2x) by letting tracing/lease/batching bookkeeping creep onto the
+   always-on reduction and send paths, and the CI gate of the time let
+   it through.  These tests pin the property directly, in units that
+   are deterministic on any machine (allocated words, recorded events,
+   report bytes) rather than wall-clock ns:
+
+   - with every optional subsystem off, the E1 workload allocates under
+     a fixed budget of minor words per reduction;
+   - the disabled [Trace] singleton records nothing and allocates
+     nothing, even across a full chaos run;
+   - [lease_ns = 0] produces a bit-identical [Report] to the seed
+     semantics (the default, lifecycle-free configuration). *)
+
+open Dityco
+module Trace = Tyco_support.Trace
+
+let check = Alcotest.check
+
+let counter_src n =
+  Printf.sprintf
+    {| def Counter(self, acc) =
+         self?{ bump(k) = (k![acc + 1] | Counter[self, acc + 1]) }
+       in def Driver(c, n) =
+         if n == 0 then io!printi[n]
+         else new k (c!bump[k] | k?(v) = Driver[c, n - 1])
+       in new c (Counter[c, 0] | Driver[c, %d]) |}
+    n
+
+(* Minor words per E1 reduction with trace/lease/batching all off.
+   The budget is calibrated against the PR 6 hot path (~69 words per
+   reduction, compile + cluster setup included) with headroom for
+   compiler/runtime variation; the pre-fix loop burned ~131 words per
+   reduction, so bookkeeping creeping back onto the path trips this
+   long before it shows up as wall-clock noise. *)
+let words_per_reduction_budget = 110.
+
+let e1_minor_words_capped () =
+  let n = 200 in
+  let reductions = float_of_int (2 * n) in
+  let prog = Api.parse (counter_src n) in
+  let config =
+    { Cluster.default_config with
+      Cluster.tracing = false; lease_ns = 0; batching = false }
+  in
+  let run () = ignore (Api.run_program ~typecheck:false ~config prog) in
+  run ();
+  (* warm-up: one-time interning etc. *)
+  let runs = 5 in
+  let before = Gc.minor_words () in
+  for _ = 1 to runs do
+    run ()
+  done;
+  let per_run = (Gc.minor_words () -. before) /. float_of_int runs in
+  let per_reduction = per_run /. reductions in
+  if per_reduction > words_per_reduction_budget then
+    Alcotest.failf
+      "E1 allocates %.0f minor words per reduction with all features \
+       off (budget %.0f): bookkeeping is back on the hot path"
+      per_reduction words_per_reduction_budget
+
+(* The disabled tracer singleton: a full chaos run (reliable transport
+   over a lossy fabric, the most event-happy configuration we have)
+   must leave it empty, and emitting against it must not allocate. *)
+let disabled_trace_records_nothing () =
+  let faults =
+    { Tyco_net.Simnet.drop = 0.2; duplicate = 0.1; reorder = 0.3;
+      reorder_ns = 50_000; partitions = [] }
+  in
+  let config =
+    { Cluster.default_config with Cluster.seed = 1234; faults;
+      reliable = true }
+  in
+  let src =
+    {| site s { import p from r in let y = p![7] in io!printi[y] }
+       site r { export new p p?(x, k) = k![x * x] } |}
+  in
+  let r = Api.run_program ~config (Api.parse src) in
+  let tr = Cluster.tracer r.Api.cluster in
+  check Alcotest.bool "cluster tracer is the disabled singleton" false
+    (Trace.enabled tr);
+  check Alcotest.int "no events recorded across the chaos run" 0
+    (List.length (Trace.events tr));
+  (* emit/fresh_span against the disabled singleton allocate nothing:
+     10k calls must cost 0 minor words *)
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Trace.emit Trace.disabled ~ts:i ~track:0 ~span:Trace.null_span
+      Trace.Msg_park;
+    ignore (Trace.fresh_span Trace.disabled ~parent:Trace.null_span)
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 0. then
+    Alcotest.failf "disabled Trace allocated %.0f words over 10k emits"
+      words
+
+(* [lease_ns = 0] must be indistinguishable from the seed semantics
+   (no lifecycle at all): same outputs, and a bit-identical report.
+   The run on the right uses the default configuration — the seed
+   behaviour by construction — and the run on the left switches every
+   lease knob off explicitly. *)
+let lease_off_bit_identical_report () =
+  let src =
+    {| site s { import p from r in let y = p![7] in io!printi[y] }
+       site r { export new p p?(x, k) = k![x * x] } |}
+  in
+  let prog = Api.parse src in
+  let leases_off =
+    { Cluster.default_config with
+      Cluster.lease_ns = 0; lease_refresh_ns = 0; lease_hold_ns = 0 }
+  in
+  let ra = Api.run_program ~config:leases_off prog in
+  let rb = Api.run_program prog in
+  check
+    (Alcotest.list (Alcotest.testable Output.pp_event Output.equal_event))
+    "outputs identical"
+    (List.map snd rb.Api.outputs)
+    (List.map snd ra.Api.outputs);
+  check Alcotest.string "report bit-identical"
+    (Report.to_json (Report.of_result rb))
+    (Report.to_json (Report.of_result ra))
+
+let tests =
+  [ Alcotest.test_case "e1 minor words per reduction capped" `Quick
+      e1_minor_words_capped;
+    Alcotest.test_case "disabled trace records and allocates nothing"
+      `Quick disabled_trace_records_nothing;
+    Alcotest.test_case "lease_ns=0 report identical to seed semantics"
+      `Quick lease_off_bit_identical_report ]

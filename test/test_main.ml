@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "dityco"
-    [ ("support", Test_support.tests); ("syntax", Test_syntax.tests); ("types", Test_types.tests); ("calculus", Test_calculus.tests); ("compiler", Test_compiler.tests); ("vm", Test_vm.tests); ("net", Test_net.tests); ("runtime", Test_runtime.tests); ("differential", Test_differential.tests); ("prelude", Test_prelude.tests); ("stress", Test_stress.tests); ("chaos", Test_chaos.tests); ("lifecycle", Test_lifecycle.tests); ("corpus", Test_corpus.tests); ("equiv", Test_equiv.tests); ("trace", Test_trace.tests) ]
+    [ ("support", Test_support.tests); ("syntax", Test_syntax.tests); ("types", Test_types.tests); ("calculus", Test_calculus.tests); ("compiler", Test_compiler.tests); ("vm", Test_vm.tests); ("net", Test_net.tests); ("runtime", Test_runtime.tests); ("differential", Test_differential.tests); ("prelude", Test_prelude.tests); ("stress", Test_stress.tests); ("chaos", Test_chaos.tests); ("lifecycle", Test_lifecycle.tests); ("corpus", Test_corpus.tests); ("equiv", Test_equiv.tests); ("trace", Test_trace.tests); ("hotpath", Test_hotpath.tests) ]
