@@ -33,7 +33,7 @@ let row fmt = Format.printf fmt
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR6.json"
+let json_path = ref "BENCH_PR7.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -989,6 +989,99 @@ let e18 () =
     [ ("trace", traced); ("lease", leased); ("nobatch", unbatched) ]
 
 (* ------------------------------------------------------------------ *)
+(* E19 — multicore scaling: the E9 master/worker workload, scaled up,  *)
+(* run through the sharded multi-domain engine at 1/2/4/8 domains.     *)
+(* Aggregate throughput = VM instructions / wall ns; the CI gate wants *)
+(* >= 2.5x at 4 domains, which needs >= 4 host cores — the host core   *)
+(* count is recorded so the gate can skip loudly on small runners.     *)
+
+let e19 () =
+  section "E19"
+    "multicore scaling: domain-sharded cluster, E9-shaped master/worker \
+     fan-out on 8 nodes";
+  (* the workload does NOT shrink in smoke mode: the CI gate reads the
+     smoke-run numbers, and a toy-sized run would measure domain spawn
+     and coordinator overhead instead of scaling (only the repeat
+     count shrinks) *)
+  let items = 256 in
+  let work = 2_000 in
+  let nodes = 8 in
+  let nworkers = 8 in
+  let worker i =
+    Printf.sprintf
+      {| site w%d {
+           import pool from master in
+           def Crunch(n, k) = if n == 0 then k![1] else Crunch[n - 1, k]
+           and Work() = new k (
+             pool!take[k]
+             | k?{ item(v) = new d (Crunch[%d, d] | d?(x) = Work[]),
+                   stop() = io!printi[%d] })
+           in Work[] } |}
+      i work i
+  in
+  let master =
+    Printf.sprintf
+      {| site master {
+           def Pool(self, left) =
+             self?{ take(k) = (if left == 0 then (k!stop[] | Pool[self, left])
+                               else (k!item[left] | Pool[self, left - 1])) }
+           in export new pool Pool[pool, %d] } |}
+      items
+  in
+  let src = master ^ String.concat "" (List.init nworkers worker) in
+  let prog = Api.parse src in
+  let placement name =
+    if name = "master" then 0
+    else
+      (int_of_string (String.sub name 1 (String.length name - 1)) + 1)
+      mod nodes
+  in
+  let config = { Cluster.default_config with Cluster.nodes } in
+  let host_cores = Domain.recommended_domain_count () in
+  row "  %d work items x ~%d instructions, %d workers on %d nodes, host \
+       has %d cores@."
+    items (work * 3) nworkers nodes host_cores;
+  record_i "e19_host_cores" host_cores;
+  row "  %-10s %12s %14s %10s %10s %10s@." "domains" "wall ms"
+    "Minstr/s" "speedup" "handoffs" "parks";
+  let repeats = if !smoke then 1 else 3 in
+  let base_tp = ref 0.0 in
+  List.iter
+    (fun d ->
+      (* best of [repeats]: wall-clock runs are noisy, min is the
+         standard estimator for a fixed workload *)
+      let best = ref None in
+      for _ = 1 to repeats do
+        let r = Api.run_parallel ~config ~placement ~domains:d prog in
+        if r.Dityco.Par_runner.timed_out then
+          failwith "e19: parallel run timed out";
+        match !best with
+        | Some b when b.Dityco.Par_runner.wall_ns <= r.Dityco.Par_runner.wall_ns
+          ->
+            ()
+        | _ -> best := Some r
+      done;
+      let r = Option.get !best in
+      let tp =
+        float_of_int r.Dityco.Par_runner.instructions
+        /. float_of_int (max r.Dityco.Par_runner.wall_ns 1)
+      in
+      if d = 1 then base_tp := tp;
+      let speedup = tp /. !base_tp in
+      row "  %-10d %12.1f %14.1f %9.2fx %10d %10d@." d
+        (float_of_int r.Dityco.Par_runner.wall_ns /. 1e6)
+        (tp *. 1e3) speedup r.Dityco.Par_runner.handoffs
+        r.Dityco.Par_runner.parks;
+      record_f (Printf.sprintf "e19_minstr_per_s_d%d" d) (tp *. 1e3);
+      record_i (Printf.sprintf "e19_wall_ms_d%d" d)
+        (r.Dityco.Par_runner.wall_ns / 1_000_000);
+      record_i (Printf.sprintf "e19_handoffs_d%d" d)
+        r.Dityco.Par_runner.handoffs;
+      if d = 4 then
+        record "e19_speedup_d4" (Printf.sprintf "%.3f" speedup))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -1047,7 +1140,8 @@ let () =
     e14 ();
     e16 ();
     e17 ();
-    e18 ()
+    e18 ();
+    e19 ()
   end
   else begin
     e1 ();
@@ -1067,7 +1161,8 @@ let () =
     e15 ();
     e16 ();
     e17 ();
-    e18 ()
+    e18 ();
+    e19 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

@@ -115,9 +115,10 @@ let run_tcp path nodes =
     List.iter
       (fun e -> Format.printf "%a@." Dityco.Output.pp_event e)
       r.Dityco.Tcp_runner.outputs;
-    Format.printf "-- real TCP loopback: %d packets, %.1f ms wall%s@."
+    Format.printf "-- real TCP loopback: %d packets, %.1f ms wall, %d parks%s@."
       r.Dityco.Tcp_runner.packets
       (float_of_int r.Dityco.Tcp_runner.wall_ns /. 1e6)
+      r.Dityco.Tcp_runner.parks
       (if r.Dityco.Tcp_runner.timed_out then " (TIMED OUT)" else "")
   with
   | Dityco.Api.Error e ->
@@ -127,7 +128,28 @@ let run_tcp path nodes =
       Format.eprintf "error: %s@." m;
       exit 1
 
-let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out interactive_mode tcp json =
+(* --domains N, N > 1: the sharded multi-domain engine.  Output
+   timestamps depend on domain interleaving; the deterministic single-
+   domain path stays the default (and what --domains 1 means). *)
+let run_domains config domains json prog =
+  let r = Dityco.Api.run_parallel ~config ~domains prog in
+  if json then print_endline (Dityco.Report.par_json r)
+  else begin
+    List.iter
+      (fun (ts, e) -> Format.printf "[%9dns] %a@." ts Dityco.Output.pp_event e)
+      r.Dityco.Par_runner.outputs;
+    Format.printf
+      "-- %d domains: virtual time %dns, %d events, %d packets, %d bytes, \
+       %d ring handoffs, %d parks, %.1f ms wall%s@."
+      r.Dityco.Par_runner.domains r.Dityco.Par_runner.virtual_ns
+      r.Dityco.Par_runner.events r.Dityco.Par_runner.packets
+      r.Dityco.Par_runner.bytes r.Dityco.Par_runner.handoffs
+      r.Dityco.Par_runner.parks
+      (float_of_int r.Dityco.Par_runner.wall_ns /. 1e6)
+      (if r.Dityco.Par_runner.timed_out then " (TIMED OUT)" else "")
+  end
+
+let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out interactive_mode tcp domains json =
   try
     let config =
       { Dityco.Cluster.default_config with
@@ -143,6 +165,11 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace tra
     in
     if interactive_mode then (interactive config; exit 0);
     if tcp then (run_tcp path nodes; exit 0);
+    if domains > 1 then begin
+      run_domains config domains json
+        (Dityco.Api.parse ~file:path (read_file path));
+      exit 0
+    end;
     let prog = Dityco.Api.parse ~file:path (read_file path) in
     let r = Dityco.Api.run_program ~config ?until prog in
     (match trace_out with
@@ -225,8 +252,16 @@ let json_flag =
 
 let tcp_flag =
   Arg.(value & flag & info [ "tcp" ]
-       ~doc:"Run over real loopback TCP sockets (one thread per node) \
-             instead of the deterministic simulation.")
+       ~doc:"Run over real loopback TCP sockets (one OCaml domain per \
+             node) instead of the deterministic simulation.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+       ~doc:"Run the cluster sharded over N OCaml domains (nodes are \
+             assigned by ip mod N; cross-domain packets travel through \
+             lock-free SPSC rings).  1 (the default) is the \
+             deterministic single-domain scheduler, bit-identical to \
+             not passing the flag at all.")
 
 let interactive_flag =
   Arg.(value & flag & info [ "i"; "interactive" ]
@@ -256,6 +291,6 @@ let cmd =
        ~doc:"Submit DiTyCO network programs to a simulated cluster")
     Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
           $ verbose $ seed $ replicated_ns $ trace $ trace_out
-          $ interactive_flag $ tcp_flag $ json_flag)
+          $ interactive_flag $ tcp_flag $ domains_arg $ json_flag)
 
 let () = exit (Cmd.eval cmd)

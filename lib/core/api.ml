@@ -106,6 +106,65 @@ let run_program ?config ?placement ?max_events ?until ?(inputs = [])
 let run_source ?config ?placement ?max_events ?until src =
   run_program ?config ?placement ?max_events ?until (parse src)
 
+(* The --domains dispatch: one or fewer domains means the deterministic
+   single-domain scheduler, taken verbatim through [run_program] — the
+   result is bit-identical to a plain run by construction (the test
+   suite pins this), and it remains the only mode with timestamps
+   deterministic enough for the differential tests.  More than one
+   domain goes to the sharded engine. *)
+let run_parallel ?config ?placement ?(inputs = []) ?max_events
+    ?(typecheck = true) ~domains prog : Par_runner.result =
+  if domains <= 1 then begin
+    let t0 = Unix.gettimeofday () in
+    let r =
+      run_program ?config ?placement ?max_events ~inputs ~typecheck prog
+    in
+    let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    let c = r.cluster in
+    let instructions =
+      List.fold_left
+        (fun acc s ->
+          acc + Tyco_support.Stats.counter_value (Site.stats s) "instructions")
+        0 (Cluster.sites c)
+    in
+    { Par_runner.outputs = r.outputs;
+      virtual_ns = r.virtual_ns;
+      packets = r.packets;
+      bytes = r.bytes;
+      same_node_fast = Cluster.same_node_fast c;
+      handoffs = 0;
+      ring_pushed = 0;
+      ring_popped = 0;
+      parks = 0;
+      domains = 1;
+      instructions;
+      wall_ns;
+      dead_letters = Cluster.dead_letters c;
+      suspected = Cluster.suspected_failures c;
+      sites_per_shard = [| List.length (Cluster.sites c) |];
+      events = r.sim_events;
+      clean = true;
+      timed_out = false }
+  end
+  else begin
+    if typecheck then
+      ignore (
+        try Infer.check_program prog
+        with Infer.Error e ->
+          raise (Error (Type_error (Format.asprintf "%a" Infer.pp_error e))));
+    let units = compile prog in
+    let site_inputs name =
+      Option.value ~default:[] (List.assoc_opt name inputs)
+    in
+    try
+      Par_runner.run ?config ?placement ~inputs:site_inputs ?max_events
+        ~domains units
+    with
+    | Site.Protocol_error m -> raise (Error (Runtime_error m))
+    | Tyco_vm.Machine.Error m -> raise (Error (Runtime_error m))
+    | Invalid_argument m | Failure m -> raise (Error (Runtime_error m))
+  end
+
 let run_reference ?max_steps ?inputs prog =
   try Output.of_ref_outputs (Tyco_calculus.Interp.outputs ?max_steps ?inputs prog)
   with

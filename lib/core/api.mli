@@ -57,6 +57,22 @@ val run_source :
   string ->
   result
 
+val run_parallel :
+  ?config:Cluster.config ->
+  ?placement:(string -> int) ->
+  ?inputs:(string * int list) list ->
+  ?max_events:int ->
+  ?typecheck:bool ->
+  domains:int ->
+  Tyco_syntax.Ast.program ->
+  Par_runner.result
+(** The [--domains] dispatch.  [domains <= 1] runs the deterministic
+    single-domain scheduler through {!run_program} — bit-identical to
+    a plain run, timestamps and all (test-pinned) — and reports it in
+    {!Par_runner.result} form.  [domains > 1] runs the sharded
+    multi-domain engine ({!Par_runner.run}): same output multiset,
+    interleaving-dependent timestamps. *)
+
 val load_isolated :
   ?placement:(string -> int) -> Cluster.t -> Tyco_syntax.Ast.program -> unit
 (** Type-check each site in isolation, compile, and submit to an

@@ -1,0 +1,583 @@
+(* The parallel execution engine: the cluster sharded over OCaml 5
+   domains.
+
+   Each shard owns a disjoint set of nodes (ip mod domains) and
+   everything beneath them — sites, VMs, export tables, intern areas,
+   statistics reservoirs — plus its own discrete-event simulator, so a
+   shard's virtual clock advances independently.  No mutable state is
+   shared between shards: the only cross-domain traffic is
+
+   - packet envelopes through one {!Tyco_support.Spsc_ring} per
+     ordered shard pair, and
+   - a handful of whole-run atomics (the in-flight envelope count,
+     per-shard pending/executed event counters, the stop flag) that
+     exist purely for termination detection.
+
+   Clock merge rule: a handed-off packet sent at sender-virtual time
+   [s] with wire delay [d] is delivered at receiver-virtual time
+   [max (receiver now) (s + d)] — delivery timestamps stay monotone
+   per receiver, at the price of cross-shard timestamps depending on
+   domain interleaving.  Determinism is the single-domain engine's
+   job ({!Cluster}); this engine preserves output *sets*, not
+   timestamps.
+
+   Scope: the direct per-packet transport only.  Batching, reliable
+   delivery, fault injection, replicated name service and tracing all
+   stay with the deterministic engine (rings are lossless and ordered,
+   so none of that machinery has work to do here); configs requesting
+   them are rejected loudly. *)
+
+module Simnet = Tyco_net.Simnet
+module Packet = Tyco_net.Packet
+module Nameservice = Tyco_net.Nameservice
+module Netref = Tyco_support.Netref
+module Stats = Tyco_support.Stats
+module Prng = Tyco_support.Prng
+module Trace = Tyco_support.Trace
+module Spsc = Tyco_support.Spsc_ring
+
+let ns_processing_cost = 1_000
+let context_switch_cost = 200
+
+(* One handed-off packet: everything the receiving shard needs to
+   charge the wire and route, so it never touches sender state. *)
+type envelope = {
+  env_pkt : Packet.t;
+  env_src_ip : int;
+  env_dst_ip : int;
+  env_send_ts : int; (* sender's virtual clock at send *)
+  env_bytes : int;
+}
+
+type global = {
+  g_domains : int;
+  (* envelopes pushed to a ring whose delivery event has not yet
+     executed: > 0 whenever cross-shard work is outside any heap *)
+  g_inflight : int Atomic.t;
+  g_stop : bool Atomic.t;
+}
+
+type wrapper = {
+  w_site : Site.t;
+  w_node : Node.t;
+  w_shard : int;
+  mutable w_pump_scheduled : bool;
+}
+
+type shard = {
+  sh_id : int;
+  g : global;
+  sim : Simnet.t;
+  quantum : int;
+  loopback_delay : int;
+  ns : Nameservice.t option; (* the centralized service, shard 0 only *)
+  by_id : (int, wrapper) Hashtbl.t;
+  mutable wrappers : wrapper list;
+  in_rings : envelope Spsc.t option array; (* index = source shard *)
+  out_rings : envelope Spsc.t option array; (* index = destination shard *)
+  (* shard-confined accumulators, merged after join *)
+  mutable outs : (int * Output.event) list;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable same_node : int;
+  mutable handoffs_in : int;
+  mutable parks : int;
+  mutable dead_letters : int;
+  mutable suspected : (int * string) list;
+  mutable busy_until : int;
+  mutable error : exn option;
+  (* termination-detection counters (Mattern-style): [pending] is the
+     shard's heap size maintained so that children are counted before
+     their parent event is uncounted, which makes
+     [inflight + sum pending = 0] hold only at true quiescence;
+     [executed] is monotone and detects activity between the
+     coordinator's two collects *)
+  pending : int Atomic.t;
+  executed : int Atomic.t;
+}
+
+(* Every event entering a shard's heap goes through here so [pending]
+   tracks the heap exactly; the matching decrement is in [shard_loop],
+   after [Simnet.step] returns. *)
+let sched sh ~delay f =
+  Atomic.incr sh.pending;
+  Simnet.schedule sh.sim ~delay f
+
+let shard_of_ip g ip = ip mod g.g_domains
+
+(* ------------------------------------------------------------------ *)
+(* The event graph: scheduling, transport, delivery.  Mirrors
+   [Cluster]'s unbatched path minus faults/reliability/tracing.       *)
+
+let rec request_pump sh w ~delay =
+  if (not w.w_pump_scheduled) && Site.alive w.w_site then begin
+    w.w_pump_scheduled <- true;
+    sched sh ~delay (fun () -> pump_event sh w)
+  end
+
+and pump_event sh w =
+  w.w_pump_scheduled <- false;
+  if Site.alive w.w_site then begin
+    let now = Simnet.now sh.sim in
+    let core, free = Node.earliest_core w.w_node in
+    if free > now then request_pump sh w ~delay:(free - now)
+    else begin
+      let cost = Site.pump ~now w.w_site ~quantum:sh.quantum in
+      let duration = cost + context_switch_cost in
+      Node.occupy w.w_node ~core ~until:(now + duration);
+      sh.busy_until <- max sh.busy_until (now + duration);
+      if Site.busy w.w_site then request_pump sh w ~delay:duration
+    end
+  end
+
+and send_packet sh ~src_ip (p : Packet.t) =
+  let dst_ip = Packet.dst_ip p ~ns_ip:0 in
+  let dst_shard = shard_of_ip sh.g dst_ip in
+  if dst_shard = sh.sh_id then
+    if dst_ip = src_ip then begin
+      (* same-node fast path, intact inside the shard: shared memory,
+         no size accounting, loopback latency only *)
+      sh.same_node <- sh.same_node + 1;
+      sched sh ~delay:sh.loopback_delay (fun () -> deliver sh ~at_ip:dst_ip p)
+    end
+    else begin
+      let bytes = Packet.byte_size p in
+      sh.packets <- sh.packets + 1;
+      sh.bytes <- sh.bytes + bytes;
+      let delay = Simnet.packet_delay sh.sim ~src_ip ~dst_ip ~bytes in
+      sched sh ~delay (fun () -> deliver sh ~at_ip:dst_ip p)
+    end
+  else begin
+    let bytes = Packet.byte_size p in
+    sh.packets <- sh.packets + 1;
+    sh.bytes <- sh.bytes + bytes;
+    Atomic.incr sh.g.g_inflight;
+    push_envelope sh ~dst_shard
+      { env_pkt = p; env_src_ip = src_ip; env_dst_ip = dst_ip;
+        env_send_ts = Simnet.now sh.sim; env_bytes = bytes }
+  end
+
+and push_envelope sh ~dst_shard env =
+  let ring =
+    match sh.out_rings.(dst_shard) with
+    | Some r -> r
+    | None -> assert false (* dst_shard <> sh_id by construction *)
+  in
+  if not (Spsc.try_push ring env) then begin
+    (* Backpressure: the ring is bounded, so spin — but keep draining
+       our own inbound rings while we wait, otherwise two shards
+       pushing into each other's full rings deadlock. *)
+    let spins = ref 0 in
+    let pushed = ref false in
+    while not !pushed do
+      if Atomic.get sh.g.g_stop then begin
+        (* the run is being torn down (error or timeout): drop rather
+           than block forever against a consumer that already exited *)
+        Atomic.decr sh.g.g_inflight;
+        pushed := true
+      end
+      else if Spsc.try_push ring env then pushed := true
+      else begin
+        ignore (drain_rings sh);
+        incr spins;
+        if !spins < 64 then Domain.cpu_relax ()
+        else begin
+          sh.parks <- sh.parks + 1;
+          Unix.sleepf 2e-5
+        end
+      end
+    done
+  end
+
+and drain_rings sh =
+  let got = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some ring ->
+          let draining = ref true in
+          while !draining do
+            match Spsc.try_pop ring with
+            | None -> draining := false
+            | Some env ->
+                incr got;
+                sh.handoffs_in <- sh.handoffs_in + 1;
+                let d =
+                  Simnet.packet_delay sh.sim ~src_ip:env.env_src_ip
+                    ~dst_ip:env.env_dst_ip ~bytes:env.env_bytes
+                in
+                let now = Simnet.now sh.sim in
+                (* clock merge rule: monotone per receiver *)
+                let at = max now (env.env_send_ts + d) in
+                sched sh ~delay:(at - now) (fun () ->
+                    Atomic.decr sh.g.g_inflight;
+                    deliver sh ~at_ip:env.env_dst_ip env.env_pkt)
+          done)
+    sh.in_rings;
+  !got
+
+and deliver sh ~at_ip (p : Packet.t) =
+  match p with
+  | Packet.Pns_register { site_name; id_name; nref; rtti } ->
+      let ns =
+        match sh.ns with
+        | Some ns -> ns
+        | None -> assert false (* ns traffic routes to shard 0 *)
+      in
+      let waiters =
+        Nameservice.register_id ns ~site:site_name ~name:id_name ~rtti nref
+      in
+      List.iter
+        (fun (wtr : Nameservice.waiter) ->
+          reply_ns sh ~from_ip:at_ip
+            (Packet.Pns_reply
+               { req_id = wtr.Nameservice.w_req_id;
+                 dst_site = wtr.Nameservice.w_site;
+                 dst_ip = wtr.Nameservice.w_ip;
+                 result = Some nref;
+                 rtti }))
+        waiters
+  | Packet.Pns_lookup { site_name; id_name; req_id; requester_site;
+                        requester_ip; _ } -> (
+      let ns =
+        match sh.ns with Some ns -> ns | None -> assert false
+      in
+      let waiter =
+        { Nameservice.w_req_id = req_id; w_site = requester_site;
+          w_ip = requester_ip }
+      in
+      match Nameservice.lookup_id ns ~site:site_name ~name:id_name waiter with
+      | Some (nref, rtti) ->
+          reply_ns sh ~from_ip:at_ip
+            (Packet.Pns_reply
+               { req_id; dst_site = requester_site; dst_ip = requester_ip;
+                 result = Some nref; rtti })
+      | None -> (* parked until the registration arrives *) ())
+  | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
+      deliver_to_site sh dst.Netref.site_id p
+  | Packet.Pfetch_req { cls; _ } -> deliver_to_site sh cls.Netref.site_id p
+  | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
+      deliver_to_site sh dst_site p
+  | Packet.Prelease { origin_site; _ } -> deliver_to_site sh origin_site p
+
+and reply_ns sh ~from_ip p =
+  sched sh ~delay:ns_processing_cost (fun () ->
+      send_packet sh ~src_ip:from_ip p)
+
+and deliver_to_site sh site_id p =
+  match Hashtbl.find_opt sh.by_id site_id with
+  | None ->
+      sh.dead_letters <- sh.dead_letters + 1;
+      sh.suspected <-
+        (Simnet.now sh.sim, Printf.sprintf "site#%d" site_id) :: sh.suspected
+  | Some w ->
+      (* domain-confinement invariant: a packet can only surface at the
+         shard that owns its destination site *)
+      assert (w.w_shard = sh.sh_id);
+      if Site.alive w.w_site then begin
+        Site.deliver ~now:(Simnet.now sh.sim) w.w_site p;
+        request_pump sh w ~delay:0
+      end
+      else
+        sh.suspected <-
+          (Simnet.now sh.sim, Site.name w.w_site) :: sh.suspected
+
+(* ------------------------------------------------------------------ *)
+(* The per-domain driver loop.                                         *)
+
+let park_min = 2e-5 (* 20 us *)
+let park_max = 1e-3 (* 1 ms *)
+
+let shard_loop sh ~max_events =
+  let backoff = ref park_min in
+  (try
+     while not (Atomic.get sh.g.g_stop) do
+       let drained = drain_rings sh in
+       (* bounded local batch so inbound rings are polled regularly *)
+       let steps = ref 0 in
+       while
+         !steps < 256
+         && (not (Atomic.get sh.g.g_stop))
+         && Simnet.step sh.sim
+       do
+         Atomic.decr sh.pending;
+         Atomic.incr sh.executed;
+         incr steps
+       done;
+       if Atomic.get sh.executed > max_events then
+         failwith
+           (Printf.sprintf "Par_runner: shard %d exceeded %d events"
+              sh.sh_id max_events);
+       if drained = 0 && !steps = 0 then begin
+         (* idle: exponential-backoff parking.  The sleep is what lets
+            sibling domains (and the coordinator) run when there are
+            more domains than cores. *)
+         sh.parks <- sh.parks + 1;
+         Unix.sleepf !backoff;
+         backoff := Float.min park_max (!backoff *. 2.)
+       end
+       else backoff := park_min
+     done
+   with exn ->
+     sh.error <- Some exn;
+     Atomic.set sh.g.g_stop true)
+
+(* ------------------------------------------------------------------ *)
+(* Construction, loading, coordination.                                *)
+
+type result = {
+  outputs : (int * Output.event) list; (* merged, sorted by timestamp *)
+  virtual_ns : int; (* max over shards *)
+  packets : int;
+  bytes : int;
+  same_node_fast : int;
+  handoffs : int; (* envelopes carried by rings *)
+  ring_pushed : int;
+  ring_popped : int;
+  parks : int; (* idle/backpressure parks across all shards *)
+  domains : int;
+  instructions : int; (* total VM instructions, for throughput *)
+  wall_ns : int;
+  dead_letters : int;
+  suspected : (int * string) list;
+  sites_per_shard : int array;
+  events : int; (* simulation events across all shards *)
+  clean : bool; (* quiesced with rings drained and heaps empty *)
+  timed_out : bool;
+}
+
+let validate (cfg : Cluster.config) =
+  if cfg.Cluster.reliable then
+    invalid_arg "Par_runner: reliable delivery requires --domains 1";
+  if cfg.Cluster.tracing then
+    invalid_arg "Par_runner: tracing requires --domains 1";
+  if cfg.Cluster.faults <> Simnet.no_faults then
+    invalid_arg "Par_runner: fault injection requires --domains 1";
+  if cfg.Cluster.ns_mode <> Cluster.Centralized then
+    invalid_arg "Par_runner: replicated name service requires --domains 1"
+
+let ring_capacity = 4096
+
+let run ?(config = Cluster.default_config) ?placement
+    ?(inputs = fun _ -> []) ?(max_events = 10_000_000)
+    ?(max_wall_ms = 120_000) ~domains
+    (units : (string * Tyco_compiler.Block.unit_) list) =
+  if domains < 1 then invalid_arg "Par_runner.run: domains must be >= 1";
+  validate config;
+  let g =
+    { g_domains = domains;
+      g_inflight = Atomic.make 0;
+      g_stop = Atomic.make false }
+  in
+  (* ring matrix: rings.(src).(dst) carries src -> dst *)
+  let rings =
+    Array.init domains (fun src ->
+        Array.init domains (fun dst ->
+            if src = dst then None
+            else Some (Spsc.create ~capacity:ring_capacity)))
+  in
+  let nodes =
+    Array.init config.Cluster.nodes (fun i ->
+        Node.create ~node_id:i ~ip:i ~cores:config.Cluster.cores_per_node)
+  in
+  let shards =
+    Array.init domains (fun s ->
+        (* per-owner seed derivation: each shard's simulator draws from
+           its own stream; nothing is shared with siblings *)
+        let seed =
+          Int64.to_int
+            (Prng.next (Prng.for_owner ~seed:config.Cluster.seed ~owner:s))
+          land max_int
+        in
+        let sim =
+          Simnet.create ~topology:config.Cluster.topology
+            ~faults:Simnet.no_faults ~seed ()
+        in
+        { sh_id = s;
+          g;
+          sim;
+          quantum = config.Cluster.quantum;
+          loopback_delay =
+            Simnet.packet_delay sim ~src_ip:0 ~dst_ip:0 ~bytes:0;
+          ns = (if s = 0 then Some (Nameservice.create ()) else None);
+          by_id = Hashtbl.create 16;
+          wrappers = [];
+          in_rings = Array.init domains (fun src -> rings.(src).(s));
+          out_rings = rings.(s);
+          outs = [];
+          packets = 0;
+          bytes = 0;
+          same_node = 0;
+          handoffs_in = 0;
+          parks = 0;
+          dead_letters = 0;
+          suspected = [];
+          busy_until = 0;
+          error = None;
+          pending = Atomic.make 0;
+          executed = Atomic.make 0 })
+  in
+  (* load sites (on the coordinating domain, before any shard domain
+     exists — construction is the last moment state is shared) *)
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, unit_) ->
+      if Hashtbl.mem seen name then
+        invalid_arg
+          (Printf.sprintf "Par_runner.run: duplicate site '%s'" name);
+      Hashtbl.add seen name ();
+      let node_idx =
+        match placement with
+        | Some f ->
+            let n = f name in
+            if n < 0 || n >= Array.length nodes then
+              invalid_arg
+                (Printf.sprintf "Par_runner.run: site '%s' placed on node %d"
+                   name n)
+            else n
+        | None -> i mod Array.length nodes
+      in
+      let node = nodes.(node_idx) in
+      let sh = shards.(shard_of_ip g (Node.ip node)) in
+      let site_id = i in
+      let lifecycle =
+        { Site.lc_lease_ns = config.Cluster.lease_ns;
+          lc_refresh_ns = config.Cluster.lease_refresh_ns;
+          lc_hold_ns = config.Cluster.lease_hold_ns;
+          lc_code_cache = config.Cluster.code_cache_capacity;
+          lc_done_horizon_ns =
+            Site.default_lifecycle.Site.lc_done_horizon_ns }
+      in
+      let w =
+        { w_site =
+            Site.create ~inputs:(inputs name)
+              ~retry:config.Cluster.site_retry ~lifecycle
+              ~on_suspect:(fun who ->
+                sh.suspected <- (Simnet.now sh.sim, who) :: sh.suspected)
+              ~name ~site_id ~ip:(Node.ip node)
+              ~send:(fun _ctx p ->
+                send_packet sh ~src_ip:(Node.ip node) p)
+              ~on_output:(fun e ->
+                sh.outs <- (Simnet.now sh.sim, e) :: sh.outs)
+              ~unit_ ();
+          w_node = node;
+          w_shard = sh.sh_id;
+          w_pump_scheduled = false }
+      in
+      Node.add_site node w.w_site;
+      Hashtbl.replace sh.by_id site_id w;
+      sh.wrappers <- w :: sh.wrappers;
+      Site.start w.w_site;
+      request_pump sh w ~delay:0)
+    units;
+  (* run *)
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.map (fun sh -> Domain.spawn (fun () -> shard_loop sh ~max_events))
+      shards
+  in
+  (* Quiescence: [inflight + sum pending] is maintained so it is zero
+     only when no work exists anywhere (children are counted before
+     parents are uncounted; ring residency is covered by inflight
+     until the delivery event executes).  Two collects agreeing on the
+     monotone executed-count with a zero work-sum close the race of
+     reading the counters one by one. *)
+  let collect () =
+    let work = ref (Atomic.get g.g_inflight) in
+    let execd = ref 0 in
+    Array.iter
+      (fun sh ->
+        work := !work + Atomic.get sh.pending;
+        execd := !execd + Atomic.get sh.executed)
+      shards;
+    (!work, !execd)
+  in
+  let timed_out = ref false in
+  let rec wait () =
+    if Atomic.get g.g_stop then ()
+    else if (Unix.gettimeofday () -. t0) *. 1000. > float_of_int max_wall_ms
+    then timed_out := true
+    else begin
+      let w1, e1 = collect () in
+      if w1 = 0 then begin
+        let w2, e2 = collect () in
+        if w2 = 0 && e1 = e2 then () (* quiescent *)
+        else begin
+          Unix.sleepf 2e-4;
+          wait ()
+        end
+      end
+      else begin
+        Unix.sleepf 2e-4;
+        wait ()
+      end
+    end
+  in
+  wait ();
+  Atomic.set g.g_stop true;
+  Array.iter Domain.join doms;
+  let wall_ns =
+    int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  Array.iter
+    (fun sh -> match sh.error with Some exn -> raise exn | None -> ())
+    shards;
+  (* merge (the only time shard state is read from outside) *)
+  let outputs =
+    List.stable_sort
+      (fun (ts1, (e1 : Output.event)) (ts2, e2) ->
+        match compare ts1 ts2 with
+        | 0 -> compare e1.Output.site e2.Output.site
+        | c -> c)
+      (Array.fold_left
+         (fun acc sh -> List.rev_append sh.outs acc)
+         [] shards)
+  in
+  let sum (f : shard -> int) =
+    Array.fold_left (fun acc sh -> acc + f sh) 0 shards
+  in
+  let ring_pushed = ref 0 and ring_popped = ref 0 and rings_empty = ref true in
+  Array.iter
+    (Array.iter (function
+      | None -> ()
+      | Some r ->
+          ring_pushed := !ring_pushed + Spsc.pushed r;
+          ring_popped := !ring_popped + Spsc.popped r;
+          if not (Spsc.is_empty r) then rings_empty := false))
+    rings;
+  let clean =
+    (not !timed_out) && !rings_empty
+    && Atomic.get g.g_inflight = 0
+    && Array.for_all (fun sh -> Atomic.get sh.pending = 0) shards
+  in
+  let instructions =
+    sum (fun sh ->
+        List.fold_left
+          (fun acc w ->
+            acc + Stats.counter_value (Site.stats w.w_site) "instructions")
+          0 sh.wrappers)
+  in
+  { outputs;
+    virtual_ns =
+      Array.fold_left
+        (fun acc sh -> max acc (max (Simnet.now sh.sim) sh.busy_until))
+        0 shards;
+    packets = sum (fun sh -> sh.packets);
+    bytes = sum (fun sh -> sh.bytes);
+    same_node_fast = sum (fun sh -> sh.same_node);
+    handoffs = sum (fun sh -> sh.handoffs_in);
+    ring_pushed = !ring_pushed;
+    ring_popped = !ring_popped;
+    parks = sum (fun sh -> sh.parks);
+    domains;
+    instructions;
+    wall_ns;
+    dead_letters = sum (fun sh -> sh.dead_letters);
+    suspected =
+      List.concat_map
+        (fun (sh : shard) -> List.rev sh.suspected)
+        (Array.to_list shards);
+    sites_per_shard = Array.map (fun sh -> Hashtbl.length sh.by_id) shards;
+    events = sum (fun sh -> Atomic.get sh.executed);
+    clean;
+    timed_out = !timed_out }

@@ -1,0 +1,64 @@
+(** Parallel execution engine: the simulated cluster sharded over
+    OCaml 5 domains.
+
+    Shard [s] owns the nodes with [ip mod domains = s] and everything
+    beneath them — sites, VMs, export tables, intern areas, statistics
+    — plus its own {!Tyco_net.Simnet} (clock, heap, PRNG, derived from
+    the run seed per owner).  Cross-shard packets travel as envelopes
+    through one bounded lock-free {!Tyco_support.Spsc_ring} per
+    ordered shard pair; the PR 2 same-node fast path is preserved
+    intact inside each shard.  A handed-off packet sent at
+    sender-virtual time [s] with wire delay [d] is delivered at
+    receiver-virtual time [max (receiver now) (s + d)], so delivery
+    timestamps stay monotone per receiver.
+
+    This engine preserves the deterministic engine's output {e sets};
+    output {e timestamps} (and their order) depend on domain
+    interleaving.  [--domains 1] therefore dispatches to {!Cluster},
+    not here — see {!Api.run_parallel}.
+
+    Configs requesting machinery the rings make redundant (reliable
+    delivery, fault injection, tracing, replicated name service) are
+    rejected with [Invalid_argument]: those modes belong to the
+    deterministic single-domain engine. *)
+
+type result = {
+  outputs : (int * Output.event) list;
+      (** merged across shards, sorted by (timestamp, site) *)
+  virtual_ns : int;  (** max over the per-shard clocks *)
+  packets : int;
+  bytes : int;
+  same_node_fast : int;
+  handoffs : int;  (** envelopes delivered through rings *)
+  ring_pushed : int;  (** total ring pushes (= pops after a clean run) *)
+  ring_popped : int;
+  parks : int;  (** idle/backpressure parks across all shards *)
+  domains : int;
+  instructions : int;  (** total VM instructions, for throughput *)
+  wall_ns : int;
+  dead_letters : int;
+  suspected : (int * string) list;
+  sites_per_shard : int array;
+  events : int;  (** simulation events across all shards *)
+  clean : bool;
+      (** quiesced with every ring drained, no in-flight envelopes and
+          every shard heap empty — the sharding smoke test asserts
+          this together with [ring_pushed = ring_popped] *)
+  timed_out : bool;
+}
+
+val run :
+  ?config:Cluster.config ->
+  ?placement:(string -> int) ->
+  ?inputs:(string -> int list) ->
+  ?max_events:int ->
+  ?max_wall_ms:int ->
+  domains:int ->
+  (string * Tyco_compiler.Block.unit_) list ->
+  result
+(** [run ~domains units] executes the compiled sites on [domains]
+    domains (plus the calling domain, which only coordinates
+    termination).  [max_events] bounds each shard's event count
+    (default 10M, the same livelock guard as {!Tyco_net.Simnet.run});
+    [max_wall_ms] (default 120s) bounds wall time — exceeding it stops
+    the run with [timed_out = true] instead of hanging. *)

@@ -236,6 +236,29 @@ let memory_json m =
     (jfloat m.mem_gc_major_words)
     m.mem_gc_heap_words
 
+(* The parallel runtime's merge target: shard-confined accumulators
+   become one flat JSON object here, after every domain has joined —
+   the explicit end-of-run merge the sharded engine is allowed. *)
+let par_json (r : Par_runner.result) =
+  Printf.sprintf
+    "{\"engine\":\"parallel\",\"domains\":%d,\"virtual_ns\":%d,\
+     \"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\"same_node_fast\":%d,\
+     \"handoffs\":%d,\"ring_pushed\":%d,\"ring_popped\":%d,\"parks\":%d,\
+     \"instructions\":%d,\"wall_ns\":%d,\"dead_letters\":%d,\
+     \"sites_per_shard\":%s,\"clean\":%b,\"timed_out\":%b,\"outputs\":%s,\
+     \"suspected_failures\":%s}"
+    r.Par_runner.domains r.Par_runner.virtual_ns r.Par_runner.events
+    r.Par_runner.packets r.Par_runner.bytes r.Par_runner.same_node_fast
+    r.Par_runner.handoffs r.Par_runner.ring_pushed r.Par_runner.ring_popped
+    r.Par_runner.parks r.Par_runner.instructions r.Par_runner.wall_ns
+    r.Par_runner.dead_letters
+    (jlist string_of_int (Array.to_list r.Par_runner.sites_per_shard))
+    r.Par_runner.clean r.Par_runner.timed_out
+    (jlist output_json r.Par_runner.outputs)
+    (jlist
+       (fun (ts, name) -> Printf.sprintf "{\"t\":%d,\"site\":%s}" ts (jstr name))
+       r.Par_runner.suspected)
+
 let to_json t =
   Printf.sprintf
     "{\"virtual_ns\":%d,\"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\

@@ -98,5 +98,10 @@ val of_cluster : Cluster.t -> t
 val to_json : t -> string
 (** Compact single-line JSON. *)
 
+val par_json : Par_runner.result -> string
+(** JSON for a multi-domain run ({!Par_runner}): domain count, ring
+    handoff and park counters, merged outputs.  [tycosh --json
+    --domains N] (N > 1) prints this instead of {!to_json}. *)
+
 val json_escape : string -> string
 (** Exposed for tests: JSON string escaping. *)

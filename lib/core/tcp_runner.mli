@@ -3,14 +3,21 @@
     The default runtime multiplexes everything into one deterministic
     discrete-event simulation (see DESIGN.md).  This module instead
     realizes the paper's §5 deployment literally, on the loopback
-    network: every node is a thread owning a TCP listening socket (its
-    "IP address" is a port), sites run inside their node's thread, the
-    TyCOd role — framing packets, routing them to peer nodes,
+    network: every node is an OCaml 5 domain owning a TCP listening
+    socket (its "IP address" is a port), sites run inside their node's
+    domain — so nodes execute truly in parallel on a multicore host —
+    the TyCOd role — framing packets, routing them to peer nodes,
     delivering to local site queues — is played by each node's event
     loop, and the centralized name service lives on node 0.  The same
     {!Site} machinery runs unchanged; only the transport differs.
 
-    Execution is {e not} deterministic (the OS schedules the threads),
+    A quiet node does not spin: it parks in [select] on its sockets
+    under an exponentially growing timeout (50 us doubling to 5 ms,
+    reset by any work), so inbound traffic wakes it immediately
+    instead of waiting out a fixed sleep.  Parks are counted per node
+    and reported in [result.parks].
+
+    Execution is {e not} deterministic (the OS schedules the domains),
     so tests compare output multisets against the simulated runtime.
     Termination uses a coordinator scan: all nodes idle and no packets
     in flight for two consecutive scans.
@@ -24,6 +31,7 @@ type result = {
   packets : int;                 (** TCP packets exchanged *)
   wall_ns : int;                 (** elapsed wall-clock time *)
   timed_out : bool;
+  parks : int;                   (** idle [select] parks across nodes *)
 }
 
 val run :

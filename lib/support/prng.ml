@@ -42,3 +42,14 @@ let shuffle t xs =
   Array.to_list arr
 
 let split t = { state = mix64 (next t) }
+
+(* Pure derivation: no generator is consumed, so every owner can
+   compute its own stream from the run seed independently — the
+   per-owner discipline the parallel runtime relies on (each shard
+   seeds its simulator with [for_owner ~seed ~owner:shard] before its
+   domain starts; no [t] is ever shared across domains). *)
+let for_owner ~seed ~owner =
+  { state =
+      mix64
+        (Int64.add (Int64.of_int seed)
+           (Int64.mul golden_gamma (Int64.of_int (owner + 1)))) }

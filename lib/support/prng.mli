@@ -4,7 +4,16 @@
     tie-breaks, latency jitter, workload generation) draws from a seeded
     [Prng.t], so whole-network executions are reproducible bit-for-bit —
     a prerequisite for the differential tests between the byte-code VM
-    and the reference interpreter. *)
+    and the reference interpreter.
+
+    {b State is explicitly per-owner.}  This module keeps no global
+    generator: every [t] is created by (and belongs to) exactly one
+    owning component — a simulator, a statistics reservoir, a test
+    harness — and must never be shared across OCaml domains ([next]
+    mutates unsynchronized state).  Components that shard across
+    domains derive their streams up front with {!for_owner} (pure, no
+    draw from any parent generator) or {!split} (consumes one draw
+    from the parent, before the child domain starts). *)
 
 type t
 
@@ -28,4 +37,12 @@ val pick : t -> 'a list -> 'a
 val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
-(** Derive an independent generator (for spawned components). *)
+(** Derive an independent generator (for spawned components).
+    Consumes one draw from the parent. *)
+
+val for_owner : seed:int -> owner:int -> t
+(** Pure per-owner derivation: an independent stream determined only
+    by [(seed, owner)], consuming nothing.  Distinct owners under one
+    seed get decorrelated streams (the owner index is spread by the
+    SplitMix64 finalizer).  This is how domain-sharded components
+    obtain their generators without touching a shared parent. *)

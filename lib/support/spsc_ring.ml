@@ -1,0 +1,61 @@
+(* Classic bounded SPSC ring over a power-of-two slot array.
+
+   [head] is owned by the consumer, [tail] by the producer; both are
+   monotone counters masked into the array.  Each side reads the
+   other's counter atomically and writes only its own, so there is no
+   CAS and no retry loop anywhere.  Slots hold ['a option] so the
+   consumer can drop its reference to a popped element immediately
+   (keeping a popped envelope alive until the slot is overwritten
+   would extend the lifetime of whole packet payloads by up to a full
+   ring revolution). *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; consumer-owned *)
+  tail : int Atomic.t; (* next slot to push; producer-owned *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc_ring.create: capacity";
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { buf = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    (* plain write, then the atomic tail advance publishes it *)
+    Array.unsafe_set t.buf (tail land t.mask) (Some v);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let i = head land t.mask in
+    let v = Array.unsafe_get t.buf i in
+    Array.unsafe_set t.buf i None;
+    Atomic.set t.head (head + 1);
+    (match v with
+    | Some _ -> ()
+    | None -> assert false (* tail was published, so the slot is too *));
+    v
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let is_empty t = length t = 0
+let pushed t = Atomic.get t.tail
+let popped t = Atomic.get t.head

@@ -1,0 +1,50 @@
+(** Bounded lock-free single-producer/single-consumer ring.
+
+    The cross-domain handoff primitive of the parallel runtime: one
+    ring per ordered domain pair carries packet envelopes from exactly
+    one producer domain to exactly one consumer domain.  The contract
+    is strict SPSC — [try_push] may only ever be called from one
+    domain and [try_pop] from one (possibly different) domain; neither
+    end takes a lock, so a handoff costs two atomic operations and the
+    slot write.
+
+    Correctness under the OCaml 5 memory model: the producer publishes
+    the slot with a plain write and then advances [tail] with an
+    atomic store; the consumer reads [tail] atomically before reading
+    the slot, which establishes the happens-before edge that makes the
+    slot contents visible.  The mirrored argument covers the consumer's
+    slot clear and [head] advance.
+
+    Capacity is rounded up to a power of two so index masking replaces
+    modulo.  The ring never resizes: a full ring makes [try_push]
+    return [false] and the producer decides how to back off (the
+    parallel runtime drains its own inbound rings while waiting, which
+    breaks push-push deadlock cycles). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] rounds [capacity] up to a power of two
+    (minimum 2).  Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only.  [false] when the ring is full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side only.  [None] when the ring is empty. *)
+
+val is_empty : 'a t -> bool
+(** Snapshot; exact when called from either endpoint while the other
+    side is quiescent (how the runtime uses it: post-run drain
+    assertions). *)
+
+val length : 'a t -> int
+(** Snapshot occupancy, same caveat as {!is_empty}. *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed (monotone; read from any domain). *)
+
+val popped : 'a t -> int
+(** Total elements ever popped (monotone; read from any domain). *)

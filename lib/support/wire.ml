@@ -30,26 +30,31 @@ let add_char e c =
 
 (* Bounded free-list of encoders.  Buffers keep their grown capacity
    across uses, so steady-state encoding of similar-sized packets does
-   not touch the allocator at all. *)
-let pool : enc list ref = ref []
-let pool_len = ref 0
+   not touch the allocator at all.  The pool is domain-local: a
+   module-global free-list would be mutated without synchronization by
+   every domain that encodes a packet, so each domain gets its own
+   (lazily created, at most [pool_max] encoders each). *)
+type pool = { mutable free : enc list; mutable free_len : int }
+
 let pool_max = 8
+let pool_key = Domain.DLS.new_key (fun () -> { free = []; free_len = 0 })
 
 let with_encoder ?size f =
+  let pool = Domain.DLS.get pool_key in
   let e =
-    match !pool with
+    match pool.free with
     | e :: rest ->
-        pool := rest;
-        decr pool_len;
+        pool.free <- rest;
+        pool.free_len <- pool.free_len - 1;
         reset e;
         (match size with Some n -> ensure e n | None -> ());
         e
     | [] -> encoder ?size ()
   in
   let release () =
-    if !pool_len < pool_max then begin
-      pool := e :: !pool;
-      incr pool_len
+    if pool.free_len < pool_max then begin
+      pool.free <- e :: pool.free;
+      pool.free_len <- pool.free_len + 1
     end
   in
   match f e with

@@ -1,0 +1,288 @@
+(* The multi-domain engine (Par_runner) against the deterministic
+   scheduler.
+
+   Three contracts from DESIGN.md §12:
+   - [--domains 1] is the deterministic single-domain scheduler,
+     bit-identical to a plain run (timestamps included) — pinned here;
+   - [--domains N] (N > 1) preserves output {e multisets} but not
+     timestamps (domain interleaving);
+   - no shared mutable state crosses domains outside the SPSC rings
+     and the end-of-run merge — observable as [clean = true] with
+     [ring_pushed = ring_popped] and per-shard site ownership by
+     [node ip mod domains].
+
+   TYCO_TEST_DOMAINS=N overrides the domain counts the equivalence
+   tests sweep (CI runs the suite a second time with it set to 4). *)
+
+open Dityco
+module Spsc = Tyco_support.Spsc_ring
+
+let check = Alcotest.check
+
+let domain_counts =
+  match Sys.getenv_opt "TYCO_TEST_DOMAINS" with
+  | Some s -> [ int_of_string s ]
+  | None -> [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Spsc_ring                                                           *)
+
+let ring_fifo () =
+  let r = Spsc.create ~capacity:8 in
+  for i = 1 to 5 do
+    check Alcotest.bool "push" true (Spsc.try_push r i)
+  done;
+  check Alcotest.int "length" 5 (Spsc.length r);
+  for i = 1 to 5 do
+    check Alcotest.(option int) "fifo" (Some i) (Spsc.try_pop r)
+  done;
+  check Alcotest.(option int) "empty" None (Spsc.try_pop r);
+  check Alcotest.bool "is_empty" true (Spsc.is_empty r)
+
+let ring_bounded () =
+  let r = Spsc.create ~capacity:4 in
+  for i = 1 to 4 do
+    check Alcotest.bool "fills" true (Spsc.try_push r i)
+  done;
+  check Alcotest.bool "full rejects" false (Spsc.try_push r 5);
+  check Alcotest.(option int) "pop" (Some 1) (Spsc.try_pop r);
+  check Alcotest.bool "slot freed" true (Spsc.try_push r 5)
+
+let ring_wraparound () =
+  (* capacity rounds up to a power of two; drive several times around *)
+  let r = Spsc.create ~capacity:3 in
+  check Alcotest.int "rounded capacity" 4 (Spsc.capacity r);
+  for round = 0 to 9 do
+    for i = 0 to 2 do
+      check Alcotest.bool "push" true (Spsc.try_push r ((round * 3) + i))
+    done;
+    for i = 0 to 2 do
+      check Alcotest.(option int) "pop" (Some ((round * 3) + i))
+        (Spsc.try_pop r)
+    done
+  done;
+  check Alcotest.int "pushed" 30 (Spsc.pushed r);
+  check Alcotest.int "popped" 30 (Spsc.popped r)
+
+let ring_two_domains () =
+  (* one producer domain, one consumer domain, 10k items through a
+     16-slot ring: everything arrives, in order *)
+  let n = 10_000 in
+  let r = Spsc.create ~capacity:16 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (Spsc.try_push r i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let received = ref 0 in
+  let ordered = ref true in
+  while !received < n do
+    match Spsc.try_pop r with
+    | Some v ->
+        if v <> !received + 1 then ordered := false;
+        received := v
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check Alcotest.bool "in order" true !ordered;
+  check Alcotest.bool "drained" true (Spsc.is_empty r)
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence                                                  *)
+
+(* Multi-site programs with deterministic output multisets; the
+   placement spreads sites so every domain count exercises handoffs. *)
+let corpus =
+  [ ( "rpc",
+      {| site server {
+           def Serve(svc) = svc?{ add(a, b, k) = (k![a + b] | Serve[svc]) }
+           in export new svc Serve[svc] }
+         site c1 { import svc from server in
+                   new k (svc!add[1, 2, k] | k?(v) = io!printi[v]) }
+         site c2 { import svc from server in
+                   new k (svc!add[10, 20, k] | k?(v) = io!printi[v]) }
+         site c3 { import svc from server in
+                   new k (svc!add[100, 200, k] | k?(v) = io!printi[v]) } |} );
+    ( "pipeline",
+      {| site a { import mid from b in export new left
+           def L() = left?(v) = (mid![v * 2] | L[])
+           in L[] }
+         site b { import right from c in export new mid
+           def M() = mid?(v) = (right![v + 1] | M[])
+           in M[] }
+         site c { export new right
+           def R() = right?(v) = (io!printi[v] | R[])
+           in R[] }
+         site feeder { import left from a in
+                       (left![1] | left![2] | left![3]) } |} );
+    ( "fanout",
+      {| site hub {
+           def Pool(self, left) =
+             self?{ take(k) = (if left == 0 then (k!stop[] | Pool[self, left])
+                               else (k!item[left] | Pool[self, left - 1])) }
+           in export new pool Pool[pool, 12] }
+         site w0 { import pool from hub in
+           def Work() = new k (pool!take[k]
+             | k?{ item(v) = Work[], stop() = io!printi[0] })
+           in Work[] }
+         site w1 { import pool from hub in
+           def Work() = new k (pool!take[k]
+             | k?{ item(v) = Work[], stop() = io!printi[1] })
+           in Work[] }
+         site w2 { import pool from hub in
+           def Work() = new k (pool!take[k]
+             | k?{ item(v) = Work[], stop() = io!printi[2] })
+           in Work[] } |} ) ]
+
+let placement_spread name =
+  (* fixed placement spreading each program's sites over nodes 0-3, so
+     every domain count in [domain_counts] sees cross-shard traffic *)
+  match name with
+  | "hub" | "server" | "a" -> 0
+  | "w0" | "c1" | "b" -> 1
+  | "w1" | "c2" | "c" -> 2
+  | "w2" | "c3" | "feeder" -> 3
+  | other -> Hashtbl.hash other mod 8
+
+let config = { Cluster.default_config with Cluster.nodes = 8 }
+
+let event_multiset outputs =
+  List.sort compare
+    (List.map (fun (_ts, e) -> Format.asprintf "%a" Output.pp_event e) outputs)
+
+let domains1_bit_identical () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Api.parse src in
+      let det =
+        Api.run_program ~config ~placement:placement_spread prog
+      in
+      let par =
+        Api.run_parallel ~config ~placement:placement_spread ~domains:1 prog
+      in
+      if det.Api.outputs <> par.Par_runner.outputs then
+        Alcotest.failf "%s: --domains 1 diverged from the plain run" name;
+      check Alcotest.int
+        (name ^ " virtual time identical")
+        det.Api.virtual_ns par.Par_runner.virtual_ns)
+    corpus
+
+let multiset_equivalence () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Api.parse src in
+      let det =
+        Api.run_program ~config ~placement:placement_spread prog
+      in
+      let reference = event_multiset det.Api.outputs in
+      List.iter
+        (fun d ->
+          let par =
+            Api.run_parallel ~config ~placement:placement_spread ~domains:d
+              prog
+          in
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "%s at %d domains" name d)
+            reference
+            (event_multiset par.Par_runner.outputs);
+          if par.Par_runner.timed_out then
+            Alcotest.failf "%s: timed out at %d domains" name d)
+        domain_counts)
+    corpus
+
+let shipped_samples_equivalence () =
+  (* the examples corpus, minus seti.tyco (perpetual: it exhausts any
+     event budget by design, on either engine) *)
+  let dir = "../examples/programs" in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> Alcotest.skip ()
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".tyco" && f <> "seti.tyco")
+      |> List.iter (fun f ->
+             let path = Filename.concat dir f in
+             let ic = open_in_bin path in
+             let src =
+               Fun.protect
+                 ~finally:(fun () -> close_in_noerr ic)
+                 (fun () -> really_input_string ic (in_channel_length ic))
+             in
+             let prog = Api.parse ~file:path src in
+             let det = Api.run_program prog in
+             let reference = event_multiset det.Api.outputs in
+             List.iter
+               (fun d ->
+                 let par = Api.run_parallel ~domains:d prog in
+                 check
+                   Alcotest.(list string)
+                   (Printf.sprintf "%s at %d domains" f d)
+                   reference
+                   (event_multiset par.Par_runner.outputs))
+               domain_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Sharding invariants                                                 *)
+
+let sharding_smoke () =
+  let _, src = List.nth corpus 2 in
+  let prog = Api.parse src in
+  let d = 4 in
+  let par =
+    Api.run_parallel ~config ~placement:placement_spread ~domains:d prog
+  in
+  check Alcotest.bool "clean quiescence" true par.Par_runner.clean;
+  check Alcotest.bool "not timed out" false par.Par_runner.timed_out;
+  check Alcotest.int "rings fully drained" par.Par_runner.ring_pushed
+    par.Par_runner.ring_popped;
+  check Alcotest.int "every shard accounted" d
+    (Array.length par.Par_runner.sites_per_shard);
+  (* every site lives on the shard its node ip maps to: the per-shard
+     totals must agree with recomputing ip mod d over the placement *)
+  let expected = Array.make d 0 in
+  List.iter
+    (fun name ->
+      let ip = placement_spread name in
+      expected.(ip mod d) <- expected.(ip mod d) + 1)
+    [ "hub"; "w0"; "w1"; "w2" ];
+  check
+    Alcotest.(array int)
+    "sites confined by ip mod domains" expected par.Par_runner.sites_per_shard;
+  check Alcotest.bool "cross-shard traffic happened" true
+    (par.Par_runner.handoffs > 0)
+
+let rejects_deterministic_only_modes () =
+  (* the Par_runner contract is Invalid_argument; Api.run_parallel
+     re-wraps it as Api.Error like every other runtime failure *)
+  let units = Api.compile (Api.parse "io!printi[1]") in
+  List.iter
+    (fun (what, config) ->
+      (match Par_runner.run ~config ~domains:2 units with
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+      | exception Invalid_argument _ -> ());
+      match Api.run_parallel ~config ~domains:2 (Api.parse "io!printi[1]") with
+      | _ -> Alcotest.failf "%s: expected Api.Error" what
+      | exception Api.Error _ -> ())
+    [ ("tracing", { Cluster.default_config with Cluster.tracing = true });
+      ( "replicated ns",
+        { Cluster.default_config with Cluster.ns_mode = Cluster.Replicated } );
+      ( "faults",
+        { Cluster.default_config with
+          Cluster.faults =
+            { Tyco_net.Simnet.no_faults with Tyco_net.Simnet.drop = 0.1 } } ) ]
+
+let tests =
+  [ ("spsc ring fifo", `Quick, ring_fifo);
+    ("spsc ring bounded", `Quick, ring_bounded);
+    ("spsc ring wraparound", `Quick, ring_wraparound);
+    ("spsc ring two domains", `Quick, ring_two_domains);
+    ("domains 1 bit-identical", `Quick, domains1_bit_identical);
+    ("multiset equivalence", `Quick, multiset_equivalence);
+    ("shipped samples equivalence", `Slow, shipped_samples_equivalence);
+    ("sharding smoke at 4 domains", `Quick, sharding_smoke);
+    ("rejects deterministic-only modes", `Quick,
+     rejects_deterministic_only_modes) ]
