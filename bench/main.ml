@@ -26,14 +26,14 @@ let row fmt = Format.printf fmt
 
    --smoke   reduced iteration counts (CI-friendly wall clock)
    --json    additionally write the recorded measurements as a flat
-             JSON object (default BENCH_PR2.json; override with --out)
+             JSON object (default BENCH_PR8.json; override with --out)
 
    Keys are flat ("e1_vm_ns_per_reduction") so shell pipelines can
    extract them without a JSON parser. *)
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR7.json"
+let json_path = ref "BENCH_PR8.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -960,6 +960,7 @@ let e18 () =
       Cluster.lease_ns = 200_000; lease_refresh_ns = 50_000 }
   in
   let unbatched = { base with Cluster.batching = false } in
+  let metered = { base with Cluster.metrics = true } in
   let pct over baseline =
     if baseline > 0. then (over -. baseline) /. baseline *. 100. else nan
   in
@@ -982,11 +983,13 @@ let e18 () =
   in
   (* local: disabled features must cost ~zero here — the trace/lease
      deltas on this workload are the number the E1 gate protects *)
-  report "local" local [ ("trace", traced); ("lease", leased) ];
+  report "local" local
+    [ ("trace", traced); ("lease", leased); ("metrics", metered) ];
   (* cross-node: what the same subsystems cost when actually exercised,
      plus the batching delta (frames vs per-packet transmission) *)
   report "xnode" xnode
-    [ ("trace", traced); ("lease", leased); ("nobatch", unbatched) ]
+    [ ("trace", traced); ("lease", leased); ("nobatch", unbatched);
+      ("metrics", metered) ]
 
 (* ------------------------------------------------------------------ *)
 (* E19 — multicore scaling: the E9 master/worker workload, scaled up,  *)

@@ -36,6 +36,11 @@ let run_traced path nodes seed =
   let r = Dityco.Api.run_program ~config prog in
   let tr = Dityco.Cluster.tracer r.Dityco.Api.cluster in
   { Trace.ar_tracks = Trace.tracks tr;
+    ar_shards =
+      List.filter_map
+        (fun (id, _) ->
+          Option.map (fun s -> (id, s)) (Trace.track_shard tr id))
+        (Trace.tracks tr);
     ar_dropped = Trace.dropped tr;
     ar_events = Trace.events tr }
 

@@ -108,10 +108,23 @@ let interactive config =
   in
   loop ()
 
-let run_tcp path nodes =
+let run_tcp path nodes metrics_out =
   try
     let prog = Dityco.Api.parse ~file:path (read_file path) in
-    let r = Dityco.Tcp_runner.run_program ~nodes prog in
+    let r =
+      Dityco.Tcp_runner.run_program ~nodes ~metrics:(metrics_out <> None) prog
+    in
+    (match metrics_out with
+    | Some out ->
+        let mx = r.Dityco.Tcp_runner.metrics in
+        write_file out
+          (if Filename.check_suffix out ".prom" then
+             Tyco_support.Metrics.to_prom mx
+           else
+             Tyco_support.Metrics.to_json ~extra:[ ("kind", "\"final\"") ] mx
+             ^ "\n");
+        Format.printf "-- metrics written to %s@." out
+    | None -> ());
     List.iter
       (fun e -> Format.printf "%a@." Dityco.Output.pp_event e)
       r.Dityco.Tcp_runner.outputs;
@@ -128,11 +141,84 @@ let run_tcp path nodes =
       Format.eprintf "error: %s@." m;
       exit 1
 
+(* --metrics-out: a .prom suffix means one Prometheus text exposition
+   of the final merged registry; anything else means JSONL — periodic
+   coordinator snapshots while the domains run, then one final line
+   with the merged instruments. *)
+let jint_array a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let snapshot_json (s : Dityco.Par_runner.snapshot) =
+  Printf.sprintf
+    "{\"kind\":\"snapshot\",\"wall_ms\":%.1f,\"inflight\":%d,\
+     \"executed\":%s,\"pending\":%s,\"ring_pushed\":%d,\"ring_popped\":%d}"
+    s.Dityco.Par_runner.sn_wall_ms s.Dityco.Par_runner.sn_inflight
+    (jint_array s.Dityco.Par_runner.sn_executed)
+    (jint_array s.Dityco.Par_runner.sn_pending)
+    s.Dityco.Par_runner.sn_ring_pushed s.Dityco.Par_runner.sn_ring_popped
+
+let write_trace_file out tr =
+  (* .json → Chrome trace-event form for Perfetto; anything else →
+     the binary archive that [tyco-trace] analyzes *)
+  write_file out
+    (if Filename.check_suffix out ".json" then
+       Tyco_support.Trace.to_chrome_json tr
+     else Tyco_support.Trace.serialize tr)
+
 (* --domains N, N > 1: the sharded multi-domain engine.  Output
    timestamps depend on domain interleaving; the deterministic single-
    domain path stays the default (and what --domains 1 means). *)
-let run_domains config domains json prog =
-  let r = Dityco.Api.run_parallel ~config ~domains prog in
+let run_domains config domains json trace_out metrics_out prog =
+  let prom =
+    match metrics_out with
+    | Some p -> Filename.check_suffix p ".prom"
+    | None -> false
+  in
+  let moc =
+    match metrics_out with
+    | Some p when not prom -> Some (open_out_bin p)
+    | _ -> None
+  in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr moc)
+      (fun () ->
+        let on_snapshot =
+          Option.map
+            (fun oc s ->
+              output_string oc (snapshot_json s);
+              output_char oc '\n';
+              flush oc)
+            moc
+        in
+        let r = Dityco.Api.run_parallel ~config ~domains ?on_snapshot prog in
+        (match moc with
+        | Some oc ->
+            output_string oc
+              (Tyco_support.Metrics.to_json
+                 ~extra:
+                   [ ("kind", "\"final\"");
+                     ( "wall_ms",
+                       Printf.sprintf "%.1f"
+                         (float_of_int r.Dityco.Par_runner.wall_ns /. 1e6) ) ]
+                 r.Dityco.Par_runner.metrics);
+            output_char oc '\n'
+        | None -> ());
+        r)
+  in
+  if prom then
+    Option.iter
+      (fun p ->
+        write_file p (Tyco_support.Metrics.to_prom r.Dityco.Par_runner.metrics))
+      metrics_out;
+  (match metrics_out with
+  | Some p when not json -> Format.printf "-- metrics written to %s@." p
+  | _ -> ());
+  (match trace_out with
+  | Some out ->
+      write_trace_file out r.Dityco.Par_runner.trace;
+      if not json then Format.printf "-- trace written to %s@." out
+  | None -> ());
   if json then print_endline (Dityco.Report.par_json r)
   else begin
     List.iter
@@ -149,7 +235,7 @@ let run_domains config domains json prog =
       (if r.Dityco.Par_runner.timed_out then " (TIMED OUT)" else "")
   end
 
-let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out interactive_mode tcp domains json =
+let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out metrics_out interactive_mode tcp domains json =
   try
     let config =
       { Dityco.Cluster.default_config with
@@ -159,14 +245,15 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace tra
         topology = topology_of_string topo;
         seed;
         tracing = trace_out <> None;
+        metrics = metrics_out <> None;
         ns_mode =
           (if replicated_ns then Dityco.Cluster.Replicated
            else Dityco.Cluster.Centralized) }
     in
     if interactive_mode then (interactive config; exit 0);
-    if tcp then (run_tcp path nodes; exit 0);
+    if tcp then (run_tcp path nodes metrics_out; exit 0);
     if domains > 1 then begin
-      run_domains config domains json
+      run_domains config domains json trace_out metrics_out
         (Dityco.Api.parse ~file:path (read_file path));
       exit 0
     end;
@@ -174,14 +261,17 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace tra
     let r = Dityco.Api.run_program ~config ?until prog in
     (match trace_out with
     | Some out ->
-        (* .json → Chrome trace-event form for Perfetto; anything else →
-           the binary archive that [tyco-trace] analyzes *)
-        let tr = Dityco.Cluster.tracer r.Dityco.Api.cluster in
-        write_file out
-          (if Filename.check_suffix out ".json" then
-             Tyco_support.Trace.to_chrome_json tr
-           else Tyco_support.Trace.serialize tr);
+        write_trace_file out (Dityco.Cluster.tracer r.Dityco.Api.cluster);
         if not json then Format.printf "-- trace written to %s@." out
+    | None -> ());
+    (match metrics_out with
+    | Some out ->
+        let mx = Dityco.Cluster.metrics r.Dityco.Api.cluster in
+        write_file out
+          (if Filename.check_suffix out ".prom" then
+             Tyco_support.Metrics.to_prom mx
+           else Tyco_support.Metrics.to_json ~extra:[ ("kind", "\"final\"") ] mx ^ "\n");
+        if not json then Format.printf "-- metrics written to %s@." out
     | None -> ());
     if json then begin
       print_endline (Dityco.Report.to_json (Dityco.Report.of_result r));
@@ -280,6 +370,14 @@ let trace_out =
              Perfetto), else the binary archive that tyco-trace \
              analyzes.")
 
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+       ~doc:"Record run metrics (transport counters, latency histograms \
+             with p50/p95/p99/p999, per-shard ring occupancy) and write \
+             them to FILE: Prometheus text if FILE ends in .prom, else \
+             JSONL — with --domains N > 1, periodic coordinator \
+             snapshots followed by a final merged line.")
+
 let replicated_ns =
   Arg.(value & flag & info [ "replicated-ns" ]
        ~doc:"Use a per-node replicated name service instead of the \
@@ -290,7 +388,7 @@ let cmd =
     (Cmd.info "tycosh" ~version:"1.0"
        ~doc:"Submit DiTyCO network programs to a simulated cluster")
     Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
-          $ verbose $ seed $ replicated_ns $ trace $ trace_out
+          $ verbose $ seed $ replicated_ns $ trace $ trace_out $ metrics_out
           $ interactive_flag $ tcp_flag $ domains_arg $ json_flag)
 
 let () = exit (Cmd.eval cmd)

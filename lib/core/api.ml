@@ -113,7 +113,8 @@ let run_source ?config ?placement ?max_events ?until src =
    deterministic enough for the differential tests.  More than one
    domain goes to the sharded engine. *)
 let run_parallel ?config ?placement ?(inputs = []) ?max_events
-    ?(typecheck = true) ~domains prog : Par_runner.result =
+    ?(typecheck = true) ?on_snapshot ?snapshot_every_ms ~domains prog :
+    Par_runner.result =
   if domains <= 1 then begin
     let t0 = Unix.gettimeofday () in
     let r =
@@ -144,7 +145,23 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
       sites_per_shard = [| List.length (Cluster.sites c) |];
       events = r.sim_events;
       clean = true;
-      timed_out = false }
+      timed_out = false;
+      trace = Cluster.tracer c;
+      metrics = Cluster.metrics c;
+      shard_stats =
+        [| { Par_runner.ss_shard = 0;
+             ss_sites = List.length (Cluster.sites c);
+             ss_events = r.sim_events;
+             ss_virtual_ns = r.virtual_ns;
+             ss_packets = r.packets;
+             ss_same_node = Cluster.same_node_fast c;
+             ss_handoffs_in = 0;
+             ss_ring_pushed = 0;
+             ss_ring_popped = 0;
+             ss_ring_hiwater = 0;
+             ss_parks = 0;
+             ss_drains = 0 } |];
+      sites = Cluster.sites c }
   end
   else begin
     if typecheck then
@@ -158,7 +175,7 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
     in
     try
       Par_runner.run ?config ?placement ~inputs:site_inputs ?max_events
-        ~domains units
+        ?on_snapshot ?snapshot_every_ms ~domains units
     with
     | Site.Protocol_error m -> raise (Error (Runtime_error m))
     | Tyco_vm.Machine.Error m -> raise (Error (Runtime_error m))

@@ -63,6 +63,8 @@ val run_parallel :
   ?inputs:(string * int list) list ->
   ?max_events:int ->
   ?typecheck:bool ->
+  ?on_snapshot:(Par_runner.snapshot -> unit) ->
+  ?snapshot_every_ms:int ->
   domains:int ->
   Tyco_syntax.Ast.program ->
   Par_runner.result
@@ -71,7 +73,10 @@ val run_parallel :
     a plain run, timestamps and all (test-pinned) — and reports it in
     {!Par_runner.result} form.  [domains > 1] runs the sharded
     multi-domain engine ({!Par_runner.run}): same output multiset,
-    interleaving-dependent timestamps. *)
+    interleaving-dependent timestamps; [on_snapshot] /
+    [snapshot_every_ms] stream coordinator-side mid-run observations
+    (ignored when [domains <= 1], whose engine runs to quiescence in
+    one call). *)
 
 val load_isolated :
   ?placement:(string -> int) -> Cluster.t -> Tyco_syntax.Ast.program -> unit

@@ -6,6 +6,7 @@ module Netref = Tyco_support.Netref
 module Stats = Tyco_support.Stats
 module Prng = Tyco_support.Prng
 module Trace = Tyco_support.Trace
+module Metrics = Tyco_support.Metrics
 module Dq = Tyco_support.Dq
 
 (* The paper's first implementation uses a centralized name service;
@@ -42,6 +43,7 @@ type config = {
   site_retry : Site.retry;
   tracing : bool;
   trace_capacity : int;
+  metrics : bool;
   packet_log_capacity : int;
   batching : bool;
   flush_max_packets : int;
@@ -74,6 +76,7 @@ let default_config =
     site_retry = Site.default_retry;
     tracing = false;
     trace_capacity = 65536;
+    metrics = false;
     packet_log_capacity = 4096;
     batching = true;
     flush_max_packets = 16;
@@ -157,6 +160,14 @@ type t = {
   mutable plog_dropped : int;
   tracer : Trace.t;
   tr_on : bool; (* cached [Trace.enabled tracer]; fixed at creation *)
+  (* metrics registry (off = shared disabled singleton; each bump below
+     is one load of the instrument's own flag and a branch) *)
+  mx : Metrics.t;
+  m_packets : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_same_node : Metrics.counter;
+  m_deliveries : Metrics.counter;
+  m_wire_ns : Metrics.histogram;
   (* Same-node delivery latency (shared memory, zero payload bytes):
      constant for the whole run, precomputed so the same-node fast path
      never consults the link model per packet. *)
@@ -199,7 +210,8 @@ let create ?(config = default_config) () =
   let tracer =
     Trace.create ~capacity:config.trace_capacity ~enabled:config.tracing ()
   in
-  Trace.register_track tracer ~id:Trace.fabric_track ~name:"fabric";
+  Trace.register_track tracer ~id:Trace.fabric_track ~name:"fabric" ();
+  let mx = if config.metrics then Metrics.create ~enabled:true () else Metrics.disabled in
   { cfg = config;
     sim;
     replicas =
@@ -233,6 +245,12 @@ let create ?(config = default_config) () =
     plog_dropped = 0;
     tracer;
     tr_on = Trace.enabled tracer;
+    mx;
+    m_packets = Metrics.counter mx "packets";
+    m_bytes = Metrics.counter mx "bytes";
+    m_same_node = Metrics.counter mx "same_node_fast";
+    m_deliveries = Metrics.counter mx "deliveries";
+    m_wire_ns = Metrics.histogram mx "wire_ns";
     loopback_delay = Simnet.packet_delay sim ~src_ip:0 ~dst_ip:0 ~bytes:0;
     outboxes = Hashtbl.create 16;
     pending_batches = Hashtbl.create 16;
@@ -294,6 +312,7 @@ let packet_trace t = Dq.to_list t.plog
 
 let packet_trace_dropped t = t.plog_dropped
 let tracer t = t.tracer
+let metrics t = t.mx
 let stats t = t.stats
 let dead_letters t = Stats.Counter.value t.c_dead_letters
 let same_node_fast t = Stats.Counter.value t.c_same_node
@@ -381,6 +400,7 @@ and pump_event t w =
 and transmit t ~src_ip ~dst_ip ~bytes action =
   let base = Simnet.packet_delay t.sim ~src_ip ~dst_ip ~bytes in
   Stats.Dist.add_int t.d_lat_wire base;
+  Metrics.observe_int t.m_wire_ns base;
   if not (Simnet.faulted_link t.sim ~src_ip ~dst_ip) then begin
     (* clean link: exactly one copy at the base delay — no verdict
        record, no delay list, no PRNG consumption *)
@@ -427,22 +447,27 @@ and send_packet t ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
        maintained: quiescence detection counts these deliveries.  The
        causal span still travels — by reference, like the packet. *)
     Stats.Counter.incr t.c_same_node;
+    Metrics.incr t.m_same_node;
     log_packet t p;
     t.in_flight <- t.in_flight + 1;
     Simnet.schedule t.sim ~delay:t.loopback_delay (fun () ->
         t.in_flight <- t.in_flight - 1;
         deliver t ~at_ip:dst_ip ~ctx ~same_node:true p)
   end
-  else if t.cfg.batching then enqueue_outbox t ~src_ip ~dst_ip ~ctx p
-  else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip ~ctx p
   else begin
-    let bytes = Packet.byte_size p in
-    t.packets <- t.packets + 1;
-    t.bytes <- t.bytes + bytes;
-    Stats.Counter.incr t.c_frames;
-    log_packet t p;
-    transmit t ~src_ip ~dst_ip ~bytes (fun () ->
-        deliver t ~at_ip:dst_ip ~ctx p)
+    Metrics.incr t.m_packets;
+    if t.cfg.batching then enqueue_outbox t ~src_ip ~dst_ip ~ctx p
+    else if t.cfg.reliable then send_reliable t ~src_ip ~dst_ip ~ctx p
+    else begin
+      let bytes = Packet.byte_size p in
+      t.packets <- t.packets + 1;
+      t.bytes <- t.bytes + bytes;
+      Metrics.add t.m_bytes bytes;
+      Stats.Counter.incr t.c_frames;
+      log_packet t p;
+      transmit t ~src_ip ~dst_ip ~bytes (fun () ->
+          deliver t ~at_ip:dst_ip ~ctx p)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -458,6 +483,7 @@ and enqueue_outbox t ~src_ip ~dst_ip ~ctx (p : Packet.t) =
   let ob = outbox_of t ~src_ip ~dst_ip in
   let bytes = Packet.byte_size p in
   t.packets <- t.packets + 1;
+  Metrics.add t.m_bytes bytes;
   log_packet t p;
   t.in_flight <- t.in_flight + 1;
   let n = ob.ob_count in
@@ -734,6 +760,7 @@ and send_reliable t ~src_ip ~dst_ip ~ctx (p : Packet.t) =
   (* the logical packet is counted once; each physical attempt below
      adds only frame bytes and a frame count *)
   t.packets <- t.packets + 1;
+  Metrics.add t.m_bytes bytes;
   log_packet t p;
   attempt_xmit t
     { x_src_ip = src_ip; x_dst_ip = dst_ip; x_seq = seq; x_packet = p;
@@ -907,6 +934,7 @@ and deliver_to_site t site_id ~ctx ~same_node p =
   | Some w ->
       if Site.alive w.site then begin
         let now = Simnet.now t.sim in
+        Metrics.incr t.m_deliveries;
         if t.tr_on then
           Trace.emit t.tracer ~ts:now ~track:site_id ~span:ctx
             (Trace.Deliver { pk = Packet.trace_pk p; same_node });

@@ -61,6 +61,12 @@ type config = {
           load-and-branch. *)
   trace_capacity : int;
       (** Per-track event-ring bound when [tracing] (default 65536). *)
+  metrics : bool;
+      (** Turn on the {!Tyco_support.Metrics} registry: transport
+          counters (packets/bytes/same-node/deliveries) and a wire-
+          latency histogram, exportable via {!metrics} as Prometheus
+          text or JSONL.  Default [false] — every bump costs one
+          load-and-branch on a shared dummy instrument. *)
   packet_log_capacity : int;
       (** Bound on the {!packet_trace} ring (default 4096); the oldest
           entries are dropped beyond it — see
@@ -214,6 +220,11 @@ val tracer : t -> Tyco_support.Trace.t
 (** The run's causal-trace collector — the disabled singleton unless
     [config.tracing]; export with {!Tyco_support.Trace.to_chrome_json}
     or {!Tyco_support.Trace.serialize}. *)
+
+val metrics : t -> Tyco_support.Metrics.t
+(** The run's metrics registry — the disabled singleton unless
+    [config.metrics]; export with {!Tyco_support.Metrics.to_prom} or
+    {!Tyco_support.Metrics.to_json}. *)
 
 (** {1 Internals exposed for the experiment harness} *)
 

@@ -22,10 +22,17 @@
    timestamps.
 
    Scope: the direct per-packet transport only.  Batching, reliable
-   delivery, fault injection, replicated name service and tracing all
-   stay with the deterministic engine (rings are lossless and ordered,
-   so none of that machinery has work to do here); configs requesting
-   them are rejected loudly. *)
+   delivery, fault injection and replicated name service stay with the
+   deterministic engine (rings are lossless and ordered, so none of
+   that machinery has work to do here); configs requesting them are
+   rejected loudly.
+
+   Observability: each shard owns a private {!Trace} collector (span
+   ids strided by [shard + k * domains] so they stay globally unique
+   without a shared counter) and a private {!Metrics} registry;
+   envelopes carry the packet's span across the ring so cross-shard
+   packets keep their causal tree.  Both are merged at quiescence,
+   after the joins — the only time shard state is read from outside. *)
 
 module Simnet = Tyco_net.Simnet
 module Packet = Tyco_net.Packet
@@ -34,6 +41,7 @@ module Netref = Tyco_support.Netref
 module Stats = Tyco_support.Stats
 module Prng = Tyco_support.Prng
 module Trace = Tyco_support.Trace
+module Metrics = Tyco_support.Metrics
 module Spsc = Tyco_support.Spsc_ring
 
 let ns_processing_cost = 1_000
@@ -47,6 +55,7 @@ type envelope = {
   env_dst_ip : int;
   env_send_ts : int; (* sender's virtual clock at send *)
   env_bytes : int;
+  env_span : Trace.span; (* causal context rides the ring with the packet *)
 }
 
 type global = {
@@ -82,10 +91,21 @@ type shard = {
   mutable same_node : int;
   mutable handoffs_in : int;
   mutable parks : int;
+  mutable drains : int; (* backpressure drain passes while pushing *)
   mutable dead_letters : int;
   mutable suspected : (int * string) list;
   mutable busy_until : int;
   mutable error : exn option;
+  (* shard-local observability: nothing here is shared while the
+     domain runs; merged after join *)
+  tr : Trace.t;
+  tr_on : bool;
+  mx : Metrics.t;
+  m_packets : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_same_node : Metrics.counter;
+  m_handoffs_in : Metrics.counter;
+  m_handoff_lat : Metrics.histogram; (* virtual ns from send to delivery *)
   (* termination-detection counters (Mattern-style): [pending] is the
      shard's heap size maintained so that children are counted before
      their parent event is uncounted, which makes
@@ -130,7 +150,7 @@ and pump_event sh w =
     end
   end
 
-and send_packet sh ~src_ip (p : Packet.t) =
+and send_packet sh ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
   let dst_ip = Packet.dst_ip p ~ns_ip:0 in
   let dst_shard = shard_of_ip sh.g dst_ip in
   if dst_shard = sh.sh_id then
@@ -138,23 +158,30 @@ and send_packet sh ~src_ip (p : Packet.t) =
       (* same-node fast path, intact inside the shard: shared memory,
          no size accounting, loopback latency only *)
       sh.same_node <- sh.same_node + 1;
-      sched sh ~delay:sh.loopback_delay (fun () -> deliver sh ~at_ip:dst_ip p)
+      Metrics.incr sh.m_same_node;
+      sched sh ~delay:sh.loopback_delay (fun () ->
+          deliver sh ~at_ip:dst_ip ~ctx ~same_node:true p)
     end
     else begin
       let bytes = Packet.byte_size p in
       sh.packets <- sh.packets + 1;
       sh.bytes <- sh.bytes + bytes;
+      Metrics.incr sh.m_packets;
+      Metrics.add sh.m_bytes bytes;
       let delay = Simnet.packet_delay sh.sim ~src_ip ~dst_ip ~bytes in
-      sched sh ~delay (fun () -> deliver sh ~at_ip:dst_ip p)
+      sched sh ~delay (fun () -> deliver sh ~at_ip:dst_ip ~ctx p)
     end
   else begin
     let bytes = Packet.byte_size p in
     sh.packets <- sh.packets + 1;
     sh.bytes <- sh.bytes + bytes;
+    Metrics.incr sh.m_packets;
+    Metrics.add sh.m_bytes bytes;
     Atomic.incr sh.g.g_inflight;
     push_envelope sh ~dst_shard
       { env_pkt = p; env_src_ip = src_ip; env_dst_ip = dst_ip;
-        env_send_ts = Simnet.now sh.sim; env_bytes = bytes }
+        env_send_ts = Simnet.now sh.sim; env_bytes = bytes;
+        env_span = ctx }
   end
 
 and push_envelope sh ~dst_shard env =
@@ -178,6 +205,7 @@ and push_envelope sh ~dst_shard env =
       end
       else if Spsc.try_push ring env then pushed := true
       else begin
+        sh.drains <- sh.drains + 1;
         ignore (drain_rings sh);
         incr spins;
         if !spins < 64 then Domain.cpu_relax ()
@@ -202,6 +230,7 @@ and drain_rings sh =
             | Some env ->
                 incr got;
                 sh.handoffs_in <- sh.handoffs_in + 1;
+                Metrics.incr sh.m_handoffs_in;
                 let d =
                   Simnet.packet_delay sh.sim ~src_ip:env.env_src_ip
                     ~dst_ip:env.env_dst_ip ~bytes:env.env_bytes
@@ -209,14 +238,17 @@ and drain_rings sh =
                 let now = Simnet.now sh.sim in
                 (* clock merge rule: monotone per receiver *)
                 let at = max now (env.env_send_ts + d) in
+                Metrics.observe_int sh.m_handoff_lat (at - env.env_send_ts);
                 sched sh ~delay:(at - now) (fun () ->
                     Atomic.decr sh.g.g_inflight;
-                    deliver sh ~at_ip:env.env_dst_ip env.env_pkt)
+                    deliver sh ~at_ip:env.env_dst_ip ~ctx:env.env_span
+                      env.env_pkt)
           done)
     sh.in_rings;
   !got
 
-and deliver sh ~at_ip (p : Packet.t) =
+and deliver sh ~at_ip ?(ctx = Trace.null_span) ?(same_node = false)
+    (p : Packet.t) =
   match p with
   | Packet.Pns_register { site_name; id_name; nref; rtti } ->
       let ns =
@@ -224,12 +256,15 @@ and deliver sh ~at_ip (p : Packet.t) =
         | Some ns -> ns
         | None -> assert false (* ns traffic routes to shard 0 *)
       in
+      if sh.tr_on then
+        Trace.emit sh.tr ~ts:(Simnet.now sh.sim) ~track:Trace.fabric_track
+          ~span:ctx Trace.Ns_serve;
       let waiters =
         Nameservice.register_id ns ~site:site_name ~name:id_name ~rtti nref
       in
       List.iter
         (fun (wtr : Nameservice.waiter) ->
-          reply_ns sh ~from_ip:at_ip
+          reply_ns sh ~from_ip:at_ip ~ctx
             (Packet.Pns_reply
                { req_id = wtr.Nameservice.w_req_id;
                  dst_site = wtr.Nameservice.w_site;
@@ -242,29 +277,45 @@ and deliver sh ~at_ip (p : Packet.t) =
       let ns =
         match sh.ns with Some ns -> ns | None -> assert false
       in
+      if sh.tr_on then
+        Trace.emit sh.tr ~ts:(Simnet.now sh.sim) ~track:Trace.fabric_track
+          ~span:ctx Trace.Ns_serve;
       let waiter =
         { Nameservice.w_req_id = req_id; w_site = requester_site;
           w_ip = requester_ip }
       in
       match Nameservice.lookup_id ns ~site:site_name ~name:id_name waiter with
       | Some (nref, rtti) ->
-          reply_ns sh ~from_ip:at_ip
+          reply_ns sh ~from_ip:at_ip ~ctx
             (Packet.Pns_reply
                { req_id; dst_site = requester_site; dst_ip = requester_ip;
                  result = Some nref; rtti })
       | None -> (* parked until the registration arrives *) ())
   | Packet.Pmsg { dst; _ } | Packet.Pobj { dst; _ } ->
-      deliver_to_site sh dst.Netref.site_id p
-  | Packet.Pfetch_req { cls; _ } -> deliver_to_site sh cls.Netref.site_id p
+      deliver_to_site sh dst.Netref.site_id ~ctx ~same_node p
+  | Packet.Pfetch_req { cls; _ } ->
+      deliver_to_site sh cls.Netref.site_id ~ctx ~same_node p
   | Packet.Pfetch_rep { dst_site; _ } | Packet.Pns_reply { dst_site; _ } ->
-      deliver_to_site sh dst_site p
-  | Packet.Prelease { origin_site; _ } -> deliver_to_site sh origin_site p
+      deliver_to_site sh dst_site ~ctx ~same_node p
+  | Packet.Prelease { origin_site; _ } ->
+      deliver_to_site sh origin_site ~ctx ~same_node p
 
-and reply_ns sh ~from_ip p =
+and reply_ns sh ~from_ip ~ctx p =
+  (* mirror of [Cluster.reply_ns]: the reply travels under a child span
+     of the request; the name service is not a site, so its [Send]
+     lands on the fabric track (shard 0 owns the service, hence the
+     fabric events all originate there) *)
+  let ctx' =
+    if sh.tr_on then Trace.fresh_span sh.tr ~parent:ctx else Trace.null_span
+  in
   sched sh ~delay:ns_processing_cost (fun () ->
-      send_packet sh ~src_ip:from_ip p)
+      if sh.tr_on then
+        Trace.emit sh.tr ~ts:(Simnet.now sh.sim) ~track:Trace.fabric_track
+          ~span:ctx'
+          (Trace.Send { pk = Packet.trace_pk p; bytes = Packet.byte_size p });
+      send_packet sh ~src_ip:from_ip ~ctx:ctx' p)
 
-and deliver_to_site sh site_id p =
+and deliver_to_site sh site_id ~ctx ~same_node p =
   match Hashtbl.find_opt sh.by_id site_id with
   | None ->
       sh.dead_letters <- sh.dead_letters + 1;
@@ -275,7 +326,11 @@ and deliver_to_site sh site_id p =
          shard that owns its destination site *)
       assert (w.w_shard = sh.sh_id);
       if Site.alive w.w_site then begin
-        Site.deliver ~now:(Simnet.now sh.sim) w.w_site p;
+        let now = Simnet.now sh.sim in
+        if sh.tr_on then
+          Trace.emit sh.tr ~ts:now ~track:site_id ~span:ctx
+            (Trace.Deliver { pk = Packet.trace_pk p; same_node });
+        Site.deliver ~ctx ~now w.w_site p;
         request_pump sh w ~delay:0
       end
       else
@@ -325,6 +380,36 @@ let shard_loop sh ~max_events =
 (* ------------------------------------------------------------------ *)
 (* Construction, loading, coordination.                                *)
 
+(* Per-shard section of the run report: ring traffic, occupancy
+   high-water, backpressure and parking — the signals that say where a
+   parallel run's time went. *)
+type shard_stat = {
+  ss_shard : int;
+  ss_sites : int;
+  ss_events : int;
+  ss_virtual_ns : int;
+  ss_packets : int;
+  ss_same_node : int;
+  ss_handoffs_in : int;
+  ss_ring_pushed : int; (* envelopes this shard pushed outbound *)
+  ss_ring_popped : int; (* envelopes this shard consumed *)
+  ss_ring_hiwater : int; (* max outbound-ring occupancy at push *)
+  ss_parks : int;
+  ss_drains : int; (* backpressure drain passes while pushing *)
+}
+
+(* A coordinator-side mid-run observation: only whole-run atomics and
+   ring counters are read (never shard heaps), so taking one is safe
+   while the domains run.  This is what [--metrics-out] streams. *)
+type snapshot = {
+  sn_wall_ms : float;
+  sn_inflight : int;
+  sn_executed : int array; (* per shard, monotone *)
+  sn_pending : int array;
+  sn_ring_pushed : int;
+  sn_ring_popped : int;
+}
+
 type result = {
   outputs : (int * Output.event) list; (* merged, sorted by timestamp *)
   virtual_ns : int; (* max over shards *)
@@ -344,13 +429,15 @@ type result = {
   events : int; (* simulation events across all shards *)
   clean : bool; (* quiesced with rings drained and heaps empty *)
   timed_out : bool;
+  trace : Trace.t; (* merged shard-tagged collector; disabled when off *)
+  metrics : Metrics.t; (* merged registry; disabled when off *)
+  shard_stats : shard_stat array;
+  sites : Site.t list; (* post-join reads only (join = happens-before) *)
 }
 
 let validate (cfg : Cluster.config) =
   if cfg.Cluster.reliable then
     invalid_arg "Par_runner: reliable delivery requires --domains 1";
-  if cfg.Cluster.tracing then
-    invalid_arg "Par_runner: tracing requires --domains 1";
   if cfg.Cluster.faults <> Simnet.no_faults then
     invalid_arg "Par_runner: fault injection requires --domains 1";
   if cfg.Cluster.ns_mode <> Cluster.Centralized then
@@ -360,8 +447,8 @@ let ring_capacity = 4096
 
 let run ?(config = Cluster.default_config) ?placement
     ?(inputs = fun _ -> []) ?(max_events = 10_000_000)
-    ?(max_wall_ms = 120_000) ~domains
-    (units : (string * Tyco_compiler.Block.unit_) list) =
+    ?(max_wall_ms = 120_000) ?on_snapshot ?(snapshot_every_ms = 100)
+    ~domains (units : (string * Tyco_compiler.Block.unit_) list) =
   if domains < 1 then invalid_arg "Par_runner.run: domains must be >= 1";
   validate config;
   let g =
@@ -393,6 +480,21 @@ let run ?(config = Cluster.default_config) ?placement
           Simnet.create ~topology:config.Cluster.topology
             ~faults:Simnet.no_faults ~seed ()
         in
+        (* span ids strided by (shard, domains): globally unique without
+           sharing a counter, and at domains = 1 identical to the
+           deterministic engine's allocation order *)
+        let tr =
+          Trace.create ~capacity:config.Cluster.trace_capacity ~span_base:s
+            ~span_stride:domains ~enabled:config.Cluster.tracing ()
+        in
+        if s = 0 then
+          Trace.register_track tr ~id:Trace.fabric_track ~name:"fabric" ();
+        let mx =
+          if config.Cluster.metrics then
+            Metrics.create ~label:(Printf.sprintf "shard%d" s) ~enabled:true
+              ()
+          else Metrics.disabled
+        in
         { sh_id = s;
           g;
           sim;
@@ -410,10 +512,19 @@ let run ?(config = Cluster.default_config) ?placement
           same_node = 0;
           handoffs_in = 0;
           parks = 0;
+          drains = 0;
           dead_letters = 0;
           suspected = [];
           busy_until = 0;
           error = None;
+          tr;
+          tr_on = Trace.enabled tr;
+          mx;
+          m_packets = Metrics.counter mx "packets";
+          m_bytes = Metrics.counter mx "bytes";
+          m_same_node = Metrics.counter mx "same_node_fast";
+          m_handoffs_in = Metrics.counter mx "handoffs_in";
+          m_handoff_lat = Metrics.histogram mx "handoff_lat_ns";
           pending = Atomic.make 0;
           executed = Atomic.make 0 })
   in
@@ -454,9 +565,9 @@ let run ?(config = Cluster.default_config) ?placement
               ~retry:config.Cluster.site_retry ~lifecycle
               ~on_suspect:(fun who ->
                 sh.suspected <- (Simnet.now sh.sim, who) :: sh.suspected)
-              ~name ~site_id ~ip:(Node.ip node)
-              ~send:(fun _ctx p ->
-                send_packet sh ~src_ip:(Node.ip node) p)
+              ~trace:sh.tr ~name ~site_id ~ip:(Node.ip node)
+              ~send:(fun ctx p ->
+                send_packet sh ~src_ip:(Node.ip node) ~ctx p)
               ~on_output:(fun e ->
                 sh.outs <- (Simnet.now sh.sim, e) :: sh.outs)
               ~unit_ ();
@@ -493,11 +604,50 @@ let run ?(config = Cluster.default_config) ?placement
     (!work, !execd)
   in
   let timed_out = ref false in
+  (* Mid-run snapshots ([--metrics-out]): reads only whole-run atomics
+     and ring counters — never a shard heap — so it is safe while the
+     domains run. *)
+  let ring_totals () =
+    let pushed = ref 0 and popped = ref 0 in
+    Array.iter
+      (Array.iter (function
+        | None -> ()
+        | Some r ->
+            pushed := !pushed + Spsc.pushed r;
+            popped := !popped + Spsc.popped r))
+      rings;
+    (!pushed, !popped)
+  in
+  let take_snapshot () =
+    match on_snapshot with
+    | None -> ()
+    | Some f ->
+        let pushed, popped = ring_totals () in
+        f
+          { sn_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+            sn_inflight = Atomic.get g.g_inflight;
+            sn_executed = Array.map (fun sh -> Atomic.get sh.executed) shards;
+            sn_pending = Array.map (fun sh -> Atomic.get sh.pending) shards;
+            sn_ring_pushed = pushed;
+            sn_ring_popped = popped }
+  in
+  let last_snapshot = ref t0 in
+  let maybe_snapshot () =
+    if on_snapshot <> None then begin
+      let now = Unix.gettimeofday () in
+      if (now -. !last_snapshot) *. 1000. >= float_of_int snapshot_every_ms
+      then begin
+        last_snapshot := now;
+        take_snapshot ()
+      end
+    end
+  in
   let rec wait () =
     if Atomic.get g.g_stop then ()
     else if (Unix.gettimeofday () -. t0) *. 1000. > float_of_int max_wall_ms
     then timed_out := true
     else begin
+      maybe_snapshot ();
       let w1, e1 = collect () in
       if w1 = 0 then begin
         let w2, e2 = collect () in
@@ -557,6 +707,69 @@ let run ?(config = Cluster.default_config) ?placement
             acc + Stats.counter_value (Site.stats w.w_site) "instructions")
           0 sh.wrappers)
   in
+  (* Observability merge: fold the shard-confined collectors into run-
+     level ones.  [Domain.join] above is the happens-before edge that
+     makes every shard-local field safe to read here. *)
+  let shard_stats =
+    Array.map
+      (fun sh ->
+        let pushed = ref 0 and hi = ref 0 and popped = ref 0 in
+        Array.iter
+          (function
+            | None -> ()
+            | Some r ->
+                pushed := !pushed + Spsc.pushed r;
+                if Spsc.hiwater r > !hi then hi := Spsc.hiwater r)
+          sh.out_rings;
+        Array.iter
+          (function
+            | None -> () | Some r -> popped := !popped + Spsc.popped r)
+          sh.in_rings;
+        { ss_shard = sh.sh_id;
+          ss_sites = Hashtbl.length sh.by_id;
+          ss_events = Atomic.get sh.executed;
+          ss_virtual_ns = max (Simnet.now sh.sim) sh.busy_until;
+          ss_packets = sh.packets;
+          ss_same_node = sh.same_node;
+          ss_handoffs_in = sh.handoffs_in;
+          ss_ring_pushed = !pushed;
+          ss_ring_popped = !popped;
+          ss_ring_hiwater = !hi;
+          ss_parks = sh.parks;
+          ss_drains = sh.drains })
+      shards
+  in
+  let trace =
+    if config.Cluster.tracing then
+      Trace.merge
+        (Array.to_list (Array.map (fun sh -> (sh.sh_id, sh.tr)) shards))
+    else Trace.disabled
+  in
+  let metrics =
+    if config.Cluster.metrics then begin
+      let into = Metrics.create ~enabled:true () in
+      Array.iteri
+        (fun i sh ->
+          (* stamp the post-join ring/park signals into the shard's own
+             registry so they travel through the merge like every other
+             instrument (sum of values, max of high-waters) *)
+          let st = shard_stats.(i) in
+          Metrics.add (Metrics.counter sh.mx "ring_pushed") st.ss_ring_pushed;
+          Metrics.add (Metrics.counter sh.mx "ring_popped") st.ss_ring_popped;
+          Metrics.set (Metrics.gauge sh.mx "ring_hiwater") st.ss_ring_hiwater;
+          Metrics.add (Metrics.counter sh.mx "parks") st.ss_parks;
+          Metrics.add (Metrics.counter sh.mx "drains") st.ss_drains;
+          Metrics.merge_into ~into sh.mx)
+        shards;
+      into
+    end
+    else Metrics.disabled
+  in
+  let sites =
+    List.concat_map
+      (fun (sh : shard) -> List.rev_map (fun w -> w.w_site) sh.wrappers)
+      (Array.to_list shards)
+  in
   { outputs;
     virtual_ns =
       Array.fold_left
@@ -580,4 +793,8 @@ let run ?(config = Cluster.default_config) ?placement
     sites_per_shard = Array.map (fun sh -> Hashtbl.length sh.by_id) shards;
     events = sum (fun sh -> Atomic.get sh.executed);
     clean;
-    timed_out = !timed_out }
+    timed_out = !timed_out;
+    trace;
+    metrics;
+    shard_stats;
+    sites }

@@ -17,10 +17,52 @@
     interleaving.  [--domains 1] therefore dispatches to {!Cluster},
     not here — see {!Api.run_parallel}.
 
+    Observability: when [config.tracing] each shard owns a private
+    {!Tyco_support.Trace} collector whose span ids stride by the
+    domain count ([span_base = shard], [span_stride = domains]) so
+    they are globally unique without a shared counter; envelopes carry
+    the sending span, and the collectors are folded with
+    {!Tyco_support.Trace.merge} into one shard-tagged archive at
+    quiescence.  When [config.metrics] each shard owns a private
+    {!Tyco_support.Metrics} registry, merged the same way.  Both are
+    the disabled singletons when off, so every instrumentation point
+    on the hot path costs one load-and-branch.
+
     Configs requesting machinery the rings make redundant (reliable
-    delivery, fault injection, tracing, replicated name service) are
-    rejected with [Invalid_argument]: those modes belong to the
-    deterministic single-domain engine. *)
+    delivery, fault injection, replicated name service) are rejected
+    with [Invalid_argument]: those modes belong to the deterministic
+    single-domain engine. *)
+
+(** Per-shard section of the run report: ring traffic, occupancy
+    high-water, backpressure and parking — the signals that say where
+    a parallel run's time went. *)
+type shard_stat = {
+  ss_shard : int;
+  ss_sites : int;
+  ss_events : int;       (** simulation events this shard executed *)
+  ss_virtual_ns : int;   (** the shard clock at quiescence *)
+  ss_packets : int;
+  ss_same_node : int;
+  ss_handoffs_in : int;  (** envelopes this shard received *)
+  ss_ring_pushed : int;  (** envelopes this shard pushed outbound *)
+  ss_ring_popped : int;  (** envelopes this shard consumed *)
+  ss_ring_hiwater : int; (** max outbound-ring occupancy at push *)
+  ss_parks : int;
+  ss_drains : int;       (** backpressure drain passes while pushing *)
+}
+
+(** A coordinator-side mid-run observation: only whole-run atomics and
+    ring counters are read (never a shard heap), so taking one is safe
+    while the domains run.  [tycosh --metrics-out] streams these as
+    JSONL. *)
+type snapshot = {
+  sn_wall_ms : float;
+  sn_inflight : int;
+  sn_executed : int array;  (** per shard, monotone *)
+  sn_pending : int array;   (** per-shard heap sizes *)
+  sn_ring_pushed : int;
+  sn_ring_popped : int;
+}
 
 type result = {
   outputs : (int * Output.event) list;
@@ -45,6 +87,16 @@ type result = {
           every shard heap empty — the sharding smoke test asserts
           this together with [ring_pushed = ring_popped] *)
   timed_out : bool;
+  trace : Tyco_support.Trace.t;
+      (** the merged shard-tagged collector ({!Tyco_support.Trace.merge});
+          the disabled singleton unless [config.tracing] *)
+  metrics : Tyco_support.Metrics.t;
+      (** the merged registry; the disabled singleton unless
+          [config.metrics] *)
+  shard_stats : shard_stat array;
+  sites : Site.t list;
+      (** every site across all shards — safe to read because
+          [Domain.join] happened before the result was built *)
 }
 
 val run :
@@ -53,6 +105,8 @@ val run :
   ?inputs:(string -> int list) ->
   ?max_events:int ->
   ?max_wall_ms:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  ?snapshot_every_ms:int ->
   domains:int ->
   (string * Tyco_compiler.Block.unit_) list ->
   result
@@ -61,4 +115,7 @@ val run :
     termination).  [max_events] bounds each shard's event count
     (default 10M, the same livelock guard as {!Tyco_net.Simnet.run});
     [max_wall_ms] (default 120s) bounds wall time — exceeding it stops
-    the run with [timed_out = true] instead of hanging. *)
+    the run with [timed_out = true] instead of hanging.
+    [on_snapshot] is called from the coordinating domain roughly every
+    [snapshot_every_ms] wall milliseconds (default 100) while the run
+    is live. *)

@@ -203,10 +203,12 @@ let summary_json = function
   | None -> "null"
   | Some (s : Stats.Dist.summary) ->
       Printf.sprintf
-        "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s}"
+        "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\
+         \"p99\":%s,\"p999\":%s}"
         s.Stats.Dist.s_n (jfloat s.Stats.Dist.s_mean)
         (jfloat s.Stats.Dist.s_min) (jfloat s.Stats.Dist.s_max)
         (jfloat s.Stats.Dist.s_p50) (jfloat s.Stats.Dist.s_p95)
+        (jfloat s.Stats.Dist.s_p99) (jfloat s.Stats.Dist.s_p999)
 
 let breakdown_json b =
   Printf.sprintf
@@ -239,13 +241,45 @@ let memory_json m =
 (* The parallel runtime's merge target: shard-confined accumulators
    become one flat JSON object here, after every domain has joined —
    the explicit end-of-run merge the sharded engine is allowed. *)
+
+let shard_stat_json (s : Par_runner.shard_stat) =
+  Printf.sprintf
+    "{\"shard\":%d,\"sites\":%d,\"events\":%d,\"virtual_ns\":%d,\
+     \"packets\":%d,\"same_node_fast\":%d,\"handoffs_in\":%d,\
+     \"ring_pushed\":%d,\"ring_popped\":%d,\"ring_hiwater\":%d,\
+     \"parks\":%d,\"drains\":%d}"
+    s.Par_runner.ss_shard s.Par_runner.ss_sites s.Par_runner.ss_events
+    s.Par_runner.ss_virtual_ns s.Par_runner.ss_packets
+    s.Par_runner.ss_same_node s.Par_runner.ss_handoffs_in
+    s.Par_runner.ss_ring_pushed s.Par_runner.ss_ring_popped
+    s.Par_runner.ss_ring_hiwater s.Par_runner.ss_parks s.Par_runner.ss_drains
+
 let par_json (r : Par_runner.result) =
+  let module Metrics = Tyco_support.Metrics in
+  (* the parallel latency breakdown: site-side components pooled over
+     every shard's sites, plus the cross-domain handoff latency the
+     metrics registry records when [--metrics] is on *)
+  let breakdown =
+    Printf.sprintf
+      "{\"queue_wait\":%s,\"execute\":%s,\"handoff\":%s}"
+      (summary_json (pooled "queue_wait_ns" r.Par_runner.sites))
+      (summary_json (pooled "execute_ns" r.Par_runner.sites))
+      (summary_json
+         (match
+            List.find_opt
+              (fun h -> Metrics.histogram_name h = "handoff_lat_ns")
+              (Metrics.histograms r.Par_runner.metrics)
+          with
+         | Some h -> Stats.Dist.summary_opt (Metrics.histogram_dist h)
+         | None -> None))
+  in
   Printf.sprintf
     "{\"engine\":\"parallel\",\"domains\":%d,\"virtual_ns\":%d,\
      \"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\"same_node_fast\":%d,\
      \"handoffs\":%d,\"ring_pushed\":%d,\"ring_popped\":%d,\"parks\":%d,\
      \"instructions\":%d,\"wall_ns\":%d,\"dead_letters\":%d,\
-     \"sites_per_shard\":%s,\"clean\":%b,\"timed_out\":%b,\"outputs\":%s,\
+     \"sites_per_shard\":%s,\"clean\":%b,\"timed_out\":%b,\
+     \"latency_breakdown\":%s,\"shards\":%s,\"outputs\":%s,\
      \"suspected_failures\":%s}"
     r.Par_runner.domains r.Par_runner.virtual_ns r.Par_runner.events
     r.Par_runner.packets r.Par_runner.bytes r.Par_runner.same_node_fast
@@ -253,7 +287,8 @@ let par_json (r : Par_runner.result) =
     r.Par_runner.parks r.Par_runner.instructions r.Par_runner.wall_ns
     r.Par_runner.dead_letters
     (jlist string_of_int (Array.to_list r.Par_runner.sites_per_shard))
-    r.Par_runner.clean r.Par_runner.timed_out
+    r.Par_runner.clean r.Par_runner.timed_out breakdown
+    (jlist shard_stat_json (Array.to_list r.Par_runner.shard_stats))
     (jlist output_json r.Par_runner.outputs)
     (jlist
        (fun (ts, name) -> Printf.sprintf "{\"t\":%d,\"site\":%s}" ts (jstr name))

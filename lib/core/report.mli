@@ -100,8 +100,13 @@ val to_json : t -> string
 
 val par_json : Par_runner.result -> string
 (** JSON for a multi-domain run ({!Par_runner}): domain count, ring
-    handoff and park counters, merged outputs.  [tycosh --json
-    --domains N] (N > 1) prints this instead of {!to_json}. *)
+    handoff and park counters, a per-shard section
+    ({!Par_runner.shard_stat}: ring traffic, occupancy high-water,
+    backpressure drains, parks), a latency breakdown with
+    p50/p95/p99/p999 per component (queue-wait and execute pooled over
+    all shards' sites; cross-domain handoff latency when [--metrics]
+    is on), and merged outputs.  [tycosh --json --domains N] (N > 1)
+    prints this instead of {!to_json}. *)
 
 val json_escape : string -> string
 (** Exposed for tests: JSON string escaping. *)

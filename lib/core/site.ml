@@ -182,7 +182,7 @@ let create ?(annotations = no_annotations) ?(inputs = [])
     ~send ~on_output ~unit_ () =
   let area, entry = Link.of_unit unit_ in
   let vm = Machine.create ~name ~trace ~track:site_id area in
-  Trace.register_track trace ~id:site_id ~name;
+  Trace.register_track trace ~id:site_id ~name ();
   let stats = Machine.stats vm in
   let cache_cap = max 1 lifecycle.lc_code_cache in
   { name;

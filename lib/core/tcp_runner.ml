@@ -3,6 +3,7 @@ module Nameservice = Tyco_net.Nameservice
 module Netref = Tyco_support.Netref
 module Trace = Tyco_support.Trace
 module Wire = Tyco_support.Wire
+module Metrics = Tyco_support.Metrics
 
 type result = {
   outputs : Output.event list;
@@ -10,6 +11,7 @@ type result = {
   wall_ns : int;
   timed_out : bool;
   parks : int;
+  metrics : Metrics.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -88,6 +90,13 @@ type node = {
   scratch : Bytes.t;
   (* idle parks taken by this node's domain, read after join *)
   mutable parks : int;
+  (* node-confined metrics registry (the ad-hoc park/retry counters,
+     folded): only this node's domain bumps it; merged after join *)
+  mx : Metrics.t;
+  m_parks : Metrics.counter;
+  m_packets : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_retries : Metrics.counter; (* connect_with_retry backoff rounds *)
 }
 
 type shared = {
@@ -100,7 +109,7 @@ type shared = {
   by_site_id : (int, int) Hashtbl.t;   (* site id -> node id, read-only *)
 }
 
-let connect_with_retry shared peer =
+let connect_with_retry shared node peer =
   let addr =
     Unix.ADDR_INET (Unix.inet_addr_loopback, shared.base_port + peer)
   in
@@ -116,6 +125,7 @@ let connect_with_retry shared peer =
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when tries > 0 ->
         Unix.close fd;
+        Metrics.incr node.m_retries;
         Unix.sleepf delay;
         go (tries - 1) (Float.min 0.05 (delay *. 2.))
   in
@@ -125,7 +135,7 @@ let peer_fd shared node peer =
   match Hashtbl.find_opt node.peers peer with
   | Some fd -> fd
   | None ->
-      let fd = connect_with_retry shared peer in
+      let fd = connect_with_retry shared node peer in
       Hashtbl.add node.peers peer fd;
       fd
 
@@ -155,7 +165,9 @@ let send_to shared node peer ~ctx (p : Packet.t) =
   Bytes.set_uint8 tx.data (tx.len + 2) ((n lsr 8) land 0xff);
   Bytes.set_uint8 tx.data (tx.len + 3) (n land 0xff);
   Wire.blit_to_bytes node.enc tx.data (tx.len + 4);
-  tx.len <- tx.len + 4 + n
+  tx.len <- tx.len + 4 + n;
+  Metrics.incr node.m_packets;
+  Metrics.add node.m_bytes n
 
 let flush_tx shared node =
   Hashtbl.iter
@@ -261,6 +273,7 @@ let park_max = 5e-3 (* 5 ms *)
 
 let park node ~timeout =
   node.parks <- node.parks + 1;
+  Metrics.incr node.m_parks;
   let fds = node.listen :: List.map fst node.accepted in
   match Unix.select fds [] [] timeout with
   | _ -> ()
@@ -337,7 +350,7 @@ let node_loop shared node () =
 (* Setup and coordination.                                             *)
 
 let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
-    ?(timeout_ms = 10_000) units =
+    ?(timeout_ms = 10_000) ?(metrics = false) units =
   let base_port =
     match base_port with
     | Some p -> p
@@ -359,6 +372,11 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
       (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port + node_id));
     Unix.listen listen 16;
     Unix.set_nonblock listen;
+    let mx =
+      if metrics then
+        Metrics.create ~label:(Printf.sprintf "node%d" node_id) ~enabled:true ()
+      else Metrics.disabled
+    in
     { node_id;
       port = base_port + node_id;
       listen;
@@ -371,7 +389,12 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
       ns = Nameservice.create ();
       idle = Atomic.make true;
       scratch = Bytes.create 8192;
-      parks = 0 }
+      parks = 0;
+      mx;
+      m_parks = Metrics.counter mx "parks";
+      m_packets = Metrics.counter mx "packets";
+      m_bytes = Metrics.counter mx "bytes";
+      m_retries = Metrics.counter mx "connect_retries" }
   in
   let node_arr = Array.init nodes mk_node in
   (* place sites round-robin, as the simulated cluster does *)
@@ -424,12 +447,23 @@ let run ?(nodes = 4) ?base_port ?(inputs = fun _ -> [])
   let wall_ns =
     int_of_float ((Unix.gettimeofday () -. started) *. 1e9)
   in
+  let merged =
+    (* Domain.join above is the happens-before edge for the node-
+       confined registries *)
+    if metrics then begin
+      let into = Metrics.create ~enabled:true () in
+      Array.iter (fun n -> Metrics.merge_into ~into n.mx) node_arr;
+      into
+    end
+    else Metrics.disabled
+  in
   { outputs = List.rev shared.outputs;
     packets = Atomic.get shared.total_packets;
     wall_ns;
     timed_out = !timed_out;
-    parks = Array.fold_left (fun acc n -> acc + n.parks) 0 node_arr }
+    parks = Array.fold_left (fun acc n -> acc + n.parks) 0 node_arr;
+    metrics = merged }
 
-let run_program ?nodes ?base_port ?timeout_ms prog =
+let run_program ?nodes ?base_port ?timeout_ms ?metrics prog =
   ignore (Api.typecheck prog);
-  run ?nodes ?base_port ?timeout_ms (Api.compile prog)
+  run ?nodes ?base_port ?timeout_ms ?metrics (Api.compile prog)

@@ -32,6 +32,10 @@ type result = {
   wall_ns : int;                 (** elapsed wall-clock time *)
   timed_out : bool;
   parks : int;                   (** idle [select] parks across nodes *)
+  metrics : Tyco_support.Metrics.t;
+      (** per-node registries (parks, packets, bytes, connect
+          retries) merged after the domains join; the disabled
+          singleton unless [run ~metrics:true] *)
 }
 
 val run :
@@ -39,14 +43,17 @@ val run :
   ?base_port:int ->
   ?inputs:(string -> int list) ->
   ?timeout_ms:int ->
+  ?metrics:bool ->
   (string * Tyco_compiler.Block.unit_) list ->
   result
 (** Place the compiled sites round-robin on [nodes] (default 4) node
     threads listening on consecutive loopback ports (default base:
     derived from the process id), run until global quiescence or
-    [timeout_ms] (default 10_000). *)
+    [timeout_ms] (default 10_000).  [metrics] (default [false]) gives
+    each node a {!Tyco_support.Metrics} registry, merged into
+    [result.metrics] after the join. *)
 
 val run_program :
-  ?nodes:int -> ?base_port:int -> ?timeout_ms:int ->
+  ?nodes:int -> ?base_port:int -> ?timeout_ms:int -> ?metrics:bool ->
   Tyco_syntax.Ast.program -> result
 (** Type-check, compile and {!run}. *)

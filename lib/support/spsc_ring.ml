@@ -14,6 +14,7 @@ type 'a t = {
   mask : int;
   head : int Atomic.t; (* next slot to pop; consumer-owned *)
   tail : int Atomic.t; (* next slot to push; producer-owned *)
+  mutable hiwater : int; (* producer-written occupancy high-water *)
 }
 
 let create ~capacity =
@@ -25,7 +26,8 @@ let create ~capacity =
   { buf = Array.make !cap None;
     mask = !cap - 1;
     head = Atomic.make 0;
-    tail = Atomic.make 0 }
+    tail = Atomic.make 0;
+    hiwater = 0 }
 
 let capacity t = t.mask + 1
 
@@ -37,6 +39,10 @@ let try_push t v =
     (* plain write, then the atomic tail advance publishes it *)
     Array.unsafe_set t.buf (tail land t.mask) (Some v);
     Atomic.set t.tail (tail + 1);
+    (* both counters already in registers: the occupancy high-water is
+       free here, and producer-owned so a plain field suffices *)
+    let occ = tail + 1 - head in
+    if occ > t.hiwater then t.hiwater <- occ;
     true
   end
 
@@ -59,3 +65,4 @@ let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
 let is_empty t = length t = 0
 let pushed t = Atomic.get t.tail
 let popped t = Atomic.get t.head
+let hiwater t = t.hiwater

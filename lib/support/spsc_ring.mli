@@ -48,3 +48,8 @@ val pushed : 'a t -> int
 
 val popped : 'a t -> int
 (** Total elements ever popped (monotone; read from any domain). *)
+
+val hiwater : 'a t -> int
+(** Occupancy high-water observed at push time.  Producer-written plain
+    field: exact when read from the producer domain or after it joined;
+    a benign stale read elsewhere. *)

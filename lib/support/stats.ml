@@ -93,13 +93,22 @@ module Dist = struct
         t.sorted <- Some a;
         a
 
+  (* Linear interpolation between closest ranks (the R-7/NumPy default)
+     instead of nearest-rank: on an 8192-cap reservoir the tail
+     percentiles (p999 spans ~8 retained samples) otherwise jump whole
+     sample-widths between runs. *)
   let percentile t p =
     if t.n = 0 then invalid_arg "Dist.percentile: no samples";
     let a = sorted t in
     let k = Array.length a in
-    let rank = int_of_float (ceil (p *. float_of_int k)) in
-    let idx = Stdlib.max 0 (Stdlib.min (k - 1) (rank - 1)) in
-    a.(idx)
+    if k = 1 then a.(0)
+    else begin
+      let p = if p < 0. then 0. else if p > 1. then 1. else p in
+      let h = p *. float_of_int (k - 1) in
+      let i = Stdlib.min (int_of_float h) (k - 2) in
+      let frac = h -. float_of_int i in
+      a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+    end
 
   type summary = {
     s_n : int;
@@ -108,6 +117,8 @@ module Dist = struct
     s_max : float;
     s_p50 : float;
     s_p95 : float;
+    s_p99 : float;
+    s_p999 : float;
   }
 
   let summary_opt t =
@@ -115,7 +126,44 @@ module Dist = struct
     else
       Some
         { s_n = t.n; s_mean = mean t; s_min = min t; s_max = max t;
-          s_p50 = percentile t 0.5; s_p95 = percentile t 0.95 }
+          s_p50 = percentile t 0.5; s_p95 = percentile t 0.95;
+          s_p99 = percentile t 0.99; s_p999 = percentile t 0.999 }
+
+  (* Merge [o]'s observations into [t]: the exact streaming accumulators
+     (n/sum/lo/hi) merge exactly; [o]'s retained reservoir folds into
+     [t]'s (append below the cap, algorithm-R replacement above it), so
+     merged percentiles stay estimates of the union.  [o] is unchanged.
+     This is the quiescence-time path for per-domain histograms. *)
+  let absorb t o =
+    if o.n > 0 then begin
+      let virt = ref t.n in
+      for i = 0 to o.filled - 1 do
+        let x = Array.unsafe_get o.reservoir i in
+        if t.filled < reservoir_cap then begin
+          if t.filled = Array.length t.reservoir then begin
+            let cap =
+              Stdlib.min reservoir_cap (Stdlib.max 16 (2 * t.filled))
+            in
+            let bigger = Array.make cap 0. in
+            Array.blit t.reservoir 0 bigger 0 t.filled;
+            t.reservoir <- bigger
+          end;
+          t.reservoir.(t.filled) <- x;
+          t.filled <- t.filled + 1
+        end
+        else begin
+          let j = Prng.int t.rng (!virt + 1) in
+          if j < reservoir_cap then t.reservoir.(j) <- x
+        end;
+        incr virt
+      done;
+      t.sorted <- None;
+      t.n <- t.n + o.n;
+      let acc = t.acc and oacc = o.acc in
+      acc.(0) <- acc.(0) +. oacc.(0);
+      if oacc.(1) < acc.(1) then acc.(1) <- oacc.(1);
+      if oacc.(2) > acc.(2) then acc.(2) <- oacc.(2)
+    end
 
   let reset t =
     t.filled <- 0;
@@ -128,9 +176,10 @@ module Dist = struct
   let pp_summary ppf t =
     if t.n = 0 then Format.fprintf ppf "%s: (no samples)" t.name
     else
-      Format.fprintf ppf "%s: n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
+      Format.fprintf ppf
+        "%s: n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
         t.name t.n (mean t) (min t) (percentile t 0.5) (percentile t 0.95)
-        (max t)
+        (percentile t 0.99) (max t)
 end
 
 type t = {

@@ -56,8 +56,10 @@ module Dist : sig
       subset past it), unsorted.  For pooling and tests. *)
 
   val percentile : t -> float -> float
-  (** [percentile d 0.95] — nearest-rank on the retained samples
-      (exact below {!reservoir_cap}, an estimate past it).
+  (** [percentile d 0.95] — linear interpolation between the two
+      closest ranks of the retained samples (exact below
+      {!reservoir_cap}, an estimate past it; nearest-rank made tail
+      percentiles jump whole sample-widths on capped reservoirs).
       Raises [Invalid_argument] if no samples were recorded. *)
 
   (** A total snapshot for exporters: only constructed when at least
@@ -69,11 +71,19 @@ module Dist : sig
     s_max : float;
     s_p50 : float;
     s_p95 : float;
+    s_p99 : float;
+    s_p999 : float;
   }
 
   val summary_opt : t -> summary option
   (** [None] when the distribution is empty — the safe path for JSON
       emitters (a site that never sampled emits [null], not [inf]). *)
+
+  val absorb : t -> t -> unit
+  (** [absorb t o] merges [o]'s observations into [t] ([o] unchanged):
+      n/sum/min/max merge exactly; [o]'s retained reservoir folds into
+      [t]'s so merged percentiles estimate the union.  The quiescence-
+      time merge path for per-domain histograms. *)
 
   val reset : t -> unit
   val pp_summary : Format.formatter -> t -> unit

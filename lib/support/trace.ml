@@ -105,21 +105,29 @@ type ring = {
 type t = {
   en : bool;
   capacity : int;
+  span_base : int; (* span ids are [base + k * stride]: shard s of N *)
+  span_stride : int; (* passes (s, N) so ids stay globally unique *)
   mutable next_id : int;
   mutable seq : int;
   rings : (int, ring) Hashtbl.t;
   mutable track_names : (int * string) list; (* newest first *)
+  track_shards : (int, int) Hashtbl.t; (* track id -> owning shard *)
   mutable base_dropped : int; (* drops recorded by a loaded archive *)
 }
 
-let create ?(capacity = 65536) ~enabled () =
+let create ?(capacity = 65536) ?(span_base = 0) ?(span_stride = 1) ~enabled ()
+    =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  if span_stride <= 0 then invalid_arg "Trace.create: span_stride";
   { en = enabled;
     capacity;
+    span_base;
+    span_stride;
     next_id = 0;
     seq = 0;
     rings = Hashtbl.create 8;
     track_names = [];
+    track_shards = Hashtbl.create 8;
     base_dropped = 0 }
 
 let disabled = create ~capacity:1 ~enabled:false ()
@@ -129,16 +137,22 @@ let fresh_span t ~parent =
   if not t.en then null_span
   else begin
     t.next_id <- t.next_id + 1;
-    let id = t.next_id in
+    let id = t.span_base + (t.next_id * t.span_stride) in
     if is_null parent then { trace_id = id; span_id = id; parent_id = 0 }
     else
       { trace_id = parent.trace_id; span_id = id;
         parent_id = parent.span_id }
   end
 
-let register_track t ~id ~name =
-  if t.en then
-    t.track_names <- (id, name) :: List.remove_assoc id t.track_names
+let register_track t ?shard ~id ~name () =
+  if t.en then begin
+    t.track_names <- (id, name) :: List.remove_assoc id t.track_names;
+    match shard with
+    | Some s -> Hashtbl.replace t.track_shards id s
+    | None -> Hashtbl.remove t.track_shards id
+  end
+
+let track_shard t id = Hashtbl.find_opt t.track_shards id
 
 let ring_of t track =
   match Hashtbl.find_opt t.rings track with
@@ -267,7 +281,10 @@ let to_chrome_json t =
         (Printf.sprintf
            "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":%d,\
             \"tid\":0,\"args\":{\"name\":\"" id);
-      buf_escaped b name;
+      (* shard-tagged tracks (parallel runs) render as "shardN/name" *)
+      (match Hashtbl.find_opt t.track_shards id with
+      | Some s -> buf_escaped b (Printf.sprintf "shard%d/%s" s name)
+      | None -> buf_escaped b name);
       Buffer.add_string b "\"}}")
     (tracks t);
   List.iter
@@ -298,15 +315,67 @@ let to_chrome_json t =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Multi-collector merge (parallel runs).                              *)
+
+(* Merge per-shard collectors into one shard-tagged collector, ordered
+   by virtual timestamp (ties: shard id, then the shard's own emission
+   order).  Site tracks are disjoint across shards, so the merged
+   per-track rings never exceed the largest input capacity; the fabric
+   track stays untagged (it belongs to the run, not a shard). *)
+let merge parts =
+  let parts = List.filter (fun (_, t) -> t.en) parts in
+  let capacity =
+    List.fold_left (fun acc (_, t) -> Stdlib.max acc t.capacity) 1 parts
+  in
+  let m = create ~capacity ~enabled:true () in
+  List.iter
+    (fun (shard, t) ->
+      List.iter
+        (fun (id, name) ->
+          let shard = if id = fabric_track then None else Some shard in
+          register_track m ?shard ~id ~name ())
+        (tracks t))
+    parts;
+  let all = ref [] in
+  List.iter
+    (fun (shard, t) ->
+      Hashtbl.iter
+        (fun _ r ->
+          for i = 0 to r.len - 1 do
+            match r.buf.((r.head + i) mod t.capacity) with
+            | Some (seq, ev) -> all := (shard, seq, ev) :: !all
+            | None -> ()
+          done)
+        t.rings)
+    parts;
+  let sorted_evs =
+    List.sort
+      (fun (sa, qa, a) (sb, qb, b) ->
+        match compare a.ev_ts b.ev_ts with
+        | 0 -> ( match compare sa sb with 0 -> compare qa qb | c -> c)
+        | c -> c)
+      !all
+  in
+  List.iter
+    (fun (_, _, ev) ->
+      emit m ~ts:ev.ev_ts ~dur:ev.ev_dur ~track:ev.ev_track ~span:ev.ev_span
+        ev.ev_kind)
+    sorted_evs;
+  m.base_dropped <- List.fold_left (fun acc (_, t) -> acc + dropped t) 0 parts;
+  m
+
+(* ------------------------------------------------------------------ *)
 (* Binary archive (tyco-trace's input).                                 *)
 
 let magic = "TYCT"
 
 (* v2 added the [Kbatch] packet kind and the [Flush_wait] event; v3 the
    [Kprelease] kind and the resource-lifecycle events ([Reclaim],
-   [Lease_refresh], [Stale_ref]).  Older readers reject newer archives
-   cleanly rather than misparse them. *)
-let version = 3
+   [Lease_refresh], [Stale_ref]); v4 adds a per-track shard tag
+   (parallel runs tag each site track with its owning domain).  Older
+   readers reject newer archives cleanly rather than misparse them;
+   this reader still accepts v3 (shardless) archives. *)
+let version = 4
 
 let pk_tag = function
   | Kmsg -> 0 | Kobj -> 1 | Kfetch_req -> 2 | Kfetch_rep -> 3
@@ -410,6 +479,7 @@ let decode_kind dec =
 
 type archive = {
   ar_tracks : (int * string) list;
+  ar_shards : (int * int) list; (* track id -> shard; absent = untagged *)
   ar_dropped : int;
   ar_events : event list;
 }
@@ -421,7 +491,12 @@ let serialize t =
   Wire.list enc
     (fun enc (id, name) ->
       Wire.zint enc id;
-      Wire.string enc name)
+      Wire.string enc name;
+      (* shard tag inline with its track; -1 = untagged *)
+      Wire.zint enc
+        (match Hashtbl.find_opt t.track_shards id with
+        | Some s -> s
+        | None -> -1))
     (tracks t);
   Wire.varint enc (dropped t);
   Wire.list enc
@@ -444,13 +519,20 @@ let deserialize s =
         raise (Wire.Malformed "not a tyco trace archive"))
     magic;
   let v = Wire.read_u8 dec in
-  if v <> version then
+  if v <> version && v <> 3 then
     raise (Wire.Malformed (Printf.sprintf "trace archive version %d" v));
-  let ar_tracks =
+  let tagged =
     Wire.read_list dec (fun dec ->
         let id = Wire.read_zint dec in
         let name = Wire.read_string dec in
-        (id, name))
+        let shard = if v >= 4 then Wire.read_zint dec else -1 in
+        (id, name, shard))
+  in
+  let ar_tracks = List.map (fun (id, name, _) -> (id, name)) tagged in
+  let ar_shards =
+    List.filter_map
+      (fun (id, _, s) -> if s < 0 then None else Some (id, s))
+      tagged
   in
   let ar_dropped = Wire.read_varint dec in
   let ar_events =
@@ -465,13 +547,16 @@ let deserialize s =
         { ev_ts; ev_dur; ev_track;
           ev_span = { trace_id; span_id; parent_id }; ev_kind })
   in
-  { ar_tracks; ar_dropped; ar_events }
+  { ar_tracks; ar_shards; ar_dropped; ar_events }
 
 let of_archive ar =
   let t =
     create ~capacity:(max 1 (List.length ar.ar_events)) ~enabled:true ()
   in
-  List.iter (fun (id, name) -> register_track t ~id ~name) ar.ar_tracks;
+  List.iter
+    (fun (id, name) ->
+      register_track t ?shard:(List.assoc_opt id ar.ar_shards) ~id ~name ())
+    ar.ar_tracks;
   List.iter
     (fun ev ->
       emit t ~ts:ev.ev_ts ~dur:ev.ev_dur ~track:ev.ev_track ~span:ev.ev_span

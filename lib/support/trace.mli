@@ -115,9 +115,17 @@ val pk_name : pk -> string
 
 type t
 
-val create : ?capacity:int -> enabled:bool -> unit -> t
+val create :
+  ?capacity:int -> ?span_base:int -> ?span_stride:int -> enabled:bool ->
+  unit -> t
 (** [capacity] bounds each track's event ring (default 65536 per
-    track); the oldest events of that track are dropped beyond it. *)
+    track); the oldest events of that track are dropped beyond it.
+
+    Span ids are allocated as [span_base + k * span_stride] (defaults
+    [0]/[1], i.e. 1, 2, 3, ... — identical to the deterministic
+    engine).  A parallel run passes [(shard, domains)] so the
+    per-shard collectors mint globally unique, deterministic ids
+    without sharing a counter. *)
 
 val disabled : t
 (** A shared always-off collector: [emit] is a no-op, [fresh_span]
@@ -129,8 +137,13 @@ val fresh_span : t -> parent:span -> span
 (** Allocate a child of [parent] ([null_span] parent starts a new
     trace).  Returns {!null_span} when the collector is disabled. *)
 
-val register_track : t -> id:int -> name:string -> unit
-(** Name a track for the exporters (idempotent; last name wins). *)
+val register_track : t -> ?shard:int -> id:int -> name:string -> unit -> unit
+(** Name a track for the exporters (idempotent; last name wins).
+    [shard] tags the track with its owning domain: exporters render it
+    as ["shardN/name"] and the TYCT v4 archive persists the tag. *)
+
+val track_shard : t -> int -> int option
+(** The shard tag of a track, if any. *)
 
 val emit : t -> ts:int -> ?dur:int -> track:int -> span:span -> kind -> unit
 
@@ -143,6 +156,14 @@ val dropped : t -> int
 
 val tracks : t -> (int * string) list
 (** Registered [(id, name)] pairs, in registration order. *)
+
+val merge : (int * t) list -> t
+(** [merge [(shard, collector); ...]] folds per-shard collectors into
+    one: site tracks are registered shard-tagged (the fabric track
+    stays untagged), and events are re-emitted ordered by virtual
+    timestamp (ties broken by shard id, then the shard's own emission
+    order).  Disabled inputs are skipped.  The quiescence-time collect
+    path of the parallel runtime. *)
 
 (** {1 Exporters} *)
 
@@ -160,6 +181,9 @@ val serialize : t -> string
 
 type archive = {
   ar_tracks : (int * string) list;
+  ar_shards : (int * int) list;
+      (** [(track id, shard)] tags; tracks absent here are untagged
+          (every track of a v3 archive, the fabric track of a v4) *)
   ar_dropped : int;
   ar_events : event list;
 }

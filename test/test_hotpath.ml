@@ -11,11 +11,14 @@
      a fixed budget of minor words per reduction;
    - the disabled [Trace] singleton records nothing and allocates
      nothing, even across a full chaos run;
+   - the disabled [Metrics] singleton hands out dummy instruments
+     whose bumps allocate nothing;
    - [lease_ns = 0] produces a bit-identical [Report] to the seed
      semantics (the default, lifecycle-free configuration). *)
 
 open Dityco
 module Trace = Tyco_support.Trace
+module Metrics = Tyco_support.Metrics
 
 let check = Alcotest.check
 
@@ -96,6 +99,38 @@ let disabled_trace_records_nothing () =
     Alcotest.failf "disabled Trace allocated %.0f words over 10k emits"
       words
 
+(* The disabled metrics singleton mirrors the disabled tracer: a run
+   with metrics off hands out dummy instruments, and bumping them must
+   not allocate — 10k bumps of every instrument kind cost 0 minor
+   words (one load-and-branch each). *)
+let disabled_metrics_cost_nothing () =
+  let src =
+    {| site s { import p from r in let y = p![7] in io!printi[y] }
+       site r { export new p p?(x, k) = k![x * x] } |}
+  in
+  let r = Api.run_program (Api.parse src) in
+  let mx = Cluster.metrics r.Api.cluster in
+  check Alcotest.bool "cluster registry is the disabled singleton" false
+    (Metrics.enabled mx);
+  check Alcotest.bool "no instruments registered" true
+    (Metrics.counters mx = [] && Metrics.gauges mx = []
+    && Metrics.histograms mx = []);
+  let c = Metrics.counter Metrics.disabled "c" in
+  let g = Metrics.gauge Metrics.disabled "g" in
+  let h = Metrics.histogram Metrics.disabled "h" in
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Metrics.incr c;
+    Metrics.add c i;
+    Metrics.set g i;
+    Metrics.observe_int h i
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 0. then
+    Alcotest.failf "disabled Metrics allocated %.0f words over 10k bumps"
+      words;
+  check Alcotest.int "dummy counter stays zero" 0 (Metrics.counter_value c)
+
 (* [lease_ns = 0] must be indistinguishable from the seed semantics
    (no lifecycle at all): same outputs, and a bit-identical report.
    The run on the right uses the default configuration — the seed
@@ -127,5 +162,7 @@ let tests =
       e1_minor_words_capped;
     Alcotest.test_case "disabled trace records and allocates nothing"
       `Quick disabled_trace_records_nothing;
+    Alcotest.test_case "disabled metrics cost nothing" `Quick
+      disabled_metrics_cost_nothing;
     Alcotest.test_case "lease_ns=0 report identical to seed semantics"
       `Quick lease_off_bit_identical_report ]

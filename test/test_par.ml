@@ -255,6 +255,69 @@ let sharding_smoke () =
   check Alcotest.bool "cross-shard traffic happened" true
     (par.Par_runner.handoffs > 0)
 
+(* Observability merge: shard stats account for the whole run, the
+   metrics registry folds every shard's instruments, and the snapshot
+   hook fires from the coordinator (interval 0 = every poll). *)
+let shard_stats_and_metrics () =
+  let _, src = List.nth corpus 2 in
+  let prog = Api.parse src in
+  let d = 4 in
+  let snapshots = ref [] in
+  let par =
+    Api.run_parallel
+      ~config:{ config with Cluster.metrics = true }
+      ~placement:placement_spread ~domains:d
+      ~on_snapshot:(fun s -> snapshots := s :: !snapshots)
+      ~snapshot_every_ms:0 prog
+  in
+  check Alcotest.bool "clean quiescence" true par.Par_runner.clean;
+  let st = par.Par_runner.shard_stats in
+  check Alcotest.int "one stat per shard" d (Array.length st);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 st in
+  check Alcotest.int "events accounted" par.Par_runner.events
+    (sum (fun s -> s.Par_runner.ss_events));
+  check Alcotest.int "packets accounted" par.Par_runner.packets
+    (sum (fun s -> s.Par_runner.ss_packets));
+  check Alcotest.int "ring pushes accounted" par.Par_runner.ring_pushed
+    (sum (fun s -> s.Par_runner.ss_ring_pushed));
+  check Alcotest.int "ring pops accounted" par.Par_runner.ring_popped
+    (sum (fun s -> s.Par_runner.ss_ring_popped));
+  check Alcotest.int "parks accounted" par.Par_runner.parks
+    (sum (fun s -> s.Par_runner.ss_parks));
+  check Alcotest.bool "hiwater seen on some shard" true
+    (Array.exists (fun s -> s.Par_runner.ss_ring_hiwater > 0) st);
+  (* the merged registry agrees with the summed shard stats *)
+  let mx = par.Par_runner.metrics in
+  check Alcotest.bool "registry enabled" true
+    (Tyco_support.Metrics.enabled mx);
+  check Alcotest.int "merged packets counter" par.Par_runner.packets
+    (Tyco_support.Metrics.value mx "packets");
+  check Alcotest.int "merged handoffs counter" par.Par_runner.handoffs
+    (Tyco_support.Metrics.value mx "handoffs_in");
+  check Alcotest.int "merged parks counter" par.Par_runner.parks
+    (Tyco_support.Metrics.value mx "parks");
+  check Alcotest.bool "snapshots fired" true (!snapshots <> []);
+  List.iter
+    (fun (s : Par_runner.snapshot) ->
+      check Alcotest.int "snapshot sees every shard" d
+        (Array.length s.Par_runner.sn_executed))
+    !snapshots;
+  (* the sites list spans every shard's sites, post-join *)
+  check Alcotest.int "all sites surfaced" 4
+    (List.length par.Par_runner.sites);
+  (* the par report renders it all as one valid JSON object *)
+  let json = Report.par_json par in
+  let has hay sub =
+    let nh = String.length hay and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "per-shard section" true (has json "\"shards\":[");
+  check Alcotest.bool "ring hiwater key" true (has json "\"ring_hiwater\":");
+  check Alcotest.bool "latency breakdown" true
+    (has json "\"latency_breakdown\"");
+  check Alcotest.bool "p999 key" true (has json "\"p999\":")
+
 let rejects_deterministic_only_modes () =
   (* the Par_runner contract is Invalid_argument; Api.run_parallel
      re-wraps it as Api.Error like every other runtime failure *)
@@ -267,8 +330,7 @@ let rejects_deterministic_only_modes () =
       match Api.run_parallel ~config ~domains:2 (Api.parse "io!printi[1]") with
       | _ -> Alcotest.failf "%s: expected Api.Error" what
       | exception Api.Error _ -> ())
-    [ ("tracing", { Cluster.default_config with Cluster.tracing = true });
-      ( "replicated ns",
+    [ ( "replicated ns",
         { Cluster.default_config with Cluster.ns_mode = Cluster.Replicated } );
       ( "faults",
         { Cluster.default_config with
@@ -284,5 +346,6 @@ let tests =
     ("multiset equivalence", `Quick, multiset_equivalence);
     ("shipped samples equivalence", `Slow, shipped_samples_equivalence);
     ("sharding smoke at 4 domains", `Quick, sharding_smoke);
+    ("shard stats and metrics merge", `Quick, shard_stats_and_metrics);
     ("rejects deterministic-only modes", `Quick,
      rejects_deterministic_only_modes) ]

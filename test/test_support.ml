@@ -239,11 +239,117 @@ let stats_percentiles () =
   for i = 1 to 100 do
     Stats.Dist.add d (float_of_int i)
   done;
-  check (Alcotest.float 0.01) "p50" 50.0 (Stats.Dist.percentile d 0.5);
-  check (Alcotest.float 0.01) "p95" 95.0 (Stats.Dist.percentile d 0.95);
+  (* linear interpolation between closest ranks: p50 of 1..100 sits
+     halfway between the 50th and 51st samples *)
+  check (Alcotest.float 0.01) "p50" 50.5 (Stats.Dist.percentile d 0.5);
+  check (Alcotest.float 0.01) "p95" 95.05 (Stats.Dist.percentile d 0.95);
+  check (Alcotest.float 0.01) "p99" 99.01 (Stats.Dist.percentile d 0.99);
+  check (Alcotest.float 0.01) "p999" 99.901 (Stats.Dist.percentile d 0.999);
+  check (Alcotest.float 0.01) "p0 is min" 1.0 (Stats.Dist.percentile d 0.);
+  check (Alcotest.float 0.01) "p100 is max" 100.0 (Stats.Dist.percentile d 1.);
   check (Alcotest.float 0.01) "mean" 50.5 (Stats.Dist.mean d);
   check (Alcotest.float 0.01) "min" 1.0 (Stats.Dist.min d);
   check (Alcotest.float 0.01) "max" 100.0 (Stats.Dist.max d)
+
+let stats_absorb () =
+  let s = Stats.create () in
+  let a = Stats.dist s "a" and b = Stats.dist s "b" in
+  for i = 1 to 50 do
+    Stats.Dist.add a (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    Stats.Dist.add b (float_of_int i)
+  done;
+  Stats.Dist.absorb a b;
+  check Alcotest.int "merged count" 100 (Stats.Dist.count a);
+  check (Alcotest.float 0.01) "merged mean" 50.5 (Stats.Dist.mean a);
+  check (Alcotest.float 0.01) "merged min" 1.0 (Stats.Dist.min a);
+  check (Alcotest.float 0.01) "merged max" 100.0 (Stats.Dist.max a);
+  check (Alcotest.float 0.01) "merged p50" 50.5 (Stats.Dist.percentile a 0.5);
+  (* the absorbed side is unchanged *)
+  check Alcotest.int "source count" 50 (Stats.Dist.count b);
+  check (Alcotest.float 0.01) "source min" 51.0 (Stats.Dist.min b)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let metrics_registry () =
+  let mx = Metrics.create ~label:"shard0" ~enabled:true () in
+  let c = Metrics.counter mx "packets" in
+  let g = Metrics.gauge mx "ring_occ" in
+  let h = Metrics.histogram mx "lat_ns" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.set g 3;
+  Metrics.set g 7;
+  Metrics.set g 2;
+  Metrics.observe_int h 100;
+  Metrics.observe_int h 200;
+  check Alcotest.int "counter" 5 (Metrics.counter_value c);
+  check Alcotest.int "gauge last value" 2 (Metrics.gauge_value g);
+  check Alcotest.int "gauge hiwater" 7 (Metrics.gauge_hiwater g);
+  check Alcotest.int "histogram count" 2
+    (Stats.Dist.count (Metrics.histogram_dist h));
+  (* idempotent by name *)
+  Metrics.incr (Metrics.counter mx "packets");
+  check Alcotest.int "same counter by name" 6 (Metrics.value mx "packets");
+  (* merge: counters sum, gauges sum with max'd hiwater, histos absorb *)
+  let my = Metrics.create ~label:"shard1" ~enabled:true () in
+  Metrics.add (Metrics.counter my "packets") 10;
+  Metrics.set (Metrics.gauge my "ring_occ") 5;
+  Metrics.observe_int (Metrics.histogram my "lat_ns") 300;
+  let into = Metrics.create ~enabled:true () in
+  Metrics.merge_into ~into mx;
+  Metrics.merge_into ~into my;
+  check Alcotest.int "merged counter" 16 (Metrics.value into "packets");
+  let mg = Metrics.gauge into "ring_occ" in
+  check Alcotest.int "merged gauge value" 7 (Metrics.gauge_value mg);
+  check Alcotest.int "merged gauge hiwater" 7 (Metrics.gauge_hiwater mg);
+  check Alcotest.int "merged histogram count" 3
+    (Stats.Dist.count (Metrics.histogram_dist (Metrics.histogram into "lat_ns")));
+  (* sources unchanged by the merge *)
+  check Alcotest.int "source counter unchanged" 6 (Metrics.value mx "packets");
+  (* exposition *)
+  let prom = Metrics.to_prom into in
+  let has hay sub =
+    let nh = String.length hay and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "prom counter" true (has prom "tyco_packets 16");
+  check Alcotest.bool "prom gauge hiwater" true
+    (has prom "tyco_ring_occ_hiwater 7");
+  check Alcotest.bool "prom quantile" true (has prom "quantile=\"0.999\"");
+  let json = Metrics.to_json ~extra:[ ("kind", "\"final\"") ] into in
+  check Alcotest.bool "json extra leads" true
+    (String.length json > 16 && String.sub json 0 16 = "{\"kind\":\"final\",");
+  check Alcotest.bool "json counter" true (has json "\"packets\":16");
+  check Alcotest.bool "json percentile" true (has json "\"p999\":")
+
+let metrics_disabled_dummies () =
+  check Alcotest.bool "disabled" false (Metrics.enabled Metrics.disabled);
+  let c = Metrics.counter Metrics.disabled "x" in
+  Metrics.incr c;
+  Metrics.add c 100;
+  check Alcotest.int "dummy counter never moves" 0 (Metrics.counter_value c);
+  let g = Metrics.gauge Metrics.disabled "y" in
+  Metrics.set g 9;
+  check Alcotest.int "dummy gauge never moves" 0 (Metrics.gauge_value g);
+  let h = Metrics.histogram Metrics.disabled "z" in
+  Metrics.observe h 1.0;
+  check Alcotest.int "dummy histogram never fills" 0
+    (Stats.Dist.count (Metrics.histogram_dist h));
+  check Alcotest.bool "nothing registered" true
+    (Metrics.counters Metrics.disabled = []
+    && Metrics.gauges Metrics.disabled = []
+    && Metrics.histograms Metrics.disabled = []);
+  (* merging into/from the disabled registry is a no-op *)
+  let live = Metrics.create ~enabled:true () in
+  Metrics.add (Metrics.counter live "n") 3;
+  Metrics.merge_into ~into:live Metrics.disabled;
+  Metrics.merge_into ~into:Metrics.disabled live;
+  check Alcotest.int "live unchanged" 3 (Metrics.value live "n");
+  check Alcotest.int "disabled unchanged" 0 (Metrics.value Metrics.disabled "n")
 
 let stats_empty_percentile () =
   let s = Stats.create () in
@@ -374,6 +480,9 @@ let tests =
     ("prng split independence", `Quick, prng_split_independent);
     ("stats counters", `Quick, stats_counters);
     ("stats percentiles", `Quick, stats_percentiles);
+    ("stats absorb", `Quick, stats_absorb);
+    ("metrics registry", `Quick, metrics_registry);
+    ("metrics disabled dummies", `Quick, metrics_disabled_dummies);
     ("stats empty percentile", `Quick, stats_empty_percentile);
     ("stats reservoir bounded+exact", `Quick, stats_reservoir);
     ("stats reservoir deterministic", `Quick, stats_reservoir_deterministic);

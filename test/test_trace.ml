@@ -494,6 +494,62 @@ let flush_wait_traced () =
             | _ -> false)
           (Trace.events (tracer r0))))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel runtime tracing                                            *)
+
+(* --domains 1 dispatches to the deterministic engine, so its trace is
+   the deterministic trace, byte for byte — span striding defaults to
+   (0, 1) and changes nothing. *)
+let par_domains1_trace_bit_identical () =
+  let prog = Api.parse ship_src in
+  let par = Api.run_parallel ~config:traced_config ~domains:1 prog in
+  let det = Api.run_program ~config:traced_config prog in
+  check Alcotest.bool "events recorded" true
+    (Trace.events par.Par_runner.trace <> []);
+  check Alcotest.bool "byte-identical archive" true
+    (Trace.serialize par.Par_runner.trace = Trace.serialize (tracer det));
+  check Alcotest.bool "byte-identical chrome json" true
+    (Trace.to_chrome_json par.Par_runner.trace
+    = Trace.to_chrome_json (tracer det))
+
+(* Sharded engine at 4 domains: the merged trace keeps well-formed
+   causal trees across the SPSC handoff (envelopes carry the sending
+   span), tracks come back shard-tagged, and the Perfetto export draws
+   cross-shard flow arrows. *)
+let par_domains4_traced () =
+  let prog = Api.parse ship_src in
+  let r = Api.run_parallel ~config:traced_config ~domains:4 prog in
+  check Alcotest.bool "clean quiescence" true r.Par_runner.clean;
+  let tr = r.Par_runner.trace in
+  let events = Trace.events tr in
+  check Alcotest.bool "events recorded" true (events <> []);
+  tree_well_formed events;
+  check Alcotest.bool "cross-shard send/deliver edge" true
+    (crosses_sites events);
+  (* striding makes span ids globally unique without a shared counter:
+     one span id never belongs to two different traces *)
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let s = span_of e in
+      if s.Trace.span_id <> 0 then begin
+        (match Hashtbl.find_opt by_id s.Trace.span_id with
+        | Some t when t <> s.Trace.trace_id ->
+            Alcotest.failf "span %d in traces %d and %d" s.Trace.span_id t
+              s.Trace.trace_id
+        | _ -> ());
+        Hashtbl.replace by_id s.Trace.span_id s.Trace.trace_id
+      end)
+    events;
+  let json = Trace.to_chrome_json tr in
+  check Alcotest.bool "well-formed json" true (json_valid json);
+  check Alcotest.bool "shard-tagged server track" true (has json "shard0/");
+  check Alcotest.bool "shard-tagged client track" true (has json "shard1/");
+  check Alcotest.bool "fabric track untagged" true
+    (not (has json "/fabric"));
+  check Alcotest.bool "flow start" true (has json "\"ph\":\"s\"");
+  check Alcotest.bool "flow finish" true (has json "\"ph\":\"f\"")
+
 let tests =
   [ ("tracing off by default", `Quick, tracing_off_by_default);
     ("trace deterministic", `Quick, trace_deterministic);
@@ -510,4 +566,8 @@ let tests =
     ("report: idle site json", `Quick, report_idle_site_json);
     ("report: breakdown populated", `Quick, report_breakdown_populated);
     ("packet log bounded", `Quick, packet_log_bounded);
-    ("event ring bounded", `Quick, event_ring_bounded) ]
+    ("event ring bounded", `Quick, event_ring_bounded);
+    ( "parallel: domains 1 trace bit-identical",
+      `Quick,
+      par_domains1_trace_bit_identical );
+    ("parallel: domains 4 traced", `Quick, par_domains4_traced) ]
