@@ -26,14 +26,14 @@ let row fmt = Format.printf fmt
 
    --smoke   reduced iteration counts (CI-friendly wall clock)
    --json    additionally write the recorded measurements as a flat
-             JSON object (default BENCH_PR8.json; override with --out)
+             JSON object (default BENCH_PR9.json; override with --out)
 
    Keys are flat ("e1_vm_ns_per_reduction") so shell pipelines can
    extract them without a JSON parser. *)
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR8.json"
+let json_path = ref "BENCH_PR9.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -1085,6 +1085,130 @@ let e19 () =
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* E20 — load-aware placement: a Zipf-skewed workload (site counts per *)
+(* node follow a heavy-headed distribution, with the two heaviest      *)
+(* nodes colliding at ip mod 4) run through the sharded engine under   *)
+(* --placement mod vs greedy.  Work is statically attached to sites —  *)
+(* no pool to self-balance through — so the makespan is the loaded     *)
+(* shard's: mod serializes 18/32 of the work on one domain where       *)
+(* greedy's bound is the single heaviest node (12/32).  The CI gate    *)
+(* wants greedy >= 1.3x mod at 4 domains (needs >= 4 host cores).      *)
+
+let e20 () =
+  section "E20"
+    "load-aware placement: Zipf-skewed site counts on 8 nodes, mod vs \
+     greedy sharding";
+  (* per-node site counts: Zipf-ish head, permuted so the heavy nodes
+     0 and 4 collide at ip mod 4 (the adversarial-but-realistic case:
+     a skewed deployment that happens to alias under round-robin) *)
+  let site_counts = [| 12; 3; 2; 2; 6; 2; 1; 4 |] in
+  let nodes = Array.length site_counts in
+  let work = 4_000 in
+  let total_sites = Array.fold_left ( + ) 0 site_counts in
+  let nworkers = total_sites - 1 (* node 0's first site is the hub *) in
+  let hub =
+    Printf.sprintf
+      {| site hub {
+           def Count(self, n) =
+             self?{ ping() = if n == 1 then io!printi[0]
+                             else Count[self, n - 1] }
+           in export new done Count[done, %d] } |}
+      nworkers
+  in
+  let worker name =
+    (* fixed instruction budget per site, one cross-node completion
+       ping: compute-bound with a trickle of fabric traffic *)
+    Printf.sprintf
+      {| site %s {
+           import done from hub in
+           def Crunch(n, k) = if n == 0 then k![1] else Crunch[n - 1, k]
+           in new d (Crunch[%d, d] | d?(x) = done!ping[]) } |}
+      name work
+  in
+  let names =
+    List.concat
+      (List.init nodes (fun n ->
+           let count = site_counts.(n) - if n = 0 then 1 else 0 in
+           List.init count (fun j -> Printf.sprintf "w%d_%d" n j)))
+  in
+  let src = hub ^ String.concat "" (List.map worker names) in
+  let prog = Api.parse src in
+  let placement name =
+    (* "w<node>_<j>" — parsed by hand: Scanf's %d would swallow the
+       underscore as a digit separator *)
+    if name = "hub" then 0
+    else
+      let us = String.index name '_' in
+      int_of_string (String.sub name 1 (us - 1))
+  in
+  let config = { Cluster.default_config with Cluster.nodes } in
+  let host_cores = Domain.recommended_domain_count () in
+  row "  %d sites on %d nodes (counts %s), ~%d instructions each, host \
+       has %d cores@."
+    total_sites nodes
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int site_counts)))
+    (work * 3) host_cores;
+  record_i "e20_host_cores" host_cores;
+  row "  %-8s %-8s %12s %14s %10s %12s@." "policy" "domains" "wall ms"
+    "Minstr/s" "handoffs" "exec imbal";
+  let repeats = if !smoke then 1 else 3 in
+  let tp_at = Hashtbl.create 8 in
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun d ->
+          let best = ref None in
+          for _ = 1 to repeats do
+            let r = Api.run_parallel ~config ~placement ~policy ~domains:d prog in
+            if r.Dityco.Par_runner.timed_out then
+              failwith "e20: parallel run timed out";
+            match !best with
+            | Some b
+              when b.Dityco.Par_runner.wall_ns <= r.Dityco.Par_runner.wall_ns
+              ->
+                ()
+            | _ -> best := Some r
+          done;
+          let r = Option.get !best in
+          let tp =
+            float_of_int r.Dityco.Par_runner.instructions
+            /. float_of_int (max r.Dityco.Par_runner.wall_ns 1)
+          in
+          Hashtbl.replace tp_at (pname, d) tp;
+          (* per-shard executed-events imbalance: max/mean, 1.0 =
+             perfectly even — the signal the placement is meant to fix *)
+          let execs =
+            Array.map
+              (fun s -> float_of_int s.Dityco.Par_runner.ss_events)
+              r.Dityco.Par_runner.shard_stats
+          in
+          let imbal = Dityco.Placement.imbalance execs in
+          row "  %-8s %-8d %12.1f %14.1f %10d %11.2fx@." pname d
+            (float_of_int r.Dityco.Par_runner.wall_ns /. 1e6)
+            (tp *. 1e3) r.Dityco.Par_runner.handoffs imbal;
+          record_f
+            (Printf.sprintf "e20_minstr_per_s_%s_d%d" pname d)
+            (tp *. 1e3);
+          record_i
+            (Printf.sprintf "e20_wall_ms_%s_d%d" pname d)
+            (r.Dityco.Par_runner.wall_ns / 1_000_000);
+          record
+            (Printf.sprintf "e20_exec_imbalance_%s_d%d" pname d)
+            (Printf.sprintf "%.3f" imbal);
+          if d = 4 then
+            record
+              (Printf.sprintf "e20_batch_fill_%s_d4" pname)
+              (Printf.sprintf "%.2f" r.Dityco.Par_runner.ring_batch_fill_mean))
+        [ 1; 2; 4; 8 ])
+    [ ("mod", Dityco.Placement.Mod); ("greedy", Dityco.Placement.Greedy) ];
+  let gain =
+    Hashtbl.find tp_at ("greedy", 4) /. Hashtbl.find tp_at ("mod", 4)
+  in
+  row "  greedy/mod throughput at 4 domains: %.2fx@." gain;
+  record "e20_gain_d4" (Printf.sprintf "%.3f" gain)
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -1144,7 +1268,8 @@ let () =
     e16 ();
     e17 ();
     e18 ();
-    e19 ()
+    e19 ();
+    e20 ()
   end
   else begin
     e1 ();
@@ -1165,7 +1290,8 @@ let () =
     e16 ();
     e17 ();
     e18 ();
-    e19 ()
+    e19 ();
+    e20 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

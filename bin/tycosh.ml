@@ -165,10 +165,59 @@ let write_trace_file out tr =
        Tyco_support.Trace.to_chrome_json tr
      else Tyco_support.Trace.serialize tr)
 
+(* --placement VALUE: the node-to-shard map for --domains N > 1.
+   profile:FILE reads per-node weights from FILE — either a bare JSON
+   array of numbers, or a --json report, whose "node_weights" field is
+   extracted textually (the field is a flat number array, so a full
+   JSON parser would be overkill and the image ships none). *)
+let parse_profile_file path =
+  let s = read_file path in
+  let start =
+    let key = "\"node_weights\":" in
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length s then 0
+      else if String.sub s i klen = key then i + klen
+      else find (i + 1)
+    in
+    find 0
+  in
+  match String.index_from_opt s start '[' with
+  | None -> failwith (path ^ ": no weight array found")
+  | Some lb -> (
+      match String.index_from_opt s lb ']' with
+      | None -> failwith (path ^ ": unterminated weight array")
+      | Some rb ->
+          let parts =
+            String.split_on_char ',' (String.sub s (lb + 1) (rb - lb - 1))
+            |> List.map String.trim
+            |> List.filter (fun x -> x <> "")
+          in
+          if parts = [] then failwith (path ^ ": empty weight array");
+          Array.of_list
+            (List.map
+               (fun x ->
+                 match float_of_string_opt x with
+                 | Some f -> f
+                 | None -> failwith (path ^ ": bad weight " ^ x))
+               parts))
+
+let policy_of_string s =
+  match s with
+  | "mod" -> Dityco.Placement.Mod
+  | "greedy" -> Dityco.Placement.Greedy
+  | _ when String.length s > 8 && String.sub s 0 8 = "profile:" ->
+      Dityco.Placement.Profile
+        (parse_profile_file (String.sub s 8 (String.length s - 8)))
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "unknown placement %S (expected mod, greedy, or profile:FILE)" s)
+
 (* --domains N, N > 1: the sharded multi-domain engine.  Output
    timestamps depend on domain interleaving; the deterministic single-
    domain path stays the default (and what --domains 1 means). *)
-let run_domains config domains json trace_out metrics_out prog =
+let run_domains config domains policy json trace_out metrics_out prog =
   let prom =
     match metrics_out with
     | Some p -> Filename.check_suffix p ".prom"
@@ -191,7 +240,9 @@ let run_domains config domains json trace_out metrics_out prog =
               flush oc)
             moc
         in
-        let r = Dityco.Api.run_parallel ~config ~domains ?on_snapshot prog in
+        let r =
+          Dityco.Api.run_parallel ~config ~policy ~domains ?on_snapshot prog
+        in
         (match moc with
         | Some oc ->
             output_string oc
@@ -235,7 +286,7 @@ let run_domains config domains json trace_out metrics_out prog =
       (if r.Dityco.Par_runner.timed_out then " (TIMED OUT)" else "")
   end
 
-let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out metrics_out interactive_mode tcp domains json =
+let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out metrics_out interactive_mode tcp domains placement json =
   try
     let config =
       { Dityco.Cluster.default_config with
@@ -253,7 +304,8 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace tra
     if interactive_mode then (interactive config; exit 0);
     if tcp then (run_tcp path nodes metrics_out; exit 0);
     if domains > 1 then begin
-      run_domains config domains json trace_out metrics_out
+      run_domains config domains (policy_of_string placement) json trace_out
+        metrics_out
         (Dityco.Api.parse ~file:path (read_file path));
       exit 0
     end;
@@ -348,10 +400,19 @@ let tcp_flag =
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
        ~doc:"Run the cluster sharded over N OCaml domains (nodes are \
-             assigned by ip mod N; cross-domain packets travel through \
-             lock-free SPSC rings).  1 (the default) is the \
-             deterministic single-domain scheduler, bit-identical to \
-             not passing the flag at all.")
+             assigned to domains by --placement; cross-domain packets \
+             travel in batches through lock-free SPSC rings).  1 (the \
+             default) is the deterministic single-domain scheduler, \
+             bit-identical to not passing the flag at all.")
+
+let placement_arg =
+  Arg.(value & opt string "mod" & info [ "placement" ] ~docv:"POLICY"
+       ~doc:"Node-to-domain placement for --domains N > 1: 'mod' \
+             (ip mod N, the default), 'greedy' (bin-pack nodes onto \
+             domains by site count), or 'profile:FILE' (bin-pack by \
+             measured per-node weights; FILE is a prior run's --json \
+             report or a bare JSON array of numbers, one per node).  \
+             Ignored at --domains 1.")
 
 let interactive_flag =
   Arg.(value & flag & info [ "i"; "interactive" ]
@@ -389,6 +450,7 @@ let cmd =
        ~doc:"Submit DiTyCO network programs to a simulated cluster")
     Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
           $ verbose $ seed $ replicated_ns $ trace $ trace_out $ metrics_out
-          $ interactive_flag $ tcp_flag $ domains_arg $ json_flag)
+          $ interactive_flag $ tcp_flag $ domains_arg $ placement_arg
+          $ json_flag)
 
 let () = exit (Cmd.eval cmd)

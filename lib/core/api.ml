@@ -112,10 +112,11 @@ let run_source ?config ?placement ?max_events ?until src =
    suite pins this), and it remains the only mode with timestamps
    deterministic enough for the differential tests.  More than one
    domain goes to the sharded engine. *)
-let run_parallel ?config ?placement ?(inputs = []) ?max_events
+let run_parallel ?config ?placement ?policy ?(inputs = []) ?max_events
     ?(typecheck = true) ?on_snapshot ?snapshot_every_ms ~domains prog :
     Par_runner.result =
   if domains <= 1 then begin
+    ignore policy (* one shard: every placement map is the identity *);
     let t0 = Unix.gettimeofday () in
     let r =
       run_program ?config ?placement ?max_events ~inputs ~typecheck prog
@@ -128,6 +129,25 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
           acc + Tyco_support.Stats.counter_value (Site.stats s) "instructions")
         0 (Cluster.sites c)
     in
+    let node_weights =
+      (* per-node instruction counts, same signal the sharded engine
+         reports: lets a single-domain run seed --placement profile *)
+      let nnodes =
+        List.fold_left
+          (fun acc s -> max acc (Site.ip s + 1))
+          0 (Cluster.sites c)
+      in
+      let w = Array.make nnodes 0. in
+      List.iter
+        (fun s ->
+          w.(Site.ip s) <-
+            w.(Site.ip s)
+            +. float_of_int
+                 (Tyco_support.Stats.counter_value (Site.stats s)
+                    "instructions"))
+        (Cluster.sites c);
+      w
+    in
     { Par_runner.outputs = r.outputs;
       virtual_ns = r.virtual_ns;
       packets = r.packets;
@@ -136,6 +156,7 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
       handoffs = 0;
       ring_pushed = 0;
       ring_popped = 0;
+      ring_batch_fill_mean = 0.;
       parks = 0;
       domains = 1;
       instructions;
@@ -143,6 +164,8 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
       dead_letters = Cluster.dead_letters c;
       suspected = Cluster.suspected_failures c;
       sites_per_shard = [| List.length (Cluster.sites c) |];
+      placement_weights = [| float_of_int (List.length (Cluster.sites c)) |];
+      node_weights;
       events = r.sim_events;
       clean = true;
       timed_out = false;
@@ -160,7 +183,8 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
              ss_ring_popped = 0;
              ss_ring_hiwater = 0;
              ss_parks = 0;
-             ss_drains = 0 } |];
+             ss_drains = 0;
+             ss_weight = float_of_int (List.length (Cluster.sites c)) } |];
       sites = Cluster.sites c }
   end
   else begin
@@ -174,8 +198,8 @@ let run_parallel ?config ?placement ?(inputs = []) ?max_events
       Option.value ~default:[] (List.assoc_opt name inputs)
     in
     try
-      Par_runner.run ?config ?placement ~inputs:site_inputs ?max_events
-        ?on_snapshot ?snapshot_every_ms ~domains units
+      Par_runner.run ?config ?placement ?policy ~inputs:site_inputs
+        ?max_events ?on_snapshot ?snapshot_every_ms ~domains units
     with
     | Site.Protocol_error m -> raise (Error (Runtime_error m))
     | Tyco_vm.Machine.Error m -> raise (Error (Runtime_error m))

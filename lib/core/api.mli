@@ -60,6 +60,7 @@ val run_source :
 val run_parallel :
   ?config:Cluster.config ->
   ?placement:(string -> int) ->
+  ?policy:Placement.policy ->
   ?inputs:(string * int list) list ->
   ?max_events:int ->
   ?typecheck:bool ->
@@ -73,10 +74,11 @@ val run_parallel :
     a plain run, timestamps and all (test-pinned) — and reports it in
     {!Par_runner.result} form.  [domains > 1] runs the sharded
     multi-domain engine ({!Par_runner.run}): same output multiset,
-    interleaving-dependent timestamps; [on_snapshot] /
-    [snapshot_every_ms] stream coordinator-side mid-run observations
-    (ignored when [domains <= 1], whose engine runs to quiescence in
-    one call). *)
+    interleaving-dependent timestamps; [policy] picks the node-to-shard
+    placement ({!Placement.Mod} by default, ignored at [domains <= 1]);
+    [on_snapshot] / [snapshot_every_ms] stream coordinator-side mid-run
+    observations (ignored when [domains <= 1], whose engine runs to
+    quiescence in one call). *)
 
 val load_isolated :
   ?placement:(string -> int) -> Cluster.t -> Tyco_syntax.Ast.program -> unit

@@ -174,7 +174,14 @@ type t = {
   loopback_delay : int;
   (* batching state *)
   outboxes : (int * int, outbox) Hashtbl.t;
-  pending_batches : (int * int, bxmit list ref) Hashtbl.t;
+  (* per-connection unacked batches, front = oldest.  Batches enter in
+     contiguous sequence order and a cumulative ack acknowledges a
+     prefix of the stream, so acks only ever touch a front segment:
+     [apply_cum_ack] pops acked fronts in O(1) each instead of the
+     O(queue) [List.filter] rebuild this deque replaces.  Timed-out
+     batches are marked [bx_done] in place and popped lazily when they
+     surface at the front. *)
+  pending_batches : (int * int, bxmit Dq.t) Hashtbl.t;
   ack_states : (int * int, ack_state) Hashtbl.t;
   (* fault/reliability bookkeeping *)
   stats : Stats.t;
@@ -347,11 +354,11 @@ let ack_state_of t ~at_ip ~peer_ip =
 
 let pending_of t ~src_ip ~dst_ip =
   match Hashtbl.find_opt t.pending_batches (src_ip, dst_ip) with
-  | Some r -> r
+  | Some q -> q
   | None ->
-      let r = ref [] in
-      Hashtbl.add t.pending_batches (src_ip, dst_ip) r;
-      r
+      let q = Dq.create () in
+      Hashtbl.add t.pending_batches (src_ip, dst_ip) q;
+      q
 
 (* One reliable transmission: a frame retransmitted until the peer
    daemon acknowledges it (or attempts are exhausted). *)
@@ -555,7 +562,7 @@ and flush_outbox t ob =
           bx_attempts = 0; bx_done = false }
       in
       let pending = pending_of t ~src_ip:ob.ob_src_ip ~dst_ip:ob.ob_dst_ip in
-      pending := bx :: !pending;
+      Dq.push_back pending bx;
       attempt_batch t bx
     end
     else begin
@@ -644,11 +651,19 @@ and attempt_batch t (bx : bxmit) =
   Simnet.schedule t.sim ~delay:(backoff + jitter) (fun () ->
       if not bx.bx_done then
         if bx.bx_attempts >= r.max_attempts then begin
+          (* mark in place — a timed-out batch can sit mid-queue, and
+             removing it there would cost O(queue); it is popped lazily
+             when it reaches the front (here, if it already is) *)
           bx.bx_done <- true;
           let pending =
             pending_of t ~src_ip:bx.bx_src_ip ~dst_ip:bx.bx_dst_ip
           in
-          pending := List.filter (fun b -> b != bx) !pending;
+          let popping = ref true in
+          while !popping do
+            match Dq.peek_front pending with
+            | Some b when b.bx_done -> ignore (Dq.pop_front_exn pending)
+            | _ -> popping := false
+          done;
           Stats.Counter.incr t.c_timeouts;
           if t.tr_on then
             Trace.emit t.tracer ~ts:(Simnet.now t.sim)
@@ -718,10 +733,20 @@ and apply_cum_ack t ~at_ip ~peer_ip ~floor =
     match Hashtbl.find_opt t.pending_batches (at_ip, peer_ip) with
     | None -> ()
     | Some pending ->
-        pending :=
-          List.filter
-            (fun bx ->
-              if bx.bx_done then false
+        (* Front-only processing.  The queue holds this connection's
+           batches in contiguous sequence order and the floor acks a
+           prefix of the stream, so only a front segment can be
+           affected: pop fully-acked fronts (and timed-out ones
+           surfacing there), trim the single batch that can straddle
+           the floor, then stop — every batch behind it starts at or
+           above the front's end, hence at or above the floor.  Cost is
+           O(batches retired), not O(queue) per ack. *)
+        let scanning = ref true in
+        while !scanning do
+          match Dq.peek_front pending with
+          | None -> scanning := false
+          | Some bx ->
+              if bx.bx_done then ignore (Dq.pop_front_exn pending)
               else begin
                 let count = Array.length bx.bx_pkts - bx.bx_lo in
                 if floor >= bx.bx_base_seq + count then begin
@@ -729,7 +754,7 @@ and apply_cum_ack t ~at_ip ~peer_ip ~floor =
                   if t.tr_on then
                     Trace.emit t.tracer ~ts:(Simnet.now t.sim)
                       ~track:Trace.fabric_track ~span:bx.bx_span Trace.Ack;
-                  false
+                  ignore (Dq.pop_front_exn pending)
                 end
                 else begin
                   if floor > bx.bx_base_seq then begin
@@ -743,10 +768,10 @@ and apply_cum_ack t ~at_ip ~peer_ip ~floor =
                     done;
                     bx.bx_base_seq <- floor
                   end;
-                  true
+                  scanning := false
                 end
-              end)
-            !pending
+              end
+        done
 
 (* ------------------------------------------------------------------ *)
 (* Unbatched reliable path (config.batching = false): one Fdata frame

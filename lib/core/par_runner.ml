@@ -1,17 +1,37 @@
 (* The parallel execution engine: the cluster sharded over OCaml 5
    domains.
 
-   Each shard owns a disjoint set of nodes (ip mod domains) and
-   everything beneath them — sites, VMs, export tables, intern areas,
-   statistics reservoirs — plus its own discrete-event simulator, so a
-   shard's virtual clock advances independently.  No mutable state is
-   shared between shards: the only cross-domain traffic is
+   Each shard owns a disjoint set of nodes and everything beneath
+   them — sites, VMs, export tables, intern areas, statistics
+   reservoirs — plus its own discrete-event simulator, so a shard's
+   virtual clock advances independently.  Which nodes a shard owns is
+   decided by a placement map ({!Placement}): [ip mod domains] by
+   default, or greedy bin-packing over static site counts / profiled
+   node weights when the caller wants load-aware sharding.  No mutable
+   state is shared between shards: the only cross-domain traffic is
 
-   - packet envelopes through one {!Tyco_support.Spsc_ring} per
+   - envelope {e batches} through one {!Tyco_support.Spsc_ring} per
      ordered shard pair, and
-   - a handful of whole-run atomics (the in-flight envelope count,
+   - a handful of whole-run atomics (the in-flight batch count,
      per-shard pending/executed event counters, the stop flag) that
      exist purely for termination detection.
+
+   Handoff batching (PR 9): cross-shard packets are not pushed one by
+   one.  Each shard buffers outbound envelopes per destination shard
+   and flushes each buffer as one ring element at its step/park
+   boundary (or earlier, when a buffer reaches
+   [handoff_batch_max]) — so one ring push, one [g_inflight]
+   increment and one consumer pop amortize over the whole batch,
+   mirroring the deterministic engine's [Fbatch] coalescing one layer
+   down.  Quiescence accounting stays exact without per-packet
+   atomics: a buffer's first envelope counts one unit on the owning
+   shard's [pending] (the pending flush is a scheduled obligation
+   like any heap event); the flush moves that unit onto [g_inflight]
+   (increment before decrement, so the sum never dips); the consumer
+   schedules every envelope's delivery (each a [pending] increment)
+   {e before} uncounting the batch from [g_inflight].  Children are
+   always counted before their parent is uncounted, so
+   [inflight + sum pending = 0] still holds only at true quiescence.
 
    Clock merge rule: a handed-off packet sent at sender-virtual time
    [s] with wire delay [d] is delivered at receiver-virtual time
@@ -21,8 +41,8 @@
    job ({!Cluster}); this engine preserves output *sets*, not
    timestamps.
 
-   Scope: the direct per-packet transport only.  Batching, reliable
-   delivery, fault injection and replicated name service stay with the
+   Scope: the direct per-packet transport only.  Reliable delivery,
+   fault injection and replicated name service stay with the
    deterministic engine (rings are lossless and ordered, so none of
    that machinery has work to do here); configs requesting them are
    rejected loudly.
@@ -58,10 +78,24 @@ type envelope = {
   env_span : Trace.span; (* causal context rides the ring with the packet *)
 }
 
+(* What actually travels through a ring: one flush's worth of
+   same-destination envelopes.  The array is freshly sized at flush
+   (ownership passes to the consumer with the push), while the
+   producer-side accumulation buffer is reused across flushes. *)
+type batch = envelope array
+
+(* Per-destination accumulation buffer (producer-shard confined). *)
+type outbuf = {
+  mutable hb_envs : envelope array;
+  mutable hb_count : int;
+}
+
 type global = {
   g_domains : int;
-  (* envelopes pushed to a ring whose delivery event has not yet
-     executed: > 0 whenever cross-shard work is outside any heap *)
+  g_shard_map : int array; (* node ip -> owning shard *)
+  (* envelope batches pushed (or buffered for push) whose delivery
+     events have not all been scheduled yet: > 0 whenever cross-shard
+     work is outside any heap *)
   g_inflight : int Atomic.t;
   g_stop : bool Atomic.t;
 }
@@ -82,14 +116,18 @@ type shard = {
   ns : Nameservice.t option; (* the centralized service, shard 0 only *)
   by_id : (int, wrapper) Hashtbl.t;
   mutable wrappers : wrapper list;
-  in_rings : envelope Spsc.t option array; (* index = source shard *)
-  out_rings : envelope Spsc.t option array; (* index = destination shard *)
+  in_rings : batch Spsc.t option array; (* index = source shard *)
+  out_rings : batch Spsc.t option array; (* index = destination shard *)
+  out_bufs : outbuf array; (* index = destination shard; self unused *)
+  weight : float; (* this shard's placement weight (reporting only) *)
   (* shard-confined accumulators, merged after join *)
   mutable outs : (int * Output.event) list;
   mutable packets : int;
   mutable bytes : int;
   mutable same_node : int;
-  mutable handoffs_in : int;
+  mutable handoffs_in : int; (* envelopes received through rings *)
+  mutable batches_out : int; (* flushes, = ring pushes attempted *)
+  mutable envelopes_out : int; (* envelopes those flushes carried *)
   mutable parks : int;
   mutable drains : int; (* backpressure drain passes while pushing *)
   mutable dead_letters : int;
@@ -106,12 +144,13 @@ type shard = {
   m_same_node : Metrics.counter;
   m_handoffs_in : Metrics.counter;
   m_handoff_lat : Metrics.histogram; (* virtual ns from send to delivery *)
+  m_batch_fill : Metrics.histogram; (* envelopes per ring push *)
   (* termination-detection counters (Mattern-style): [pending] is the
-     shard's heap size maintained so that children are counted before
-     their parent event is uncounted, which makes
-     [inflight + sum pending = 0] hold only at true quiescence;
-     [executed] is monotone and detects activity between the
-     coordinator's two collects *)
+     shard's heap size plus one unit per non-empty outbound buffer,
+     maintained so that children are counted before their parent event
+     is uncounted, which makes [inflight + sum pending = 0] hold only
+     at true quiescence; [executed] is monotone and detects activity
+     between the coordinator's two collects *)
   pending : int Atomic.t;
   executed : int Atomic.t;
 }
@@ -123,11 +162,16 @@ let sched sh ~delay f =
   Atomic.incr sh.pending;
   Simnet.schedule sh.sim ~delay f
 
-let shard_of_ip g ip = ip mod g.g_domains
+let shard_of_ip g ip = Array.unsafe_get g.g_shard_map ip
+
+(* Flush threshold: a buffer reaching this many envelopes is flushed
+   immediately rather than waiting for the step boundary, bounding
+   both handoff latency and the allocation size of one batch. *)
+let handoff_batch_max = 64
 
 (* ------------------------------------------------------------------ *)
 (* The event graph: scheduling, transport, delivery.  Mirrors
-   [Cluster]'s unbatched path minus faults/reliability/tracing.       *)
+   [Cluster]'s batched path minus faults/reliability.                  *)
 
 let rec request_pump sh w ~delay =
   if (not w.w_pump_scheduled) && Site.alive w.w_site then begin
@@ -177,20 +221,70 @@ and send_packet sh ~src_ip ?(ctx = Trace.null_span) (p : Packet.t) =
     sh.bytes <- sh.bytes + bytes;
     Metrics.incr sh.m_packets;
     Metrics.add sh.m_bytes bytes;
-    Atomic.incr sh.g.g_inflight;
-    push_envelope sh ~dst_shard
+    enqueue_handoff sh ~dst_shard
       { env_pkt = p; env_src_ip = src_ip; env_dst_ip = dst_ip;
         env_send_ts = Simnet.now sh.sim; env_bytes = bytes;
         env_span = ctx }
   end
 
-and push_envelope sh ~dst_shard env =
+(* Buffer an outbound envelope.  The buffer's first envelope counts
+   one unit on [pending] — the obligation to flush — so quiescence
+   detection cannot fire between enqueue and flush; subsequent
+   envelopes ride the same unit, which is what makes the handoff path
+   free of per-packet atomics. *)
+and enqueue_handoff sh ~dst_shard env =
+  let ub = Array.unsafe_get sh.out_bufs dst_shard in
+  let n = ub.hb_count in
+  if n = 0 then Atomic.incr sh.pending;
+  if n = Array.length ub.hb_envs then begin
+    let grown = Array.make (max 8 (2 * n)) env in
+    Array.blit ub.hb_envs 0 grown 0 n;
+    ub.hb_envs <- grown
+  end;
+  ub.hb_envs.(n) <- env;
+  ub.hb_count <- n + 1;
+  if ub.hb_count >= handoff_batch_max then flush_handoff sh ~dst_shard ub
+
+(* Flush one destination's buffer as a single ring element: one push,
+   one [g_inflight] unit, one pop on the far side for the whole
+   batch.  Increment-inflight-then-decrement-pending order keeps the
+   termination sum from transiently reaching zero. *)
+and flush_handoff sh ~dst_shard ub =
+  let count = ub.hb_count in
+  let batch = Array.sub ub.hb_envs 0 count in
+  (* drop the buffer's references: the consumer owns the batch now,
+     and a stale slot would otherwise keep packet payloads alive
+     until the next burst overwrites it *)
+  Array.fill ub.hb_envs 0 count (Obj.magic 0);
+  ub.hb_count <- 0;
+  sh.batches_out <- sh.batches_out + 1;
+  sh.envelopes_out <- sh.envelopes_out + count;
+  Metrics.observe_int sh.m_batch_fill count;
+  Atomic.incr sh.g.g_inflight;
+  push_batch sh ~dst_shard batch;
+  Atomic.decr sh.pending
+
+(* Flush every non-empty buffer; called at the shard loop's step/park
+   boundary.  Returns the number of batches pushed so the loop can
+   tell an idle pass from one that produced work for a sibling. *)
+and flush_handoffs sh =
+  let flushed = ref 0 in
+  Array.iteri
+    (fun dst_shard ub ->
+      if ub.hb_count > 0 then begin
+        flush_handoff sh ~dst_shard ub;
+        incr flushed
+      end)
+    sh.out_bufs;
+  !flushed
+
+and push_batch sh ~dst_shard batch =
   let ring =
     match sh.out_rings.(dst_shard) with
     | Some r -> r
     | None -> assert false (* dst_shard <> sh_id by construction *)
   in
-  if not (Spsc.try_push ring env) then begin
+  if not (Spsc.try_push ring batch) then begin
     (* Backpressure: the ring is bounded, so spin — but keep draining
        our own inbound rings while we wait, otherwise two shards
        pushing into each other's full rings deadlock. *)
@@ -203,7 +297,7 @@ and push_envelope sh ~dst_shard env =
         Atomic.decr sh.g.g_inflight;
         pushed := true
       end
-      else if Spsc.try_push ring env then pushed := true
+      else if Spsc.try_push ring batch then pushed := true
       else begin
         sh.drains <- sh.drains + 1;
         ignore (drain_rings sh);
@@ -217,6 +311,29 @@ and push_envelope sh ~dst_shard env =
     done
   end
 
+(* Consume one inbound batch: schedule every envelope's delivery
+   (each [sched] counts it on [pending]), then — children counted —
+   uncount the batch from [g_inflight]. *)
+and absorb_batch sh (batch : batch) =
+  let n = Array.length batch in
+  for i = 0 to n - 1 do
+    let env = Array.unsafe_get batch i in
+    sh.handoffs_in <- sh.handoffs_in + 1;
+    Metrics.incr sh.m_handoffs_in;
+    let d =
+      Simnet.packet_delay sh.sim ~src_ip:env.env_src_ip
+        ~dst_ip:env.env_dst_ip ~bytes:env.env_bytes
+    in
+    let now = Simnet.now sh.sim in
+    (* clock merge rule: monotone per receiver *)
+    let at = max now (env.env_send_ts + d) in
+    Metrics.observe_int sh.m_handoff_lat (at - env.env_send_ts);
+    sched sh ~delay:(at - now) (fun () ->
+        deliver sh ~at_ip:env.env_dst_ip ~ctx:env.env_span env.env_pkt)
+  done;
+  Atomic.decr sh.g.g_inflight;
+  n
+
 and drain_rings sh =
   let got = ref 0 in
   Array.iter
@@ -225,24 +342,9 @@ and drain_rings sh =
       | Some ring ->
           let draining = ref true in
           while !draining do
-            match Spsc.try_pop ring with
-            | None -> draining := false
-            | Some env ->
-                incr got;
-                sh.handoffs_in <- sh.handoffs_in + 1;
-                Metrics.incr sh.m_handoffs_in;
-                let d =
-                  Simnet.packet_delay sh.sim ~src_ip:env.env_src_ip
-                    ~dst_ip:env.env_dst_ip ~bytes:env.env_bytes
-                in
-                let now = Simnet.now sh.sim in
-                (* clock merge rule: monotone per receiver *)
-                let at = max now (env.env_send_ts + d) in
-                Metrics.observe_int sh.m_handoff_lat (at - env.env_send_ts);
-                sched sh ~delay:(at - now) (fun () ->
-                    Atomic.decr sh.g.g_inflight;
-                    deliver sh ~at_ip:env.env_dst_ip ~ctx:env.env_span
-                      env.env_pkt)
+            match Spsc.pop_exn ring with
+            | batch -> got := !got + absorb_batch sh batch
+            | exception Spsc.Empty -> draining := false
           done)
     sh.in_rings;
   !got
@@ -359,11 +461,14 @@ let shard_loop sh ~max_events =
          Atomic.incr sh.executed;
          incr steps
        done;
+       (* step/park boundary: everything the local batch produced for
+          siblings leaves as one ring push per destination *)
+       let flushed = flush_handoffs sh in
        if Atomic.get sh.executed > max_events then
          failwith
            (Printf.sprintf "Par_runner: shard %d exceeded %d events"
               sh.sh_id max_events);
-       if drained = 0 && !steps = 0 then begin
+       if drained = 0 && !steps = 0 && flushed = 0 then begin
          (* idle: exponential-backoff parking.  The sleep is what lets
             sibling domains (and the coordinator) run when there are
             more domains than cores. *)
@@ -390,12 +495,13 @@ type shard_stat = {
   ss_virtual_ns : int;
   ss_packets : int;
   ss_same_node : int;
-  ss_handoffs_in : int;
-  ss_ring_pushed : int; (* envelopes this shard pushed outbound *)
-  ss_ring_popped : int; (* envelopes this shard consumed *)
+  ss_handoffs_in : int; (* envelopes this shard received *)
+  ss_ring_pushed : int; (* batches this shard pushed outbound *)
+  ss_ring_popped : int; (* batches this shard consumed *)
   ss_ring_hiwater : int; (* max outbound-ring occupancy at push *)
   ss_parks : int;
   ss_drains : int; (* backpressure drain passes while pushing *)
+  ss_weight : float; (* placement weight this shard was assigned *)
 }
 
 (* A coordinator-side mid-run observation: only whole-run atomics and
@@ -406,7 +512,7 @@ type snapshot = {
   sn_inflight : int;
   sn_executed : int array; (* per shard, monotone *)
   sn_pending : int array;
-  sn_ring_pushed : int;
+  sn_ring_pushed : int; (* batches *)
   sn_ring_popped : int;
 }
 
@@ -417,8 +523,9 @@ type result = {
   bytes : int;
   same_node_fast : int;
   handoffs : int; (* envelopes carried by rings *)
-  ring_pushed : int;
+  ring_pushed : int; (* batches pushed (= pops after a clean run) *)
   ring_popped : int;
+  ring_batch_fill_mean : float; (* envelopes per ring push *)
   parks : int; (* idle/backpressure parks across all shards *)
   domains : int;
   instructions : int; (* total VM instructions, for throughput *)
@@ -426,6 +533,10 @@ type result = {
   dead_letters : int;
   suspected : (int * string) list;
   sites_per_shard : int array;
+  placement_weights : float array; (* per-shard assigned weight *)
+  node_weights : float array;
+      (* measured per-node instruction counts — feed these back as
+         [Placement.Profile] for the next run of the same workload *)
   events : int; (* simulation events across all shards *)
   clean : bool; (* quiesced with rings drained and heaps empty *)
   timed_out : bool;
@@ -446,13 +557,50 @@ let validate (cfg : Cluster.config) =
 let ring_capacity = 4096
 
 let run ?(config = Cluster.default_config) ?placement
-    ?(inputs = fun _ -> []) ?(max_events = 10_000_000)
-    ?(max_wall_ms = 120_000) ?on_snapshot ?(snapshot_every_ms = 100)
+    ?(policy = Placement.Mod) ?(inputs = fun _ -> [])
+    ?(max_events = 10_000_000) ?(max_wall_ms = 120_000) ?on_snapshot
+    ?(snapshot_every_ms = 100)
     ~domains (units : (string * Tyco_compiler.Block.unit_) list) =
   if domains < 1 then invalid_arg "Par_runner.run: domains must be >= 1";
   validate config;
+  let nnodes = config.Cluster.nodes in
+  (* resolve every site's node first: the placement policy needs the
+     per-node site counts before any shard exists *)
+  let seen = Hashtbl.create 16 in
+  let site_nodes =
+    List.mapi
+      (fun i (name, _) ->
+        if Hashtbl.mem seen name then
+          invalid_arg
+            (Printf.sprintf "Par_runner.run: duplicate site '%s'" name);
+        Hashtbl.add seen name ();
+        match placement with
+        | Some f ->
+            let n = f name in
+            if n < 0 || n >= nnodes then
+              invalid_arg
+                (Printf.sprintf "Par_runner.run: site '%s' placed on node %d"
+                   name n)
+            else n
+        | None -> i mod nnodes)
+      units
+  in
+  let site_counts = Array.make nnodes 0 in
+  List.iter (fun n -> site_counts.(n) <- site_counts.(n) + 1) site_nodes;
+  let shard_map = Placement.assign ~domains ~site_counts policy in
+  assert (Array.length shard_map = nnodes);
+  assert (nnodes = 0 || shard_map.(0) = 0) (* NS host pinned to shard 0 *);
+  let weights =
+    match policy with
+    | Placement.Profile w -> w
+    | Placement.Mod | Placement.Greedy -> Array.map float_of_int site_counts
+  in
+  let placement_weights =
+    Placement.shard_weights ~domains ~map:shard_map weights
+  in
   let g =
     { g_domains = domains;
+      g_shard_map = shard_map;
       g_inflight = Atomic.make 0;
       g_stop = Atomic.make false }
   in
@@ -464,7 +612,7 @@ let run ?(config = Cluster.default_config) ?placement
             else Some (Spsc.create ~capacity:ring_capacity)))
   in
   let nodes =
-    Array.init config.Cluster.nodes (fun i ->
+    Array.init nnodes (fun i ->
         Node.create ~node_id:i ~ip:i ~cores:config.Cluster.cores_per_node)
   in
   let shards =
@@ -495,6 +643,8 @@ let run ?(config = Cluster.default_config) ?placement
               ()
           else Metrics.disabled
         in
+        Metrics.set (Metrics.gauge mx "placement_weight")
+          (int_of_float (Float.round placement_weights.(s)));
         { sh_id = s;
           g;
           sim;
@@ -506,11 +656,16 @@ let run ?(config = Cluster.default_config) ?placement
           wrappers = [];
           in_rings = Array.init domains (fun src -> rings.(src).(s));
           out_rings = rings.(s);
+          out_bufs =
+            Array.init domains (fun _ -> { hb_envs = [||]; hb_count = 0 });
+          weight = placement_weights.(s);
           outs = [];
           packets = 0;
           bytes = 0;
           same_node = 0;
           handoffs_in = 0;
+          batches_out = 0;
+          envelopes_out = 0;
           parks = 0;
           drains = 0;
           dead_letters = 0;
@@ -525,32 +680,23 @@ let run ?(config = Cluster.default_config) ?placement
           m_same_node = Metrics.counter mx "same_node_fast";
           m_handoffs_in = Metrics.counter mx "handoffs_in";
           m_handoff_lat = Metrics.histogram mx "handoff_lat_ns";
+          m_batch_fill = Metrics.histogram mx "ring_batch_fill";
           pending = Atomic.make 0;
           executed = Atomic.make 0 })
   in
   (* load sites (on the coordinating domain, before any shard domain
-     exists — construction is the last moment state is shared) *)
-  let seen = Hashtbl.create 16 in
-  List.iteri
-    (fun i (name, unit_) ->
-      if Hashtbl.mem seen name then
-        invalid_arg
-          (Printf.sprintf "Par_runner.run: duplicate site '%s'" name);
-      Hashtbl.add seen name ();
-      let node_idx =
-        match placement with
-        | Some f ->
-            let n = f name in
-            if n < 0 || n >= Array.length nodes then
-              invalid_arg
-                (Printf.sprintf "Par_runner.run: site '%s' placed on node %d"
-                   name n)
-            else n
-        | None -> i mod Array.length nodes
-      in
+     exists — construction is the last moment state is shared).  Any
+     packets sites emit while starting are buffered in the owning
+     shard's out_bufs; its domain flushes them on its first loop
+     iteration. *)
+  let next_site_id = ref (-1) in
+  List.iter2
+    (fun (name, unit_) node_idx ->
       let node = nodes.(node_idx) in
       let sh = shards.(shard_of_ip g (Node.ip node)) in
-      let site_id = i in
+      (* site ids follow unit order, as before *)
+      incr next_site_id;
+      let site_id = !next_site_id in
       let lifecycle =
         { Site.lc_lease_ns = config.Cluster.lease_ns;
           lc_refresh_ns = config.Cluster.lease_refresh_ns;
@@ -580,7 +726,7 @@ let run ?(config = Cluster.default_config) ?placement
       sh.wrappers <- w :: sh.wrappers;
       Site.start w.w_site;
       request_pump sh w ~delay:0)
-    units;
+    units site_nodes;
   (* run *)
   let t0 = Unix.gettimeofday () in
   let doms =
@@ -589,10 +735,10 @@ let run ?(config = Cluster.default_config) ?placement
   in
   (* Quiescence: [inflight + sum pending] is maintained so it is zero
      only when no work exists anywhere (children are counted before
-     parents are uncounted; ring residency is covered by inflight
-     until the delivery event executes).  Two collects agreeing on the
-     monotone executed-count with a zero work-sum close the race of
-     reading the counters one by one. *)
+     parents are uncounted; buffered and in-ring batches are covered
+     by pending/inflight until every delivery event is scheduled).
+     Two collects agreeing on the monotone executed-count with a zero
+     work-sum close the race of reading the counters one by one. *)
   let collect () =
     let work = ref (Atomic.get g.g_inflight) in
     let execd = ref 0 in
@@ -707,6 +853,21 @@ let run ?(config = Cluster.default_config) ?placement
             acc + Stats.counter_value (Site.stats w.w_site) "instructions")
           0 sh.wrappers)
   in
+  let node_weights =
+    let w = Array.make nnodes 0. in
+    Array.iter
+      (fun sh ->
+        List.iter
+          (fun wr ->
+            let ip = Site.ip wr.w_site in
+            w.(ip) <-
+              w.(ip)
+              +. float_of_int
+                   (Stats.counter_value (Site.stats wr.w_site) "instructions"))
+          sh.wrappers)
+      shards;
+    w
+  in
   (* Observability merge: fold the shard-confined collectors into run-
      level ones.  [Domain.join] above is the happens-before edge that
      makes every shard-local field safe to read here. *)
@@ -736,8 +897,15 @@ let run ?(config = Cluster.default_config) ?placement
           ss_ring_popped = !popped;
           ss_ring_hiwater = !hi;
           ss_parks = sh.parks;
-          ss_drains = sh.drains })
+          ss_drains = sh.drains;
+          ss_weight = sh.weight })
       shards
+  in
+  let batches_total = sum (fun sh -> sh.batches_out) in
+  let envelopes_total = sum (fun sh -> sh.envelopes_out) in
+  let ring_batch_fill_mean =
+    if batches_total = 0 then 0.
+    else float_of_int envelopes_total /. float_of_int batches_total
   in
   let trace =
     if config.Cluster.tracing then
@@ -781,6 +949,7 @@ let run ?(config = Cluster.default_config) ?placement
     handoffs = sum (fun sh -> sh.handoffs_in);
     ring_pushed = !ring_pushed;
     ring_popped = !ring_popped;
+    ring_batch_fill_mean;
     parks = sum (fun sh -> sh.parks);
     domains;
     instructions;
@@ -791,6 +960,8 @@ let run ?(config = Cluster.default_config) ?placement
         (fun (sh : shard) -> List.rev sh.suspected)
         (Array.to_list shards);
     sites_per_shard = Array.map (fun sh -> Hashtbl.length sh.by_id) shards;
+    placement_weights;
+    node_weights;
     events = sum (fun sh -> Atomic.get sh.executed);
     clean;
     timed_out = !timed_out;

@@ -1,16 +1,22 @@
 (** Parallel execution engine: the simulated cluster sharded over
     OCaml 5 domains.
 
-    Shard [s] owns the nodes with [ip mod domains = s] and everything
-    beneath them — sites, VMs, export tables, intern areas, statistics
-    — plus its own {!Tyco_net.Simnet} (clock, heap, PRNG, derived from
-    the run seed per owner).  Cross-shard packets travel as envelopes
-    through one bounded lock-free {!Tyco_support.Spsc_ring} per
-    ordered shard pair; the PR 2 same-node fast path is preserved
-    intact inside each shard.  A handed-off packet sent at
-    sender-virtual time [s] with wire delay [d] is delivered at
-    receiver-virtual time [max (receiver now) (s + d)], so delivery
-    timestamps stay monotone per receiver.
+    Which nodes a shard owns is decided by a {!Placement} policy
+    ([ip mod domains] by default; greedy bin-packing over site counts
+    or profiled node weights when the caller opts in) — plus
+    everything beneath them: sites, VMs, export tables, intern areas,
+    statistics, and the shard's own {!Tyco_net.Simnet} (clock, heap,
+    PRNG, derived from the run seed per owner).  Cross-shard packets
+    travel as envelope {e batches} through one bounded lock-free
+    {!Tyco_support.Spsc_ring} per ordered shard pair: each shard
+    coalesces same-destination envelopes and flushes each buffer as
+    one ring element at its step/park boundary (or when it reaches the
+    batch cap), so one ring push, one in-flight increment and one
+    consumer pop amortize over the whole batch.  The PR 2 same-node
+    fast path is preserved intact inside each shard.  A handed-off
+    packet sent at sender-virtual time [s] with wire delay [d] is
+    delivered at receiver-virtual time [max (receiver now) (s + d)],
+    so delivery timestamps stay monotone per receiver.
 
     This engine preserves the deterministic engine's output {e sets};
     output {e timestamps} (and their order) depend on domain
@@ -44,11 +50,12 @@ type shard_stat = {
   ss_packets : int;
   ss_same_node : int;
   ss_handoffs_in : int;  (** envelopes this shard received *)
-  ss_ring_pushed : int;  (** envelopes this shard pushed outbound *)
-  ss_ring_popped : int;  (** envelopes this shard consumed *)
+  ss_ring_pushed : int;  (** batches this shard pushed outbound *)
+  ss_ring_popped : int;  (** batches this shard consumed *)
   ss_ring_hiwater : int; (** max outbound-ring occupancy at push *)
   ss_parks : int;
   ss_drains : int;       (** backpressure drain passes while pushing *)
+  ss_weight : float;     (** placement weight this shard was assigned *)
 }
 
 (** A coordinator-side mid-run observation: only whole-run atomics and
@@ -60,7 +67,7 @@ type snapshot = {
   sn_inflight : int;
   sn_executed : int array;  (** per shard, monotone *)
   sn_pending : int array;   (** per-shard heap sizes *)
-  sn_ring_pushed : int;
+  sn_ring_pushed : int;     (** batches *)
   sn_ring_popped : int;
 }
 
@@ -72,8 +79,13 @@ type result = {
   bytes : int;
   same_node_fast : int;
   handoffs : int;  (** envelopes delivered through rings *)
-  ring_pushed : int;  (** total ring pushes (= pops after a clean run) *)
+  ring_pushed : int;
+      (** total ring pushes, i.e. batches (= pops after a clean run) *)
   ring_popped : int;
+  ring_batch_fill_mean : float;
+      (** mean envelopes per ring push — how well handoff batching
+          amortized the per-push synchronization; 0 when nothing was
+          handed off *)
   parks : int;  (** idle/backpressure parks across all shards *)
   domains : int;
   instructions : int;  (** total VM instructions, for throughput *)
@@ -81,9 +93,16 @@ type result = {
   dead_letters : int;
   suspected : (int * string) list;
   sites_per_shard : int array;
+  placement_weights : float array;
+      (** per-shard static weight the placement assigned (site counts
+          under [Mod]/[Greedy], profile weights under [Profile]) *)
+  node_weights : float array;
+      (** measured per-node VM instruction counts — feed back as
+          [Placement.Profile] (via [--placement profile:FILE]) for the
+          next run of the same workload *)
   events : int;  (** simulation events across all shards *)
   clean : bool;
-      (** quiesced with every ring drained, no in-flight envelopes and
+      (** quiesced with every ring drained, no in-flight batches and
           every shard heap empty — the sharding smoke test asserts
           this together with [ring_pushed = ring_popped] *)
   timed_out : bool;
@@ -102,6 +121,7 @@ type result = {
 val run :
   ?config:Cluster.config ->
   ?placement:(string -> int) ->
+  ?policy:Placement.policy ->
   ?inputs:(string -> int list) ->
   ?max_events:int ->
   ?max_wall_ms:int ->
@@ -112,10 +132,13 @@ val run :
   result
 (** [run ~domains units] executes the compiled sites on [domains]
     domains (plus the calling domain, which only coordinates
-    termination).  [max_events] bounds each shard's event count
-    (default 10M, the same livelock guard as {!Tyco_net.Simnet.run});
-    [max_wall_ms] (default 120s) bounds wall time — exceeding it stops
-    the run with [timed_out = true] instead of hanging.
-    [on_snapshot] is called from the coordinating domain roughly every
-    [snapshot_every_ms] wall milliseconds (default 100) while the run
-    is live. *)
+    termination).  [placement] maps site names to node ips (default
+    round-robin); [policy] maps node ips to shards (default
+    {!Placement.Mod} — see {!Placement.assign}; node counts below,
+    equal to, or far above [domains] are all supported).  [max_events]
+    bounds each shard's event count (default 10M, the same livelock
+    guard as {!Tyco_net.Simnet.run}); [max_wall_ms] (default 120s)
+    bounds wall time — exceeding it stops the run with
+    [timed_out = true] instead of hanging.  [on_snapshot] is called
+    from the coordinating domain roughly every [snapshot_every_ms]
+    wall milliseconds (default 100) while the run is live. *)

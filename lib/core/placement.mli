@@ -1,0 +1,41 @@
+(** Node-to-shard placement for the parallel runtime ({!Par_runner}).
+
+    Replaces PR 7's blind [ip mod domains] with a pluggable placement
+    map.  All policies produce a {e total} map (every node assigned
+    exactly one shard in [0, domains)), are {e deterministic} for
+    fixed inputs, and pin node 0 — the name-service host — to shard 0
+    (the engine routes NS traffic to shard 0's rings).  Tested
+    directly by test_par.ml. *)
+
+type policy =
+  | Mod  (** [ip mod domains] — the PR 7 default, and the baseline. *)
+  | Greedy
+      (** Greedy bin-packing (heaviest node into the lightest shard)
+          seeded from static per-node site counts. *)
+  | Profile of float array
+      (** The same bin-packing seeded from measured per-node weights —
+          e.g. a prior run's per-node instruction counts, exported as
+          [node_weights] by {!Report.par_json}.  Length must equal the
+          node count. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val assign : domains:int -> site_counts:int array -> policy -> int array
+(** [assign ~domains ~site_counts policy] maps node ip [i] to shard
+    [(assign ...).(i)].  [site_counts.(i)] is the number of sites
+    placed on node [i] (the static weight [Greedy] packs by;
+    [Mod]/[Profile] use only its length).  Raises [Invalid_argument]
+    when [domains < 1] or a [Profile]'s length mismatches the node
+    count. *)
+
+val greedy_map : domains:int -> float array -> int array
+(** The bare bin-packing: deterministic, total, node 0 pinned to
+    shard 0 (by shard-label swap, which preserves the packing). *)
+
+val shard_weights : domains:int -> map:int array -> float array -> float array
+(** Per-shard totals of [weights] under [map] — the imbalance signal
+    the parallel report exposes. *)
+
+val imbalance : float array -> float
+(** Max-over-mean of per-shard weights: 1.0 = perfectly balanced,
+    [domains] = everything on one shard, 0 = no weight at all. *)

@@ -247,12 +247,13 @@ let shard_stat_json (s : Par_runner.shard_stat) =
     "{\"shard\":%d,\"sites\":%d,\"events\":%d,\"virtual_ns\":%d,\
      \"packets\":%d,\"same_node_fast\":%d,\"handoffs_in\":%d,\
      \"ring_pushed\":%d,\"ring_popped\":%d,\"ring_hiwater\":%d,\
-     \"parks\":%d,\"drains\":%d}"
+     \"parks\":%d,\"drains\":%d,\"weight\":%s}"
     s.Par_runner.ss_shard s.Par_runner.ss_sites s.Par_runner.ss_events
     s.Par_runner.ss_virtual_ns s.Par_runner.ss_packets
     s.Par_runner.ss_same_node s.Par_runner.ss_handoffs_in
     s.Par_runner.ss_ring_pushed s.Par_runner.ss_ring_popped
     s.Par_runner.ss_ring_hiwater s.Par_runner.ss_parks s.Par_runner.ss_drains
+    (jfloat s.Par_runner.ss_weight)
 
 let par_json (r : Par_runner.result) =
   let module Metrics = Tyco_support.Metrics in
@@ -276,17 +277,22 @@ let par_json (r : Par_runner.result) =
   Printf.sprintf
     "{\"engine\":\"parallel\",\"domains\":%d,\"virtual_ns\":%d,\
      \"sim_events\":%d,\"packets\":%d,\"bytes\":%d,\"same_node_fast\":%d,\
-     \"handoffs\":%d,\"ring_pushed\":%d,\"ring_popped\":%d,\"parks\":%d,\
+     \"handoffs\":%d,\"ring_pushed\":%d,\"ring_popped\":%d,\
+     \"ring_batch_fill_mean\":%s,\"parks\":%d,\
      \"instructions\":%d,\"wall_ns\":%d,\"dead_letters\":%d,\
-     \"sites_per_shard\":%s,\"clean\":%b,\"timed_out\":%b,\
+     \"sites_per_shard\":%s,\"placement_weights\":%s,\"node_weights\":%s,\
+     \"clean\":%b,\"timed_out\":%b,\
      \"latency_breakdown\":%s,\"shards\":%s,\"outputs\":%s,\
      \"suspected_failures\":%s}"
     r.Par_runner.domains r.Par_runner.virtual_ns r.Par_runner.events
     r.Par_runner.packets r.Par_runner.bytes r.Par_runner.same_node_fast
     r.Par_runner.handoffs r.Par_runner.ring_pushed r.Par_runner.ring_popped
+    (jfloat r.Par_runner.ring_batch_fill_mean)
     r.Par_runner.parks r.Par_runner.instructions r.Par_runner.wall_ns
     r.Par_runner.dead_letters
     (jlist string_of_int (Array.to_list r.Par_runner.sites_per_shard))
+    (jlist jfloat (Array.to_list r.Par_runner.placement_weights))
+    (jlist jfloat (Array.to_list r.Par_runner.node_weights))
     r.Par_runner.clean r.Par_runner.timed_out breakdown
     (jlist shard_stat_json (Array.to_list r.Par_runner.shard_stats))
     (jlist output_json r.Par_runner.outputs)

@@ -1,21 +1,87 @@
-(* Classic bounded SPSC ring over a power-of-two slot array.
+(* Bounded SPSC ring over a power-of-two slot array, laid out against
+   false sharing.
 
    [head] is owned by the consumer, [tail] by the producer; both are
-   monotone counters masked into the array.  Each side reads the
-   other's counter atomically and writes only its own, so there is no
-   CAS and no retry loop anywhere.  Slots hold ['a option] so the
-   consumer can drop its reference to a popped element immediately
-   (keeping a popped envelope alive until the slot is overwritten
-   would extend the lifetime of whole packet payloads by up to a full
-   ring revolution). *)
+   monotone counters masked into the array.  Each side writes only its
+   own counter, so there is no CAS and no retry loop anywhere.  Three
+   layout/fast-path decisions (profiled against the pre-PR-9 naive
+   version, where every push and pop paid two seq-cst atomic loads and
+   an option allocation):
+
+   - {b Padding.}  The producer's written-per-push state (the [tail]
+     atomic, its plain shadow, the cached view of [head], the
+     high-water field) and the consumer's written-per-pop state (the
+     [head] atomic, its shadow, the cached view of [tail]) live in two
+     field groups separated by a cache line of padding words, so a
+     push's stores never invalidate the line a pop is writing.  The
+     two [Atomic.t] cells are likewise allocated with live line-sized
+     spacer blocks between them (kept reachable from the record —
+     dead filler would be collected and the cells could end up
+     adjacent again after compaction).
+
+   - {b Cached indices.}  The producer only needs [head] to decide
+     fullness, and [head] only ever advances — so a stale value is
+     conservative.  It keeps a cached copy and re-reads the atomic
+     only when the cache says the ring {e looks} full (once per ring
+     revolution in the steady state, instead of once per push).  The
+     consumer mirrors this with a cached [tail]: the atomic is
+     re-read only when the cache says empty.  Each side reads its own
+     counter from a plain shadow field, never through the atomic.
+
+   - {b Unboxed slots.}  Slots hold ['a] directly rather than
+     ['a option], so a push writes the element with no [Some]
+     allocation and {!pop_exn} returns it with none either (the
+     [Empty] exception is preallocated; raising it does not
+     allocate).  A popped slot is overwritten with an immediate so
+     the ring does not keep the element alive for up to a full
+     revolution (envelope batches hold whole packet payloads).
+
+   Correctness under the OCaml 5 memory model is unchanged from the
+   naive version: the producer publishes the slot with a plain write
+   and then advances [tail] with an atomic store; the consumer reads
+   [tail] atomically before reading the slot, which is the
+   happens-before edge that makes the slot contents visible.  The
+   mirrored argument covers the consumer's slot clear and [head]
+   advance.  The cached indices never skip that edge — they only skip
+   re-establishing it when the previous read already proved room. *)
+
+exception Empty
 
 type 'a t = {
-  buf : 'a option array;
+  (* -- producer-written group (one cache line) ---------------------- *)
+  tail : int Atomic.t; (* next slot to push; published position *)
+  mutable p_tail : int; (* producer's plain shadow of [tail] *)
+  mutable head_cache : int; (* producer's last-read [head] *)
+  mutable hiwater : int; (* occupancy high-water seen at push *)
+  mutable p_pad0 : int;
+  mutable p_pad1 : int;
+  mutable p_pad2 : int;
+  mutable p_pad3 : int;
+  (* -- consumer-written group (next cache line) --------------------- *)
+  head : int Atomic.t; (* next slot to pop; published position *)
+  mutable c_head : int; (* consumer's plain shadow of [head] *)
+  mutable tail_cache : int; (* consumer's last-read [tail] *)
+  mutable c_pad0 : int;
+  mutable c_pad1 : int;
+  mutable c_pad2 : int;
+  mutable c_pad3 : int;
+  mutable c_pad4 : int;
+  (* -- shared read-only --------------------------------------------- *)
+  buf : 'a array;
   mask : int;
-  head : int Atomic.t; (* next slot to pop; consumer-owned *)
-  tail : int Atomic.t; (* next slot to push; producer-owned *)
-  mutable hiwater : int; (* producer-written occupancy high-water *)
+  (* live spacers keeping the two atomic cells a line apart (see
+     header comment); never read *)
+  _spacer0 : int array;
+  _spacer1 : int array;
 }
+
+(* Vacant slots hold the immediate 0 ([Obj.magic] below).  It is
+   representable in any ['a array] — an array created from it is a
+   generic, non-flat array, and the polymorphic accessors dispatch
+   dynamically — and overwriting a popped slot with it drops the
+   ring's reference to the element without a [None] box. *)
+
+let line_words = 8 (* 64 bytes *)
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Spsc_ring.create: capacity";
@@ -23,43 +89,76 @@ let create ~capacity =
   while !cap < capacity do
     cap := !cap * 2
   done;
-  { buf = Array.make !cap None;
+  let spacer0 = Array.make line_words 0 in
+  let tail = Atomic.make 0 in
+  let spacer1 = Array.make line_words 0 in
+  let head = Atomic.make 0 in
+  { tail;
+    p_tail = 0;
+    head_cache = 0;
+    hiwater = 0;
+    p_pad0 = 0;
+    p_pad1 = 0;
+    p_pad2 = 0;
+    p_pad3 = 0;
+    head;
+    c_head = 0;
+    tail_cache = 0;
+    c_pad0 = 0;
+    c_pad1 = 0;
+    c_pad2 = 0;
+    c_pad3 = 0;
+    c_pad4 = 0;
+    buf = Array.make !cap (Obj.magic 0);
     mask = !cap - 1;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    hiwater = 0 }
+    _spacer0 = spacer0;
+    _spacer1 = spacer1 }
 
 let capacity t = t.mask + 1
 
 let try_push t v =
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  if tail - head > t.mask then false
+  let tail = t.p_tail in
+  if
+    tail - t.head_cache > t.mask
+    && begin
+         (* looks full through the cache: refresh and re-check *)
+         t.head_cache <- Atomic.get t.head;
+         tail - t.head_cache > t.mask
+       end
+  then false
   else begin
     (* plain write, then the atomic tail advance publishes it *)
-    Array.unsafe_set t.buf (tail land t.mask) (Some v);
+    Array.unsafe_set t.buf (tail land t.mask) v;
+    t.p_tail <- tail + 1;
     Atomic.set t.tail (tail + 1);
-    (* both counters already in registers: the occupancy high-water is
-       free here, and producer-owned so a plain field suffices *)
-    let occ = tail + 1 - head in
+    (* occupancy against the cached head: an upper bound (the real
+       head may have advanced), clamped to the capacity *)
+    let occ = tail + 1 - t.head_cache in
+    let occ = if occ > t.mask + 1 then t.mask + 1 else occ in
     if occ > t.hiwater then t.hiwater <- occ;
     true
   end
 
-let try_pop t =
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if head = tail then None
+let pop_exn t =
+  let head = t.c_head in
+  if
+    head = t.tail_cache
+    && begin
+         (* looks empty through the cache: refresh and re-check *)
+         t.tail_cache <- Atomic.get t.tail;
+         head = t.tail_cache
+       end
+  then raise Empty
   else begin
     let i = head land t.mask in
     let v = Array.unsafe_get t.buf i in
-    Array.unsafe_set t.buf i None;
+    Array.unsafe_set t.buf i (Obj.magic 0);
+    t.c_head <- head + 1;
     Atomic.set t.head (head + 1);
-    (match v with
-    | Some _ -> ()
-    | None -> assert false (* tail was published, so the slot is too *));
     v
   end
+
+let try_pop t = match pop_exn t with v -> Some v | exception Empty -> None
 
 let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
 let is_empty t = length t = 0

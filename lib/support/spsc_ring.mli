@@ -1,19 +1,30 @@
 (** Bounded lock-free single-producer/single-consumer ring.
 
     The cross-domain handoff primitive of the parallel runtime: one
-    ring per ordered domain pair carries packet envelopes from exactly
+    ring per ordered domain pair carries envelope batches from exactly
     one producer domain to exactly one consumer domain.  The contract
     is strict SPSC — [try_push] may only ever be called from one
-    domain and [try_pop] from one (possibly different) domain; neither
-    end takes a lock, so a handoff costs two atomic operations and the
-    slot write.
+    domain and [pop_exn]/[try_pop] from one (possibly different)
+    domain; neither end takes a lock.
+
+    The layout is tuned against false sharing and redundant
+    synchronization (PR 9): the producer-written fields ([tail], the
+    occupancy high-water, the producer's cached view of [head]) and
+    the consumer-written fields ([head], the cached view of [tail])
+    occupy separate cache lines, and each side re-reads the opposing
+    atomic counter only when its cached copy says the ring looks
+    full/empty — a stale copy is conservative because both counters
+    are monotone.  Slots are unboxed (['a], not ['a option]), so a
+    steady-state push/pop pair performs two plain slot accesses and
+    two atomic stores, and allocates nothing (pinned by
+    test_hotpath.ml).
 
     Correctness under the OCaml 5 memory model: the producer publishes
     the slot with a plain write and then advances [tail] with an
     atomic store; the consumer reads [tail] atomically before reading
     the slot, which establishes the happens-before edge that makes the
-    slot contents visible.  The mirrored argument covers the consumer's
-    slot clear and [head] advance.
+    slot contents visible.  The mirrored argument covers the
+    consumer's slot clear and [head] advance.
 
     Capacity is rounded up to a power of two so index masking replaces
     modulo.  The ring never resizes: a full ring makes [try_push]
@@ -23,6 +34,10 @@
 
 type 'a t
 
+exception Empty
+(** Raised by {!pop_exn} on an empty ring.  Preallocated — raising it
+    does not allocate. *)
+
 val create : capacity:int -> 'a t
 (** [create ~capacity] rounds [capacity] up to a power of two
     (minimum 2).  Raises [Invalid_argument] if [capacity <= 0]. *)
@@ -30,10 +45,17 @@ val create : capacity:int -> 'a t
 val capacity : 'a t -> int
 
 val try_push : 'a t -> 'a -> bool
-(** Producer side only.  [false] when the ring is full. *)
+(** Producer side only.  [false] when the ring is full.  Never
+    allocates. *)
+
+val pop_exn : 'a t -> 'a
+(** Consumer side only.  Raises {!Empty} when the ring is empty.
+    Never allocates — the hot-path pop. *)
 
 val try_pop : 'a t -> 'a option
-(** Consumer side only.  [None] when the ring is empty. *)
+(** Consumer side only.  [None] when the ring is empty.  Allocates the
+    [Some]; convenience wrapper over {!pop_exn} for tests and cold
+    paths. *)
 
 val is_empty : 'a t -> bool
 (** Snapshot; exact when called from either endpoint while the other
@@ -50,6 +72,8 @@ val popped : 'a t -> int
 (** Total elements ever popped (monotone; read from any domain). *)
 
 val hiwater : 'a t -> int
-(** Occupancy high-water observed at push time.  Producer-written plain
-    field: exact when read from the producer domain or after it joined;
-    a benign stale read elsewhere. *)
+(** Occupancy high-water observed at push time, against the producer's
+    cached view of [head] — an upper bound on true occupancy, clamped
+    to the capacity.  Producer-written plain field: exact when read
+    from the producer domain or after it joined; a benign stale read
+    elsewhere. *)

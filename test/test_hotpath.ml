@@ -157,9 +157,42 @@ let lease_off_bit_identical_report () =
     (Report.to_json (Report.of_result rb))
     (Report.to_json (Report.of_result ra))
 
+(* The SPSC ring's push/pop hot path: unboxed slots and a preallocated
+   Empty exception mean a steady-state push/pop pair touches no
+   allocator at all — pinned the same way as the disabled singletons,
+   in minor words over a revolution-heavy workload.  (try_pop is
+   excluded: its Some is the documented cold-path allocation.) *)
+let ring_push_pop_zero_alloc () =
+  let r = Tyco_support.Spsc_ring.create ~capacity:16 in
+  (* warm up: fill/drain once so any one-time work is done *)
+  for i = 1 to 8 do
+    ignore (Tyco_support.Spsc_ring.try_push r i)
+  done;
+  for _ = 1 to 8 do
+    ignore (Tyco_support.Spsc_ring.pop_exn r)
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    ignore (Tyco_support.Spsc_ring.try_push r i);
+    ignore (Tyco_support.Spsc_ring.pop_exn r)
+  done;
+  (* empty-ring pops go through the preallocated exception *)
+  for _ = 1 to 1_000 do
+    match Tyco_support.Spsc_ring.pop_exn r with
+    | _ -> Alcotest.fail "pop on empty ring returned"
+    | exception Tyco_support.Spsc_ring.Empty -> ()
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 0. then
+    Alcotest.failf
+      "Spsc_ring allocated %.0f words over 100k push/pop pairs (must be 0)"
+      words
+
 let tests =
   [ Alcotest.test_case "e1 minor words per reduction capped" `Quick
       e1_minor_words_capped;
+    Alcotest.test_case "spsc ring push/pop allocates zero words" `Quick
+      ring_push_pop_zero_alloc;
     Alcotest.test_case "disabled trace records and allocates nothing"
       `Quick disabled_trace_records_nothing;
     Alcotest.test_case "disabled metrics cost nothing" `Quick

@@ -8,8 +8,9 @@
      timestamps (domain interleaving);
    - no shared mutable state crosses domains outside the SPSC rings
      and the end-of-run merge — observable as [clean = true] with
-     [ring_pushed = ring_popped] and per-shard site ownership by
-     [node ip mod domains].
+     [ring_pushed = ring_popped] and per-shard site ownership by the
+     placement map ([ip mod domains] under the default [Mod] policy;
+     [Greedy]/[Profile] sweeps pinned below).
 
    TYCO_TEST_DOMAINS=N overrides the domain counts the equivalence
    tests sweep (CI runs the suite a second time with it set to 4). *)
@@ -226,6 +227,107 @@ let shipped_samples_equivalence () =
                domain_counts)
 
 (* ------------------------------------------------------------------ *)
+(* Placement maps                                                      *)
+
+let placement_map_properties () =
+  let check_map ~domains ~label map nnodes =
+    check Alcotest.int (label ^ ": total") nnodes (Array.length map);
+    Array.iteri
+      (fun i s ->
+        if s < 0 || s >= domains then
+          Alcotest.failf "%s: node %d mapped to shard %d (domains=%d)" label
+            i s domains)
+      map;
+    if nnodes > 0 then
+      check Alcotest.int (label ^ ": node 0 pinned to shard 0") 0 map.(0)
+  in
+  (* every policy, across nodes < domains, = domains, >> domains *)
+  List.iter
+    (fun (nnodes, domains) ->
+      let site_counts = Array.init nnodes (fun i -> 1 + (i * 7 mod 5)) in
+      List.iter
+        (fun (pname, policy) ->
+          let label = Printf.sprintf "%s n=%d d=%d" pname nnodes domains in
+          let map = Placement.assign ~domains ~site_counts policy in
+          check_map ~domains ~label map nnodes;
+          (* deterministic: same inputs, same map *)
+          check
+            Alcotest.(array int)
+            (label ^ ": deterministic") map
+            (Placement.assign ~domains ~site_counts policy))
+        [ ("mod", Placement.Mod);
+          ("greedy", Placement.Greedy);
+          ( "profile",
+            Placement.Profile
+              (Array.init nnodes (fun i -> float_of_int (1 + (i mod 3)))) ) ])
+    [ (2, 8); (4, 4); (8, 4); (32, 4); (64, 2) ];
+  (* greedy actually balances a skew that mod packs badly: heavy nodes
+     0 and 4 collide at ip mod 4 *)
+  let site_counts = [| 12; 3; 2; 2; 6; 2; 1; 4 |] in
+  let weights = Array.map float_of_int site_counts in
+  let imb policy =
+    let map = Placement.assign ~domains:4 ~site_counts policy in
+    Placement.imbalance (Placement.shard_weights ~domains:4 ~map weights)
+  in
+  if imb Placement.Greedy >= imb Placement.Mod then
+    Alcotest.failf "greedy imbalance %.3f not below mod %.3f"
+      (imb Placement.Greedy) (imb Placement.Mod);
+  (* profile length mismatch is loud *)
+  (match
+     Placement.assign ~domains:2 ~site_counts:[| 1; 1 |]
+       (Placement.Profile [| 1.0 |])
+   with
+  | _ -> Alcotest.fail "short profile accepted"
+  | exception Invalid_argument _ -> ());
+  match Placement.assign ~domains:0 ~site_counts:[| 1 |] Placement.Mod with
+  | _ -> Alcotest.fail "domains=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Output-multiset equivalence under the load-aware policies, across
+   node counts below, equal to, and far above the domain count. *)
+let policy_equivalence () =
+  List.iter
+    (fun (shape, nnodes, ds) ->
+      let config = { Cluster.default_config with Cluster.nodes = nnodes } in
+      let spread name =
+        (* reuse the 0-3 spread, scaled into [0, nnodes): distinct
+           sites stay on distinct nodes whenever nnodes >= 4 *)
+        placement_spread name * max 1 (nnodes / 4) mod nnodes
+      in
+      let profile = Array.init nnodes (fun i -> float_of_int (1 + (i mod 7))) in
+      List.iter
+        (fun (name, src) ->
+          let prog = Api.parse src in
+          let det = Api.run_program ~config ~placement:spread prog in
+          let reference = event_multiset det.Api.outputs in
+          List.iter
+            (fun d ->
+              List.iter
+                (fun (pname, policy) ->
+                  let par =
+                    Api.run_parallel ~config ~placement:spread ~policy
+                      ~domains:d prog
+                  in
+                  let label =
+                    Printf.sprintf "%s %s %s at %d domains" name shape pname d
+                  in
+                  check
+                    Alcotest.(list string)
+                    label reference
+                    (event_multiset par.Par_runner.outputs);
+                  if par.Par_runner.timed_out then
+                    Alcotest.failf "%s: timed out" label;
+                  check Alcotest.bool (label ^ " clean") true
+                    par.Par_runner.clean)
+                [ ("greedy", Placement.Greedy);
+                  ("profile", Placement.Profile profile) ])
+            ds)
+        corpus)
+    [ ("nodes=8", 8, [ 2; 4; 8 ]);
+      ("nodes<domains", 3, [ 4; 8 ]);
+      ("nodes>>domains", 32, [ 2; 4 ]) ]
+
+(* ------------------------------------------------------------------ *)
 (* Sharding invariants                                                 *)
 
 let sharding_smoke () =
@@ -318,6 +420,70 @@ let shard_stats_and_metrics () =
     (has json "\"latency_breakdown\"");
   check Alcotest.bool "p999 key" true (has json "\"p999\":")
 
+(* Handoff batching: ring counters count batches, handoffs count the
+   envelopes they carried, and the reported fill mean ties the two
+   together; placement weights surface in both the result and the
+   JSON report. *)
+let handoff_batching_invariants () =
+  let _, src = List.nth corpus 0 in
+  let prog = Api.parse src in
+  let d = 4 in
+  let par =
+    Api.run_parallel
+      ~config:{ config with Cluster.metrics = true }
+      ~placement:placement_spread ~domains:d prog
+  in
+  check Alcotest.bool "clean quiescence" true par.Par_runner.clean;
+  check Alcotest.int "batches balanced" par.Par_runner.ring_pushed
+    par.Par_runner.ring_popped;
+  check Alcotest.bool "cross-shard traffic happened" true
+    (par.Par_runner.handoffs > 0);
+  (* every batch carries at least one envelope, so pushes can never
+     exceed envelopes; the fill mean reconciles the two exactly *)
+  check Alcotest.bool "batches never exceed envelopes" true
+    (par.Par_runner.ring_pushed <= par.Par_runner.handoffs);
+  check Alcotest.bool "fill mean at least 1" true
+    (par.Par_runner.ring_batch_fill_mean >= 1.0);
+  check Alcotest.int "fill mean reconciles batches with envelopes"
+    par.Par_runner.handoffs
+    (int_of_float
+       (par.Par_runner.ring_batch_fill_mean
+        *. float_of_int par.Par_runner.ring_pushed
+       +. 0.5));
+  (* placement weights: one per shard, summing to the site count (the
+     static weight under the default Mod policy), mirrored per shard *)
+  check Alcotest.int "one weight per shard" d
+    (Array.length par.Par_runner.placement_weights);
+  let wsum = Array.fold_left ( +. ) 0. par.Par_runner.placement_weights in
+  check Alcotest.int "weights sum to the site count" 4
+    (int_of_float (wsum +. 0.5));
+  Array.iteri
+    (fun i st ->
+      check
+        Alcotest.(float 1e-9)
+        (Printf.sprintf "shard %d weight mirrored" i)
+        par.Par_runner.placement_weights.(i)
+        st.Par_runner.ss_weight)
+    par.Par_runner.shard_stats;
+  (* measured node weights: one per node, positive in total *)
+  check Alcotest.int "one measured weight per node" config.Cluster.nodes
+    (Array.length par.Par_runner.node_weights);
+  check Alcotest.bool "instructions attributed to nodes" true
+    (Array.fold_left ( +. ) 0. par.Par_runner.node_weights > 0.);
+  (* and it all surfaces in the JSON report *)
+  let json = Report.par_json par in
+  let has hay sub =
+    let nh = String.length hay and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "fill mean key" true
+    (has json "\"ring_batch_fill_mean\":");
+  check Alcotest.bool "placement weights key" true
+    (has json "\"placement_weights\":[");
+  check Alcotest.bool "node weights key" true (has json "\"node_weights\":[");
+  check Alcotest.bool "per-shard weight key" true (has json "\"weight\":")
+
 let rejects_deterministic_only_modes () =
   (* the Par_runner contract is Invalid_argument; Api.run_parallel
      re-wraps it as Api.Error like every other runtime failure *)
@@ -345,7 +511,10 @@ let tests =
     ("domains 1 bit-identical", `Quick, domains1_bit_identical);
     ("multiset equivalence", `Quick, multiset_equivalence);
     ("shipped samples equivalence", `Slow, shipped_samples_equivalence);
+    ("placement map properties", `Quick, placement_map_properties);
+    ("policy equivalence sweeps", `Slow, policy_equivalence);
     ("sharding smoke at 4 domains", `Quick, sharding_smoke);
+    ("handoff batching invariants", `Quick, handoff_batching_invariants);
     ("shard stats and metrics merge", `Quick, shard_stats_and_metrics);
     ("rejects deterministic-only modes", `Quick,
      rejects_deterministic_only_modes) ]
