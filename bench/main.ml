@@ -26,14 +26,14 @@ let row fmt = Format.printf fmt
 
    --smoke   reduced iteration counts (CI-friendly wall clock)
    --json    additionally write the recorded measurements as a flat
-             JSON object (default BENCH_PR9.json; override with --out)
+             JSON object (default BENCH_PR10.json; override with --out)
 
    Keys are flat ("e1_vm_ns_per_reduction") so shell pipelines can
    extract them without a JSON parser. *)
 
 let smoke = ref false
 let json_mode = ref false
-let json_path = ref "BENCH_PR9.json"
+let json_path = ref "BENCH_PR10.json"
 let json_kvs : (string * string) list ref = ref [] (* newest first *)
 
 let record k v = json_kvs := (k, v) :: !json_kvs
@@ -1209,6 +1209,173 @@ let e20 () =
   record "e20_gain_d4" (Printf.sprintf "%.3f" gain)
 
 (* ------------------------------------------------------------------ *)
+(* E21 — dynamic rebalancing: a phase-shifting workload where the hot  *)
+(* half of the nodes alternates.  Greedy static placement is perfect   *)
+(* for the run as a whole yet wrong in every phase: the active half    *)
+(* sits on two of the four shards while the other two idle.  The       *)
+(* rebalancer (--rebalance) migrates hot nodes toward the idle shards  *)
+(* inside each phase and back after the flip.  The CI gate wants       *)
+(* rebalancing >= 1.2x static greedy at 4 domains (needs >= 4 host     *)
+(* cores — recorded so the gate can skip loudly on small runners).     *)
+
+let e21 () =
+  section "E21"
+    "dynamic rebalancing: phase-shifting load on 8 worker nodes, static \
+     greedy vs --rebalance at 4 domains";
+  let nodes = 9 (* driver + NS on node 0, workers on 1..8 *) in
+  let sites_per_node = 2 in
+  let work = 100_000 in
+  let phases = 6 in
+  let domains = 4 in
+  let wname n j = Printf.sprintf "w%d_%d" n j in
+  let wchan n j = Printf.sprintf "c%d_%d" n j in
+  (* worker sites export a serve channel immediately and import
+     nothing: the reply channel travels inside the go message (a
+     netref crossing sites — the paper's code mobility), so driver and
+     workers have no import cycle to deadlock on *)
+  let worker n j =
+    Printf.sprintf
+      {| site %s {
+           def Crunch(n, k) = if n == 0 then k![1] else Crunch[n - 1, k]
+           and Serve(self) =
+             self?{ go(k) = new d (Crunch[%d, d]
+                                   | d?(x) = (k![1] | Serve[self])) }
+           in export new %s Serve[%s] } |}
+      (wname n j) work (wchan n j) (wchan n j)
+  in
+  (* the alternating halves are computed from greedy's *actual* map:
+     each phase lights up exactly the nodes greedy packed onto shards
+     {0, 1}, then the ones on {2, 3} — adversarial but realistic (any
+     static map is wrong for some phase order) *)
+  let site_counts =
+    Array.init nodes (fun n -> if n = 0 then 1 else sites_per_node)
+  in
+  let gmap =
+    Dityco.Placement.assign ~domains ~site_counts Dityco.Placement.Greedy
+  in
+  let h1, h2 =
+    let a = ref [] and b = ref [] in
+    for n = nodes - 1 downto 1 do
+      if gmap.(n) < domains / 2 then a := n :: !a else b := n :: !b
+    done;
+    (!a, !b)
+  in
+  if h1 = [] || h2 = [] then failwith "e21: degenerate greedy map";
+  let chans half =
+    List.concat_map
+      (fun n -> List.init sites_per_node (fun j -> wchan n j))
+      half
+  in
+  (* one phase: fire go at every site of the half, collect one reply
+     per site off a single fresh reply channel, then flip *)
+  let phase_def name next cs =
+    let sends = String.concat " | " (List.map (fun c -> c ^ "!go[k]") cs) in
+    let rec collect i =
+      if i = List.length cs then Printf.sprintf "%s[p - 1]" next
+      else Printf.sprintf "k?(r%d) = (%s)" i (collect (i + 1))
+    in
+    Printf.sprintf "%s(p) = if p == 0 then io!printi[0] else (new k (%s | %s))"
+      name sends (collect 0)
+  in
+  let driver =
+    let body =
+      Printf.sprintf "def %s and %s in GoA[%d]"
+        (phase_def "GoA" "GoB" (chans h1))
+        (phase_def "GoB" "GoA" (chans h2))
+        phases
+    in
+    let imports =
+      List.fold_right
+        (fun n acc ->
+          List.fold_right
+            (fun j acc ->
+              Printf.sprintf "import %s from %s in %s" (wchan n j) (wname n j)
+                acc)
+            (List.init sites_per_node Fun.id)
+            acc)
+        (h1 @ h2) body
+    in
+    Printf.sprintf {| site driver { %s } |} imports
+  in
+  let workers =
+    List.concat
+      (List.init (nodes - 1) (fun n ->
+           List.init sites_per_node (fun j -> worker (n + 1) j)))
+  in
+  let src = driver ^ String.concat "" workers in
+  let prog = Api.parse src in
+  let placement name =
+    if name = "driver" then 0
+    else
+      let us = String.index name '_' in
+      int_of_string (String.sub name 1 (us - 1))
+  in
+  let config = { Cluster.default_config with Cluster.nodes } in
+  let host_cores = Domain.recommended_domain_count () in
+  row "  %d phases x %d active sites x ~%d instructions, halves %s / %s, \
+       host has %d cores@."
+    phases
+    (List.length (chans h1))
+    (work * 3)
+    (String.concat "," (List.map string_of_int h1))
+    (String.concat "," (List.map string_of_int h2))
+    host_cores;
+  record_i "e21_host_cores" host_cores;
+  let repeats = if !smoke then 1 else 3 in
+  let measure rb =
+    let best = ref None in
+    for _ = 1 to repeats do
+      let r =
+        Api.run_parallel ~config ~placement ~policy:Dityco.Placement.Greedy
+          ~domains ?rebalance:rb prog
+      in
+      if r.Dityco.Par_runner.timed_out then failwith "e21: run timed out";
+      if not r.Dityco.Par_runner.clean then failwith "e21: unclean quiescence";
+      if List.length r.Dityco.Par_runner.outputs <> 1 then
+        failwith "e21: wrong output count";
+      match !best with
+      | Some b when b.Dityco.Par_runner.wall_ns <= r.Dityco.Par_runner.wall_ns
+        ->
+          ()
+      | _ -> best := Some r
+    done;
+    Option.get !best
+  in
+  row "  %-8s %12s %14s %11s %10s %10s@." "mode" "wall ms" "Minstr/s"
+    "migrations" "forwarded" "handoffs";
+  let tp r =
+    float_of_int r.Dityco.Par_runner.instructions
+    /. float_of_int (max r.Dityco.Par_runner.wall_ns 1)
+  in
+  let show mode r =
+    row "  %-8s %12.1f %14.1f %11d %10d %10d@." mode
+      (float_of_int r.Dityco.Par_runner.wall_ns /. 1e6)
+      (tp r *. 1e3) r.Dityco.Par_runner.migrations
+      r.Dityco.Par_runner.forwarded_envelopes r.Dityco.Par_runner.handoffs;
+    record_f
+      (Printf.sprintf "e21_minstr_per_s_%s_d%d" mode domains)
+      (tp r *. 1e3);
+    record_i
+      (Printf.sprintf "e21_wall_ms_%s_d%d" mode domains)
+      (r.Dityco.Par_runner.wall_ns / 1_000_000)
+  in
+  let st = measure None in
+  show "static" st;
+  let rb =
+    measure
+      (Some { Dityco.Par_runner.rb_interval_ms = 4; rb_threshold = 1.3 })
+  in
+  show "rebal" rb;
+  record_i "e21_migrations" rb.Dityco.Par_runner.migrations;
+  record_i "e21_forwarded_envelopes" rb.Dityco.Par_runner.forwarded_envelopes;
+  record_i "e21_migration_ms"
+    (rb.Dityco.Par_runner.migration_ns / 1_000_000);
+  let gain = tp rb /. tp st in
+  row "  rebalance/static throughput at %d domains: %.2fx (%d migrations)@."
+    domains gain rb.Dityco.Par_runner.migrations;
+  record "e21_gain_d4" (Printf.sprintf "%.3f" gain)
+
+(* ------------------------------------------------------------------ *)
 (* Traced E1: one iteration of the E1 workload with causal tracing on. *)
 (* Exercises the observability layer end-to-end and leaves the trace   *)
 (* as an artifact (CI uploads it); the gated E1 numbers above are      *)
@@ -1269,7 +1436,8 @@ let () =
     e17 ();
     e18 ();
     e19 ();
-    e20 ()
+    e20 ();
+    e21 ()
   end
   else begin
     e1 ();
@@ -1291,7 +1459,8 @@ let () =
     e17 ();
     e18 ();
     e19 ();
-    e20 ()
+    e20 ();
+    e21 ()
   end;
   (match !trace_out with Some out -> traced_e1 out | None -> ());
   if !json_mode then write_json ();

@@ -151,11 +151,13 @@ let jint_array a =
 let snapshot_json (s : Dityco.Par_runner.snapshot) =
   Printf.sprintf
     "{\"kind\":\"snapshot\",\"wall_ms\":%.1f,\"inflight\":%d,\
-     \"executed\":%s,\"pending\":%s,\"ring_pushed\":%d,\"ring_popped\":%d}"
+     \"executed\":%s,\"pending\":%s,\"ring_pushed\":%d,\"ring_popped\":%d,\
+     \"migrations\":%d}"
     s.Dityco.Par_runner.sn_wall_ms s.Dityco.Par_runner.sn_inflight
     (jint_array s.Dityco.Par_runner.sn_executed)
     (jint_array s.Dityco.Par_runner.sn_pending)
     s.Dityco.Par_runner.sn_ring_pushed s.Dityco.Par_runner.sn_ring_popped
+    s.Dityco.Par_runner.sn_migrations
 
 let write_trace_file out tr =
   (* .json → Chrome trace-event form for Perfetto; anything else →
@@ -214,10 +216,61 @@ let policy_of_string s =
         (Printf.sprintf
            "unknown placement %S (expected mod, greedy, or profile:FILE)" s)
 
+(* --rebalance KEY:VAL[,KEY:VAL]: dynamic node migration between
+   domains.  Keys: interval (wall ms between coordinator load
+   observations, default 50) and threshold (the max-over-mean
+   shard-load trigger, default 1.5). *)
+let rebalance_of_string s =
+  let rb =
+    ref { Dityco.Par_runner.rb_interval_ms = 50; rb_threshold = 1.5 }
+  in
+  List.iter
+    (fun part ->
+      let part = String.trim part in
+      if part <> "" then
+        match String.index_opt part ':' with
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "bad --rebalance item %S (expected interval:MS or \
+                  threshold:R)"
+                 part)
+        | Some i -> (
+            let key = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match key with
+            | "interval" -> (
+                match int_of_string_opt v with
+                | Some ms when ms > 0 ->
+                    rb := { !rb with Dityco.Par_runner.rb_interval_ms = ms }
+                | _ ->
+                    failwith
+                      (Printf.sprintf
+                         "bad --rebalance interval %S (want a positive \
+                          integer of milliseconds)"
+                         v))
+            | "threshold" -> (
+                match float_of_string_opt v with
+                | Some t when t >= 1.0 ->
+                    rb := { !rb with Dityco.Par_runner.rb_threshold = t }
+                | _ ->
+                    failwith
+                      (Printf.sprintf
+                         "bad --rebalance threshold %S (want a float >= 1.0)"
+                         v))
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "unknown --rebalance key %S (expected interval or \
+                      threshold)"
+                     key)))
+    (String.split_on_char ',' s);
+  !rb
+
 (* --domains N, N > 1: the sharded multi-domain engine.  Output
    timestamps depend on domain interleaving; the deterministic single-
    domain path stays the default (and what --domains 1 means). *)
-let run_domains config domains policy json trace_out metrics_out prog =
+let run_domains config domains policy rebalance json trace_out metrics_out prog =
   let prom =
     match metrics_out with
     | Some p -> Filename.check_suffix p ".prom"
@@ -241,7 +294,8 @@ let run_domains config domains policy json trace_out metrics_out prog =
             moc
         in
         let r =
-          Dityco.Api.run_parallel ~config ~policy ~domains ?on_snapshot prog
+          Dityco.Api.run_parallel ~config ~policy ~domains ?rebalance
+            ?on_snapshot prog
         in
         (match moc with
         | Some oc ->
@@ -286,7 +340,19 @@ let run_domains config domains policy json trace_out metrics_out prog =
       (if r.Dityco.Par_runner.timed_out then " (TIMED OUT)" else "")
   end
 
-let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out metrics_out interactive_mode tcp domains placement json =
+let run path nodes cores quantum topo until verbose seed replicated_ns trace trace_out metrics_out interactive_mode tcp domains placement rebalance json =
+  (* Parse the sharding knobs up front: a typo in --placement or
+     --rebalance (or an unreadable profile file) is a usage error, not
+     a runtime one — one line on stderr and exit 2, no backtrace. *)
+  let policy, rebalance =
+    if domains > 1 then
+      try
+        (policy_of_string placement, Option.map rebalance_of_string rebalance)
+      with Sys_error m | Failure m ->
+        Format.eprintf "tycosh: %s@." m;
+        exit 2
+    else (Dityco.Placement.Mod, None)
+  in
   try
     let config =
       { Dityco.Cluster.default_config with
@@ -304,8 +370,7 @@ let run path nodes cores quantum topo until verbose seed replicated_ns trace tra
     if interactive_mode then (interactive config; exit 0);
     if tcp then (run_tcp path nodes metrics_out; exit 0);
     if domains > 1 then begin
-      run_domains config domains (policy_of_string placement) json trace_out
-        metrics_out
+      run_domains config domains policy rebalance json trace_out metrics_out
         (Dityco.Api.parse ~file:path (read_file path));
       exit 0
     end;
@@ -414,6 +479,17 @@ let placement_arg =
              report or a bare JSON array of numbers, one per node).  \
              Ignored at --domains 1.")
 
+let rebalance_arg =
+  Arg.(value & opt (some string) None & info [ "rebalance" ] ~docv:"SPEC"
+       ~doc:"Dynamic rebalancing for --domains N > 1: migrate nodes \
+             between domains mid-run when per-domain load skews.  SPEC \
+             is KEY:VAL pairs separated by commas — 'interval:MS' \
+             (wall ms between load observations, default 50) and \
+             'threshold:R' (migrate when max-over-mean domain load \
+             exceeds R, default 1.5).  E.g. \
+             --rebalance interval:20,threshold:1.3.  Incompatible with \
+             --trace-out; ignored at --domains 1.")
+
 let interactive_flag =
   Arg.(value & flag & info [ "i"; "interactive" ]
        ~doc:"Start the interactive shell: submit programs to a \
@@ -451,6 +527,6 @@ let cmd =
     Term.(const run $ path_arg $ nodes $ cores $ quantum $ topo $ until
           $ verbose $ seed $ replicated_ns $ trace $ trace_out $ metrics_out
           $ interactive_flag $ tcp_flag $ domains_arg $ placement_arg
-          $ json_flag)
+          $ rebalance_arg $ json_flag)
 
 let () = exit (Cmd.eval cmd)

@@ -113,10 +113,12 @@ let run_source ?config ?placement ?max_events ?until src =
    deterministic enough for the differential tests.  More than one
    domain goes to the sharded engine. *)
 let run_parallel ?config ?placement ?policy ?(inputs = []) ?max_events
-    ?(typecheck = true) ?on_snapshot ?snapshot_every_ms ~domains prog :
-    Par_runner.result =
+    ?(typecheck = true) ?on_snapshot ?snapshot_every_ms ?rebalance
+    ?force_migrations ~domains prog : Par_runner.result =
   if domains <= 1 then begin
     ignore policy (* one shard: every placement map is the identity *);
+    ignore rebalance (* one shard: nowhere to migrate to *);
+    ignore force_migrations;
     let t0 = Unix.gettimeofday () in
     let r =
       run_program ?config ?placement ?max_events ~inputs ~typecheck prog
@@ -162,6 +164,9 @@ let run_parallel ?config ?placement ?policy ?(inputs = []) ?max_events
       instructions;
       wall_ns;
       dead_letters = Cluster.dead_letters c;
+      migrations = 0;
+      migration_ns = 0;
+      forwarded_envelopes = 0;
       suspected = Cluster.suspected_failures c;
       sites_per_shard = [| List.length (Cluster.sites c) |];
       placement_weights = [| float_of_int (List.length (Cluster.sites c)) |];
@@ -199,8 +204,11 @@ let run_parallel ?config ?placement ?policy ?(inputs = []) ?max_events
     in
     try
       Par_runner.run ?config ?placement ?policy ~inputs:site_inputs
-        ?max_events ?on_snapshot ?snapshot_every_ms ~domains units
+        ?max_events ?on_snapshot ?snapshot_every_ms ?rebalance
+        ?force_migrations ~domains units
     with
+    | Par_runner.Shard_failure (id, m) ->
+        raise (Error (Runtime_error (Printf.sprintf "shard %d failed: %s" id m)))
     | Site.Protocol_error m -> raise (Error (Runtime_error m))
     | Tyco_vm.Machine.Error m -> raise (Error (Runtime_error m))
     | Invalid_argument m | Failure m -> raise (Error (Runtime_error m))

@@ -66,6 +66,8 @@ val run_parallel :
   ?typecheck:bool ->
   ?on_snapshot:(Par_runner.snapshot -> unit) ->
   ?snapshot_every_ms:int ->
+  ?rebalance:Par_runner.rebalance ->
+  ?force_migrations:(int * int) list ->
   domains:int ->
   Tyco_syntax.Ast.program ->
   Par_runner.result
@@ -77,8 +79,15 @@ val run_parallel :
     interleaving-dependent timestamps; [policy] picks the node-to-shard
     placement ({!Placement.Mod} by default, ignored at [domains <= 1]);
     [on_snapshot] / [snapshot_every_ms] stream coordinator-side mid-run
-    observations (ignored when [domains <= 1], whose engine runs to
-    quiescence in one call). *)
+    observations, [rebalance] turns on dynamic node migration and
+    [force_migrations] issues deterministic test moves — all ignored
+    when [domains <= 1], whose engine runs to quiescence in one call
+    with nowhere to migrate.
+
+    A crash inside one shard's domain surfaces here as
+    [Error (Runtime_error m)] with [m] naming the failing shard
+    (["shard N failed: ..."]), never as a bare exception from
+    [Domain.join]. *)
 
 val load_isolated :
   ?placement:(string -> int) -> Cluster.t -> Tyco_syntax.Ast.program -> unit

@@ -34,6 +34,12 @@ let earliest_core t =
 
 let occupy t ~core ~until = t.cores.(core) <- max t.cores.(core) until
 
+(* Migration support: a node arriving on a new shard carries core
+   free-times from the old shard's virtual clock, which is not
+   comparable with the new one — forget them so the first pump on the
+   receiving shard does not stall behind a foreign timestamp. *)
+let reset_cores t = Array.fill t.cores 0 (Array.length t.cores) 0
+
 (* ------------------------------------------------------------------ *)
 (* Transport endpoint.                                                 *)
 

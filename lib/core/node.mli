@@ -19,6 +19,10 @@ val earliest_core : t -> int * int
 
 val occupy : t -> core:int -> until:int -> unit
 
+val reset_cores : t -> unit
+(** Forget core occupancy — used when a node migrates between shards,
+    whose virtual clocks are not comparable. *)
+
 (** {1 Transport endpoint}
 
     Sequence numbering and duplicate suppression of the node's daemon,

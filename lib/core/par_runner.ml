@@ -10,11 +10,12 @@
    node weights when the caller wants load-aware sharding.  No mutable
    state is shared between shards: the only cross-domain traffic is
 
-   - envelope {e batches} through one {!Tyco_support.Spsc_ring} per
-     ordered shard pair, and
-   - a handful of whole-run atomics (the in-flight batch count,
-     per-shard pending/executed event counters, the stop flag) that
-     exist purely for termination detection.
+   - envelope {e batches} and node {e migrations} through one
+     {!Tyco_support.Spsc_ring} per ordered shard pair, and
+   - a handful of whole-run atomics (the in-flight element count,
+     per-shard pending/executed event counters, the node-to-shard
+     indirection table, the stop flag) that exist for termination
+     detection and routing.
 
    Handoff batching (PR 9): cross-shard packets are not pushed one by
    one.  Each shard buffers outbound envelopes per destination shard
@@ -33,19 +34,41 @@
    always counted before their parent is uncounted, so
    [inflight + sum pending = 0] still holds only at true quiescence.
 
+   Dynamic rebalancing (PR 10): node ownership is no longer fixed for
+   the run.  The node-to-shard map is an array of atomics (the
+   {e indirection table}); the coordinator watches per-node executed
+   pump cost and, when the imbalance crosses a threshold
+   ({!Placement.choose_migration}), posts a migration command to the
+   owning shard.  At its next step boundary the owner {e ships} the
+   node: it flushes its outbound buffers, takes one [g_inflight] unit
+   (the node-in-transit obligation, held until the receiver finishes
+   installing — quiescence cannot fire with a node inside a ring),
+   publishes the new owner in the indirection table, retires its
+   wrappers, and pushes a [Mig] element through the ordinary ring.
+   The receiver re-points each site's owner cell (the one ref its
+   send/output callbacks dereference), builds fresh wrappers, drains
+   any packets that raced ahead of the envelope (parked in [limbo]
+   under the same in-flight unit), and only then releases the unit.
+   A shard that receives a packet for a site it no longer owns
+   {e forwards} it along the current table instead of dead-lettering,
+   so stale senders lose nothing.
+
    Clock merge rule: a handed-off packet sent at sender-virtual time
    [s] with wire delay [d] is delivered at receiver-virtual time
    [max (receiver now) (s + d)] — delivery timestamps stay monotone
    per receiver, at the price of cross-shard timestamps depending on
    domain interleaving.  Determinism is the single-domain engine's
    job ({!Cluster}); this engine preserves output *sets*, not
-   timestamps.
+   timestamps.  A migrated node's core occupancy is reset on install
+   for the same reason: the two shard clocks are not comparable.
 
    Scope: the direct per-packet transport only.  Reliable delivery,
    fault injection and replicated name service stay with the
    deterministic engine (rings are lossless and ordered, so none of
    that machinery has work to do here); configs requesting them are
-   rejected loudly.
+   rejected loudly.  Tracing is rejected {e when rebalancing}: a
+   site's trace collector is captured at creation and cannot follow
+   the site across domains without sharing a collector.
 
    Observability: each shard owns a private {!Trace} collector (span
    ids strided by [shard + k * domains] so they stay globally unique
@@ -67,6 +90,12 @@ module Spsc = Tyco_support.Spsc_ring
 let ns_processing_cost = 1_000
 let context_switch_cost = 200
 
+exception Shard_failure of int * string
+(* An exception that escaped one shard's domain, re-raised at join
+   with the shard identified; [Api.run_parallel] maps it to
+   [Runtime_error].  Before PR 10 the raw exception was re-raised
+   anonymously (and non-[Failure] exceptions escaped [Api] unwrapped). *)
+
 (* One handed-off packet: everything the receiving shard needs to
    charge the wire and route, so it never touches sender state. *)
 type envelope = {
@@ -78,12 +107,6 @@ type envelope = {
   env_span : Trace.span; (* causal context rides the ring with the packet *)
 }
 
-(* What actually travels through a ring: one flush's worth of
-   same-destination envelopes.  The array is freshly sized at flush
-   (ownership passes to the consumer with the push), while the
-   producer-side accumulation buffer is reused across flushes. *)
-type batch = envelope array
-
 (* Per-destination accumulation buffer (producer-shard confined). *)
 type outbuf = {
   mutable hb_envs : envelope array;
@@ -92,22 +115,43 @@ type outbuf = {
 
 type global = {
   g_domains : int;
-  g_shard_map : int array; (* node ip -> owning shard *)
-  (* envelope batches pushed (or buffered for push) whose delivery
-     events have not all been scheduled yet: > 0 whenever cross-shard
-     work is outside any heap *)
+  (* the indirection table: node ip -> owning shard.  Atomic so a
+     migration's publication is a release/acquire edge — a stale
+     sender reads an old owner at worst, and the old owner forwards *)
+  g_shard_map : int Atomic.t array;
+  g_site_ip : int array; (* site id -> node ip; immutable after load *)
+  (* ring elements pushed (or buffered for push) whose consequences
+     have not all been scheduled yet: > 0 whenever cross-shard work
+     (a batch, or a node in transit) is outside any heap *)
   g_inflight : int Atomic.t;
   g_stop : bool Atomic.t;
+  (* per-shard executed-event counters, summed at step boundaries so
+     [max_events] bounds the run globally (the Simnet.run livelock
+     guard), not per shard *)
+  g_executed : int Atomic.t array;
+  (* rebalancing signal: per-node executed pump cost, bumped by the
+     owning domain only when [g_rb_on] (zero hot-path cost otherwise);
+     the coordinator reads deltas to estimate recent load *)
+  g_node_load : int Atomic.t array;
+  g_rb_on : bool;
+  g_migrations : int Atomic.t; (* installs completed, coordinator-read *)
 }
 
 type wrapper = {
   w_site : Site.t;
   w_node : Node.t;
-  w_shard : int;
+  (* the owner cell: shared with the site's send/output/suspect
+     closures, re-pointed by the installing shard.  Only the domain
+     that currently owns the site ever touches it; ring push/pop
+     orders the handover *)
+  w_owner : shard ref;
   mutable w_pump_scheduled : bool;
+  (* set by the shipping shard: pump events already in its heap for
+     this wrapper become no-ops (the site now lives elsewhere) *)
+  mutable w_stale : bool;
 }
 
-type shard = {
+and shard = {
   sh_id : int;
   g : global;
   sim : Simnet.t;
@@ -116,10 +160,18 @@ type shard = {
   ns : Nameservice.t option; (* the centralized service, shard 0 only *)
   by_id : (int, wrapper) Hashtbl.t;
   mutable wrappers : wrapper list;
-  in_rings : batch Spsc.t option array; (* index = source shard *)
-  out_rings : batch Spsc.t option array; (* index = destination shard *)
+  in_rings : element Spsc.t option array; (* index = source shard *)
+  out_rings : element Spsc.t option array; (* index = destination shard *)
   out_bufs : outbuf array; (* index = destination shard; self unused *)
   weight : float; (* this shard's placement weight (reporting only) *)
+  (* packets that arrived for a node this shard owns per the table but
+     has not installed yet (they raced ahead of the migration
+     envelope, whose [g_inflight] unit covers them): drained at
+     install, keyed by node ip *)
+  limbo : (int, (Trace.span * Packet.t) list ref) Hashtbl.t;
+  (* coordinator-posted migration command: [ip * domains + dst], or
+     -1 for none; consumed at the step boundary *)
+  mig_cmd : int Atomic.t;
   (* shard-confined accumulators, merged after join *)
   mutable outs : (int * Output.event) list;
   mutable packets : int;
@@ -131,6 +183,13 @@ type shard = {
   mutable parks : int;
   mutable drains : int; (* backpressure drain passes while pushing *)
   mutable dead_letters : int;
+  mutable forwarded : int; (* envelopes re-sent along the table *)
+  mutable migrations_out : int; (* nodes this shard shipped *)
+  mutable migrations_in : int; (* nodes this shard installed *)
+  mutable migration_ns : int; (* wall ns, ship to install, summed *)
+  (* migrations dropped at teardown (g_stop while pushing): kept so
+     the post-join merge still sees their sites' stats *)
+  mutable lost_migs : migration list;
   mutable suspected : (int * string) list;
   mutable busy_until : int;
   mutable error : exn option;
@@ -149,10 +208,26 @@ type shard = {
      shard's heap size plus one unit per non-empty outbound buffer,
      maintained so that children are counted before their parent event
      is uncounted, which makes [inflight + sum pending = 0] hold only
-     at true quiescence; [executed] is monotone and detects activity
-     between the coordinator's two collects *)
+     at true quiescence; [executed] (an alias of the shard's slot in
+     [g_executed]) is monotone and detects activity between the
+     coordinator's two collects *)
   pending : int Atomic.t;
   executed : int Atomic.t;
+}
+
+(* What actually travels through a ring: one flush's worth of
+   same-destination envelopes (the array is freshly sized at flush;
+   ownership passes to the consumer with the push), or one migrating
+   node — its [Node.t] plus every site with its owner cell. *)
+and element =
+  | Batch of envelope array
+  | Mig of migration
+
+and migration = {
+  mg_ip : int;
+  mg_node : Node.t;
+  mg_sites : (Site.t * shard ref) list;
+  mg_sent_wall : float; (* host clock at ship, for [migration_ns] *)
 }
 
 (* Every event entering a shard's heap goes through here so [pending]
@@ -162,7 +237,7 @@ let sched sh ~delay f =
   Atomic.incr sh.pending;
   Simnet.schedule sh.sim ~delay f
 
-let shard_of_ip g ip = Array.unsafe_get g.g_shard_map ip
+let shard_of_ip g ip = Atomic.get (Array.unsafe_get g.g_shard_map ip)
 
 (* Flush threshold: a buffer reaching this many envelopes is flushed
    immediately rather than waiting for the step boundary, bounding
@@ -174,19 +249,25 @@ let handoff_batch_max = 64
    [Cluster]'s batched path minus faults/reliability.                  *)
 
 let rec request_pump sh w ~delay =
-  if (not w.w_pump_scheduled) && Site.alive w.w_site then begin
+  if (not w.w_pump_scheduled) && (not w.w_stale) && Site.alive w.w_site
+  then begin
     w.w_pump_scheduled <- true;
     sched sh ~delay (fun () -> pump_event sh w)
   end
 
 and pump_event sh w =
   w.w_pump_scheduled <- false;
-  if Site.alive w.w_site then begin
+  if (not w.w_stale) && Site.alive w.w_site then begin
     let now = Simnet.now sh.sim in
     let core, free = Node.earliest_core w.w_node in
     if free > now then request_pump sh w ~delay:(free - now)
     else begin
       let cost = Site.pump ~now w.w_site ~quantum:sh.quantum in
+      if sh.g.g_rb_on then
+        ignore
+          (Atomic.fetch_and_add
+             (Array.unsafe_get sh.g.g_node_load (Node.ip w.w_node))
+             cost);
       let duration = cost + context_switch_cost in
       Node.occupy w.w_node ~core ~until:(now + duration);
       sh.busy_until <- max sh.busy_until (now + duration);
@@ -261,7 +342,7 @@ and flush_handoff sh ~dst_shard ub =
   sh.envelopes_out <- sh.envelopes_out + count;
   Metrics.observe_int sh.m_batch_fill count;
   Atomic.incr sh.g.g_inflight;
-  push_batch sh ~dst_shard batch;
+  push_element sh ~dst_shard (Batch batch);
   Atomic.decr sh.pending
 
 (* Flush every non-empty buffer; called at the shard loop's step/park
@@ -278,13 +359,13 @@ and flush_handoffs sh =
     sh.out_bufs;
   !flushed
 
-and push_batch sh ~dst_shard batch =
+and push_element sh ~dst_shard el =
   let ring =
     match sh.out_rings.(dst_shard) with
     | Some r -> r
     | None -> assert false (* dst_shard <> sh_id by construction *)
   in
-  if not (Spsc.try_push ring batch) then begin
+  if not (Spsc.try_push ring el) then begin
     (* Backpressure: the ring is bounded, so spin — but keep draining
        our own inbound rings while we wait, otherwise two shards
        pushing into each other's full rings deadlock. *)
@@ -293,11 +374,16 @@ and push_batch sh ~dst_shard batch =
     while not !pushed do
       if Atomic.get sh.g.g_stop then begin
         (* the run is being torn down (error or timeout): drop rather
-           than block forever against a consumer that already exited *)
+           than block forever against a consumer that already exited.
+           A dropped migration is remembered so the merge still sees
+           its sites *)
+        (match el with
+        | Mig m -> sh.lost_migs <- m :: sh.lost_migs
+        | Batch _ -> ());
         Atomic.decr sh.g.g_inflight;
         pushed := true
       end
-      else if Spsc.try_push ring batch then pushed := true
+      else if Spsc.try_push ring el then pushed := true
       else begin
         sh.drains <- sh.drains + 1;
         ignore (drain_rings sh);
@@ -314,7 +400,7 @@ and push_batch sh ~dst_shard batch =
 (* Consume one inbound batch: schedule every envelope's delivery
    (each [sched] counts it on [pending]), then — children counted —
    uncount the batch from [g_inflight]. *)
-and absorb_batch sh (batch : batch) =
+and absorb_batch sh (batch : envelope array) =
   let n = Array.length batch in
   for i = 0 to n - 1 do
     let env = Array.unsafe_get batch i in
@@ -334,6 +420,90 @@ and absorb_batch sh (batch : batch) =
   Atomic.decr sh.g.g_inflight;
   n
 
+(* Install a migrated node: re-point every site's owner cell, build
+   fresh wrappers (the shipper's old ones are stale and stay behind so
+   its leftover pump events no-op without cross-domain writes), reset
+   the node's core clock, drain the packets that raced ahead, wake the
+   busy sites — and only then release the in-transit [g_inflight]
+   unit (children counted before the parent is uncounted). *)
+and install_migration sh (m : migration) =
+  sh.migrations_in <- sh.migrations_in + 1;
+  sh.migration_ns <-
+    sh.migration_ns
+    + int_of_float ((Unix.gettimeofday () -. m.mg_sent_wall) *. 1e9);
+  Node.reset_cores m.mg_node;
+  let ws =
+    List.map
+      (fun (site, owner) ->
+        owner := sh;
+        let w =
+          { w_site = site; w_node = m.mg_node; w_owner = owner;
+            w_pump_scheduled = false; w_stale = false }
+        in
+        Hashtbl.replace sh.by_id (Site.site_id site) w;
+        sh.wrappers <- w :: sh.wrappers;
+        w)
+      m.mg_sites
+  in
+  (match Hashtbl.find_opt sh.limbo m.mg_ip with
+  | Some q ->
+      Hashtbl.remove sh.limbo m.mg_ip;
+      List.iter
+        (fun (ctx, p) ->
+          sched sh ~delay:0 (fun () -> deliver sh ~at_ip:m.mg_ip ~ctx p))
+        (List.rev !q)
+  | None -> ());
+  List.iter
+    (fun w -> if Site.busy w.w_site then request_pump sh w ~delay:0)
+    ws;
+  Atomic.incr sh.g.g_migrations;
+  Atomic.decr sh.g.g_inflight
+
+(* Ship one node to [dst]: the source half of a migration, run at the
+   step boundary so no event is mid-flight on this shard.  Publishing
+   the new owner *after* taking the in-flight unit and *before*
+   retiring the wrappers keeps every window covered: packets arriving
+   here afterwards miss [by_id] and forward; packets arriving at the
+   destination early park in its limbo under the unit we hold. *)
+and ship_node sh ~ip ~dst =
+  if
+    dst <> sh.sh_id && dst >= 0
+    && dst < sh.g.g_domains
+    && Atomic.get sh.g.g_shard_map.(ip) = sh.sh_id
+  then begin
+    let mine =
+      List.filter
+        (fun w -> (not w.w_stale) && Site.ip w.w_site = ip)
+        sh.wrappers
+    in
+    if mine <> [] then begin
+      (* buffered envelopes leave first so per-destination order is
+         preserved across the ownership change *)
+      ignore (flush_handoffs sh);
+      Atomic.incr sh.g.g_inflight;
+      Atomic.set sh.g.g_shard_map.(ip) dst;
+      List.iter
+        (fun w ->
+          w.w_stale <- true;
+          Hashtbl.remove sh.by_id (Site.site_id w.w_site))
+        mine;
+      sh.wrappers <- List.filter (fun w -> not w.w_stale) sh.wrappers;
+      sh.migrations_out <- sh.migrations_out + 1;
+      push_element sh ~dst_shard:dst
+        (Mig
+           { mg_ip = ip;
+             mg_node = (List.hd mine).w_node;
+             mg_sites = List.map (fun w -> (w.w_site, w.w_owner)) mine;
+             mg_sent_wall = Unix.gettimeofday () })
+    end
+  end
+
+and absorb_element sh = function
+  | Batch batch -> absorb_batch sh batch
+  | Mig m ->
+      install_migration sh m;
+      1
+
 and drain_rings sh =
   let got = ref 0 in
   Array.iter
@@ -343,7 +513,7 @@ and drain_rings sh =
           let draining = ref true in
           while !draining do
             match Spsc.pop_exn ring with
-            | batch -> got := !got + absorb_batch sh batch
+            | el -> got := !got + absorb_element sh el
             | exception Spsc.Empty -> draining := false
           done)
     sh.in_rings;
@@ -419,14 +589,7 @@ and reply_ns sh ~from_ip ~ctx p =
 
 and deliver_to_site sh site_id ~ctx ~same_node p =
   match Hashtbl.find_opt sh.by_id site_id with
-  | None ->
-      sh.dead_letters <- sh.dead_letters + 1;
-      sh.suspected <-
-        (Simnet.now sh.sim, Printf.sprintf "site#%d" site_id) :: sh.suspected
   | Some w ->
-      (* domain-confinement invariant: a packet can only surface at the
-         shard that owns its destination site *)
-      assert (w.w_shard = sh.sh_id);
       if Site.alive w.w_site then begin
         let now = Simnet.now sh.sim in
         if sh.tr_on then
@@ -438,6 +601,44 @@ and deliver_to_site sh site_id ~ctx ~same_node p =
       else
         sh.suspected <-
           (Simnet.now sh.sim, Site.name w.w_site) :: sh.suspected
+  | None ->
+      let ips = sh.g.g_site_ip in
+      if site_id < 0 || site_id >= Array.length ips then begin
+        sh.dead_letters <- sh.dead_letters + 1;
+        sh.suspected <-
+          (Simnet.now sh.sim, Printf.sprintf "site#%d" site_id)
+          :: sh.suspected
+      end
+      else begin
+        let ip = Array.unsafe_get ips site_id in
+        let owner = shard_of_ip sh.g ip in
+        if owner <> sh.sh_id then begin
+          (* the node migrated away: forward along the current table
+             (no packet/byte re-count — the original hop was already
+             charged; the hop is zero-distance on the wire model) *)
+          sh.forwarded <- sh.forwarded + 1;
+          enqueue_handoff sh ~dst_shard:owner
+            { env_pkt = p; env_src_ip = ip; env_dst_ip = ip;
+              env_send_ts = Simnet.now sh.sim;
+              env_bytes = Packet.byte_size p; env_span = ctx }
+        end
+        else begin
+          (* the table says this shard owns the node, but its migration
+             envelope has not been popped yet: park the packet in
+             limbo.  The envelope's [g_inflight] unit (held until the
+             install finishes draining this queue) keeps quiescence
+             from firing with the packet parked here *)
+          let q =
+            match Hashtbl.find_opt sh.limbo ip with
+            | Some q -> q
+            | None ->
+                let q = ref [] in
+                Hashtbl.add sh.limbo ip q;
+                q
+          in
+          q := (ctx, p) :: !q
+        end
+      end
 
 (* ------------------------------------------------------------------ *)
 (* The per-domain driver loop.                                         *)
@@ -464,11 +665,30 @@ let shard_loop sh ~max_events =
        (* step/park boundary: everything the local batch produced for
           siblings leaves as one ring push per destination *)
        let flushed = flush_handoffs sh in
-       if Atomic.get sh.executed > max_events then
+       (* a coordinator-posted migration command is consumed here, once
+          the local batch's own handoffs are out *)
+       let shipped =
+         let cmd = Atomic.exchange sh.mig_cmd (-1) in
+         if cmd >= 0 then begin
+           ship_node sh ~ip:(cmd / sh.g.g_domains)
+             ~dst:(cmd mod sh.g.g_domains);
+           1
+         end
+         else 0
+       in
+       (* the event budget is global — the sum over shards must respect
+          [max_events] exactly as [Simnet.run]'s livelock guard does at
+          --domains 1, not [domains * max_events] *)
+       let executed_total =
+         Array.fold_left
+           (fun acc c -> acc + Atomic.get c)
+           0 sh.g.g_executed
+       in
+       if executed_total > max_events then
          failwith
-           (Printf.sprintf "Par_runner: shard %d exceeded %d events"
-              sh.sh_id max_events);
-       if drained = 0 && !steps = 0 && flushed = 0 then begin
+           (Printf.sprintf "Par_runner: exceeded %d events (livelock?)"
+              max_events);
+       if drained = 0 && !steps = 0 && flushed = 0 && shipped = 0 then begin
          (* idle: exponential-backoff parking.  The sleep is what lets
             sibling domains (and the coordinator) run when there are
             more domains than cores. *)
@@ -496,8 +716,8 @@ type shard_stat = {
   ss_packets : int;
   ss_same_node : int;
   ss_handoffs_in : int; (* envelopes this shard received *)
-  ss_ring_pushed : int; (* batches this shard pushed outbound *)
-  ss_ring_popped : int; (* batches this shard consumed *)
+  ss_ring_pushed : int; (* elements this shard pushed outbound *)
+  ss_ring_popped : int; (* elements this shard consumed *)
   ss_ring_hiwater : int; (* max outbound-ring occupancy at push *)
   ss_parks : int;
   ss_drains : int; (* backpressure drain passes while pushing *)
@@ -512,8 +732,18 @@ type snapshot = {
   sn_inflight : int;
   sn_executed : int array; (* per shard, monotone *)
   sn_pending : int array;
-  sn_ring_pushed : int; (* batches *)
+  sn_ring_pushed : int; (* elements *)
   sn_ring_popped : int;
+  sn_migrations : int; (* node installs completed so far *)
+}
+
+(* Dynamic-rebalancing knobs ([tycosh --rebalance interval:MS,threshold:R]):
+   every [rb_interval_ms] the coordinator reads per-node load deltas
+   and, when max-over-mean per-shard load exceeds [rb_threshold],
+   issues one migration ({!Placement.choose_migration}). *)
+type rebalance = {
+  rb_interval_ms : int;
+  rb_threshold : float;
 }
 
 type result = {
@@ -523,7 +753,7 @@ type result = {
   bytes : int;
   same_node_fast : int;
   handoffs : int; (* envelopes carried by rings *)
-  ring_pushed : int; (* batches pushed (= pops after a clean run) *)
+  ring_pushed : int; (* elements pushed (= pops after a clean run) *)
   ring_popped : int;
   ring_batch_fill_mean : float; (* envelopes per ring push *)
   parks : int; (* idle/backpressure parks across all shards *)
@@ -531,6 +761,9 @@ type result = {
   instructions : int; (* total VM instructions, for throughput *)
   wall_ns : int;
   dead_letters : int;
+  migrations : int; (* node migrations completed (installs) *)
+  migration_ns : int; (* host ns from ship to install, summed *)
+  forwarded_envelopes : int; (* packets re-routed via the table *)
   suspected : (int * string) list;
   sites_per_shard : int array;
   placement_weights : float array; (* per-shard assigned weight *)
@@ -538,7 +771,7 @@ type result = {
       (* measured per-node instruction counts — feed these back as
          [Placement.Profile] for the next run of the same workload *)
   events : int; (* simulation events across all shards *)
-  clean : bool; (* quiesced with rings drained and heaps empty *)
+  clean : bool; (* quiesced with rings drained, heaps and limbo empty *)
   timed_out : bool;
   trace : Trace.t; (* merged shard-tagged collector; disabled when off *)
   metrics : Metrics.t; (* merged registry; disabled when off *)
@@ -559,11 +792,30 @@ let ring_capacity = 4096
 let run ?(config = Cluster.default_config) ?placement
     ?(policy = Placement.Mod) ?(inputs = fun _ -> [])
     ?(max_events = 10_000_000) ?(max_wall_ms = 120_000) ?on_snapshot
-    ?(snapshot_every_ms = 100)
+    ?(snapshot_every_ms = 100) ?rebalance ?(force_migrations = [])
     ~domains (units : (string * Tyco_compiler.Block.unit_) list) =
   if domains < 1 then invalid_arg "Par_runner.run: domains must be >= 1";
   validate config;
+  let rb_requested = rebalance <> None || force_migrations <> [] in
+  if rb_requested && config.Cluster.tracing then
+    invalid_arg
+      "Par_runner: tracing with dynamic rebalancing requires --domains 1 \
+       (a site's trace collector cannot follow it across domains)";
   let nnodes = config.Cluster.nodes in
+  List.iter
+    (fun (ip, dst) ->
+      if ip <= 0 || ip >= nnodes then
+        invalid_arg
+          (Printf.sprintf
+             "Par_runner: cannot migrate node %d (node 0 is pinned; the \
+              cluster has %d nodes)"
+             ip nnodes);
+      if dst < 0 || dst >= domains then
+        invalid_arg
+          (Printf.sprintf
+             "Par_runner: migration of node %d targets shard %d of %d" ip
+             dst domains))
+    force_migrations;
   (* resolve every site's node first: the placement policy needs the
      per-node site counts before any shard exists *)
   let seen = Hashtbl.create 16 in
@@ -600,9 +852,15 @@ let run ?(config = Cluster.default_config) ?placement
   in
   let g =
     { g_domains = domains;
-      g_shard_map = shard_map;
+      g_shard_map = Array.map Atomic.make shard_map;
+      g_site_ip =
+        Array.of_list site_nodes (* site ids follow unit order below *);
       g_inflight = Atomic.make 0;
-      g_stop = Atomic.make false }
+      g_stop = Atomic.make false;
+      g_executed = Array.init domains (fun _ -> Atomic.make 0);
+      g_node_load = Array.init nnodes (fun _ -> Atomic.make 0);
+      g_rb_on = rebalance <> None;
+      g_migrations = Atomic.make 0 }
   in
   (* ring matrix: rings.(src).(dst) carries src -> dst *)
   let rings =
@@ -659,6 +917,8 @@ let run ?(config = Cluster.default_config) ?placement
           out_bufs =
             Array.init domains (fun _ -> { hb_envs = [||]; hb_count = 0 });
           weight = placement_weights.(s);
+          limbo = Hashtbl.create 4;
+          mig_cmd = Atomic.make (-1);
           outs = [];
           packets = 0;
           bytes = 0;
@@ -669,6 +929,11 @@ let run ?(config = Cluster.default_config) ?placement
           parks = 0;
           drains = 0;
           dead_letters = 0;
+          forwarded = 0;
+          migrations_out = 0;
+          migrations_in = 0;
+          migration_ns = 0;
+          lost_migs = [];
           suspected = [];
           busy_until = 0;
           error = None;
@@ -682,7 +947,7 @@ let run ?(config = Cluster.default_config) ?placement
           m_handoff_lat = Metrics.histogram mx "handoff_lat_ns";
           m_batch_fill = Metrics.histogram mx "ring_batch_fill";
           pending = Atomic.make 0;
-          executed = Atomic.make 0 })
+          executed = g.g_executed.(s) })
   in
   (* load sites (on the coordinating domain, before any shard domain
      exists — construction is the last moment state is shared).  Any
@@ -705,21 +970,29 @@ let run ?(config = Cluster.default_config) ?placement
           lc_done_horizon_ns =
             Site.default_lifecycle.Site.lc_done_horizon_ns }
       in
+      (* the owner cell: the site's callbacks route through whichever
+         shard currently owns the node, so a migration only has to
+         re-point this one ref *)
+      let owner = ref sh in
       let w =
         { w_site =
             Site.create ~inputs:(inputs name)
               ~retry:config.Cluster.site_retry ~lifecycle
               ~on_suspect:(fun who ->
+                let sh = !owner in
                 sh.suspected <- (Simnet.now sh.sim, who) :: sh.suspected)
               ~trace:sh.tr ~name ~site_id ~ip:(Node.ip node)
               ~send:(fun ctx p ->
+                let sh = !owner in
                 send_packet sh ~src_ip:(Node.ip node) ~ctx p)
               ~on_output:(fun e ->
+                let sh = !owner in
                 sh.outs <- (Simnet.now sh.sim, e) :: sh.outs)
               ~unit_ ();
           w_node = node;
-          w_shard = sh.sh_id;
-          w_pump_scheduled = false }
+          w_owner = owner;
+          w_pump_scheduled = false;
+          w_stale = false }
       in
       Node.add_site node w.w_site;
       Hashtbl.replace sh.by_id site_id w;
@@ -727,6 +1000,24 @@ let run ?(config = Cluster.default_config) ?placement
       Site.start w.w_site;
       request_pump sh w ~delay:0)
     units site_nodes;
+  (* forced migrations (the deterministic test hook): posted before the
+     domains spawn, so each is consumed at the owning shard's first
+     step boundary and is guaranteed installed in a clean run.
+     Commands whose shard slot is taken retry from the wait loop. *)
+  let forced = ref force_migrations in
+  let try_post_forced () =
+    forced :=
+      List.filter
+        (fun (ip, dst) ->
+          let src = Atomic.get g.g_shard_map.(ip) in
+          if src = dst then false (* already there *)
+          else
+            not
+              (Atomic.compare_and_set shards.(src).mig_cmd (-1)
+                 ((ip * domains) + dst)))
+        !forced
+  in
+  try_post_forced ();
   (* run *)
   let t0 = Unix.gettimeofday () in
   let doms =
@@ -735,10 +1026,11 @@ let run ?(config = Cluster.default_config) ?placement
   in
   (* Quiescence: [inflight + sum pending] is maintained so it is zero
      only when no work exists anywhere (children are counted before
-     parents are uncounted; buffered and in-ring batches are covered
-     by pending/inflight until every delivery event is scheduled).
-     Two collects agreeing on the monotone executed-count with a zero
-     work-sum close the race of reading the counters one by one. *)
+     parents are uncounted; buffered and in-ring elements — batches
+     and nodes in transit alike — are covered by pending/inflight
+     until every consequence is scheduled).  Two collects agreeing on
+     the monotone executed-count with a zero work-sum close the race
+     of reading the counters one by one. *)
   let collect () =
     let work = ref (Atomic.get g.g_inflight) in
     let execd = ref 0 in
@@ -775,7 +1067,8 @@ let run ?(config = Cluster.default_config) ?placement
             sn_executed = Array.map (fun sh -> Atomic.get sh.executed) shards;
             sn_pending = Array.map (fun sh -> Atomic.get sh.pending) shards;
             sn_ring_pushed = pushed;
-            sn_ring_popped = popped }
+            sn_ring_popped = popped;
+            sn_migrations = Atomic.get g.g_migrations }
   in
   let last_snapshot = ref t0 in
   let maybe_snapshot () =
@@ -788,12 +1081,56 @@ let run ?(config = Cluster.default_config) ?placement
       end
     end
   in
+  (* The rebalancer: every interval, turn the per-node load-counter
+     deltas into a load estimate and ask {!Placement.choose_migration}
+     for at most one move.  One migration is outstanding at a time
+     (issued vs installed), so each decision sees the effect of the
+     previous one. *)
+  let issued = ref 0 in
+  let last_rb = ref t0 in
+  let last_loads = Array.make nnodes 0 in
+  let maybe_rebalance () =
+    if !forced <> [] then try_post_forced ()
+    else
+      match rebalance with
+      | None -> ()
+      | Some rb ->
+          let now = Unix.gettimeofday () in
+          if (now -. !last_rb) *. 1000. >= float_of_int rb.rb_interval_ms
+          then begin
+            last_rb := now;
+            let loads =
+              Array.mapi
+                (fun ip c ->
+                  let v = Atomic.get c in
+                  let d = v - last_loads.(ip) in
+                  last_loads.(ip) <- v;
+                  float_of_int d)
+                g.g_node_load
+            in
+            if !issued = Atomic.get g.g_migrations then begin
+              let map = Array.map Atomic.get g.g_shard_map in
+              match
+                Placement.choose_migration ~domains ~map ~loads
+                  ~threshold:rb.rb_threshold
+              with
+              | None -> ()
+              | Some (ip, dst) ->
+                  let src = map.(ip) in
+                  if
+                    Atomic.compare_and_set shards.(src).mig_cmd (-1)
+                      ((ip * domains) + dst)
+                  then incr issued
+            end
+          end
+  in
   let rec wait () =
     if Atomic.get g.g_stop then ()
     else if (Unix.gettimeofday () -. t0) *. 1000. > float_of_int max_wall_ms
     then timed_out := true
     else begin
       maybe_snapshot ();
+      maybe_rebalance ();
       let w1, e1 = collect () in
       if w1 = 0 then begin
         let w2, e2 = collect () in
@@ -816,7 +1153,16 @@ let run ?(config = Cluster.default_config) ?placement
     int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
   in
   Array.iter
-    (fun sh -> match sh.error with Some exn -> raise exn | None -> ())
+    (fun sh ->
+      match sh.error with
+      | Some exn ->
+          let msg =
+            match exn with
+            | Failure m | Site.Protocol_error m -> m
+            | e -> Printexc.to_string e
+          in
+          raise (Shard_failure (sh.sh_id, msg))
+      | None -> ())
     shards;
   (* merge (the only time shard state is read from outside) *)
   let outputs =
@@ -845,26 +1191,35 @@ let run ?(config = Cluster.default_config) ?placement
     (not !timed_out) && !rings_empty
     && Atomic.get g.g_inflight = 0
     && Array.for_all (fun sh -> Atomic.get sh.pending = 0) shards
+    && Array.for_all (fun sh -> Hashtbl.length sh.limbo = 0) shards
+  in
+  (* every site this shard can account for: its live wrappers plus any
+     migration it had to drop at teardown *)
+  let shard_sites (sh : shard) =
+    List.rev_map (fun w -> w.w_site) sh.wrappers
+    @ List.concat_map
+        (fun m -> List.map fst m.mg_sites)
+        sh.lost_migs
   in
   let instructions =
     sum (fun sh ->
         List.fold_left
-          (fun acc w ->
-            acc + Stats.counter_value (Site.stats w.w_site) "instructions")
-          0 sh.wrappers)
+          (fun acc s ->
+            acc + Stats.counter_value (Site.stats s) "instructions")
+          0 (shard_sites sh))
   in
   let node_weights =
     let w = Array.make nnodes 0. in
     Array.iter
       (fun sh ->
         List.iter
-          (fun wr ->
-            let ip = Site.ip wr.w_site in
+          (fun s ->
+            let ip = Site.ip s in
             w.(ip) <-
               w.(ip)
               +. float_of_int
-                   (Stats.counter_value (Site.stats wr.w_site) "instructions"))
-          sh.wrappers)
+                   (Stats.counter_value (Site.stats s) "instructions"))
+          (shard_sites sh))
       shards;
     w
   in
@@ -918,15 +1273,20 @@ let run ?(config = Cluster.default_config) ?placement
       let into = Metrics.create ~enabled:true () in
       Array.iteri
         (fun i sh ->
-          (* stamp the post-join ring/park signals into the shard's own
-             registry so they travel through the merge like every other
-             instrument (sum of values, max of high-waters) *)
+          (* stamp the post-join ring/park/migration signals into the
+             shard's own registry so they travel through the merge like
+             every other instrument (sum of values, max of high-waters) *)
           let st = shard_stats.(i) in
           Metrics.add (Metrics.counter sh.mx "ring_pushed") st.ss_ring_pushed;
           Metrics.add (Metrics.counter sh.mx "ring_popped") st.ss_ring_popped;
           Metrics.set (Metrics.gauge sh.mx "ring_hiwater") st.ss_ring_hiwater;
           Metrics.add (Metrics.counter sh.mx "parks") st.ss_parks;
           Metrics.add (Metrics.counter sh.mx "drains") st.ss_drains;
+          Metrics.add (Metrics.counter sh.mx "migrations") sh.migrations_in;
+          Metrics.add (Metrics.counter sh.mx "migration_ns") sh.migration_ns;
+          Metrics.add
+            (Metrics.counter sh.mx "forwarded_envelopes")
+            sh.forwarded;
           Metrics.merge_into ~into sh.mx)
         shards;
       into
@@ -935,7 +1295,7 @@ let run ?(config = Cluster.default_config) ?placement
   in
   let sites =
     List.concat_map
-      (fun (sh : shard) -> List.rev_map (fun w -> w.w_site) sh.wrappers)
+      (fun (sh : shard) -> shard_sites sh)
       (Array.to_list shards)
   in
   { outputs;
@@ -955,6 +1315,9 @@ let run ?(config = Cluster.default_config) ?placement
     instructions;
     wall_ns;
     dead_letters = sum (fun sh -> sh.dead_letters);
+    migrations = sum (fun sh -> sh.migrations_in);
+    migration_ns = sum (fun sh -> sh.migration_ns);
+    forwarded_envelopes = sum (fun sh -> sh.forwarded);
     suspected =
       List.concat_map
         (fun (sh : shard) -> List.rev sh.suspected)

@@ -34,10 +34,28 @@
     the disabled singletons when off, so every instrumentation point
     on the hot path costs one load-and-branch.
 
+    Dynamic rebalancing (PR 10): node ownership can change mid-run.
+    The node-to-shard map is an indirection table of atomics; the
+    coordinator watches per-node load and, past a threshold, has the
+    owning shard {e ship} the node through the ordinary rings as a
+    migration element.  One [g_inflight] unit is held from ship to
+    install (quiescence stays exact with a node in transit), packets
+    that arrive at the old owner are {e forwarded} along the table,
+    and packets that race ahead of the envelope park in the receiving
+    shard's limbo until the install drains them.  Totals are exported
+    as [migrations] / [migration_ns] / [forwarded_envelopes].
+
     Configs requesting machinery the rings make redundant (reliable
     delivery, fault injection, replicated name service) are rejected
     with [Invalid_argument]: those modes belong to the deterministic
-    single-domain engine. *)
+    single-domain engine.  So is tracing combined with rebalancing: a
+    site's trace collector is captured at creation and cannot follow
+    the site across domains. *)
+
+exception Shard_failure of int * string
+(** An exception that escaped one shard's domain, re-raised at join as
+    [(shard id, message)].  {!Api.run_parallel} maps it to
+    [Api.Error (Runtime_error _)]. *)
 
 (** Per-shard section of the run report: ring traffic, occupancy
     high-water, backpressure and parking — the signals that say where
@@ -50,8 +68,8 @@ type shard_stat = {
   ss_packets : int;
   ss_same_node : int;
   ss_handoffs_in : int;  (** envelopes this shard received *)
-  ss_ring_pushed : int;  (** batches this shard pushed outbound *)
-  ss_ring_popped : int;  (** batches this shard consumed *)
+  ss_ring_pushed : int;  (** ring elements this shard pushed outbound *)
+  ss_ring_popped : int;  (** ring elements this shard consumed *)
   ss_ring_hiwater : int; (** max outbound-ring occupancy at push *)
   ss_parks : int;
   ss_drains : int;       (** backpressure drain passes while pushing *)
@@ -67,8 +85,21 @@ type snapshot = {
   sn_inflight : int;
   sn_executed : int array;  (** per shard, monotone *)
   sn_pending : int array;   (** per-shard heap sizes *)
-  sn_ring_pushed : int;     (** batches *)
+  sn_ring_pushed : int;     (** ring elements *)
   sn_ring_popped : int;
+  sn_migrations : int;      (** node installs completed so far *)
+}
+
+(** Dynamic-rebalancing knobs ([tycosh --rebalance
+    interval:MS,threshold:R]): every [rb_interval_ms] wall
+    milliseconds the coordinator turns the per-node load-counter
+    deltas into a load estimate and, when the max-over-mean per-shard
+    load exceeds [rb_threshold], issues at most one migration
+    ({!Placement.choose_migration}).  One migration is outstanding at
+    a time, so each decision sees the previous one's effect. *)
+type rebalance = {
+  rb_interval_ms : int;
+  rb_threshold : float;
 }
 
 type result = {
@@ -91,6 +122,13 @@ type result = {
   instructions : int;  (** total VM instructions, for throughput *)
   wall_ns : int;
   dead_letters : int;
+  migrations : int;
+      (** node migrations completed (counted at install) *)
+  migration_ns : int;
+      (** host ns from ship to install, summed over migrations *)
+  forwarded_envelopes : int;
+      (** packets that arrived at a node's old owner after it moved
+          and were re-routed along the indirection table *)
   suspected : (int * string) list;
   sites_per_shard : int array;
   placement_weights : float array;
@@ -102,9 +140,10 @@ type result = {
           next run of the same workload *)
   events : int;  (** simulation events across all shards *)
   clean : bool;
-      (** quiesced with every ring drained, no in-flight batches and
-          every shard heap empty — the sharding smoke test asserts
-          this together with [ring_pushed = ring_popped] *)
+      (** quiesced with every ring drained, no in-flight elements,
+          every shard heap empty and every limbo empty — the sharding
+          smoke and migration tests assert this together with
+          [ring_pushed = ring_popped] *)
   timed_out : bool;
   trace : Tyco_support.Trace.t;
       (** the merged shard-tagged collector ({!Tyco_support.Trace.merge});
@@ -127,6 +166,8 @@ val run :
   ?max_wall_ms:int ->
   ?on_snapshot:(snapshot -> unit) ->
   ?snapshot_every_ms:int ->
+  ?rebalance:rebalance ->
+  ?force_migrations:(int * int) list ->
   domains:int ->
   (string * Tyco_compiler.Block.unit_) list ->
   result
@@ -136,9 +177,19 @@ val run :
     round-robin); [policy] maps node ips to shards (default
     {!Placement.Mod} — see {!Placement.assign}; node counts below,
     equal to, or far above [domains] are all supported).  [max_events]
-    bounds each shard's event count (default 10M, the same livelock
-    guard as {!Tyco_net.Simnet.run}); [max_wall_ms] (default 120s)
+    bounds the event count {e summed over all shards} (default 10M,
+    the same livelock-guard semantics as {!Tyco_net.Simnet.run} at
+    one domain — not [domains * max_events]); [max_wall_ms] (default 120s)
     bounds wall time — exceeding it stops the run with
     [timed_out = true] instead of hanging.  [on_snapshot] is called
     from the coordinating domain roughly every [snapshot_every_ms]
-    wall milliseconds (default 100) while the run is live. *)
+    wall milliseconds (default 100) while the run is live.
+
+    [rebalance] turns on dynamic rebalancing (see {!type:rebalance}).
+    [force_migrations] is the deterministic test hook: a list of
+    [(node ip, destination shard)] moves issued unconditionally —
+    those whose command slot is free are posted before the domains
+    spawn and are guaranteed to complete in a clean run.  Node 0 (the
+    name-service host) cannot move; out-of-range entries raise
+    [Invalid_argument], as does combining either option with
+    [config.tracing]. *)

@@ -104,3 +104,51 @@ let imbalance per_shard =
       let mx = Array.fold_left Float.max neg_infinity per_shard in
       mx /. (sum /. float_of_int n)
   end
+
+(* Dynamic rebalancing (PR 10): given recent per-node load and the
+   current node-to-shard map, pick one node to migrate.  The decision
+   mirrors the greedy packing one move at a time: take the hottest and
+   coldest shards, and move the hot shard's node whose load is closest
+   to half the gap — the move that evens the pair out best.  A move is
+   only proposed when
+
+   - the max-over-mean imbalance exceeds [threshold] (hysteresis: a
+     roughly balanced run never migrates), and
+   - some candidate actually shrinks the gap ([load < hot - cold]:
+     moving more than the whole gap would just swap the roles), and
+   - the candidate is not node 0, which hosts the name service and is
+     pinned to shard 0 for routing.
+
+   One node per call: the runner issues at most one migration at a
+   time, re-reading fresh loads before the next, so a burst of
+   imbalance resolves as a short sequence of single moves rather than
+   a thundering herd of simultaneous ships. *)
+let choose_migration ~domains ~map ~loads ~threshold =
+  let n = Array.length map in
+  if Array.length loads <> n then
+    invalid_arg "Placement.choose_migration: loads/map length mismatch";
+  let per_shard = shard_weights ~domains ~map loads in
+  if imbalance per_shard <= threshold then None
+  else begin
+    let hot = ref 0 and cold = ref 0 in
+    for s = 1 to domains - 1 do
+      if per_shard.(s) > per_shard.(!hot) then hot := s;
+      if per_shard.(s) < per_shard.(!cold) then cold := s
+    done;
+    if !hot = !cold then None
+    else begin
+      let gap = per_shard.(!hot) -. per_shard.(!cold) in
+      let target = gap /. 2. in
+      let best = ref (-1) and best_d = ref infinity in
+      for ip = 1 to n - 1 do
+        if map.(ip) = !hot && loads.(ip) > 0. && loads.(ip) < gap then begin
+          let d = Float.abs (loads.(ip) -. target) in
+          if d < !best_d then begin
+            best := ip;
+            best_d := d
+          end
+        end
+      done;
+      if !best < 0 then None else Some (!best, !cold)
+    end
+  end

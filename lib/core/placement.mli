@@ -39,3 +39,19 @@ val shard_weights : domains:int -> map:int array -> float array -> float array
 val imbalance : float array -> float
 (** Max-over-mean of per-shard weights: 1.0 = perfectly balanced,
     [domains] = everything on one shard, 0 = no weight at all. *)
+
+val choose_migration :
+  domains:int ->
+  map:int array ->
+  loads:float array ->
+  threshold:float ->
+  (int * int) option
+(** [choose_migration ~domains ~map ~loads ~threshold] proposes at
+    most one live migration given [loads.(ip)] = node [ip]'s recent
+    load and [map.(ip)] its current shard: [Some (ip, dst)] moves the
+    node from the hottest shard whose load best fills half the
+    hot-cold gap to the coldest shard.  [None] when the max-over-mean
+    imbalance is at or below [threshold], when no move shrinks the
+    gap, or when the only candidate is node 0 (the pinned name-service
+    host, never migrated).  Deterministic for fixed inputs; the
+    runner's rebalancer calls this once per observation interval. *)

@@ -280,6 +280,7 @@ let par_json (r : Par_runner.result) =
      \"handoffs\":%d,\"ring_pushed\":%d,\"ring_popped\":%d,\
      \"ring_batch_fill_mean\":%s,\"parks\":%d,\
      \"instructions\":%d,\"wall_ns\":%d,\"dead_letters\":%d,\
+     \"migrations\":%d,\"migration_ns\":%d,\"forwarded_envelopes\":%d,\
      \"sites_per_shard\":%s,\"placement_weights\":%s,\"node_weights\":%s,\
      \"clean\":%b,\"timed_out\":%b,\
      \"latency_breakdown\":%s,\"shards\":%s,\"outputs\":%s,\
@@ -289,7 +290,8 @@ let par_json (r : Par_runner.result) =
     r.Par_runner.handoffs r.Par_runner.ring_pushed r.Par_runner.ring_popped
     (jfloat r.Par_runner.ring_batch_fill_mean)
     r.Par_runner.parks r.Par_runner.instructions r.Par_runner.wall_ns
-    r.Par_runner.dead_letters
+    r.Par_runner.dead_letters r.Par_runner.migrations
+    r.Par_runner.migration_ns r.Par_runner.forwarded_envelopes
     (jlist string_of_int (Array.to_list r.Par_runner.sites_per_shard))
     (jlist jfloat (Array.to_list r.Par_runner.placement_weights))
     (jlist jfloat (Array.to_list r.Par_runner.node_weights))

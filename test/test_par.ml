@@ -484,6 +484,212 @@ let handoff_batching_invariants () =
   check Alcotest.bool "node weights key" true (has json "\"node_weights\":[");
   check Alcotest.bool "per-shard weight key" true (has json "\"weight\":")
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic rebalancing (PR 10)                                         *)
+
+let choose_migration_properties () =
+  (* balanced loads: never migrates *)
+  check
+    Alcotest.(option (pair int int))
+    "balanced -> None" None
+    (Placement.choose_migration ~domains:2 ~map:[| 0; 1; 0; 1 |]
+       ~loads:[| 2.; 2.; 2.; 2. |] ~threshold:1.2);
+  (* a hot shard with a movable node: the node nearest half the
+     hot-cold gap goes to the coldest shard *)
+  let map = [| 0; 0; 0; 1 |] and loads = [| 0.; 6.; 2.; 1. |] in
+  check
+    Alcotest.(option (pair int int))
+    "skew -> best-fit node to coldest shard"
+    (Some (2, 1))
+    (Placement.choose_migration ~domains:2 ~map ~loads ~threshold:1.2);
+  (* hysteresis: the same skew under a high threshold stays put *)
+  check
+    Alcotest.(option (pair int int))
+    "high threshold -> None" None
+    (Placement.choose_migration ~domains:2 ~map ~loads ~threshold:3.0);
+  (* node 0 (name-service host) is pinned: a hot shard whose only
+     loaded node is node 0 yields no move *)
+  check
+    Alcotest.(option (pair int int))
+    "node 0 never migrates" None
+    (Placement.choose_migration ~domains:2 ~map:[| 0; 1 |]
+       ~loads:[| 10.; 1. |] ~threshold:1.2);
+  (* a node whose load exceeds the whole gap would just swap the
+     imbalance around: not proposed *)
+  check
+    Alcotest.(option (pair int int))
+    "oversized node stays" None
+    (Placement.choose_migration ~domains:2 ~map:[| 0; 0; 1 |]
+       ~loads:[| 0.; 10.; 1. |] ~threshold:1.2);
+  match
+    Placement.choose_migration ~domains:2 ~map:[| 0; 1 |] ~loads:[| 1. |]
+      ~threshold:1.2
+  with
+  | _ -> Alcotest.fail "length mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Output multisets are preserved with the rebalancer armed (aggressive
+   interval and threshold), across the domain sweep plus 8. *)
+let rebalance_equivalence () =
+  let rb = { Par_runner.rb_interval_ms = 1; rb_threshold = 1.01 } in
+  let ds = List.sort_uniq compare (8 :: domain_counts) in
+  List.iter
+    (fun (name, src) ->
+      let prog = Api.parse src in
+      let det = Api.run_program ~config ~placement:placement_spread prog in
+      let reference = event_multiset det.Api.outputs in
+      List.iter
+        (fun d ->
+          let par =
+            Api.run_parallel ~config ~placement:placement_spread ~domains:d
+              ~rebalance:rb prog
+          in
+          let label = Printf.sprintf "%s rebalancing at %d domains" name d in
+          check
+            Alcotest.(list string)
+            label reference
+            (event_multiset par.Par_runner.outputs);
+          check Alcotest.bool (label ^ " clean") true par.Par_runner.clean;
+          check Alcotest.int (label ^ " rings drained")
+            par.Par_runner.ring_pushed par.Par_runner.ring_popped;
+          check Alcotest.int (label ^ " no dead letters") 0
+            par.Par_runner.dead_letters)
+        ds)
+    corpus
+
+(* The deterministic migration hook: both forced moves must install
+   (each holds a quiescence unit from ship to install, so a clean run
+   cannot terminate around them), with no envelope lost or duplicated
+   anywhere — the multiset survives a node changing shards mid-run. *)
+let forced_migration_accounting () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Api.parse src in
+      let det = Api.run_program ~config ~placement:placement_spread prog in
+      let reference = event_multiset det.Api.outputs in
+      (* nodes 1 and 2 start on shards 1 and 2 under Mod at 4 domains,
+         so both commands post before the domains spawn *)
+      let par =
+        Api.run_parallel ~config ~placement:placement_spread ~domains:4
+          ~force_migrations:[ (1, 3); (2, 0) ]
+          prog
+      in
+      let label = Printf.sprintf "%s forced migration" name in
+      check Alcotest.int (label ^ ": both moves installed") 2
+        par.Par_runner.migrations;
+      check Alcotest.bool (label ^ ": clean") true par.Par_runner.clean;
+      check Alcotest.bool (label ^ ": not timed out") false
+        par.Par_runner.timed_out;
+      check Alcotest.int (label ^ ": rings drained")
+        par.Par_runner.ring_pushed par.Par_runner.ring_popped;
+      check Alcotest.int (label ^ ": no dead letters") 0
+        par.Par_runner.dead_letters;
+      check Alcotest.bool (label ^ ": migration time measured") true
+        (par.Par_runner.migration_ns > 0);
+      check Alcotest.bool (label ^ ": forwarded counter sane") true
+        (par.Par_runner.forwarded_envelopes >= 0);
+      check
+        Alcotest.(list string)
+        (label ^ ": multiset preserved")
+        reference
+        (event_multiset par.Par_runner.outputs);
+      (* the counters surface in the JSON report *)
+      let json = Report.par_json par in
+      let has hay sub =
+        let nh = String.length hay and nn = String.length sub in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = sub || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool (label ^ ": migrations key") true
+        (has json "\"migrations\":2");
+      check Alcotest.bool (label ^ ": forwarded key") true
+        (has json "\"forwarded_envelopes\":"))
+    corpus;
+  (* out-of-range entries are loud: node 0 is pinned, shards bounded *)
+  let prog = Api.parse (snd (List.hd corpus)) in
+  List.iter
+    (fun bad ->
+      match
+        Api.run_parallel ~config ~placement:placement_spread ~domains:2
+          ~force_migrations:[ bad ] prog
+      with
+      | _ -> Alcotest.fail "bad force_migrations accepted"
+      | exception Api.Error (Api.Runtime_error _) -> ())
+    [ (0, 1); (-1, 1); (999, 1); (1, 2); (1, -1) ]
+
+(* PR 10 budget fix: [max_events] bounds the event count summed over
+   all shards, not each shard separately.  A cap set between the
+   per-shard maximum and the whole-run total must now trip — under the
+   old per-shard check it silently admitted up to domains * max_events
+   events. *)
+let global_event_budget () =
+  let _, src = List.nth corpus 2 in
+  let prog = Api.parse src in
+  let free =
+    Api.run_parallel ~config ~placement:placement_spread ~domains:4 prog
+  in
+  let total = free.Par_runner.events in
+  let per_shard_max =
+    Array.fold_left
+      (fun acc s -> max acc s.Par_runner.ss_events)
+      0 free.Par_runner.shard_stats
+  in
+  let cap = total * 2 / 3 in
+  (* the regression is only pinned if the cap sits strictly between the
+     two semantics *)
+  check Alcotest.bool "cap above any single shard" true (per_shard_max < cap);
+  check Alcotest.bool "cap below the global total" true (cap < total);
+  (match
+     Api.run_parallel ~config ~placement:placement_spread ~domains:4
+       ~max_events:cap prog
+   with
+  | _ -> Alcotest.fail "global budget not enforced"
+  | exception Api.Error (Api.Runtime_error m) ->
+      let has sub =
+        let nh = String.length m and nn = String.length sub in
+        let rec go i = i + nn <= nh && (String.sub m i nn = sub || go (i + 1)) in
+        go 0
+      in
+      (* satellite 2 rides along: the failure crossed the domain
+         boundary and the join names the shard that raised it *)
+      check Alcotest.bool "names the failing shard" true (has "shard ");
+      check Alcotest.bool "mirrors the Simnet livelock guard" true
+        (has "exceeded"));
+  (* a cap at the measured total passes: the bound is not off by one
+     shard's worth *)
+  let again =
+    Api.run_parallel ~config ~placement:placement_spread ~domains:4
+      ~max_events:(total * 2) prog
+  in
+  check Alcotest.bool "generous cap still quiesces" true
+    again.Par_runner.clean;
+  (* and --domains 1 keeps the Simnet semantics for the same cap *)
+  match
+    Api.run_parallel ~config ~placement:placement_spread ~domains:1
+      ~max_events:1 prog
+  with
+  | _ -> Alcotest.fail "domains 1 budget not enforced"
+  | exception Api.Error (Api.Runtime_error _) -> ()
+
+let rebalance_rejects_tracing () =
+  let prog = Api.parse (snd (List.hd corpus)) in
+  let traced = { config with Cluster.tracing = true } in
+  (match
+     Api.run_parallel ~config:traced ~placement:placement_spread ~domains:2
+       ~rebalance:{ Par_runner.rb_interval_ms = 10; rb_threshold = 1.5 }
+       prog
+   with
+  | _ -> Alcotest.fail "tracing + rebalance accepted"
+  | exception Api.Error (Api.Runtime_error _) -> ());
+  match
+    Api.run_parallel ~config:traced ~placement:placement_spread ~domains:2
+      ~force_migrations:[ (1, 0) ] prog
+  with
+  | _ -> Alcotest.fail "tracing + forced migration accepted"
+  | exception Api.Error (Api.Runtime_error _) -> ()
+
 let rejects_deterministic_only_modes () =
   (* the Par_runner contract is Invalid_argument; Api.run_parallel
      re-wraps it as Api.Error like every other runtime failure *)
@@ -517,4 +723,9 @@ let tests =
     ("handoff batching invariants", `Quick, handoff_batching_invariants);
     ("shard stats and metrics merge", `Quick, shard_stats_and_metrics);
     ("rejects deterministic-only modes", `Quick,
-     rejects_deterministic_only_modes) ]
+     rejects_deterministic_only_modes);
+    ("choose migration properties", `Quick, choose_migration_properties);
+    ("rebalance equivalence", `Quick, rebalance_equivalence);
+    ("forced migration accounting", `Quick, forced_migration_accounting);
+    ("global event budget", `Quick, global_event_budget);
+    ("rebalance rejects tracing", `Quick, rebalance_rejects_tracing) ]
